@@ -1,0 +1,137 @@
+(* CLI: the paper's MySQLEncode — encode a plaintext XML document into
+   a server-side database file of polynomial shares.
+
+   As in §5.1, the encoder takes a map file, a seed file and the XML
+   document; both secret files can be created on the fly. *)
+
+open Cmdliner
+
+module Mapping = Secshare_core.Mapping
+module Encode = Secshare_core.Encode
+module Seed = Secshare_prg.Seed
+
+let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let load_or_create_seed path =
+  if Sys.file_exists path then Seed.load path
+  else begin
+    let seed = Seed.generate () in
+    Seed.save path seed;
+    Printf.eprintf "wrote fresh seed to %s\n" path;
+    Ok seed
+  end
+
+let load_or_create_mapping path ~p ~e ~trie xml_path =
+  let q =
+    let rec pow acc i = if i = 0 then acc else pow (acc * p) (i - 1) in
+    pow 1 e
+  in
+  if Sys.file_exists path then Mapping.load path
+  else begin
+    match In_channel.with_open_bin xml_path In_channel.input_all with
+    | exception Sys_error m -> Error m
+    | contents -> (
+        match Secshare_xml.Tree.of_string contents with
+        | Error m -> Error m
+        | Ok tree -> (
+            let base = Mapping.of_tree ~q tree in
+            let with_alpha =
+              match (base, trie) with
+              | Ok m, Some _ -> Mapping.with_trie_alphabet m
+              | other, _ -> other
+            in
+            match with_alpha with
+            | Error _ as e -> e
+            | Ok m ->
+                Mapping.save path m;
+                Printf.eprintf "wrote map file (%d names) to %s\n" (Mapping.size m) path;
+                Ok m))
+  end
+
+let run xml_path map_path seed_path db_path p e trie_mode durable =
+  let trie =
+    match trie_mode with
+    | "none" -> Ok None
+    | "compressed" -> Ok (Some Secshare_trie.Expand.Compressed)
+    | "uncompressed" -> Ok (Some Secshare_trie.Expand.Uncompressed)
+    | other -> Error other
+  in
+  match trie with
+  | Error other -> err "unknown --trie mode %S (none|compressed|uncompressed)" other
+  | Ok trie -> (
+      if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
+      else
+        match load_or_create_seed seed_path with
+        | Error m -> err "seed: %s" m
+        | Ok seed -> (
+            match load_or_create_mapping map_path ~p ~e ~trie xml_path with
+            | Error m -> err "map: %s" m
+            | Ok mapping -> (
+                let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
+                let table = Secshare_store.Node_table.create_file ~durable db_path in
+                let result =
+                  match open_in_bin xml_path with
+                  | exception Sys_error m -> Error (Encode.Xml_error m)
+                  | ic ->
+                      Fun.protect
+                        ~finally:(fun () -> close_in ic)
+                        (fun () -> Encode.encode_channel ring ~mapping ~seed ~table ?trie ic)
+                in
+                match result with
+                | Error e ->
+                    Secshare_store.Node_table.close table;
+                    err "encoding failed: %s" (Encode.error_to_string e)
+                | Ok stats ->
+                    Secshare_store.Node_table.close table;
+                    Printf.printf
+                      "encoded %d nodes (%d elements, %d trie nodes) in %.2f s\n\
+                       database: %s (%d data bytes)\n"
+                      stats.Encode.nodes stats.Encode.elements stats.Encode.trie_nodes
+                      stats.Encode.duration_seconds db_path
+                      (Secshare_store.Node_table.data_bytes table);
+                    `Ok 0)))
+
+let xml_path =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"XML" ~doc:"Input XML document.")
+
+let map_path =
+  Arg.(
+    value & opt string "secshare.map"
+    & info [ "map" ] ~docv:"FILE" ~doc:"Map file (created from the document if missing).")
+
+let seed_path =
+  Arg.(
+    value & opt string "secshare.seed"
+    & info [ "seed" ] ~docv:"FILE" ~doc:"Seed file (generated if missing); keep it secret.")
+
+let db_path =
+  Arg.(
+    value & opt string "secshare.db"
+    & info [ "o"; "db" ] ~docv:"FILE" ~doc:"Output database (server share) file.")
+
+let p_arg =
+  Arg.(value & opt int 83 & info [ "p" ] ~docv:"P" ~doc:"Field characteristic (prime).")
+
+let e_arg =
+  Arg.(value & opt int 1 & info [ "e" ] ~docv:"E" ~doc:"Field extension degree.")
+
+let trie_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "trie" ] ~docv:"MODE" ~doc:"Text handling: none, compressed or uncompressed.")
+
+let durable_arg =
+  Arg.(
+    value & flag
+    & info [ "durable" ]
+        ~doc:"Write every row through a write-ahead log (crash-safe encoding).")
+
+let cmd =
+  let doc = "encode an XML document into an encrypted share database" in
+  Cmd.v (Cmd.info "ssdb_encode" ~doc)
+    Term.(
+      ret
+        (const run $ xml_path $ map_path $ seed_path $ db_path $ p_arg $ e_arg $ trie_arg
+       $ durable_arg))
+
+let () = exit (Cmd.eval' cmd)

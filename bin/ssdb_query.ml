@@ -1,0 +1,117 @@
+(* CLI: run queries against an encoded database — either a local
+   database file or a remote server over a Unix-domain socket. *)
+
+open Cmdliner
+
+module DB = Secshare_core.Database
+module QC = Secshare_core.Query_common
+module Metrics = Secshare_core.Metrics
+
+let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let report query result =
+  let r : DB.query_result = result in
+  Printf.printf "query: %s\n" query;
+  Printf.printf "matches (%d): %s\n" (List.length r.DB.nodes)
+    (String.concat ", "
+       (List.map
+          (fun (m : Secshare_rpc.Protocol.node_meta) -> string_of_int m.Secshare_rpc.Protocol.pre)
+          r.DB.nodes));
+  Printf.printf
+    "time: %.3f s | evaluations: %d | equality tests: %d | reconstructions: %d | rpc: %d calls, %d bytes\n"
+    r.DB.seconds r.DB.metrics.Metrics.evaluations r.DB.metrics.Metrics.equality_tests
+    r.DB.metrics.Metrics.reconstructions r.DB.rpc_calls r.DB.rpc_bytes
+
+let run db_path socket_path map_path seed_path p e engine_name strictness_name queries =
+  let engine =
+    match engine_name with
+    | "simple" -> Ok DB.Simple
+    | "advanced" -> Ok DB.Advanced
+    | other -> Error ("unknown engine " ^ other)
+  in
+  let strictness =
+    match strictness_name with
+    | "strict" | "equality" -> Ok QC.Strict
+    | "nonstrict" | "containment" -> Ok QC.Non_strict
+    | other -> Error ("unknown strictness " ^ other)
+  in
+  match (engine, strictness) with
+  | Error m, _ | _, Error m -> err "%s" m
+  | Ok engine, Ok strictness -> (
+      match Secshare_core.Mapping.load map_path with
+      | Error m -> err "map: %s" m
+      | Ok mapping -> (
+          match Secshare_prg.Seed.load seed_path with
+          | Error m -> err "seed: %s" m
+          | Ok seed -> (
+              let run_all query_fn =
+                List.iter
+                  (fun q ->
+                    match query_fn q with
+                    | Ok result -> report q result
+                    | Error m -> Printf.printf "query %s failed: %s\n" q m)
+                  queries;
+                `Ok 0
+              in
+              match socket_path with
+              | Some path -> (
+                  match DB.connect ~p ~e ~mapping ~seed ~path () with
+                  | Error m -> err "connect: %s" m
+                  | Ok session ->
+                      Fun.protect
+                        ~finally:(fun () -> DB.session_close session)
+                        (fun () ->
+                          run_all (fun q -> DB.session_query ~engine ~strictness session q)))
+              | None -> (
+                  match Secshare_store.Node_table.open_file db_path with
+                  | Error m -> err "database: %s" m
+                  | Ok table -> (
+                      match DB.of_parts ~p ~e ~mapping ~seed ~table () with
+                      | Error m -> err "%s" m
+                      | Ok db ->
+                          Fun.protect
+                            ~finally:(fun () -> DB.close db)
+                            (fun () -> run_all (fun q -> DB.query ~engine ~strictness db q)))))))
+
+let db_path =
+  Arg.(
+    value & opt string "secshare.db"
+    & info [ "db" ] ~docv:"FILE" ~doc:"Database file written by ssdb_encode.")
+
+let socket_path =
+  Arg.(
+    value & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET" ~doc:"Query a remote ssdb_server instead.")
+
+let map_path =
+  Arg.(value & opt string "secshare.map" & info [ "map" ] ~docv:"FILE" ~doc:"Map file.")
+
+let seed_path =
+  Arg.(value & opt string "secshare.seed" & info [ "seed" ] ~docv:"FILE" ~doc:"Seed file.")
+
+let p_arg = Arg.(value & opt int 83 & info [ "p" ] ~docv:"P" ~doc:"Field characteristic.")
+let e_arg = Arg.(value & opt int 1 & info [ "e" ] ~docv:"E" ~doc:"Extension degree.")
+
+let engine_arg =
+  Arg.(
+    value & opt string "advanced"
+    & info [ "engine" ] ~docv:"NAME" ~doc:"Query engine: simple or advanced.")
+
+let strictness_arg =
+  Arg.(
+    value & opt string "strict"
+    & info [ "test" ] ~docv:"NAME"
+        ~doc:"Matching test: strict (equality) or nonstrict (containment).")
+
+let queries =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"XPath queries.")
+
+let cmd =
+  let doc = "query an encrypted share database" in
+  Cmd.v (Cmd.info "ssdb_query" ~doc)
+    Term.(
+      ret
+        (const run $ db_path $ socket_path $ map_path $ seed_path $ p_arg $ e_arg
+       $ engine_arg $ strictness_arg $ queries))
+
+let () = exit (Cmd.eval' cmd)

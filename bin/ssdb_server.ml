@@ -1,0 +1,52 @@
+(* CLI: serve a database file over a Unix-domain socket — the "big
+   server" of figure 3.  The server holds only public material: shares
+   and pre/post/parent numbers. *)
+
+open Cmdliner
+
+let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let run db_path socket_path p e =
+  if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
+  else
+    match Secshare_store.Node_table.open_file db_path with
+    | Error m -> err "database: %s" m
+    | Ok table ->
+        let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
+        let filter = Secshare_core.Server_filter.create ring table in
+        let server =
+          Secshare_rpc.Server.start ~path:socket_path
+            ~handler:(Secshare_core.Server_filter.handler filter)
+        in
+        Printf.printf "serving %s (%d rows) on %s\n%!" db_path
+          (Secshare_store.Node_table.row_count table)
+          socket_path;
+        let stop = ref false in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+        while not !stop do
+          Unix.sleepf 0.2
+        done;
+        Secshare_rpc.Server.stop server;
+        Secshare_store.Node_table.close table;
+        print_endline "server stopped";
+        `Ok 0
+
+let db_path =
+  Arg.(
+    value & opt string "secshare.db"
+    & info [ "db" ] ~docv:"FILE" ~doc:"Database file written by ssdb_encode.")
+
+let socket_path =
+  Arg.(
+    value & opt string "/tmp/secshare.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let p_arg = Arg.(value & opt int 83 & info [ "p" ] ~docv:"P" ~doc:"Field characteristic.")
+let e_arg = Arg.(value & opt int 1 & info [ "e" ] ~docv:"E" ~doc:"Extension degree.")
+
+let cmd =
+  let doc = "serve an encrypted share database over a Unix-domain socket" in
+  Cmd.v (Cmd.info "ssdb_server" ~doc) Term.(ret (const run $ db_path $ socket_path $ p_arg $ e_arg))
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,55 @@
+(* The paper's §5.3 walkthrough: querying an XMark auction document
+   with /site/*/person//city and friends, comparing SimpleQuery and
+   AdvancedQuery on real workload shapes.
+
+     dune exec examples/auction_search.exe *)
+
+module DB = Secshare_core.Database
+module QC = Secshare_core.Query_common
+module Metrics = Secshare_core.Metrics
+
+let () =
+  let doc = Secshare_xmark.Generate.generate_bytes ~target_bytes:300_000 () in
+  Printf.printf "XMark auction document: %d elements, %d bytes serialised\n"
+    (Secshare_xml.Tree.element_count doc)
+    (String.length (Secshare_xml.Print.to_string doc));
+
+  let config =
+    { DB.default_config with seed = Some (Secshare_prg.Seed.of_passphrase "auction") }
+  in
+  let db = Result.get_ok (DB.create_tree ~config doc) in
+  let stats = DB.storage_stats db in
+  Printf.printf "encoded: %d nodes, %.2f MB of shares, %.2f MB of index\n\n" stats.DB.rows
+    (float_of_int stats.DB.data_bytes /. 1048576.0)
+    (float_of_int stats.DB.index_bytes /. 1048576.0);
+
+  let queries =
+    [
+      "/site/*/person//city" (* the walkthrough query of §5.3 *);
+      "/site/regions/europe/item";
+      "//bidder/date";
+      "/*/*/open_auction/bidder/date";
+    ]
+  in
+  Printf.printf "%-32s %10s %12s %12s %10s\n" "query" "matches" "evals(simp)" "evals(adv)"
+    "accuracy";
+  List.iter
+    (fun q ->
+      let simple = Result.get_ok (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict db q) in
+      let advanced =
+        Result.get_ok (DB.query ~engine:DB.Advanced ~strictness:QC.Non_strict db q)
+      in
+      let strict = Result.get_ok (DB.query ~engine:DB.Advanced ~strictness:QC.Strict db q) in
+      let accuracy = Result.get_ok (DB.accuracy db q) in
+      ignore advanced;
+      Printf.printf "%-32s %10d %12d %12d %9.0f%%\n" q (List.length strict.DB.nodes)
+        simple.DB.metrics.Metrics.evaluations advanced.DB.metrics.Metrics.evaluations
+        (100.0 *. accuracy))
+    queries;
+
+  print_endline
+    "\nThe advanced engine checks every remaining query name at each node\n\
+     (look-ahead), killing dead branches early: on queries with '//' it does\n\
+     far fewer evaluations than the simple engine.  The equality test turns\n\
+     the containment approximation into exact answers.";
+  DB.close db

@@ -1,0 +1,62 @@
+(* Searching inside text data (§4): with the trie enhancement the data
+   content — not just the tags — becomes queryable.  The paper's
+   running example: find the person named Joan via
+   //name[contains(text(), "joan")].
+
+     dune exec examples/trie_search.exe *)
+
+module DB = Secshare_core.Database
+module QC = Secshare_core.Query_common
+module Tree = Secshare_xml.Tree
+
+let xml =
+  {|<people>
+  <person><name>Joan Johnson</name><city>Enschede</city></person>
+  <person><name>Berry Smith</name><city>Eindhoven</city></person>
+  <person><name>Joan Miller</name><city>Toronto</city></person>
+</people>|}
+
+let () =
+  print_endline "document:";
+  print_endline xml;
+
+  (* Compressed tries lose word order and multiplicity; uncompressed
+     tries are lossless.  Both make the letters searchable. *)
+  let doc = Result.get_ok (Tree.of_string xml) in
+  let expanded, stats = Secshare_trie.Expand.expand ~mode:Secshare_trie.Expand.Compressed doc in
+  Printf.printf
+    "\ntrie expansion: %d words (%d chars) became %d character nodes + %d markers\n"
+    stats.Secshare_trie.Expand.total_words stats.Secshare_trie.Expand.total_chars
+    stats.Secshare_trie.Expand.trie_nodes stats.Secshare_trie.Expand.marker_nodes;
+  ignore expanded;
+
+  let config =
+    {
+      DB.default_config with
+      trie = Some Secshare_trie.Expand.Compressed;
+      seed = Some (Secshare_prg.Seed.of_passphrase "trie-example");
+    }
+  in
+  let db = Result.get_ok (DB.create_tree ~config doc) in
+
+  let show q =
+    match DB.query ~engine:DB.Advanced ~strictness:QC.Strict db q with
+    | Error e -> Printf.printf "%-44s error: %s\n" q e
+    | Ok r ->
+        Printf.printf "%-44s -> %d match(es) at pre %s\n" q (List.length r.DB.nodes)
+          (String.concat ","
+             (List.map
+                (fun (m : Secshare_rpc.Protocol.node_meta) ->
+                  string_of_int m.Secshare_rpc.Protocol.pre)
+                r.DB.nodes))
+  in
+  print_endline "\nqueries over the encrypted trie:";
+  show "//name[contains(text(), \"joan\")]";
+  show "//name[contains(text(), \"jo\")]" (* prefixes match too *);
+  show "//city[contains(text(), \"enschede\")]";
+  show "//name[contains(text(), \"berry\")]";
+  show "//name[contains(text(), \"nobody\")]";
+  print_endline
+    "\nEach query was translated to character steps (joan -> //j/o/a/n) and\n\
+     evaluated over polynomial shares; the server never saw a single letter.";
+  DB.close db

@@ -1,0 +1,106 @@
+module Protocol = Secshare_rpc.Protocol
+module Ast = Secshare_xpath.Ast
+open Query_common
+
+(* Keep only candidates whose subtree contains every point.  Points are
+   applied one at a time over the whole candidate list (one batched
+   round trip per point); a node drops out at its first failing point,
+   so the evaluation count matches a per-node short-circuiting check —
+   only the round-trip count differs. *)
+let filter_contains_all filter metas points =
+  List.fold_left
+    (fun metas point ->
+      match metas with
+      | [] -> []
+      | _ -> Client_filter.containment_batch filter metas ~point)
+    metas points
+
+(* The test the current step applies to candidates, given the
+   look-ahead points of the remaining query.  The look-ahead is always
+   containment; only the step's own match can be strict. *)
+let step_filter filter ~strictness ~own_point ~look candidates =
+  let points = match own_point with None -> look | Some p -> p :: look in
+  (* the cheap containment sieve always runs first: equality implies
+     containment, so nothing true is lost *)
+  let survivors = filter_contains_all filter candidates points in
+  match (own_point, strictness) with
+  | None, _ | Some _, Non_strict -> survivors
+  | Some point, Strict ->
+      List.filter (fun m -> Client_filter.equality filter m ~point) survivors
+
+(* For descendant steps: walk downward from (but excluding) the nodes
+   of [sources], level by level.  A node whose subtree lacks one of the
+   required names is a dead branch: neither collected nor entered.  The
+   prune test stays containment-based even in strict mode — it is what
+   lets the walk stop early. *)
+let walk_descendants filter ~strictness ~own_point ~look sources =
+  let prune_points = match own_point with None -> look | Some p -> p :: look in
+  let collected = ref [] in
+  let rec level frontier =
+    match frontier with
+    | [] -> ()
+    | _ ->
+        let children =
+          sort_dedup
+            (List.concat_map
+               (fun (m : Protocol.node_meta) ->
+                 Client_filter.children filter ~pre:m.Protocol.pre)
+               frontier)
+        in
+        let survivors = filter_contains_all filter children prune_points in
+        let keep =
+          match (own_point, strictness) with
+          | None, _ | Some _, Non_strict -> survivors
+          | Some point, Strict ->
+              List.filter (fun m -> Client_filter.equality filter m ~point) survivors
+        in
+        collected := List.rev_append keep !collected;
+        level survivors
+  in
+  level sources;
+  sort_dedup !collected
+
+let run filter ~mapping ~strictness query =
+  if query = [] then raise (Query_error "empty query");
+  let all_names_mapped =
+    List.for_all (fun n -> Mapping.value mapping n <> None) (Ast.name_tests query)
+  in
+  let look_names = Ast.names_after query in
+  let own_point_of (step : Ast.step) =
+    match step.Ast.test with
+    | Ast.Name name -> Some (map_point mapping name)
+    | Ast.Any | Ast.Parent -> None
+  in
+  let rec go frontier ~index ~first = function
+    | [] -> frontier
+    | (step : Ast.step) :: rest ->
+        let look = look_points mapping look_names.(index) in
+        let own_point = own_point_of step in
+        let next =
+          match (step.Ast.test, step.Ast.axis) with
+          | Ast.Parent, _ -> filter_contains_all filter (parents_of filter frontier) look
+          | _, Ast.Child ->
+              let candidates =
+                if first then Option.to_list (Client_filter.root filter)
+                else
+                  sort_dedup
+                    (List.concat_map
+                       (fun (m : Protocol.node_meta) ->
+                         Client_filter.children filter ~pre:m.Protocol.pre)
+                       frontier)
+              in
+              step_filter filter ~strictness ~own_point ~look candidates
+          | _, Ast.Descendant ->
+              let sources =
+                if first then Option.to_list (Client_filter.root filter) else frontier
+              in
+              let below = walk_descendants filter ~strictness ~own_point ~look sources in
+              if first then
+                (* the root itself is a descendant of the document node *)
+                let root_hits = step_filter filter ~strictness ~own_point ~look sources in
+                sort_dedup (root_hits @ below)
+              else below
+        in
+        go (sort_dedup next) ~index:(index + 1) ~first:false rest
+  in
+  if not all_names_mapped then [] else go [] ~index:0 ~first:true query

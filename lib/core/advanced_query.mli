@@ -1,0 +1,25 @@
+(** The [AdvancedQuery] engine (paper §5.3).
+
+    "The AdvancedQuery takes the tree as the starting point and parses
+    it from root to leaf nodes.  At each step the whole remaining
+    query is taken into account.  We take advantage of the fact that
+    nodes have knowledge of all descendants.  This way it is possible
+    to identify dead branches early in the search process at the cost
+    of more evaluations for each node."
+
+    At every candidate the engine checks — by containment, which is
+    the only look-ahead a polynomial offers — that *all* tag names
+    still to be matched by the remaining query occur somewhere in the
+    candidate's subtree; only then does the walk descend.  The current
+    step's own match uses the configured test (containment or
+    equality); descendant steps walk the tree downward level by
+    level, pruning subtrees whose polynomials rule the remaining
+    names out. *)
+
+val run :
+  Client_filter.t ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  Secshare_xpath.Ast.t ->
+  Secshare_rpc.Protocol.node_meta list
+(** Same contract as {!Simple_query.run}. *)

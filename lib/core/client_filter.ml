@@ -1,0 +1,163 @@
+module Protocol = Secshare_rpc.Protocol
+module Transport = Secshare_rpc.Transport
+module Cyclic = Secshare_poly.Cyclic
+
+exception Filter_error of string
+
+type t = {
+  ring : Secshare_poly.Ring.t;
+  seed : Secshare_prg.Seed.t;
+  transport : Transport.t;
+  batch_size : int;
+  batch_eval : bool;
+  metrics : Metrics.t;
+}
+
+let create ring ~seed ?(batch_size = 64) ?(batch_eval = true) transport =
+  {
+    ring;
+    seed;
+    transport;
+    batch_size = max 1 batch_size;
+    batch_eval;
+    metrics = Metrics.create ();
+  }
+
+let metrics t = t.metrics
+let reset_metrics t = Metrics.reset t.metrics
+let rpc_counters t = Transport.counters t.transport
+
+let call t request =
+  match Transport.call t.transport request with
+  | Protocol.Error_msg msg -> raise (Filter_error msg)
+  | response -> response
+
+let protocol_error what response =
+  raise
+    (Filter_error
+       (Format.asprintf "unexpected response to %s: %a" what Protocol.pp_response response))
+
+let root t =
+  match call t Protocol.Root with
+  | Protocol.Node_opt meta -> meta
+  | response -> protocol_error "Root" response
+
+let children t ~pre =
+  match call t (Protocol.Children pre) with
+  | Protocol.Nodes metas -> metas
+  | response -> protocol_error "Children" response
+
+let parent t ~pre =
+  match call t (Protocol.Parent pre) with
+  | Protocol.Node_opt meta -> meta
+  | response -> protocol_error "Parent" response
+
+let iter_descendants t (meta : Protocol.node_meta) ~f =
+  let cursor =
+    match call t (Protocol.Descendants { pre = meta.Protocol.pre; post = meta.Protocol.post }) with
+    | Protocol.Cursor id -> id
+    | response -> protocol_error "Descendants" response
+  in
+  let rec drain () =
+    match call t (Protocol.Cursor_next { cursor; max_items = t.batch_size }) with
+    | Protocol.Batch (items, exhausted) ->
+        List.iter f items;
+        if not exhausted then drain ()
+    | response -> protocol_error "Cursor_next" response
+  in
+  drain ()
+
+let descendants t meta =
+  let acc = ref [] in
+  iter_descendants t meta ~f:(fun m -> acc := m :: !acc);
+  List.rev !acc
+
+let table_stats t =
+  match call t Protocol.Table_stats with
+  | Protocol.Stats stats -> stats
+  | response -> protocol_error "Table_stats" response
+
+let client_eval t ~pre ~point =
+  let poly = Share.client t.ring ~seed:t.seed ~pre in
+  Cyclic.eval t.ring poly point
+
+let containment t (meta : Protocol.node_meta) ~point =
+  let server_value =
+    match call t (Protocol.Eval { pre = meta.Protocol.pre; point }) with
+    | Protocol.Value v -> v
+    | response -> protocol_error "Eval" response
+  in
+  t.metrics.Metrics.evaluations <- t.metrics.Metrics.evaluations + 1;
+  t.metrics.Metrics.nodes_examined <- t.metrics.Metrics.nodes_examined + 1;
+  let client_value = client_eval t ~pre:meta.Protocol.pre ~point in
+  Share.combine_evaluations t.ring ~client:client_value ~server:server_value = 0
+
+let containment_batch t metas ~point =
+  match metas with
+  | [] -> []
+  | _ when not t.batch_eval ->
+      (* one Eval round trip per node: the cost model of the paper's
+         per-call RMI filter *)
+      List.filter (fun meta -> containment t meta ~point) metas
+  | _ -> (
+      let pres = List.map (fun (m : Protocol.node_meta) -> m.Protocol.pre) metas in
+      match call t (Protocol.Eval_batch { pres; point }) with
+      | Protocol.Values values ->
+          if List.length values <> List.length metas then
+            raise (Filter_error "Eval_batch arity mismatch");
+          t.metrics.Metrics.evaluations <-
+            t.metrics.Metrics.evaluations + List.length metas;
+          t.metrics.Metrics.nodes_examined <-
+            t.metrics.Metrics.nodes_examined + List.length metas;
+          List.filter_map
+            (fun ((meta : Protocol.node_meta), server_value) ->
+              let client_value = client_eval t ~pre:meta.Protocol.pre ~point in
+              if Share.combine_evaluations t.ring ~client:client_value ~server:server_value = 0
+              then Some meta
+              else None)
+            (List.combine metas values)
+      | response -> protocol_error "Eval_batch" response)
+
+let fetch_shares t pres =
+  match call t (Protocol.Shares pres) with
+  | Protocol.Shares_data shares ->
+      if List.length shares <> List.length pres then
+        raise (Filter_error "Shares arity mismatch");
+      shares
+  | response -> protocol_error "Shares" response
+
+let reconstruct t ~pre share_bytes =
+  let server = Secshare_poly.Codec.unpack_cyclic t.ring share_bytes in
+  Share.reconstruct t.ring ~seed:t.seed ~pre ~server
+
+let tag_value t (meta : Protocol.node_meta) =
+  let child_metas = children t ~pre:meta.Protocol.pre in
+  let pres =
+    meta.Protocol.pre :: List.map (fun (m : Protocol.node_meta) -> m.Protocol.pre) child_metas
+  in
+  let shares = fetch_shares t pres in
+  let polys = List.map2 (fun pre share -> reconstruct t ~pre share) pres shares in
+  t.metrics.Metrics.equality_tests <- t.metrics.Metrics.equality_tests + 1;
+  t.metrics.Metrics.reconstructions <-
+    t.metrics.Metrics.reconstructions + List.length polys;
+  t.metrics.Metrics.nodes_examined <- t.metrics.Metrics.nodes_examined + 1;
+  match polys with
+  | [] -> assert false
+  | node_poly :: child_polys -> (
+      let product =
+        List.fold_left (Cyclic.mul t.ring) (Cyclic.one t.ring) child_polys
+      in
+      match Cyclic.recover_linear_factor t.ring ~product ~node:node_poly with
+      | Ok value -> Some value
+      | Error `Degenerate ->
+          t.metrics.Metrics.degenerate_divisions <-
+            t.metrics.Metrics.degenerate_divisions + 1;
+          None
+      | Error `Not_linear -> None)
+
+let equality t meta ~point =
+  match tag_value t meta with
+  | Some value -> value = point
+  | None -> false
+
+let close t = Transport.close t.transport

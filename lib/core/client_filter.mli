@@ -1,0 +1,75 @@
+(** The client half of the filter (paper §5.2).
+
+    "ClientFilter first regenerates the client polynomial by using the
+    pseudorandom generator with the secret seed and the pre location of
+    the polynomial.  After the evaluation of its generated polynomial
+    it will add the result to the retrieved value from the server.
+    Only when the sum equals zero, the location is returned to the
+    invoking query engine."
+
+    All structure navigation goes through the transport (so it works
+    identically in-process and over a socket); all secret material
+    (seed, map values) stays on this side. *)
+
+type t
+
+exception Filter_error of string
+(** Transport or protocol failure. *)
+
+val create :
+  Secshare_poly.Ring.t ->
+  seed:Secshare_prg.Seed.t ->
+  ?batch_size:int ->
+  ?batch_eval:bool ->
+  Secshare_rpc.Transport.t ->
+  t
+(** [batch_size] bounds cursor batches (default 64): the client holds
+    at most one batch of node metadata at a time.  [batch_eval]
+    (default true) lets {!containment_batch} use one [Eval_batch]
+    round trip; disabling it reproduces the per-node-call cost model
+    of the paper's RMI filter (see the batching ablation). *)
+
+val metrics : t -> Metrics.t
+val reset_metrics : t -> unit
+val rpc_counters : t -> Secshare_rpc.Transport.counters
+
+(** {2 Structure navigation} *)
+
+val root : t -> Secshare_rpc.Protocol.node_meta option
+val children : t -> pre:int -> Secshare_rpc.Protocol.node_meta list
+val parent : t -> pre:int -> Secshare_rpc.Protocol.node_meta option
+
+val iter_descendants :
+  t -> Secshare_rpc.Protocol.node_meta -> f:(Secshare_rpc.Protocol.node_meta -> unit) -> unit
+(** Stream the strict descendants of a node in document order through
+    a server-side cursor. *)
+
+val descendants :
+  t -> Secshare_rpc.Protocol.node_meta -> Secshare_rpc.Protocol.node_meta list
+
+val table_stats : t -> Secshare_rpc.Protocol.stats
+
+(** {2 The two tests of §5.2 / §6.3} *)
+
+val containment : t -> Secshare_rpc.Protocol.node_meta -> point:int -> bool
+(** Non-strict: does the node's subtree (including itself) contain a
+    node mapped to [point]?  One evaluation pair. *)
+
+val containment_batch :
+  t ->
+  Secshare_rpc.Protocol.node_meta list ->
+  point:int ->
+  Secshare_rpc.Protocol.node_meta list
+(** Filter a candidate list by containment at one point with a single
+    round trip (still one evaluation per node in the metrics). *)
+
+val tag_value : t -> Secshare_rpc.Protocol.node_meta -> int option
+(** Strict machinery: reconstruct the node and all its children,
+    divide out the child product and return the node's own mapped
+    value.  [None] when the division is degenerate (counted in the
+    metrics). *)
+
+val equality : t -> Secshare_rpc.Protocol.node_meta -> point:int -> bool
+(** Strict: is the node itself mapped to [point]? *)
+
+val close : t -> unit

@@ -1,0 +1,279 @@
+module Ring = Secshare_poly.Ring
+module Node_table = Secshare_store.Node_table
+module Transport = Secshare_rpc.Transport
+module Ast = Secshare_xpath.Ast
+
+type config = {
+  p : int;
+  e : int;
+  trie : Secshare_trie.Expand.mode option;
+  seed : Secshare_prg.Seed.t option;
+  mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
+  page_size : int;
+  rpc_batching : bool;
+}
+
+let default_config =
+  {
+    p = 83;
+    e = 1;
+    trie = None;
+    seed = None;
+    mapping = `From_document;
+    page_size = 8192;
+    rpc_batching = true;
+  }
+
+type engine = Simple | Advanced
+
+type t = {
+  ring : Ring.t;
+  map : Mapping.t;
+  seed : Secshare_prg.Seed.t;
+  table : Node_table.t;
+  server : Server_filter.t;
+  filter : Client_filter.t;
+  encode_stats : Encode.stats;
+}
+
+type query_result = {
+  nodes : Secshare_rpc.Protocol.node_meta list;
+  metrics : Metrics.t;
+  rpc_calls : int;
+  rpc_bytes : int;
+  seconds : float;
+}
+
+let build_mapping config tree =
+  let q =
+    let rec pow acc i = if i = 0 then acc else pow (acc * config.p) (i - 1) in
+    pow 1 config.e
+  in
+  let base =
+    match config.mapping with
+    | `Explicit m -> Ok m
+    | `From_dtd dtd -> Mapping.of_dtd ~q dtd
+    | `From_document -> Mapping.of_tree ~q tree
+  in
+  match (base, config.trie) with
+  | (Error _ as e), _ -> e
+  | (Ok _ as ok), None -> ok
+  | Ok m, Some _ -> Mapping.with_trie_alphabet m
+
+let create_tree ?(config = default_config) tree =
+  match
+    if not (Secshare_field.Prime.is_prime config.p) then
+      Error (Printf.sprintf "p = %d is not prime" config.p)
+    else if config.e < 1 then Error "e must be >= 1"
+    else Ok (Ring.of_prime_power ~p:config.p ~e:config.e)
+  with
+  | Error _ as e -> e
+  | Ok ring -> (
+      match build_mapping config tree with
+      | Error _ as e -> e
+      | Ok map -> (
+          let seed =
+            match config.seed with
+            | Some s -> s
+            | None -> Secshare_prg.Seed.generate ()
+          in
+          let table = Node_table.create ~page_size:config.page_size () in
+          match Encode.encode_tree ring ~mapping:map ~seed ~table ?trie:config.trie tree with
+          | Error e -> Error (Encode.error_to_string e)
+          | Ok encode_stats ->
+              let server = Server_filter.create ring table in
+              let transport = Transport.local ~handler:(Server_filter.handler server) in
+              let filter =
+                Client_filter.create ring ~seed ~batch_eval:config.rpc_batching transport
+              in
+              Ok { ring; map; seed; table; server; filter; encode_stats }))
+
+let zero_encode_stats =
+  {
+    Encode.nodes = 0;
+    elements = 0;
+    trie_nodes = 0;
+    max_depth = 0;
+    duration_seconds = 0.0;
+  }
+
+let of_parts ?(rpc_batching = true) ~p ~e ~mapping:map ~seed ~table () =
+  if not (Secshare_field.Prime.is_prime p) then
+    Error (Printf.sprintf "p = %d is not prime" p)
+  else if e < 1 then Error "e must be >= 1"
+  else begin
+    let ring = Ring.of_prime_power ~p ~e in
+    let server = Server_filter.create ring table in
+    let transport = Transport.local ~handler:(Server_filter.handler server) in
+    let filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport in
+    Ok { ring; map; seed; table; server; filter; encode_stats = zero_encode_stats }
+  end
+
+let create ?config xml =
+  match Secshare_xml.Tree.of_string xml with
+  | Error msg -> Error ("XML parse error: " ^ msg)
+  | Ok tree -> create_tree ?config tree
+
+let create_file ?config path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> create ?config contents
+  | exception Sys_error msg -> Error msg
+
+let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.Strict) ast =
+  Client_filter.reset_metrics filter;
+  let counters = Client_filter.rpc_counters filter in
+  let calls0 = counters.Transport.calls in
+  let bytes0 = counters.Transport.bytes_sent + counters.Transport.bytes_received in
+  let t0 = Unix.gettimeofday () in
+  match
+    match engine with
+    | Simple -> Simple_query.run filter ~mapping:map ~strictness ast
+    | Advanced -> Advanced_query.run filter ~mapping:map ~strictness ast
+  with
+  | nodes ->
+      let seconds = Unix.gettimeofday () -. t0 in
+      let counters = Client_filter.rpc_counters filter in
+      Ok
+        {
+          nodes;
+          metrics = Metrics.copy (Client_filter.metrics filter);
+          rpc_calls = counters.Transport.calls - calls0;
+          rpc_bytes =
+            counters.Transport.bytes_sent + counters.Transport.bytes_received - bytes0;
+          seconds;
+        }
+  | exception Query_common.Query_error msg -> Error msg
+  | exception Client_filter.Filter_error msg -> Error ("filter: " ^ msg)
+
+let parse_query q =
+  match Secshare_xpath.Parser.parse q with
+  | Error msg -> Error ("query parse error: " ^ msg)
+  | Ok ast -> (
+      match Ast.rewrite_contains ast with
+      | rewritten -> Ok rewritten
+      | exception Invalid_argument msg -> Error msg)
+
+let query_ast ?engine ?strictness t ast = run_query_on t.filter ~map:t.map ?engine ?strictness ast
+
+let query ?engine ?strictness t q =
+  match parse_query q with
+  | Error _ as e -> e
+  | Ok ast -> query_ast ?engine ?strictness t ast
+
+let accuracy ?engine t q =
+  match query ?engine ~strictness:Query_common.Strict t q with
+  | Error _ as e -> e
+  | Ok strict -> (
+      match query ?engine ~strictness:Query_common.Non_strict t q with
+      | Error _ as e -> e
+      | Ok loose ->
+          let e_size = List.length strict.nodes and c_size = List.length loose.nodes in
+          if c_size = 0 then Ok 1.0
+          else Ok (float_of_int e_size /. float_of_int c_size))
+
+type storage_stats = {
+  rows : int;
+  data_bytes : int;
+  index_bytes : int;
+  encode_stats : Encode.stats;
+}
+
+let storage_stats t =
+  {
+    rows = Node_table.row_count t.table;
+    data_bytes = Node_table.data_bytes t.table;
+    index_bytes = Node_table.index_bytes t.table;
+    encode_stats = t.encode_stats;
+  }
+
+let mapping t = t.map
+let ring t = t.ring
+let seed t = t.seed
+let client_filter t = t.filter
+let table t = t.table
+
+let serve t ~path =
+  Secshare_rpc.Server.start ~path ~handler:(Server_filter.handler t.server)
+
+type session = { s_filter : Client_filter.t; s_map : Mapping.t }
+
+let connect ?(rpc_batching = true) ~p ~e ~mapping ~seed ~path () =
+  if not (Secshare_field.Prime.is_prime p) then
+    Error (Printf.sprintf "p = %d is not prime" p)
+  else
+    match Transport.socket path with
+    | Error msg -> Error ("connect: " ^ msg)
+    | Ok transport ->
+        let ring = Ring.of_prime_power ~p ~e in
+        Ok
+          {
+            s_filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport;
+            s_map = mapping;
+          }
+
+let session_query ?engine ?strictness session q =
+  match parse_query q with
+  | Error _ as e -> e
+  | Ok ast -> run_query_on session.s_filter ~map:session.s_map ?engine ?strictness ast
+
+let session_close session = Client_filter.close session.s_filter
+let close t = Node_table.close t.table
+
+(* --- bundles: a complete database persisted to a directory --- *)
+
+let bundle_config_string t =
+  Printf.sprintf "p = %d\ne = %d\n" t.ring.Ring.characteristic t.ring.Ring.degree
+
+let parse_bundle_config contents =
+  let table = Hashtbl.create 4 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        match String.index_opt line '=' with
+        | Some i ->
+            let key = String.trim (String.sub line 0 i) in
+            let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            Hashtbl.replace table key value
+        | None -> ())
+    (String.split_on_char '\n' contents);
+  match (Hashtbl.find_opt table "p", Hashtbl.find_opt table "e") with
+  | Some p, Some e -> (
+      match (int_of_string_opt p, int_of_string_opt e) with
+      | Some p, Some e -> Ok (p, e)
+      | _ -> Error "bundle config: p and e must be integers")
+  | _ -> Error "bundle config: missing p or e"
+
+let save_bundle t ~dir =
+  match
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    (* copy the rows into a fresh page file *)
+    let file_table = Node_table.create_file (Filename.concat dir "shares.db") in
+    Node_table.iter t.table ~f:(Node_table.insert file_table);
+    Node_table.close file_table;
+    Mapping.save (Filename.concat dir "client.map") t.map;
+    Secshare_prg.Seed.save (Filename.concat dir "client.seed") t.seed;
+    Out_channel.with_open_text (Filename.concat dir "config") (fun oc ->
+        output_string oc (bundle_config_string t))
+  with
+  | () -> Ok ()
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | exception Sys_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let open_bundle ?rpc_batching ~dir () =
+  match In_channel.with_open_text (Filename.concat dir "config") In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match parse_bundle_config contents with
+      | Error _ as e -> e
+      | Ok (p, e) -> (
+          match Mapping.load (Filename.concat dir "client.map") with
+          | Error msg -> Error ("map: " ^ msg)
+          | Ok mapping -> (
+              match Secshare_prg.Seed.load (Filename.concat dir "client.seed") with
+              | Error msg -> Error ("seed: " ^ msg)
+              | Ok seed -> (
+                  match Node_table.open_file (Filename.concat dir "shares.db") with
+                  | Error msg -> Error ("shares: " ^ msg)
+                  | Ok table -> of_parts ?rpc_batching ~p ~e ~mapping ~seed ~table ()))))

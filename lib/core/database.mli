@@ -1,0 +1,132 @@
+(** The public facade: build an encrypted database from an XML
+    document, query it, measure it.
+
+    A [t] bundles the client's secret state (field, mapping, seed)
+    with a server (node table + filter).  The default transport is
+    in-process; {!serve} / {!connect} split the same parts across a
+    Unix-domain socket, reproducing the paper's client/server
+    deployment (figure 3). *)
+
+type t
+
+type config = {
+  p : int;  (** field characteristic (a prime); default 83 *)
+  e : int;  (** extension degree; default 1 *)
+  trie : Secshare_trie.Expand.mode option;
+      (** expand text into tries (§4); default [None] — tags only,
+          the paper's experimental configuration *)
+  seed : Secshare_prg.Seed.t option;  (** default: fresh random seed *)
+  mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
+  page_size : int;  (** storage page size; default 8192 *)
+  rpc_batching : bool;
+      (** batch containment evaluations into one round trip (default
+          true); disable to reproduce the per-node-call cost model of
+          the paper's RMI filter *)
+}
+
+val default_config : config
+
+type engine = Simple | Advanced
+
+type query_result = {
+  nodes : Secshare_rpc.Protocol.node_meta list;  (** document order *)
+  metrics : Metrics.t;
+  rpc_calls : int;
+  rpc_bytes : int;
+  seconds : float;
+}
+
+val create : ?config:config -> string -> (t, string) result
+(** Encode an XML document given as a string. *)
+
+val of_parts :
+  ?rpc_batching:bool ->
+  p:int ->
+  e:int ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  table:Secshare_store.Node_table.t ->
+  unit ->
+  (t, string) result
+(** Assemble a database from an already-encoded node table (e.g. one
+    re-opened from a page file) plus the client's secret state. *)
+
+val create_tree : ?config:config -> Secshare_xml.Tree.t -> (t, string) result
+val create_file : ?config:config -> string -> (t, string) result
+
+val query :
+  ?engine:engine ->
+  ?strictness:Query_common.strictness ->
+  t ->
+  string ->
+  (query_result, string) result
+(** Parse and evaluate a query ([contains] predicates are rewritten
+    into trie steps first).  Defaults: [Advanced], [Strict]. *)
+
+val query_ast :
+  ?engine:engine ->
+  ?strictness:Query_common.strictness ->
+  t ->
+  Secshare_xpath.Ast.t ->
+  (query_result, string) result
+
+val accuracy : ?engine:engine -> t -> string -> (float, string) result
+(** The paper's figure-7 quotient E/C: equality-test result size over
+    containment-test result size (1.0 when both are empty). *)
+
+type storage_stats = {
+  rows : int;
+  data_bytes : int;
+  index_bytes : int;
+  encode_stats : Encode.stats;
+}
+
+val storage_stats : t -> storage_stats
+
+val mapping : t -> Mapping.t
+val ring : t -> Secshare_poly.Ring.t
+val seed : t -> Secshare_prg.Seed.t
+val client_filter : t -> Client_filter.t
+val table : t -> Secshare_store.Node_table.t
+
+(** {2 Remote deployment} *)
+
+val serve : t -> path:string -> Secshare_rpc.Server.t
+(** Expose this database's server half on a Unix-domain socket. *)
+
+type session
+(** A remote client: secret state plus a socket transport. *)
+
+val connect :
+  ?rpc_batching:bool ->
+  p:int ->
+  e:int ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  path:string ->
+  unit ->
+  (session, string) result
+
+val session_query :
+  ?engine:engine ->
+  ?strictness:Query_common.strictness ->
+  session ->
+  string ->
+  (query_result, string) result
+
+val session_close : session -> unit
+val close : t -> unit
+
+(** {2 Bundles}
+
+    A bundle is a directory holding everything needed to reopen a
+    database: the server's page file ([shares.db] — safe to publish)
+    and the client's secrets ([client.map], [client.seed], [config]).
+    In a real deployment the two halves live on different machines;
+    the bundle is the single-machine convenience form. *)
+
+val save_bundle : t -> dir:string -> (unit, string) result
+(** Write the bundle (creating [dir] if needed; existing files are
+    overwritten). *)
+
+val open_bundle : ?rpc_batching:bool -> dir:string -> unit -> (t, string) result

@@ -1,0 +1,188 @@
+module Cyclic = Secshare_poly.Cyclic
+module Sax = Secshare_xml.Sax
+module Trie = Secshare_trie.Trie
+module Tokenize = Secshare_trie.Tokenize
+
+type error = Unmapped_name of string | Xml_error of string
+
+exception Encode_error of error
+
+let error_to_string = function
+  | Unmapped_name name -> Printf.sprintf "no map entry for tag name %S" name
+  | Xml_error msg -> "XML error: " ^ msg
+
+type stats = {
+  nodes : int;
+  elements : int;
+  trie_nodes : int;
+  max_depth : int;
+  duration_seconds : float;
+}
+
+type frame = {
+  value : int;  (** map(name) *)
+  pre : int;
+  parent : int;
+  mutable product : Cyclic.t;  (** prod f(child) over closed children *)
+  mutable has_children : bool;
+}
+
+type encoder = {
+  ring : Secshare_poly.Ring.t;
+  mapping : Mapping.t;
+  seed : Secshare_prg.Seed.t;
+  table : Secshare_store.Node_table.t;
+  trie : Secshare_trie.Expand.mode option;
+  mutable stack : frame list;
+  mutable pre_counter : int;
+  mutable post_counter : int;
+  mutable elements : int;
+  mutable trie_nodes : int;
+  mutable max_depth : int;
+  started_at : float;
+  mutable finished : bool;
+}
+
+let create ring ~mapping ~seed ~table ?trie () =
+  {
+    ring;
+    mapping;
+    seed;
+    table;
+    trie;
+    stack = [];
+    pre_counter = 0;
+    post_counter = 0;
+    elements = 0;
+    trie_nodes = 0;
+    max_depth = 0;
+    started_at = Unix.gettimeofday ();
+    finished = false;
+  }
+
+let map_value t name =
+  match Mapping.value t.mapping name with
+  | Some v -> v
+  | None -> raise (Encode_error (Unmapped_name name))
+
+let open_element t name =
+  let value = map_value t name in
+  let parent = match t.stack with [] -> 0 | frame :: _ -> frame.pre in
+  t.pre_counter <- t.pre_counter + 1;
+  let frame =
+    { value; pre = t.pre_counter; parent; product = Cyclic.one t.ring; has_children = false }
+  in
+  t.stack <- frame :: t.stack;
+  t.max_depth <- max t.max_depth (List.length t.stack)
+
+let close_element t =
+  match t.stack with
+  | [] -> raise (Encode_error (Xml_error "unbalanced end element"))
+  | frame :: rest ->
+      t.stack <- rest;
+      t.post_counter <- t.post_counter + 1;
+      (* A leaf is (x - v); an inner node multiplies the accumulated
+         child product by its own linear factor. *)
+      let own =
+        if frame.has_children then Cyclic.mul_linear t.ring ~root:frame.value frame.product
+        else Cyclic.linear t.ring ~root:frame.value
+      in
+      let server = Share.server_share t.ring ~seed:t.seed ~pre:frame.pre own in
+      let row =
+        {
+          Secshare_store.Page.pre = frame.pre;
+          post = t.post_counter;
+          parent = frame.parent;
+          share = Secshare_poly.Codec.pack_cyclic t.ring server;
+        }
+      in
+      Secshare_store.Node_table.insert t.table row;
+      (match rest with
+      | [] -> ()
+      | parent_frame :: _ ->
+          parent_frame.product <-
+            (if parent_frame.has_children then Cyclic.mul t.ring parent_frame.product own
+             else own);
+          parent_frame.has_children <- true)
+
+(* Trie expansion: text becomes synthetic single-character elements
+   encoded exactly like real tags. *)
+let emit_synthetic_open t name =
+  open_element t name;
+  t.trie_nodes <- t.trie_nodes + 1
+
+let rec emit_trie_forest t trie =
+  Trie.fold_edges trie ~init:() ~f:(fun () c child ->
+      emit_synthetic_open t (String.make 1 c);
+      emit_trie_forest t child;
+      if Trie.mem child "" then begin
+        emit_synthetic_open t Tokenize.end_marker;
+        close_element t
+      end;
+      close_element t)
+
+let emit_word_chain t word =
+  String.iter (fun c -> emit_synthetic_open t (String.make 1 c)) word;
+  emit_synthetic_open t Tokenize.end_marker;
+  close_element t;
+  String.iter (fun _ -> close_element t) word
+
+let handle_text t s =
+  match t.trie with
+  | None -> ()
+  | Some mode -> (
+      if t.stack = [] then ()
+      else
+        match Tokenize.words s with
+        | [] -> ()
+        | words -> (
+            match mode with
+            | Secshare_trie.Expand.Compressed -> emit_trie_forest t (Trie.of_words words)
+            | Secshare_trie.Expand.Uncompressed -> List.iter (emit_word_chain t) words))
+
+let feed t event =
+  if t.finished then raise (Encode_error (Xml_error "encoder already finished"));
+  match event with
+  | Sax.Start_element (name, _attrs) ->
+      open_element t name;
+      t.elements <- t.elements + 1
+  | Sax.End_element _ -> close_element t
+  | Sax.Text s -> handle_text t s
+  | Sax.Comment _ | Sax.Pi _ -> ()
+
+let finish t =
+  if t.stack <> [] then raise (Encode_error (Xml_error "document has unclosed elements"));
+  t.finished <- true;
+  {
+    nodes = t.pre_counter;
+    elements = t.elements;
+    trie_nodes = t.trie_nodes;
+    max_depth = t.max_depth;
+    duration_seconds = Unix.gettimeofday () -. t.started_at;
+  }
+
+let encode_input ring ~mapping ~seed ~table ?trie input =
+  let encoder = create ring ~mapping ~seed ~table ?trie () in
+  match
+    Sax.iter input ~f:(feed encoder);
+    finish encoder
+  with
+  | stats -> Ok stats
+  | exception Encode_error e -> Error e
+  | exception Sax.Parse_error (pos, msg) ->
+      Error (Xml_error (Printf.sprintf "line %d, column %d: %s" pos.Sax.line pos.Sax.col msg))
+
+let encode_string ring ~mapping ~seed ~table ?trie s =
+  encode_input ring ~mapping ~seed ~table ?trie (Sax.input_of_string s)
+
+let encode_channel ring ~mapping ~seed ~table ?trie ic =
+  encode_input ring ~mapping ~seed ~table ?trie (Sax.input_of_channel ic)
+
+let encode_tree ring ~mapping ~seed ~table ?trie tree =
+  let encoder = create ring ~mapping ~seed ~table ?trie () in
+  match
+    List.iter (feed encoder) (Secshare_xml.Tree.to_events tree);
+    finish encoder
+  with
+  | stats -> Ok stats
+  | exception Encode_error e -> Error e

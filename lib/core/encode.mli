@@ -1,0 +1,75 @@
+(** The encoder — our [MySQLEncode] (paper §5.1).
+
+    Streams SAX events, maintaining only the open-element stack (O(depth)
+    memory): each element receives its [pre] number when it opens; when
+    it closes, its polynomial
+    [f(node) = (x - map(node)) . prod f(children)] is completed from
+    the accumulated child product, split against the regenerated
+    client share, and the server share is appended to the node table
+    as a [(pre, post, parent, share)] row.
+
+    With a trie mode set, text content is expanded on the fly into
+    single-character elements (§4), so data becomes searchable; without
+    it, text is skipped and only tags are encoded (the configuration of
+    the paper's experiments). *)
+
+type error =
+  | Unmapped_name of string
+      (** a tag (or trie character) with no map entry *)
+  | Xml_error of string
+
+exception Encode_error of error
+
+val error_to_string : error -> string
+
+type stats = {
+  nodes : int;  (** rows written (elements + trie nodes) *)
+  elements : int;  (** original element nodes *)
+  trie_nodes : int;  (** synthesised character/marker nodes *)
+  max_depth : int;
+  duration_seconds : float;
+}
+
+type encoder
+
+val create :
+  Secshare_poly.Ring.t ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  table:Secshare_store.Node_table.t ->
+  ?trie:Secshare_trie.Expand.mode ->
+  unit ->
+  encoder
+
+val feed : encoder -> Secshare_xml.Sax.event -> unit
+(** @raise Encode_error on an unmapped name. *)
+
+val finish : encoder -> stats
+(** @raise Encode_error if elements are still open. *)
+
+val encode_string :
+  Secshare_poly.Ring.t ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  table:Secshare_store.Node_table.t ->
+  ?trie:Secshare_trie.Expand.mode ->
+  string ->
+  (stats, error) result
+
+val encode_channel :
+  Secshare_poly.Ring.t ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  table:Secshare_store.Node_table.t ->
+  ?trie:Secshare_trie.Expand.mode ->
+  in_channel ->
+  (stats, error) result
+
+val encode_tree :
+  Secshare_poly.Ring.t ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  table:Secshare_store.Node_table.t ->
+  ?trie:Secshare_trie.Expand.mode ->
+  Secshare_xml.Tree.t ->
+  (stats, error) result

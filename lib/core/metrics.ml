@@ -1,0 +1,45 @@
+type t = {
+  mutable evaluations : int;
+  mutable equality_tests : int;
+  mutable reconstructions : int;
+  mutable nodes_examined : int;
+  mutable degenerate_divisions : int;
+}
+
+let create () =
+  {
+    evaluations = 0;
+    equality_tests = 0;
+    reconstructions = 0;
+    nodes_examined = 0;
+    degenerate_divisions = 0;
+  }
+
+let reset t =
+  t.evaluations <- 0;
+  t.equality_tests <- 0;
+  t.reconstructions <- 0;
+  t.nodes_examined <- 0;
+  t.degenerate_divisions <- 0
+
+let add acc t =
+  acc.evaluations <- acc.evaluations + t.evaluations;
+  acc.equality_tests <- acc.equality_tests + t.equality_tests;
+  acc.reconstructions <- acc.reconstructions + t.reconstructions;
+  acc.nodes_examined <- acc.nodes_examined + t.nodes_examined;
+  acc.degenerate_divisions <- acc.degenerate_divisions + t.degenerate_divisions
+
+let copy t =
+  {
+    evaluations = t.evaluations;
+    equality_tests = t.equality_tests;
+    reconstructions = t.reconstructions;
+    nodes_examined = t.nodes_examined;
+    degenerate_divisions = t.degenerate_divisions;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{evals=%d; eq_tests=%d; reconstructions=%d; examined=%d; degenerate=%d}"
+    t.evaluations t.equality_tests t.reconstructions t.nodes_examined
+    t.degenerate_divisions

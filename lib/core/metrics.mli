@@ -1,0 +1,27 @@
+(** Counters for the paper's experimental quantities.
+
+    Figure 5 plots containment evaluations; §6.3 discusses the cost of
+    equality tests, i.e. whole-polynomial reconstructions; figure 6
+    measures wall-clock time.  One containment check is exactly one
+    evaluation pair (server share + regenerated client share). *)
+
+type t = {
+  mutable evaluations : int;
+      (** containment tests: one polynomial evaluation pair each *)
+  mutable equality_tests : int;
+  mutable reconstructions : int;
+      (** full polynomials reconstructed (node + its children) for
+          equality tests *)
+  mutable nodes_examined : int;  (** candidate nodes inspected *)
+  mutable degenerate_divisions : int;
+      (** equality tests aborted because the child product was the
+          zero ring element (see DESIGN.md §7) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** Accumulate the second argument into the first. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+module Protocol = Secshare_rpc.Protocol
+
+type strictness = Strict | Non_strict
+
+exception Query_error of string
+
+let map_point mapping name =
+  match Mapping.value mapping name with
+  | Some v -> v
+  | None -> raise (Query_error (Printf.sprintf "tag name %S has no map entry" name))
+
+let look_points mapping names = List.map (map_point mapping) names
+
+module Int_map = Map.Make (Int)
+
+let sort_dedup metas =
+  let by_pre =
+    List.fold_left
+      (fun acc (m : Protocol.node_meta) -> Int_map.add m.Protocol.pre m acc)
+      Int_map.empty metas
+  in
+  List.map snd (Int_map.bindings by_pre)
+
+let parents_of filter metas =
+  sort_dedup
+    (List.filter_map
+       (fun (m : Protocol.node_meta) -> Client_filter.parent filter ~pre:m.Protocol.pre)
+       metas)

@@ -1,0 +1,26 @@
+(** Shared pieces of the two query engines (§5.3). *)
+
+type strictness =
+  | Strict  (** the equality test: exact, expensive (§6.3) *)
+  | Non_strict  (** the containment test: cheap, approximate *)
+
+exception Query_error of string
+
+val map_point : Mapping.t -> string -> int
+(** The mapped field value of a tag name.
+    @raise Query_error on an unmapped name (the query can never match
+    — surfacing this is a client-side decision; the server never sees
+    the name). *)
+
+val look_points : Mapping.t -> string list -> int list
+(** Mapped values of a look-ahead name set. *)
+
+val sort_dedup :
+  Secshare_rpc.Protocol.node_meta list -> Secshare_rpc.Protocol.node_meta list
+(** Document order ([pre]), duplicates removed. *)
+
+val parents_of :
+  Client_filter.t ->
+  Secshare_rpc.Protocol.node_meta list ->
+  Secshare_rpc.Protocol.node_meta list
+(** Distinct parents of a node set (the [..] step). *)

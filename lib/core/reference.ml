@@ -1,0 +1,140 @@
+module Tree = Secshare_xml.Tree
+module Ast = Secshare_xpath.Ast
+module Protocol = Secshare_rpc.Protocol
+
+type semantics = Exact | Containment
+
+(* Flattened document: one record per element, in document order. *)
+type node = {
+  pre : int;
+  post : int;
+  parent : int; (* 0 for the root *)
+  name : string;
+  children : int list; (* indices into the node array, i.e. pre - 1 *)
+  subtree_names : (string, unit) Hashtbl.t;
+}
+
+let flatten tree =
+  let nodes = ref [] in
+  let pre_counter = ref 0 and post_counter = ref 0 in
+  let rec go parent t =
+    match t with
+    | Tree.Text _ -> None
+    | Tree.Element { name; children; _ } ->
+        incr pre_counter;
+        let pre = !pre_counter in
+        let child_indices = List.filter_map (go pre) children in
+        incr post_counter;
+        let subtree_names = Hashtbl.create 8 in
+        Hashtbl.replace subtree_names name ();
+        let node =
+          {
+            pre;
+            post = !post_counter;
+            parent;
+            name;
+            children = child_indices;
+            subtree_names;
+          }
+        in
+        nodes := node :: !nodes;
+        Some (pre - 1)
+  in
+  ignore (go 0 tree);
+  match !nodes with
+  | [] -> [||]
+  | first :: _ ->
+      let arr = Array.make (List.length !nodes) first in
+      List.iter (fun n -> arr.(n.pre - 1) <- n) !nodes;
+      arr
+
+(* Subtree name sets are filled bottom-up: children have larger [pre]
+   than their parent, so a reverse pass sees them first. *)
+let fill_subtree_names arr =
+  for i = Array.length arr - 1 downto 0 do
+    let n = arr.(i) in
+    List.iter
+      (fun ci ->
+        Hashtbl.iter
+          (fun name () -> Hashtbl.replace n.subtree_names name ())
+          arr.(ci).subtree_names)
+      n.children
+  done
+
+let descendants arr node =
+  (* contiguous pre run: scan forward while post < node.post *)
+  let acc = ref [] in
+  let i = ref node.pre in
+  (* index node.pre is the first node after [node] *)
+  while !i < Array.length arr && arr.(!i).post < node.post do
+    acc := arr.(!i) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let run_nodes ?(semantics = Exact) tree query =
+  if query = [] then invalid_arg "Reference.run: empty query";
+  let arr = flatten tree in
+  fill_subtree_names arr;
+  if Array.length arr = 0 then []
+  else begin
+    let module Int_set = Set.Make (Int) in
+    let root = arr.(0) in
+    let name_matches node n =
+      match semantics with
+      | Exact -> String.equal node.name n
+      | Containment -> Hashtbl.mem node.subtree_names n
+    in
+    let step_candidates frontier ~first (step : Ast.step) =
+      match (step.Ast.test, step.Ast.axis) with
+      | Ast.Parent, _ ->
+          List.filter_map
+            (fun node -> if node.parent = 0 then None else Some arr.(node.parent - 1))
+            frontier
+      | _, Ast.Child ->
+          if first then [ root ]
+          else List.concat_map (fun node -> List.map (fun i -> arr.(i)) node.children) frontier
+      | _, Ast.Descendant ->
+          let sources = if first then [ root ] else frontier in
+          let below = List.concat_map (descendants arr) sources in
+          if first then root :: below else below
+    in
+    let apply_test metas (step : Ast.step) =
+      match step.Ast.test with
+      | Ast.Any | Ast.Parent -> metas
+      | Ast.Name n -> List.filter (fun node -> name_matches node n) metas
+    in
+    let dedup nodes =
+      let set = List.fold_left (fun acc n -> Int_set.add n.pre acc) Int_set.empty nodes in
+      List.map (fun pre -> arr.(pre - 1)) (Int_set.elements set)
+    in
+    let rec go frontier ~first = function
+      | [] -> frontier
+      | step :: rest ->
+          let expanded = step_candidates frontier ~first step in
+          let filtered = apply_test expanded step in
+          go (dedup filtered) ~first:false rest
+    in
+    go [] ~first:true query
+  end
+
+let run ?semantics tree query = List.map (fun n -> n.pre) (run_nodes ?semantics tree query)
+
+let run_meta ?semantics tree query =
+  List.map
+    (fun n -> { Protocol.pre = n.pre; post = n.post; parent = n.parent })
+    (run_nodes ?semantics tree query)
+
+let pre_of_path tree path =
+  let arr = flatten tree in
+  if Array.length arr = 0 then None
+  else begin
+    let rec go node = function
+      | [] -> Some node.pre
+      | idx :: rest -> (
+          match List.nth_opt node.children idx with
+          | Some ci -> go arr.(ci) rest
+          | None -> None)
+    in
+    go arr.(0) path
+  end

@@ -1,0 +1,34 @@
+(** A plaintext reference evaluator — ground truth for the encrypted
+    engines.
+
+    Evaluates the same XPath subset directly over the unencrypted
+    document, numbering elements in document order with the same
+    [pre]/[post] convention the encoder uses, so result sets are
+    comparable node-for-node.
+
+    Two semantics:
+    - [Exact]: a name step keeps candidates whose tag *is* the name —
+      what the equality test computes, and the yardstick of the
+      paper's figure 7;
+    - [Containment]: a name step keeps candidates whose subtree
+      *contains* the name — the idealised containment-test semantics
+      (what the non-strict engines compute, without the encoding in
+      the way). *)
+
+type semantics = Exact | Containment
+
+val run :
+  ?semantics:semantics -> Secshare_xml.Tree.t -> Secshare_xpath.Ast.t -> int list
+(** [pre] numbers of the matching elements, ascending.  Defaults to
+    [Exact]. *)
+
+val run_meta :
+  ?semantics:semantics ->
+  Secshare_xml.Tree.t ->
+  Secshare_xpath.Ast.t ->
+  Secshare_rpc.Protocol.node_meta list
+(** Same, with full pre/post/parent metadata. *)
+
+val pre_of_path : Secshare_xml.Tree.t -> int list -> int option
+(** Document-order [pre] of the element reached by a child-index path
+    (0-based, [[]] is the root); useful in tests. *)

@@ -1,0 +1,117 @@
+module Protocol = Secshare_rpc.Protocol
+module Node_table = Secshare_store.Node_table
+module Page = Secshare_store.Page
+
+type cursor = { mutable items : Protocol.node_meta list }
+
+type t = {
+  ring : Secshare_poly.Ring.t;
+  table : Node_table.t;
+  cursors : (int, cursor) Hashtbl.t;
+  mutable next_cursor : int;
+  lock : Mutex.t;
+}
+
+let create ring table =
+  { ring; table; cursors = Hashtbl.create 16; next_cursor = 1; lock = Mutex.create () }
+
+let meta_of_row (row : Page.row) =
+  { Protocol.pre = row.Page.pre; post = row.Page.post; parent = row.Page.parent }
+
+let eval_share t (row : Page.row) point =
+  let poly = Secshare_poly.Codec.unpack_cyclic t.ring row.Page.share in
+  Secshare_poly.Cyclic.eval t.ring poly point
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let handle t (request : Protocol.request) : Protocol.response =
+  match request with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Root -> Protocol.Node_opt (Option.map meta_of_row (Node_table.root t.table))
+  | Protocol.Children parent ->
+      Protocol.Nodes (List.map meta_of_row (Node_table.children t.table ~parent))
+  | Protocol.Parent pre ->
+      Protocol.Node_opt (Option.map meta_of_row (Node_table.parent_of t.table ~pre))
+  | Protocol.Descendants { pre; post } ->
+      (* The server buffers the intermediate result; the client drains
+         it one batch at a time (nextNode). *)
+      let items =
+        List.rev
+          (Node_table.fold_descendants t.table ~pre ~post ~init:[] ~f:(fun acc row ->
+               meta_of_row row :: acc))
+      in
+      with_lock t (fun () ->
+          let id = t.next_cursor in
+          t.next_cursor <- t.next_cursor + 1;
+          Hashtbl.replace t.cursors id { items };
+          Protocol.Cursor id)
+  | Protocol.Cursor_next { cursor; max_items } ->
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.cursors cursor with
+          | None -> Protocol.Error_msg (Printf.sprintf "unknown cursor %d" cursor)
+          | Some c ->
+              let max_items = max 1 max_items in
+              let rec take n items =
+                if n = 0 then ([], items)
+                else
+                  match items with
+                  | [] -> ([], [])
+                  | x :: rest ->
+                      let taken, remaining = take (n - 1) rest in
+                      (x :: taken, remaining)
+              in
+              let batch, remaining = take max_items c.items in
+              c.items <- remaining;
+              let exhausted = remaining = [] in
+              if exhausted then Hashtbl.remove t.cursors cursor;
+              Protocol.Batch (batch, exhausted))
+  | Protocol.Cursor_close cursor ->
+      with_lock t (fun () ->
+          Hashtbl.remove t.cursors cursor;
+          Protocol.Pong)
+  | Protocol.Eval { pre; point } -> (
+      match Node_table.find_by_pre t.table pre with
+      | None -> Protocol.Error_msg (Printf.sprintf "unknown node pre=%d" pre)
+      | Some row -> Protocol.Value (eval_share t row point))
+  | Protocol.Eval_batch { pres; point } -> (
+      match
+        List.map
+          (fun pre ->
+            match Node_table.find_by_pre t.table pre with
+            | None -> failwith (Printf.sprintf "unknown node pre=%d" pre)
+            | Some row -> eval_share t row point)
+          pres
+      with
+      | values -> Protocol.Values values
+      | exception Failure msg -> Protocol.Error_msg msg)
+  | Protocol.Share pre -> (
+      match Node_table.find_by_pre t.table pre with
+      | None -> Protocol.Error_msg (Printf.sprintf "unknown node pre=%d" pre)
+      | Some row -> Protocol.Share_data row.Page.share)
+  | Protocol.Shares pres -> (
+      match
+        List.map
+          (fun pre ->
+            match Node_table.find_by_pre t.table pre with
+            | None -> failwith (Printf.sprintf "unknown node pre=%d" pre)
+            | Some row -> row.Page.share)
+          pres
+      with
+      | shares -> Protocol.Shares_data shares
+      | exception Failure msg -> Protocol.Error_msg msg)
+  | Protocol.Table_stats ->
+      Protocol.Stats
+        {
+          Protocol.rows = Node_table.row_count t.table;
+          data_bytes = Node_table.data_bytes t.table;
+          index_bytes = Node_table.index_bytes t.table;
+        }
+
+let handler t request =
+  match handle t request with
+  | response -> response
+  | exception exn -> Protocol.Error_msg (Printexc.to_string exn)
+
+let open_cursors t = with_lock t (fun () -> Hashtbl.length t.cursors)

@@ -1,0 +1,21 @@
+(** The server half of the filter (paper §5.2): answers protocol
+    requests from the node table.
+
+    The server sees only [pre]/[post]/[parent] numbers and share
+    polynomials; it never learns tag names, mapped values or which tag
+    a query is about (it evaluates shares at client-supplied field
+    points, which are themselves meaningless without the map).
+
+    Cursors implement the [nextNode()] pipeline: a [Descendants]
+    request opens a server-side scan buffer; the client drains it in
+    small batches so it holds only one batch at a time. *)
+
+type t
+
+val create : Secshare_poly.Ring.t -> Secshare_store.Node_table.t -> t
+
+val handler : t -> Secshare_rpc.Protocol.request -> Secshare_rpc.Protocol.response
+(** Total: errors come back as [Error_msg]. *)
+
+val open_cursors : t -> int
+(** Number of cursors currently open (for leak tests). *)

@@ -1,0 +1,7 @@
+module Cyclic = Secshare_poly.Cyclic
+
+let client ring ~seed ~pre = Secshare_prg.Node_prg.client_poly ~ring ~seed ~pre
+let server_share ring ~seed ~pre f = Cyclic.sub ring f (client ring ~seed ~pre)
+let reconstruct ring ~seed ~pre ~server = Cyclic.add ring (client ring ~seed ~pre) server
+let combine_evaluations (ring : Secshare_poly.Ring.t) ~client ~server =
+  ring.Secshare_poly.Ring.add client server

@@ -1,0 +1,32 @@
+(** Additive secret sharing of node polynomials (paper §3 steps 3–4).
+
+    The client polynomial is pseudorandom, regenerated from the seed
+    and the node's [pre] number; the server share is chosen so that
+    client + server equals the node's true polynomial.  Either share
+    alone is uniformly distributed and reveals nothing. *)
+
+val client :
+  Secshare_poly.Ring.t -> seed:Secshare_prg.Seed.t -> pre:int -> Secshare_poly.Cyclic.t
+(** The regenerated client share of node [pre]. *)
+
+val server_share :
+  Secshare_poly.Ring.t ->
+  seed:Secshare_prg.Seed.t ->
+  pre:int ->
+  Secshare_poly.Cyclic.t ->
+  Secshare_poly.Cyclic.t
+(** [server_share r ~seed ~pre f] is [f - client], the share stored in
+    the public table. *)
+
+val reconstruct :
+  Secshare_poly.Ring.t ->
+  seed:Secshare_prg.Seed.t ->
+  pre:int ->
+  server:Secshare_poly.Cyclic.t ->
+  Secshare_poly.Cyclic.t
+(** [client + server]: the node's true polynomial. *)
+
+val combine_evaluations : Secshare_poly.Ring.t -> client:int -> server:int -> int
+(** Sum of the two shares' evaluations at the same point — zero iff
+    the true polynomial evaluates to zero there (the containment
+    test). *)

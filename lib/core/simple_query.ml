@@ -1,0 +1,55 @@
+module Protocol = Secshare_rpc.Protocol
+module Ast = Secshare_xpath.Ast
+open Query_common
+
+(* Candidates reached from [frontier] along the step's axis.  [first]
+   marks the first step, whose implicit context is the virtual
+   document node (parent of the root). *)
+let candidates filter ~first frontier (step : Ast.step) =
+  match (step.Ast.test, step.Ast.axis) with
+  | Ast.Parent, _ -> parents_of filter frontier
+  | _, Ast.Child ->
+      if first then Option.to_list (Client_filter.root filter)
+      else
+        sort_dedup
+          (List.concat_map
+             (fun (m : Protocol.node_meta) ->
+               Client_filter.children filter ~pre:m.Protocol.pre)
+             frontier)
+  | _, Ast.Descendant ->
+      let sources =
+        if first then Option.to_list (Client_filter.root filter) else frontier
+      in
+      (* strict descendants of every frontier node; the first step's
+         sources (the root) are themselves candidates since they are
+         descendants of the document node *)
+      let acc = ref (if first then sources else []) in
+      List.iter
+        (fun source ->
+          Client_filter.iter_descendants filter source ~f:(fun m -> acc := m :: !acc))
+        sources;
+      sort_dedup !acc
+
+let apply_test filter ~mapping ~strictness metas (step : Ast.step) =
+  match step.Ast.test with
+  | Ast.Any | Ast.Parent -> metas
+  | Ast.Name name -> (
+      let point = map_point mapping name in
+      match strictness with
+      | Non_strict -> Client_filter.containment_batch filter metas ~point
+      | Strict -> List.filter (fun m -> Client_filter.equality filter m ~point) metas)
+
+let run filter ~mapping ~strictness query =
+  if query = [] then raise (Query_error "empty query");
+  let all_names_mapped =
+    List.for_all (fun n -> Mapping.value mapping n <> None) (Ast.name_tests query)
+  in
+  let rec go frontier ~first = function
+    | [] -> frontier
+    | step :: rest ->
+        let expanded = candidates filter ~first frontier step in
+        let filtered = apply_test filter ~mapping ~strictness expanded step in
+        go (sort_dedup filtered) ~first:false rest
+  in
+  if not all_names_mapped then []
+  else go [] ~first:true query

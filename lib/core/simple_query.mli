@@ -1,0 +1,27 @@
+(** The [SimpleQuery] engine (paper §5.3).
+
+    "The most simple search strategy parses the XPath query into steps
+    where each step consists of a direction (child or descendant) and
+    a tag name" — the query is consumed left to right, each step
+    expanding the current result set along its axis and filtering the
+    candidates with a *single* test at the step's own tag name.  No
+    look-ahead: dead branches are only discovered when a later step
+    fails, which makes [//] steps expensive ("this step even increases
+    the number of possible nodes that have to be checked").
+
+    With [Non_strict] filtering the result contains every candidate
+    whose *subtree* contains the step name (the containment test);
+    with [Strict] every candidate whose own tag *is* the step name
+    (the equality test). *)
+
+val run :
+  Client_filter.t ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  Secshare_xpath.Ast.t ->
+  Secshare_rpc.Protocol.node_meta list
+(** Evaluate an absolute query from the document root; results in
+    document order.  A query naming a tag with no map entry matches
+    nothing (empty result), mirroring plaintext XPath over a document
+    that cannot contain the name.
+    @raise Client_filter.Filter_error on transport failures. *)

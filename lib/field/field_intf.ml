@@ -1,0 +1,65 @@
+(** Common signature for the finite fields used by the encoding scheme.
+
+    The paper works in [F_{p^e}] where [p^e] is a prime power slightly
+    larger than the number of distinct tag names (p = 83, e = 1 in the
+    experiments; F_5 in the worked example of figure 1; p = 29 for the
+    trie alphabet).  Field elements are represented canonically as
+    integers in [0, order).  All operations are total except [inv] and
+    [div], which raise [Division_by_zero] on a zero divisor. *)
+
+module type FIELD = sig
+  type t
+
+  val order : int
+  (** Number of elements, [p^e]. *)
+
+  val characteristic : int
+  (** The prime [p]. *)
+
+  val degree : int
+  (** The extension degree [e]; [order = characteristic ^ degree]. *)
+
+  val zero : t
+  val one : t
+
+  val of_int : int -> t
+  (** [of_int k] is the element canonically encoded by
+      [k mod order] (negative [k] is normalised).  For [e = 1] this is
+      the residue class of [k]; for [e > 1] the base-[p] digits of [k]
+      are the coefficients of the residue polynomial. *)
+
+  val to_int : t -> int
+  (** Canonical integer encoding in [0, order). *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  val inv : t -> t
+  (** Multiplicative inverse.  @raise Division_by_zero on [zero]. *)
+
+  val div : t -> t -> t
+  (** [div a b = mul a (inv b)].  @raise Division_by_zero if [b] is
+      [zero]. *)
+
+  val pow : t -> int -> t
+  (** [pow a k] for [k >= 0]; [pow zero 0 = one] by convention. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_zero : t -> bool
+  val pp : Format.formatter -> t -> unit
+
+  val elements : unit -> t list
+  (** All [order] elements, in canonical integer order. *)
+
+  val nonzero_elements : unit -> t list
+  (** All [order - 1] nonzero elements, in canonical integer order. *)
+end
+
+(** A field packaged together with its runtime parameters; the modulus
+    is chosen at runtime (it depends on the number of tag names in the
+    document's DTD), so fields are passed around as first-class
+    modules. *)
+type packed = (module FIELD)

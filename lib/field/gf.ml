@@ -1,0 +1,251 @@
+(* Minimal polynomial arithmetic over F_p on plain int arrays, used
+   only to find the irreducible modulus and to implement field
+   multiplication / inversion.  Index = degree; arrays are kept
+   normalised (no trailing zero coefficient) except where noted. *)
+
+let normalize a =
+  let d = ref (Array.length a - 1) in
+  while !d >= 0 && a.(!d) = 0 do
+    decr d
+  done;
+  Array.sub a 0 (!d + 1)
+
+let deg a = Array.length a - 1
+let is_zero_poly a = Array.length a = 0
+
+let psub p a b =
+  let n = max (Array.length a) (Array.length b) in
+  let c = Array.make n 0 in
+  Array.iteri (fun i x -> c.(i) <- x) a;
+  Array.iteri (fun i x -> c.(i) <- ((c.(i) - x) mod p + p) mod p) b;
+  normalize c
+
+let pmul p a b =
+  if is_zero_poly a || is_zero_poly b then [||]
+  else begin
+    let c = Array.make (deg a + deg b + 1) 0 in
+    Array.iteri
+      (fun i x ->
+        if x <> 0 then
+          Array.iteri (fun j y -> c.(i + j) <- (c.(i + j) + (x * y)) mod p) b)
+      a;
+    normalize c
+  end
+
+let inv_mod p a =
+  let a = ((a mod p) + p) mod p in
+  if a = 0 then raise Division_by_zero;
+  let rec go r0 r1 s0 s1 = if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1)) in
+  let s = go a p 1 0 in
+  ((s mod p) + p) mod p
+
+(* Remainder of [a] modulo monic-after-scaling [b]. *)
+let pmod p a b =
+  if is_zero_poly b then raise Division_by_zero;
+  let lead_inv = inv_mod p b.(deg b) in
+  let r = Array.copy a in
+  let rdeg = ref (deg a) in
+  while !rdeg >= deg b do
+    let coeff = r.(!rdeg) * lead_inv mod p in
+    if coeff <> 0 then begin
+      let shift = !rdeg - deg b in
+      Array.iteri
+        (fun j y -> r.(shift + j) <- ((r.(shift + j) - (coeff * y)) mod p + p) mod p)
+        b
+    end;
+    decr rdeg
+  done;
+  normalize (Array.sub r 0 (min (Array.length r) (max 0 (deg b))))
+
+let pgcd p a b =
+  let rec go a b = if is_zero_poly b then a else go b (pmod p a b) in
+  let g = go a b in
+  if is_zero_poly g then g
+  else begin
+    (* make monic for canonical output *)
+    let c = inv_mod p g.(deg g) in
+    normalize (Array.map (fun x -> x * c mod p) g)
+  end
+
+let pmulmod p a b m = pmod p (pmul p a b) m
+
+(* x^(p^k) mod m, via binary exponentiation with exponent p^k (all our
+   exponents fit in a native int because p^e <= 2^30). *)
+let x_pow_mod p exponent m =
+  let x = [| 0; 1 |] in
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then pmulmod p acc base m else acc in
+      go acc (pmulmod p base base m) (k lsr 1)
+    end
+  in
+  go [| 1 |] (pmod p x m) exponent
+
+let int_pow b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then acc * b else acc) (b * b) (e lsr 1)
+  in
+  go 1 b e
+
+let is_irreducible ~p m =
+  let e = deg m in
+  if e < 1 then invalid_arg "Gf.is_irreducible: degree must be >= 1";
+  if m.(e) <> 1 then invalid_arg "Gf.is_irreducible: polynomial must be monic";
+  if e = 1 then true
+  else begin
+    let x = [| 0; 1 |] in
+    (* Rabin: x^(p^e) = x (mod m), and for each prime divisor q of e,
+       gcd(x^(p^(e/q)) - x, m) = 1. *)
+    let frob_total = x_pow_mod p (int_pow p e) m in
+    if not (frob_total = pmod p x m || psub p frob_total (pmod p x m) = [||]) then false
+    else
+      List.for_all
+        (fun (q, _) ->
+          let frob = x_pow_mod p (int_pow p (e / q)) m in
+          let diff = psub p frob (pmod p x m) in
+          let g = pgcd p diff m in
+          deg g = 0)
+        (Prime.factorize e)
+  end
+
+let irreducible ~p ~e =
+  if e < 1 then invalid_arg "Gf.irreducible: e must be >= 1";
+  if e = 1 then [| 0; 1 |]
+  else begin
+    (* Enumerate monic degree-e polynomials by their e low coefficients
+       encoded in base p, smallest encoding first. *)
+    let limit = int_pow p e in
+    let rec candidate code =
+      if code >= limit then
+        invalid_arg "Gf.irreducible: no irreducible found (impossible)"
+      else begin
+        let m = Array.make (e + 1) 0 in
+        m.(e) <- 1;
+        let c = ref code in
+        for i = 0 to e - 1 do
+          m.(i) <- !c mod p;
+          c := !c / p
+        done;
+        if is_irreducible ~p m then m else candidate (code + 1)
+      end
+    in
+    candidate 1
+  end
+
+let digits_of_int ~p ~e k =
+  let d = Array.make e 0 in
+  let c = ref k in
+  for i = 0 to e - 1 do
+    d.(i) <- !c mod p;
+    c := !c / p
+  done;
+  d
+
+let int_of_digits ~p d =
+  Array.fold_right (fun coeff acc -> (acc * p) + coeff) d 0
+
+let create ~p ~e : Field_intf.packed =
+  if not (Prime.is_prime p) then
+    invalid_arg (Printf.sprintf "Gf.create: %d is not prime" p);
+  if e < 1 then invalid_arg "Gf.create: e must be >= 1";
+  let q = int_pow p e in
+  if q > 1 lsl 30 then invalid_arg "Gf.create: p^e must be <= 2^30";
+  if e = 1 then Modp.create ~p
+  else begin
+    let m = irreducible ~p ~e in
+    (module struct
+      type t = int
+
+      let order = q
+      let characteristic = p
+      let degree = e
+      let zero = 0
+      let one = 1
+      let of_int k = ((k mod q) + q) mod q
+      let to_int t = t
+
+      (* Addition is digit-wise mod p; iterate over base-p digits. *)
+      let add a b =
+        let da = digits_of_int ~p ~e a and db = digits_of_int ~p ~e b in
+        let dc = Array.init e (fun i -> (da.(i) + db.(i)) mod p) in
+        int_of_digits ~p dc
+
+      let sub a b =
+        let da = digits_of_int ~p ~e a and db = digits_of_int ~p ~e b in
+        let dc = Array.init e (fun i -> ((da.(i) - db.(i)) mod p + p) mod p) in
+        int_of_digits ~p dc
+
+      let neg a =
+        let da = digits_of_int ~p ~e a in
+        int_of_digits ~p (Array.map (fun x -> (p - x) mod p) da)
+
+      let to_poly a = normalize (digits_of_int ~p ~e a)
+
+      let of_poly poly =
+        let d = Array.make e 0 in
+        Array.iteri (fun i x -> d.(i) <- x) poly;
+        int_of_digits ~p d
+
+      let mul a b = of_poly (pmulmod p (to_poly a) (to_poly b) m)
+
+      let inv a =
+        if a = 0 then raise Division_by_zero;
+        (* Extended Euclid in F_p[y] on (to_poly a, m). *)
+        let rec go r0 r1 s0 s1 =
+          if is_zero_poly r1 then (r0, s0)
+          else begin
+            (* quotient of r0 by r1 *)
+            let lead_inv = inv_mod p r1.(deg r1) in
+            let r = Array.copy r0 in
+            let qacc = Array.make (max 1 (deg r0 - deg r1 + 1)) 0 in
+            let rd = ref (deg r0) in
+            while !rd >= deg r1 && !rd >= 0 do
+              let coeff = r.(!rd) * lead_inv mod p in
+              if coeff <> 0 then begin
+                let shift = !rd - deg r1 in
+                qacc.(shift) <- coeff;
+                Array.iteri
+                  (fun j y ->
+                    r.(shift + j) <- ((r.(shift + j) - (coeff * y)) mod p + p) mod p)
+                  r1
+              end;
+              decr rd
+            done;
+            let quotient = normalize qacc and remainder = normalize r in
+            go r1 remainder s1 (psub p s0 (pmul p quotient s1))
+          end
+        in
+        let g, s = go (to_poly a) m [| 1 |] [||] in
+        (* g is a nonzero constant since m is irreducible and a <> 0 *)
+        let c = inv_mod p g.(0) in
+        of_poly (normalize (Array.map (fun x -> x * c mod p) s))
+
+      let div a b = mul a (inv b)
+
+      let pow a k =
+        if k < 0 then invalid_arg "Gf.pow: negative exponent";
+        let rec go acc base k =
+          if k = 0 then acc
+          else begin
+            let acc = if k land 1 = 1 then mul acc base else acc in
+            go acc (mul base base) (k lsr 1)
+          end
+        in
+        go one a k
+
+      let equal = Int.equal
+      let compare = Int.compare
+      let is_zero a = a = 0
+
+      let pp fmt a =
+        let d = digits_of_int ~p ~e a in
+        Format.fprintf fmt "gf(%d^%d:%d=[%s])" p e a
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int d)))
+
+      let elements () = List.init q Fun.id
+      let nonzero_elements () = List.init (q - 1) (fun i -> i + 1)
+    end)
+  end

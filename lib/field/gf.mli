@@ -1,0 +1,26 @@
+(** Extension fields [F_{p^e}] represented as [F_p[y]/(m(y))] for a
+    monic irreducible [m] of degree [e] found by search (Rabin's
+    irreducibility test).
+
+    Elements are encoded canonically as integers in [0, p^e): the
+    base-[p] digits of the encoding are the coefficients of the residue
+    polynomial, least significant digit first.  For [e = 1] this
+    coincides with {!Modp}. *)
+
+val create : p:int -> e:int -> Field_intf.packed
+(** The field [F_{p^e}].
+
+    @raise Invalid_argument if [p] is not prime, [e < 1], or [p^e]
+    would not fit comfortably in a native [int] (we require
+    [p^e <= 2^30]). *)
+
+val irreducible : p:int -> e:int -> int array
+(** The monic irreducible modulus polynomial used by [create ~p ~e],
+    as its coefficient array of length [e + 1] (index = degree,
+    [m.(e) = 1]).  Deterministic: the lexicographically first monic
+    irreducible in the search order.  Exposed for tests. *)
+
+val is_irreducible : p:int -> int array -> bool
+(** Rabin's irreducibility test for a monic polynomial over [F_p],
+    given as a coefficient array (index = degree).  Exposed for
+    tests.  @raise Invalid_argument on non-monic or degree-0 input. *)

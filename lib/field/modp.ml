@@ -1,0 +1,47 @@
+let create ~p : Field_intf.packed =
+  if not (Prime.is_prime p) then
+    invalid_arg (Printf.sprintf "Modp.create: %d is not prime" p);
+  (module struct
+    type t = int
+
+    let order = p
+    let characteristic = p
+    let degree = 1
+    let zero = 0
+    let one = 1 mod p
+    let of_int k = ((k mod p) + p) mod p
+    let to_int t = t
+    let add a b = (a + b) mod p
+    let sub a b = ((a - b) mod p + p) mod p
+    let neg a = (p - a) mod p
+    let mul a b = a * b mod p
+
+    (* Extended Euclid on (a, p); p prime so gcd = 1 for a <> 0. *)
+    let inv a =
+      if a = 0 then raise Division_by_zero;
+      let rec go r0 r1 s0 s1 = if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1 * s1)) in
+      let s = go a p 1 0 in
+      ((s mod p) + p) mod p
+
+    let div a b = mul a (inv b)
+
+    let pow a k =
+      if k < 0 then invalid_arg "Modp.pow: negative exponent";
+      let rec go acc base k =
+        if k = 0 then acc
+        else begin
+          let acc = if k land 1 = 1 then mul acc base else acc in
+          go acc (mul base base) (k lsr 1)
+        end
+      in
+      go one a k
+
+    let equal = Int.equal
+    let compare = Int.compare
+    let is_zero a = a = 0
+    let pp fmt a = Format.fprintf fmt "%d" a
+    let elements () = List.init p Fun.id
+    let nonzero_elements () = List.init (p - 1) (fun i -> i + 1)
+  end)
+
+let create_exn p = create ~p

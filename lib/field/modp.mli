@@ -1,0 +1,10 @@
+(** Prime fields [F_p] with a runtime-chosen modulus.
+
+    The paper's experiments use [p = 83] (tag names) and [p = 29]
+    (trie alphabet); the worked example of figure 1 uses [p = 5]. *)
+
+val create : p:int -> Field_intf.packed
+(** The field [F_p].  @raise Invalid_argument if [p] is not prime. *)
+
+val create_exn : int -> Field_intf.packed
+(** [create_exn p = create ~p]. *)

@@ -1,0 +1,138 @@
+let small_primes =
+  [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61 ]
+
+(* Overflow-safe modular multiplication for operands below 2^62.  The
+   moduli used by the library are tiny, but [is_prime] is exposed for
+   arbitrary int inputs, so we split one operand into 31-bit halves. *)
+let mul_mod a b m =
+  if m < (1 lsl 31) then a * b mod m
+  else begin
+    let lo = b land 0x7FFFFFFF and hi = b lsr 31 in
+    let high_part = a * hi mod m in
+    let shifted = ref high_part in
+    for _ = 1 to 31 do
+      shifted := !shifted * 2 mod m
+    done;
+    (!shifted + (a * lo mod m)) mod m
+  end
+
+let pow_mod base exp m =
+  let rec go acc base exp =
+    if exp = 0 then acc
+    else begin
+      let acc = if exp land 1 = 1 then mul_mod acc base m else acc in
+      go acc (mul_mod base base m) (exp lsr 1)
+    end
+  in
+  go 1 (((base mod m) + m) mod m) exp
+
+(* Deterministic Miller-Rabin: the witness set {2,3,5,7,11,13,17,19,23,
+   29,31,37} is exact for all n < 3.3 * 10^24, far beyond OCaml ints. *)
+let miller_rabin_witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if List.mem n small_primes then true
+  else if List.exists (fun p -> n mod p = 0) small_primes then false
+  else begin
+    let d = ref (n - 1) and r = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr r
+    done;
+    let witness_passes a =
+      let a = a mod n in
+      if a = 0 then true
+      else begin
+        let x = ref (pow_mod a !d n) in
+        if !x = 1 || !x = n - 1 then true
+        else begin
+          let ok = ref false in
+          (try
+             for _ = 1 to !r - 1 do
+               x := mul_mod !x !x n;
+               if !x = n - 1 then begin
+                 ok := true;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !ok
+        end
+      end
+    in
+    List.for_all witness_passes miller_rabin_witnesses
+  end
+
+let next_prime n =
+  let rec go k = if is_prime k then k else go (k + 1) in
+  go (max 2 n)
+
+let prev_prime n =
+  if n < 2 then None
+  else begin
+    let rec go k = if is_prime k then Some k else go (k - 1) in
+    go n
+  end
+
+let primes_up_to n =
+  if n < 2 then []
+  else begin
+    let sieve = Array.make (n + 1) true in
+    sieve.(0) <- false;
+    sieve.(1) <- false;
+    let i = ref 2 in
+    while !i * !i <= n do
+      if sieve.(!i) then begin
+        let j = ref (!i * !i) in
+        while !j <= n do
+          sieve.(!j) <- false;
+          j := !j + !i
+        done
+      end;
+      incr i
+    done;
+    let acc = ref [] in
+    for k = n downto 2 do
+      if sieve.(k) then acc := k :: !acc
+    done;
+    !acc
+  end
+
+let factorize n =
+  if n < 1 then invalid_arg "Prime.factorize: argument must be >= 1";
+  let rec strip n p count = if n mod p = 0 then strip (n / p) p (count + 1) else (n, count) in
+  let rec go n p acc =
+    if n = 1 then List.rev acc
+    else if p * p > n then List.rev ((n, 1) :: acc)
+    else begin
+      let n', count = strip n p 0 in
+      let acc = if count > 0 then (p, count) :: acc else acc in
+      go n' (p + 1) acc
+    end
+  in
+  go n 2 []
+
+let is_prime_power q =
+  if q < 2 then None
+  else
+    match factorize q with
+    | [ (p, e) ] -> Some (p, e)
+    | _ -> None
+
+let primitive_root p =
+  if not (is_prime p) then invalid_arg "Prime.primitive_root: not a prime";
+  if p = 2 then 1
+  else begin
+    let phi = p - 1 in
+    let prime_divisors = List.map fst (factorize phi) in
+    let is_generator g =
+      List.for_all (fun q -> pow_mod g (phi / q) p <> 1) prime_divisors
+    in
+    let rec search g =
+      if g >= p then invalid_arg "Prime.primitive_root: exhausted candidates"
+      else if is_generator g then g
+      else search (g + 1)
+    in
+    search 2
+  end

@@ -1,0 +1,30 @@
+(** Primality testing and prime search for the small moduli used by the
+    encoding scheme (all well below [2^30]). *)
+
+val is_prime : int -> bool
+(** Deterministic primality test, valid for all [int] values that fit in
+    62 bits (trial division up to a small bound followed by
+    deterministic Miller–Rabin witnesses). *)
+
+val next_prime : int -> int
+(** Smallest prime [>= max 2 n]. *)
+
+val prev_prime : int -> int option
+(** Largest prime [<= n], or [None] if [n < 2]. *)
+
+val primes_up_to : int -> int list
+(** All primes [<= n], ascending (simple sieve; intended for small
+    [n]). *)
+
+val factorize : int -> (int * int) list
+(** Prime factorisation as [(prime, multiplicity)] pairs in ascending
+    prime order.  @raise Invalid_argument on inputs [< 1].  [factorize 1
+    = []]. *)
+
+val is_prime_power : int -> (int * int) option
+(** [is_prime_power q] is [Some (p, e)] when [q = p^e] with [p] prime
+    and [e >= 1], else [None]. *)
+
+val primitive_root : int -> int
+(** A generator of the multiplicative group of [F_p] for prime [p].
+    @raise Invalid_argument if [p] is not prime or [p < 2]. *)

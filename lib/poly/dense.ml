@@ -1,0 +1,131 @@
+type t = int array
+(* Invariant: last element (if any) is nonzero; coefficients are
+   canonical field encodings. *)
+
+let zero = [||]
+let is_zero f = Array.length f = 0
+let degree f = Array.length f - 1
+
+let normalize_array (r : Ring.t) a =
+  let a = Array.map r.Ring.normalize a in
+  let d = ref (Array.length a - 1) in
+  while !d >= 0 && a.(!d) = 0 do
+    decr d
+  done;
+  Array.sub a 0 (!d + 1)
+
+let of_coeffs r a = normalize_array r a
+let to_coeffs f = Array.copy f
+let coeff f i = if i >= 0 && i < Array.length f then f.(i) else 0
+let constant r c = normalize_array r [| c |]
+let one r = constant r 1
+let linear (r : Ring.t) ~root = normalize_array r [| r.Ring.neg root; 1 |]
+
+let add (r : Ring.t) a b =
+  let n = max (Array.length a) (Array.length b) in
+  let c = Array.make n 0 in
+  Array.iteri (fun i x -> c.(i) <- x) a;
+  Array.iteri (fun i x -> c.(i) <- r.Ring.add c.(i) x) b;
+  normalize_array r c
+
+let neg (r : Ring.t) a = Array.map r.Ring.neg a
+
+let sub (r : Ring.t) a b = add r a (neg r b)
+
+let mul (r : Ring.t) a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let c = Array.make (degree a + degree b + 1) 0 in
+    Array.iteri
+      (fun i x ->
+        if x <> 0 then
+          Array.iteri
+            (fun j y -> c.(i + j) <- r.Ring.add c.(i + j) (r.Ring.mul x y))
+            b)
+      a;
+    normalize_array r c
+  end
+
+let scale (r : Ring.t) k a = normalize_array r (Array.map (r.Ring.mul k) a)
+
+let of_roots r roots =
+  List.fold_left (fun acc root -> mul r acc (linear r ~root)) (one r) roots
+
+let divmod (r : Ring.t) a b =
+  if is_zero b then raise Division_by_zero;
+  if degree a < degree b then (zero, a)
+  else begin
+    let lead_inv = r.Ring.inv b.(degree b) in
+    let rem = Array.copy a in
+    let quot = Array.make (degree a - degree b + 1) 0 in
+    for d = degree a downto degree b do
+      let c = r.Ring.mul rem.(d) lead_inv in
+      if c <> 0 then begin
+        let shift = d - degree b in
+        quot.(shift) <- c;
+        Array.iteri
+          (fun j y -> rem.(shift + j) <- r.Ring.sub rem.(shift + j) (r.Ring.mul c y))
+          b
+      end
+    done;
+    (normalize_array r quot, normalize_array r rem)
+  end
+
+let gcd r a b =
+  let rec go a b = if is_zero b then a else go b (snd (divmod r a b)) in
+  let g = go a b in
+  if is_zero g then zero else scale r (r.Ring.inv g.(degree g)) g
+
+let eval (r : Ring.t) f point =
+  let point = r.Ring.normalize point in
+  let acc = ref 0 in
+  for i = Array.length f - 1 downto 0 do
+    acc := r.Ring.add (r.Ring.mul !acc point) f.(i)
+  done;
+  !acc
+
+let interpolate (r : Ring.t) points =
+  let xs = List.map fst points in
+  if List.length (List.sort_uniq compare (List.map r.Ring.normalize xs)) <> List.length xs
+  then Error "interpolate: duplicate x values"
+  else begin
+    (* sum over i of y_i * prod_{j<>i} (x - x_j) / (x_i - x_j) *)
+    let term (xi, yi) =
+      let xi = r.Ring.normalize xi and yi = r.Ring.normalize yi in
+      let numerator, denominator =
+        List.fold_left
+          (fun (num, den) (xj, _) ->
+            let xj = r.Ring.normalize xj in
+            if xj = xi then (num, den)
+            else (mul r num (linear r ~root:xj), r.Ring.mul den (r.Ring.sub xi xj)))
+          (one r, 1) points
+      in
+      scale r (r.Ring.mul yi (r.Ring.inv denominator)) numerator
+    in
+    Ok (List.fold_left (fun acc point -> add r acc (term point)) zero points)
+  end
+
+let roots (r : Ring.t) f =
+  if is_zero f then []
+  else
+    List.filter (fun a -> eval r f a = 0) (List.init r.Ring.order Fun.id)
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt f =
+  if is_zero f then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    for i = Array.length f - 1 downto 0 do
+      if f.(i) <> 0 then begin
+        if not !first then Format.pp_print_string fmt " + ";
+        first := false;
+        match (i, f.(i)) with
+        | 0, c -> Format.fprintf fmt "%d" c
+        | 1, 1 -> Format.pp_print_string fmt "x"
+        | 1, c -> Format.fprintf fmt "%dx" c
+        | i, 1 -> Format.fprintf fmt "x^%d" i
+        | i, c -> Format.fprintf fmt "%dx^%d" c i
+      end
+    done
+  end

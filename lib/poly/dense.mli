@@ -1,0 +1,70 @@
+(** Dense polynomials of arbitrary degree over a runtime field.
+
+    This is the *unreduced* representation of the paper's figure 1(c):
+    the node polynomial [(x - map(node)) . prod f(child)] before
+    reduction into the cyclic quotient ring (see {!Cyclic}).
+
+    Coefficients are canonical field-element encodings ([0 .. q-1]);
+    the representation is normalised (no trailing zero coefficient);
+    the zero polynomial has an empty coefficient array. *)
+
+type t
+
+val zero : t
+val one : Ring.t -> t
+val is_zero : t -> bool
+
+val degree : t -> int
+(** Degree; [-1] for the zero polynomial. *)
+
+val of_coeffs : Ring.t -> int array -> t
+(** Coefficient array, index = degree.  Values are normalised into the
+    field and trailing zeros stripped. *)
+
+val to_coeffs : t -> int array
+(** Fresh normalised coefficient array. *)
+
+val coeff : t -> int -> int
+(** [coeff f i] is the coefficient of [x^i] (0 beyond the degree). *)
+
+val constant : Ring.t -> int -> t
+
+val linear : Ring.t -> root:int -> t
+(** [linear r ~root] is the monic [x - root]: the leaf encoding
+    [f(leaf) = x - map(leaf)]. *)
+
+val of_roots : Ring.t -> int list -> t
+(** Monic product [prod (x - root)]. *)
+
+val add : Ring.t -> t -> t -> t
+val sub : Ring.t -> t -> t -> t
+val neg : Ring.t -> t -> t
+val mul : Ring.t -> t -> t -> t
+val scale : Ring.t -> int -> t -> t
+
+val divmod : Ring.t -> t -> t -> t * t
+(** [divmod r a b] is [(q, rem)] with [a = q*b + rem] and
+    [degree rem < degree b].  @raise Division_by_zero if [b] is
+    zero. *)
+
+val gcd : Ring.t -> t -> t -> t
+(** Monic greatest common divisor ([zero] if both arguments are
+    zero). *)
+
+val eval : Ring.t -> t -> int -> int
+(** Horner evaluation at a field point. *)
+
+val interpolate : Ring.t -> (int * int) list -> (t, string) result
+(** Lagrange interpolation: the unique polynomial of degree < n through
+    n points with distinct abscissae.  Fails on duplicate x values.
+    (The scheme never needs this online — shares are reconstructed
+    coefficient-wise — but it witnesses that q-1 honest evaluations
+    determine a node polynomial, which is what the equality test
+    exploits.) *)
+
+val roots : Ring.t -> t -> int list
+(** All roots in the field, ascending, without multiplicity (by
+    exhaustive evaluation; fields here are small). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(** Runtime handle bundling a field with cached primitive operations.
+
+    The encoding field is chosen when a database is created (its order
+    depends on the tag-name count), so polynomial code receives the
+    field as a value.  Unpacking the first-class module once here and
+    caching the operations as closures keeps inner loops free of
+    repeated module projections. *)
+
+type t = {
+  field : Secshare_field.Field_intf.packed;
+  order : int;  (** q = p^e *)
+  characteristic : int;
+  degree : int;
+  n : int;  (** ring dimension for the cyclic quotient, q - 1 *)
+  add : int -> int -> int;
+  sub : int -> int -> int;
+  neg : int -> int;
+  mul : int -> int -> int;
+  inv : int -> int;
+  div : int -> int -> int;
+  normalize : int -> int;
+}
+
+let make field =
+  let module F = (val field : Secshare_field.Field_intf.FIELD) in
+  let lift2 op a b = F.to_int (op (F.of_int a) (F.of_int b)) in
+  let lift1 op a = F.to_int (op (F.of_int a)) in
+  {
+    field;
+    order = F.order;
+    characteristic = F.characteristic;
+    degree = F.degree;
+    n = F.order - 1;
+    add = lift2 F.add;
+    sub = lift2 F.sub;
+    neg = lift1 F.neg;
+    mul = lift2 F.mul;
+    inv = lift1 F.inv;
+    div = lift2 F.div;
+    normalize = (fun k -> F.to_int (F.of_int k));
+  }
+
+let of_prime_power ~p ~e = make (Secshare_field.Gf.create ~p ~e)
+let of_prime ~p = make (Secshare_field.Modp.create ~p)

@@ -1,0 +1,79 @@
+let key_length = 32
+let nonce_length = 12
+let mask32 = 0xFFFFFFFF
+
+(* 32-bit helpers on native ints (OCaml ints are 63-bit here). *)
+let ( +% ) a b = (a + b) land mask32
+let rotl32 x k = ((x lsl k) lor (x lsr (32 - k))) land mask32
+
+let quarter_round st a b c d =
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl32 (st.(d) lxor st.(a)) 16;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl32 (st.(b) lxor st.(c)) 12;
+  st.(a) <- st.(a) +% st.(b);
+  st.(d) <- rotl32 (st.(d) lxor st.(a)) 8;
+  st.(c) <- st.(c) +% st.(d);
+  st.(b) <- rotl32 (st.(b) lxor st.(c)) 7
+
+let le32 buf off =
+  Bytes.get_uint8 buf off
+  lor (Bytes.get_uint8 buf (off + 1) lsl 8)
+  lor (Bytes.get_uint8 buf (off + 2) lsl 16)
+  lor (Bytes.get_uint8 buf (off + 3) lsl 24)
+
+let store_le32 buf off v =
+  Bytes.set_uint8 buf off (v land 0xFF);
+  Bytes.set_uint8 buf (off + 1) ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 buf (off + 2) ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 buf (off + 3) ((v lsr 24) land 0xFF)
+
+let block ~key ~counter ~nonce =
+  if Bytes.length key <> key_length then
+    invalid_arg "Chacha20.block: key must be 32 bytes";
+  if Bytes.length nonce <> nonce_length then
+    invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  if counter < 0 then invalid_arg "Chacha20.block: negative counter";
+  let init = Array.make 16 0 in
+  init.(0) <- 0x61707865;
+  init.(1) <- 0x3320646e;
+  init.(2) <- 0x79622d32;
+  init.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    init.(4 + i) <- le32 key (4 * i)
+  done;
+  init.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    init.(13 + i) <- le32 nonce (4 * i)
+  done;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    store_le32 out (4 * i) (st.(i) +% init.(i))
+  done;
+  out
+
+let keystream ~key ~nonce ~counter len =
+  if len < 0 then invalid_arg "Chacha20.keystream: negative length";
+  let out = Bytes.create len in
+  let blocks = (len + 63) / 64 in
+  for b = 0 to blocks - 1 do
+    let chunk = block ~key ~counter:(counter + b) ~nonce in
+    let off = b * 64 in
+    Bytes.blit chunk 0 out off (min 64 (len - off))
+  done;
+  out
+
+let xor_with ~key ~nonce ~counter data =
+  let ks = keystream ~key ~nonce ~counter (Bytes.length data) in
+  Bytes.mapi (fun i c -> Char.chr (Char.code c lxor Bytes.get_uint8 ks i)) data

@@ -1,0 +1,54 @@
+let bytes_needed q =
+  let rec go k cap = if cap >= q then k else go (k + 1) (cap * 256) in
+  go 1 256
+
+let nonce_of_pre pre =
+  let nonce = Bytes.make Chacha20.nonce_length '\000' in
+  (* 8 bytes of pre, little-endian, then a 4-byte domain tag. *)
+  Bytes.set_int64_le nonce 0 (Int64.of_int pre);
+  Bytes.blit_string "poly" 0 nonce 8 4;
+  nonce
+
+let coefficients ~seed ~pre ~q ~count =
+  if pre < 0 then invalid_arg "Node_prg: negative pre";
+  if q < 2 then invalid_arg "Node_prg: field order must be >= 2";
+  if count < 0 then invalid_arg "Node_prg: negative count";
+  let key = Seed.to_bytes seed in
+  let nonce = nonce_of_pre pre in
+  let k = bytes_needed q in
+  let cap =
+    let rec pow acc i = if i = 0 then acc else pow (acc * 256) (i - 1) in
+    pow 1 k
+  in
+  let accept_below = cap - (cap mod q) in
+  let out = Array.make count 0 in
+  (* Pull the keystream in chunks; rejection means we occasionally need
+     more, so grow on demand. *)
+  let buf = ref (Chacha20.keystream ~key ~nonce ~counter:0 (max 64 (count * k * 2))) in
+  let pos = ref 0 in
+  let next_counter = ref (Bytes.length !buf / 64) in
+  let refill () =
+    let extra = Chacha20.keystream ~key ~nonce ~counter:!next_counter 256 in
+    next_counter := !next_counter + 4;
+    buf := Bytes.cat !buf extra
+  in
+  let draw () =
+    let rec attempt () =
+      if !pos + k > Bytes.length !buf then refill ();
+      let v = ref 0 in
+      for i = 0 to k - 1 do
+        v := (!v lsl 8) lor Bytes.get_uint8 !buf (!pos + i)
+      done;
+      pos := !pos + k;
+      if !v < accept_below then !v mod q else attempt ()
+    in
+    attempt ()
+  in
+  for i = 0 to count - 1 do
+    out.(i) <- draw ()
+  done;
+  out
+
+let client_poly ~ring ~seed ~pre =
+  let n = Secshare_poly.Ring.(ring.n) and q = Secshare_poly.Ring.(ring.order) in
+  Secshare_poly.Cyclic.of_int_array ring (coefficients ~seed ~pre ~q ~count:n)

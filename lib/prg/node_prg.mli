@@ -1,0 +1,18 @@
+(** Deterministic regeneration of client-side share polynomials.
+
+    The client tree is generated pseudorandomly and discarded; only the
+    seed survives.  [client_poly] regenerates the client polynomial of
+    the node at pre-order position [pre]: ChaCha20 keyed by the seed,
+    nonce domain-separated by [pre], coefficients drawn uniformly in
+    [0, q) by rejection sampling (so the shares are uniform — the
+    secret-sharing hiding property depends on this). *)
+
+val client_poly :
+  ring:Secshare_poly.Ring.t -> seed:Seed.t -> pre:int -> Secshare_poly.Cyclic.t
+(** The client polynomial for node [pre].  Deterministic in
+    [(seed, ring, pre)].  @raise Invalid_argument on negative
+    [pre]. *)
+
+val coefficients : seed:Seed.t -> pre:int -> q:int -> count:int -> int array
+(** The underlying uniform draw in [0, q), exposed for statistical
+    tests. *)

@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to stay unbiased and within
+     OCaml's native int range. *)
+  let rec go () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    let limit = max_int - (max_int mod bound) in
+    if raw < limit then raw mod bound else go ()
+  in
+  go ()
+
+let next_float t =
+  let raw = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let copy t = { state = t.state }

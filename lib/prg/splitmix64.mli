@@ -1,0 +1,20 @@
+(** SplitMix64 (Steele, Lea & Flood 2014): a tiny, fast, splittable
+    64-bit generator.  Used for non-cryptographic randomness (workload
+    generation, test-case generation) and to expand small seeds into
+    xoshiro state.  Not used for the secret shares — those come from
+    {!Chacha20}. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+(** Next 64-bit output; advances the state. *)
+
+val next_int : t -> bound:int -> int
+(** Uniform in [0, bound) by rejection sampling.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** Uniform in [0, 1). *)
+
+val copy : t -> t

@@ -1,0 +1,45 @@
+type t = { state : int64 array }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let create seed =
+  let sm = Splitmix64.create seed in
+  { state = Array.init 4 (fun _ -> Splitmix64.next sm) }
+
+let of_state words =
+  if Array.length words <> 4 then
+    invalid_arg "Xoshiro.of_state: expected 4 state words";
+  if Array.for_all (fun w -> Int64.equal w 0L) words then
+    invalid_arg "Xoshiro.of_state: all-zero state is invalid";
+  { state = Array.copy words }
+
+let next t =
+  let s = t.state in
+  let result = Int64.mul (rotl (Int64.mul s.(1) 5L) 7) 9L in
+  let tmp = Int64.shift_left s.(1) 17 in
+  s.(2) <- Int64.logxor s.(2) s.(0);
+  s.(3) <- Int64.logxor s.(3) s.(1);
+  s.(1) <- Int64.logxor s.(1) s.(2);
+  s.(0) <- Int64.logxor s.(0) s.(3);
+  s.(2) <- Int64.logxor s.(2) tmp;
+  s.(3) <- rotl s.(3) 45;
+  result
+
+let next_int t ~bound =
+  if bound <= 0 then invalid_arg "Xoshiro.next_int: bound must be positive";
+  let rec go () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    let limit = max_int - (max_int mod bound) in
+    if raw < limit then raw mod bound else go ()
+  in
+  go ()
+
+let next_float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Xoshiro.pick: empty array";
+  arr.(next_int t ~bound:(Array.length arr))
+
+let copy t = { state = Array.copy t.state }

@@ -1,0 +1,27 @@
+(** xoshiro256** 1.0 (Blackman & Vigna): the workhorse
+    non-cryptographic generator used by the XMark workload generator.
+    Deterministic from a small integer seed (expanded with
+    {!Splitmix64}, as the authors recommend). *)
+
+type t
+
+val create : int64 -> t
+(** Seeded via SplitMix64 expansion of the given value. *)
+
+val of_state : int64 array -> t
+(** Exact state injection (4 words, not all zero) — used by tests.
+    @raise Invalid_argument on wrong length or the all-zero state. *)
+
+val next : t -> int64
+val next_int : t -> bound:int -> int
+(** Uniform in [0, bound); rejection-sampled.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val next_float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val copy : t -> t

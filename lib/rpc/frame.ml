@@ -1,0 +1,34 @@
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd buf off (len - off) in
+      if n = 0 then failwith "socket closed during write";
+      go (off + n)
+    end
+  in
+  go 0
+
+let read_exactly fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then failwith "socket closed during read";
+      go (off + n)
+    end
+  in
+  go 0;
+  buf
+
+let send fd payload =
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (String.length payload));
+  write_all fd header;
+  write_all fd (Bytes.of_string payload)
+
+let recv fd =
+  let header = read_exactly fd 4 in
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len < 0 || len > 1 lsl 28 then failwith "unreasonable frame length";
+  Bytes.to_string (read_exactly fd len)

@@ -1,0 +1,8 @@
+(** Length-prefixed message framing over a file descriptor (4-byte
+    big-endian length, then the payload). *)
+
+val send : Unix.file_descr -> string -> unit
+(** @raise Failure on a closed peer. *)
+
+val recv : Unix.file_descr -> string
+(** @raise Failure on a closed peer or an implausible length. *)

@@ -1,0 +1,217 @@
+type node_meta = { pre : int; post : int; parent : int }
+
+type request =
+  | Ping
+  | Root
+  | Children of int
+  | Parent of int
+  | Descendants of { pre : int; post : int }
+  | Cursor_next of { cursor : int; max_items : int }
+  | Cursor_close of int
+  | Eval of { pre : int; point : int }
+  | Eval_batch of { pres : int list; point : int }
+  | Share of int
+  | Shares of int list
+  | Table_stats
+
+type stats = { rows : int; data_bytes : int; index_bytes : int }
+
+type response =
+  | Pong
+  | Node_opt of node_meta option
+  | Nodes of node_meta list
+  | Cursor of int
+  | Batch of node_meta list * bool
+  | Value of int
+  | Values of int list
+  | Share_data of bytes
+  | Shares_data of bytes list
+  | Stats of stats
+  | Error_msg of string
+
+let write_meta w (m : node_meta) =
+  Wire.write_u32 w m.pre;
+  Wire.write_u32 w m.post;
+  Wire.write_u32 w m.parent
+
+let read_meta r =
+  let pre = Wire.read_u32 r in
+  let post = Wire.read_u32 r in
+  let parent = Wire.read_u32 r in
+  { pre; post; parent }
+
+let encode_request req =
+  let w = Wire.writer () in
+  (match req with
+  | Ping -> Wire.write_u8 w 0
+  | Root -> Wire.write_u8 w 1
+  | Children pre ->
+      Wire.write_u8 w 2;
+      Wire.write_u32 w pre
+  | Parent pre ->
+      Wire.write_u8 w 3;
+      Wire.write_u32 w pre
+  | Descendants { pre; post } ->
+      Wire.write_u8 w 4;
+      Wire.write_u32 w pre;
+      Wire.write_u32 w post
+  | Cursor_next { cursor; max_items } ->
+      Wire.write_u8 w 5;
+      Wire.write_u32 w cursor;
+      Wire.write_u32 w max_items
+  | Cursor_close cursor ->
+      Wire.write_u8 w 6;
+      Wire.write_u32 w cursor
+  | Eval { pre; point } ->
+      Wire.write_u8 w 7;
+      Wire.write_u32 w pre;
+      Wire.write_u32 w point
+  | Eval_batch { pres; point } ->
+      Wire.write_u8 w 8;
+      Wire.write_list w (Wire.write_u32 w) pres;
+      Wire.write_u32 w point
+  | Share pre ->
+      Wire.write_u8 w 9;
+      Wire.write_u32 w pre
+  | Shares pres ->
+      Wire.write_u8 w 10;
+      Wire.write_list w (Wire.write_u32 w) pres
+  | Table_stats -> Wire.write_u8 w 11);
+  Wire.contents w
+
+let decode_request s =
+  let r = Wire.reader s in
+  let req =
+    match Wire.read_u8 r with
+    | 0 -> Ping
+    | 1 -> Root
+    | 2 -> Children (Wire.read_u32 r)
+    | 3 -> Parent (Wire.read_u32 r)
+    | 4 ->
+        let pre = Wire.read_u32 r in
+        let post = Wire.read_u32 r in
+        Descendants { pre; post }
+    | 5 ->
+        let cursor = Wire.read_u32 r in
+        let max_items = Wire.read_u32 r in
+        Cursor_next { cursor; max_items }
+    | 6 -> Cursor_close (Wire.read_u32 r)
+    | 7 ->
+        let pre = Wire.read_u32 r in
+        let point = Wire.read_u32 r in
+        Eval { pre; point }
+    | 8 ->
+        let pres = Wire.read_list r (fun () -> Wire.read_u32 r) in
+        let point = Wire.read_u32 r in
+        Eval_batch { pres; point }
+    | 9 -> Share (Wire.read_u32 r)
+    | 10 -> Shares (Wire.read_list r (fun () -> Wire.read_u32 r))
+    | 11 -> Table_stats
+    | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown request tag %d" tag))
+  in
+  Wire.expect_end r;
+  req
+
+let encode_response resp =
+  let w = Wire.writer () in
+  (match resp with
+  | Pong -> Wire.write_u8 w 0
+  | Node_opt None -> Wire.write_u8 w 1
+  | Node_opt (Some m) ->
+      Wire.write_u8 w 2;
+      write_meta w m
+  | Nodes metas ->
+      Wire.write_u8 w 3;
+      Wire.write_list w (write_meta w) metas
+  | Cursor c ->
+      Wire.write_u8 w 4;
+      Wire.write_u32 w c
+  | Batch (metas, exhausted) ->
+      Wire.write_u8 w 5;
+      Wire.write_list w (write_meta w) metas;
+      Wire.write_u8 w (if exhausted then 1 else 0)
+  | Value v ->
+      Wire.write_u8 w 6;
+      Wire.write_u32 w v
+  | Values vs ->
+      Wire.write_u8 w 7;
+      Wire.write_list w (Wire.write_u32 w) vs
+  | Share_data b ->
+      Wire.write_u8 w 8;
+      Wire.write_bytes w b
+  | Shares_data bs ->
+      Wire.write_u8 w 9;
+      Wire.write_list w (Wire.write_bytes w) bs
+  | Stats { rows; data_bytes; index_bytes } ->
+      Wire.write_u8 w 10;
+      Wire.write_u32 w rows;
+      Wire.write_i64 w data_bytes;
+      Wire.write_i64 w index_bytes
+  | Error_msg msg ->
+      Wire.write_u8 w 11;
+      Wire.write_string w msg);
+  Wire.contents w
+
+let decode_response s =
+  let r = Wire.reader s in
+  let resp =
+    match Wire.read_u8 r with
+    | 0 -> Pong
+    | 1 -> Node_opt None
+    | 2 -> Node_opt (Some (read_meta r))
+    | 3 -> Nodes (Wire.read_list r (fun () -> read_meta r))
+    | 4 -> Cursor (Wire.read_u32 r)
+    | 5 ->
+        let metas = Wire.read_list r (fun () -> read_meta r) in
+        let exhausted = Wire.read_u8 r = 1 in
+        Batch (metas, exhausted)
+    | 6 -> Value (Wire.read_u32 r)
+    | 7 -> Values (Wire.read_list r (fun () -> Wire.read_u32 r))
+    | 8 -> Share_data (Wire.read_bytes r)
+    | 9 -> Shares_data (Wire.read_list r (fun () -> Wire.read_bytes r))
+    | 10 ->
+        let rows = Wire.read_u32 r in
+        let data_bytes = Wire.read_i64 r in
+        let index_bytes = Wire.read_i64 r in
+        Stats { rows; data_bytes; index_bytes }
+    | 11 -> Error_msg (Wire.read_string r)
+    | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown response tag %d" tag))
+  in
+  Wire.expect_end r;
+  resp
+
+let pp_meta fmt m = Format.fprintf fmt "(pre=%d,post=%d,parent=%d)" m.pre m.post m.parent
+
+let pp_request fmt = function
+  | Ping -> Format.pp_print_string fmt "Ping"
+  | Root -> Format.pp_print_string fmt "Root"
+  | Children pre -> Format.fprintf fmt "Children(%d)" pre
+  | Parent pre -> Format.fprintf fmt "Parent(%d)" pre
+  | Descendants { pre; post } -> Format.fprintf fmt "Descendants(pre=%d,post=%d)" pre post
+  | Cursor_next { cursor; max_items } ->
+      Format.fprintf fmt "Cursor_next(%d,max=%d)" cursor max_items
+  | Cursor_close c -> Format.fprintf fmt "Cursor_close(%d)" c
+  | Eval { pre; point } -> Format.fprintf fmt "Eval(pre=%d,point=%d)" pre point
+  | Eval_batch { pres; point } ->
+      Format.fprintf fmt "Eval_batch(%d nodes,point=%d)" (List.length pres) point
+  | Share pre -> Format.fprintf fmt "Share(%d)" pre
+  | Shares pres -> Format.fprintf fmt "Shares(%d nodes)" (List.length pres)
+  | Table_stats -> Format.pp_print_string fmt "Table_stats"
+
+let pp_response fmt = function
+  | Pong -> Format.pp_print_string fmt "Pong"
+  | Node_opt None -> Format.pp_print_string fmt "Node_opt(none)"
+  | Node_opt (Some m) -> Format.fprintf fmt "Node_opt%a" pp_meta m
+  | Nodes metas -> Format.fprintf fmt "Nodes(%d)" (List.length metas)
+  | Cursor c -> Format.fprintf fmt "Cursor(%d)" c
+  | Batch (metas, exhausted) ->
+      Format.fprintf fmt "Batch(%d,%s)" (List.length metas)
+        (if exhausted then "exhausted" else "more")
+  | Value v -> Format.fprintf fmt "Value(%d)" v
+  | Values vs -> Format.fprintf fmt "Values(%d)" (List.length vs)
+  | Share_data b -> Format.fprintf fmt "Share_data(%d bytes)" (Bytes.length b)
+  | Shares_data bs -> Format.fprintf fmt "Shares_data(%d)" (List.length bs)
+  | Stats s ->
+      Format.fprintf fmt "Stats(rows=%d,data=%d,index=%d)" s.rows s.data_bytes
+        s.index_bytes
+  | Error_msg msg -> Format.fprintf fmt "Error(%s)" msg

@@ -1,0 +1,57 @@
+(** The client/server filter protocol.
+
+    This is the message vocabulary of the paper's [Filter] interface
+    (§5.2): tree-structure queries ([Root], [Children], [Parent],
+    [Descendants]), share evaluation on the server ([Eval],
+    [Eval_batch]), raw share fetch for the equality test ([Share],
+    [Shares]), and a cursor discipline mirroring the [nextNode()]
+    pipeline — "the thin client only needs to have one node in memory
+    at a time.  The big server will do the buffering of the
+    intermediate results."
+
+    Everything is structural metadata and share data; tag names and the
+    map never cross the wire. *)
+
+type node_meta = { pre : int; post : int; parent : int }
+
+type request =
+  | Ping
+  | Root
+  | Children of int  (** parent's [pre] *)
+  | Parent of int  (** child's [pre] *)
+  | Descendants of { pre : int; post : int }
+      (** opens a server-side cursor over the subtree *)
+  | Cursor_next of { cursor : int; max_items : int }
+  | Cursor_close of int
+  | Eval of { pre : int; point : int }
+      (** evaluate the stored share of node [pre] at [point] *)
+  | Eval_batch of { pres : int list; point : int }
+  | Share of int  (** raw share of node [pre] *)
+  | Shares of int list
+  | Table_stats
+
+type stats = { rows : int; data_bytes : int; index_bytes : int }
+
+type response =
+  | Pong
+  | Node_opt of node_meta option
+  | Nodes of node_meta list
+  | Cursor of int
+  | Batch of node_meta list * bool  (** items, exhausted? *)
+  | Value of int
+  | Values of int list
+  | Share_data of bytes
+  | Shares_data of bytes list
+  | Stats of stats
+  | Error_msg of string
+
+val encode_request : request -> string
+val decode_request : string -> request
+(** @raise Wire.Decode_error on malformed input. *)
+
+val encode_response : response -> string
+val decode_response : string -> response
+(** @raise Wire.Decode_error on malformed input. *)
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,83 @@
+type t = {
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  mutable running : bool;
+  mutable client_fds : Unix.file_descr list;
+  lock : Mutex.t;
+  accept_thread : Thread.t option ref;
+}
+
+let handle_connection t handler fd =
+  let finished = ref false in
+  while (not !finished) && t.running do
+    match Frame.recv fd with
+    | request_payload ->
+        let reply =
+          match Protocol.decode_request request_payload with
+          | request -> (
+              match handler request with
+              | response -> response
+              | exception exn ->
+                  Protocol.Error_msg ("handler: " ^ Printexc.to_string exn))
+          | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg)
+        in
+        (match Frame.send fd (Protocol.encode_response reply) with
+        | () -> ()
+        | exception (Failure _ | Unix.Unix_error _) -> finished := true)
+    | exception (Failure _ | Unix.Unix_error _) -> finished := true
+  done;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  t.client_fds <- List.filter (fun other -> other != fd) t.client_fds;
+  Mutex.unlock t.lock
+
+let accept_loop t handler =
+  while t.running do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Mutex.lock t.lock;
+        t.client_fds <- fd :: t.client_fds;
+        Mutex.unlock t.lock;
+        ignore (Thread.create (handle_connection t handler) fd)
+    | exception Unix.Unix_error _ -> () (* listening socket closed by stop *)
+  done
+
+let start ~path ~handler =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 16;
+  let t =
+    {
+      socket_path = path;
+      listen_fd;
+      running = true;
+      client_fds = [];
+      lock = Mutex.create ();
+      accept_thread = ref None;
+    }
+  in
+  t.accept_thread := Some (Thread.create (fun () -> accept_loop t handler) ());
+  t
+
+let path t = t.socket_path
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (* a thread blocked in [accept] is not woken by closing the
+       listening socket on Linux; poke it with a throwaway connection *)
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_UNIX t.socket_path) with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.lock;
+    let clients = t.client_fds in
+    t.client_fds <- [];
+    Mutex.unlock t.lock;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+    (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+    match !(t.accept_thread) with None -> () | Some thread -> Thread.join thread
+  end

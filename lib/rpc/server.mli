@@ -1,0 +1,17 @@
+(** A threaded Unix-domain-socket server for the filter protocol — the
+    "big server" side of the paper's architecture (figure 3). *)
+
+type t
+
+val start : path:string -> handler:(Protocol.request -> Protocol.response) -> t
+(** Bind [path] (unlinking any stale socket), then accept connections
+    on a background thread; each connection gets its own handler
+    thread.  The handler must be safe for concurrent calls (the query
+    engines issue one request at a time per connection, but several
+    clients may connect).  @raise Unix.Unix_error if binding fails. *)
+
+val path : t -> string
+
+val stop : t -> unit
+(** Stop accepting, close the listening socket and unlink the path.
+    In-flight connections are closed. *)

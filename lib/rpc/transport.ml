@@ -1,0 +1,73 @@
+type counters = {
+  mutable calls : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+type kind =
+  | Local of (Protocol.request -> Protocol.response)
+  | Socket of { fd : Unix.file_descr; mutable alive : bool }
+
+type t = { kind : kind; counters : counters }
+
+let fresh_counters () = { calls = 0; bytes_sent = 0; bytes_received = 0 }
+let local ~handler = { kind = Local handler; counters = fresh_counters () }
+
+let socket path =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  with
+  | fd -> Ok { kind = Socket { fd; alive = true }; counters = fresh_counters () }
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let call t request =
+  let encoded = Protocol.encode_request request in
+  t.counters.calls <- t.counters.calls + 1;
+  t.counters.bytes_sent <- t.counters.bytes_sent + String.length encoded;
+  match t.kind with
+  | Local handler -> (
+      (* Round-trip through the codec even locally so both transports
+         measure and exercise the same byte stream. *)
+      match
+        let decoded = Protocol.decode_request encoded in
+        Protocol.encode_response (handler decoded)
+      with
+      | reply ->
+          t.counters.bytes_received <- t.counters.bytes_received + String.length reply;
+          Protocol.decode_response reply
+      | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg))
+  | Socket conn -> (
+      if not conn.alive then Protocol.Error_msg "transport closed"
+      else
+        match
+          Frame.send conn.fd encoded;
+          Frame.recv conn.fd
+        with
+        | reply ->
+            t.counters.bytes_received <- t.counters.bytes_received + String.length reply;
+            Protocol.decode_response reply
+        | exception Failure msg ->
+            conn.alive <- false;
+            Protocol.Error_msg ("transport: " ^ msg)
+        | exception Unix.Unix_error (err, _, _) ->
+            conn.alive <- false;
+            Protocol.Error_msg ("transport: " ^ Unix.error_message err)
+        | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg))
+
+let counters t = t.counters
+
+let reset_counters t =
+  t.counters.calls <- 0;
+  t.counters.bytes_sent <- 0;
+  t.counters.bytes_received <- 0
+
+let close t =
+  match t.kind with
+  | Local _ -> ()
+  | Socket conn ->
+      if conn.alive then begin
+        conn.alive <- false;
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      end

@@ -1,0 +1,30 @@
+(** Client-side transports for the filter protocol.
+
+    Both transports push every message through the binary codec, so
+    byte counts are comparable and the codec is exercised constantly:
+
+    - {!local}: in-process, the benchmark configuration (function call
+      in place of the paper's RMI);
+    - {!socket}: a Unix-domain-socket connection to a {!Server},
+      reproducing the remote client/server split of figure 3. *)
+
+type counters = {
+  mutable calls : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+type t
+
+val local : handler:(Protocol.request -> Protocol.response) -> t
+
+val socket : string -> (t, string) result
+(** Connect to a Unix-domain socket path. *)
+
+val call : t -> Protocol.request -> Protocol.response
+(** Perform one round trip.  Transport failures and undecodable
+    responses surface as [Error_msg] responses. *)
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val close : t -> unit

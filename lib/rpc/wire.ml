@@ -1,0 +1,72 @@
+exception Decode_error of string
+
+type writer = Buffer.t
+type reader = { src : string; mutable pos : int }
+
+let writer () = Buffer.create 256
+let contents w = Buffer.contents w
+let write_u8 w v = Buffer.add_uint8 w (v land 0xFF)
+
+let write_u32 w v =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Wire.write_u32: %d out of range" v);
+  Buffer.add_int32_le w (Int32.of_int (if v > 0x7FFFFFFF then v - 0x100000000 else v))
+
+let write_i64 w v = Buffer.add_int64_le w (Int64.of_int v)
+
+let write_bytes w b =
+  write_u32 w (Bytes.length b);
+  Buffer.add_bytes w b
+
+let write_string w s =
+  write_u32 w (String.length s);
+  Buffer.add_string w s
+
+let write_list w f items =
+  write_u32 w (List.length items);
+  List.iter f items
+
+let reader src = { src; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.src then
+    raise (Decode_error (Printf.sprintf "need %d bytes at offset %d, have %d" n r.pos
+                           (String.length r.src)))
+
+let read_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let read_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.src r.pos) in
+  r.pos <- r.pos + 4;
+  if v < 0 then v + 0x100000000 else v
+
+let read_i64 r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let read_string r =
+  let len = read_u32 r in
+  need r len;
+  let s = String.sub r.src r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_bytes r = Bytes.of_string (read_string r)
+
+let read_list r f =
+  let len = read_u32 r in
+  if len > 1 lsl 28 then raise (Decode_error "unreasonable list length");
+  List.init len (fun _ -> f ())
+
+let expect_end r =
+  if r.pos <> String.length r.src then
+    raise
+      (Decode_error
+         (Printf.sprintf "%d trailing bytes after message" (String.length r.src - r.pos)))

@@ -1,0 +1,34 @@
+(** Binary wire primitives for the filter protocol.
+
+    Little-endian fixed-width integers and length-prefixed blobs over
+    a growable buffer (writing) or a string cursor (reading).  All
+    reads validate bounds and fail with [Decode_error] rather than
+    raising out-of-bounds exceptions. *)
+
+exception Decode_error of string
+
+type writer
+type reader
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val write_u8 : writer -> int -> unit
+val write_u32 : writer -> int -> unit
+(** @raise Invalid_argument outside [0, 2^32). *)
+
+val write_i64 : writer -> int -> unit
+val write_bytes : writer -> bytes -> unit
+val write_string : writer -> string -> unit
+val write_list : writer -> ('a -> unit) -> 'a list -> unit
+(** Length-prefixed; the callback writes each element. *)
+
+val reader : string -> reader
+val read_u8 : reader -> int
+val read_u32 : reader -> int
+val read_i64 : reader -> int
+val read_bytes : reader -> bytes
+val read_string : reader -> string
+val read_list : reader -> (unit -> 'a) -> 'a list
+val expect_end : reader -> unit
+(** @raise Decode_error if trailing bytes remain. *)

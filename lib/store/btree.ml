@@ -1,0 +1,389 @@
+type leaf = {
+  mutable lkeys : int array; (* capacity order + 1; slots 0 .. ln-1 used *)
+  mutable ln : int;
+  mutable next : leaf option;
+}
+
+and internal = {
+  mutable ikeys : int array; (* capacity order + 1; slots 0 .. icount-1 used *)
+  mutable icount : int;
+  mutable kids : node array; (* capacity order + 2; slots 0 .. icount used *)
+}
+
+and node = Leaf of leaf | Internal of internal
+
+type t = { mutable root : node; order : int; mutable count : int }
+
+(* Child [i] of an internal node holds keys k with
+   ikeys.(i-1) <= k < ikeys.(i) (boundary indexes omitted); every
+   separator equals the smallest key of the subtree to its right. *)
+
+let new_leaf order = { lkeys = Array.make (order + 1) 0; ln = 0; next = None }
+
+let new_internal order =
+  {
+    ikeys = Array.make (order + 1) 0;
+    icount = 0;
+    kids = Array.make (order + 2) (Leaf (new_leaf order));
+  }
+
+let create ?(order = 64) () =
+  let order = max 4 order in
+  { root = Leaf (new_leaf order); order; count = 0 }
+
+(* Position of the first slot with key >= k (binary search). *)
+let lower_bound keys n k =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if keys.(mid) < k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Which child to descend into for key k: first separator > k gives its
+   left child; equal separators send us right. *)
+let child_index inode k =
+  let lo = ref 0 and hi = ref inode.icount in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if inode.ikeys.(mid) <= k then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+type split = No_split | Split of int * node
+
+let insert t k =
+  if k < 0 then invalid_arg "Btree.insert: negative key";
+  let order = t.order in
+  let exception Already_present in
+  let split_leaf leaf =
+    let right = new_leaf order in
+    let half = (leaf.ln + 1) / 2 in
+    let moved = leaf.ln - half in
+    Array.blit leaf.lkeys half right.lkeys 0 moved;
+    right.ln <- moved;
+    leaf.ln <- half;
+    right.next <- leaf.next;
+    leaf.next <- Some right;
+    Split (right.lkeys.(0), Leaf right)
+  in
+  let split_internal inode =
+    let right = new_internal order in
+    let mid = inode.icount / 2 in
+    let sep = inode.ikeys.(mid) in
+    let moved = inode.icount - mid - 1 in
+    Array.blit inode.ikeys (mid + 1) right.ikeys 0 moved;
+    Array.blit inode.kids (mid + 1) right.kids 0 (moved + 1);
+    right.icount <- moved;
+    inode.icount <- mid;
+    Split (sep, Internal right)
+  in
+  let rec go node =
+    match node with
+    | Leaf leaf ->
+        let pos = lower_bound leaf.lkeys leaf.ln k in
+        if pos < leaf.ln && leaf.lkeys.(pos) = k then raise Already_present;
+        Array.blit leaf.lkeys pos leaf.lkeys (pos + 1) (leaf.ln - pos);
+        leaf.lkeys.(pos) <- k;
+        leaf.ln <- leaf.ln + 1;
+        if leaf.ln > order then split_leaf leaf else No_split
+    | Internal inode -> (
+        let ci = child_index inode k in
+        match go inode.kids.(ci) with
+        | No_split -> No_split
+        | Split (sep, right) ->
+            Array.blit inode.ikeys ci inode.ikeys (ci + 1) (inode.icount - ci);
+            Array.blit inode.kids (ci + 1) inode.kids (ci + 2) (inode.icount - ci);
+            inode.ikeys.(ci) <- sep;
+            inode.kids.(ci + 1) <- right;
+            inode.icount <- inode.icount + 1;
+            if inode.icount > order then split_internal inode else No_split)
+  in
+  match go t.root with
+  | No_split ->
+      t.count <- t.count + 1;
+      true
+  | Split (sep, right) ->
+      let new_root = new_internal order in
+      new_root.ikeys.(0) <- sep;
+      new_root.kids.(0) <- t.root;
+      new_root.kids.(1) <- right;
+      new_root.icount <- 1;
+      t.root <- Internal new_root;
+      t.count <- t.count + 1;
+      true
+  | exception Already_present -> false
+
+let mem t k =
+  let rec go = function
+    | Leaf leaf ->
+        let pos = lower_bound leaf.lkeys leaf.ln k in
+        pos < leaf.ln && leaf.lkeys.(pos) = k
+    | Internal inode -> go inode.kids.(child_index inode k)
+  in
+  go t.root
+
+(* --- deletion with rebalancing --- *)
+
+let min_fill order = order / 2
+
+let leaf_of node = match node with Leaf l -> l | Internal _ -> assert false
+let internal_of node = match node with Internal i -> i | Leaf _ -> assert false
+
+let delete t k =
+  let order = t.order in
+  let exception Absent in
+  (* Returns true when [node] is underfull after the deletion. *)
+  let rec go node =
+    match node with
+    | Leaf leaf ->
+        let pos = lower_bound leaf.lkeys leaf.ln k in
+        if pos >= leaf.ln || leaf.lkeys.(pos) <> k then raise Absent;
+        Array.blit leaf.lkeys (pos + 1) leaf.lkeys pos (leaf.ln - pos - 1);
+        leaf.ln <- leaf.ln - 1;
+        leaf.ln < min_fill order
+    | Internal inode ->
+        let ci = child_index inode k in
+        let underfull = go inode.kids.(ci) in
+        if not underfull then false
+        else begin
+          rebalance inode ci;
+          inode.icount < min_fill order
+        end
+  (* Fix the underfull child [ci] of [inode] by borrowing from or
+     merging with a sibling. *)
+  and rebalance inode ci =
+    let left_sibling = if ci > 0 then Some (ci - 1) else None in
+    let right_sibling = if ci < inode.icount then Some (ci + 1) else None in
+    let child = inode.kids.(ci) in
+    match child with
+    | Leaf leaf -> (
+        let borrow_from_left li =
+          let left = leaf_of inode.kids.(li) in
+          if left.ln > min_fill order then begin
+            Array.blit leaf.lkeys 0 leaf.lkeys 1 leaf.ln;
+            leaf.lkeys.(0) <- left.lkeys.(left.ln - 1);
+            leaf.ln <- leaf.ln + 1;
+            left.ln <- left.ln - 1;
+            inode.ikeys.(li) <- leaf.lkeys.(0);
+            true
+          end
+          else false
+        in
+        let borrow_from_right ri =
+          let right = leaf_of inode.kids.(ri) in
+          if right.ln > min_fill order then begin
+            leaf.lkeys.(leaf.ln) <- right.lkeys.(0);
+            leaf.ln <- leaf.ln + 1;
+            Array.blit right.lkeys 1 right.lkeys 0 (right.ln - 1);
+            right.ln <- right.ln - 1;
+            inode.ikeys.(ri - 1) <- right.lkeys.(0);
+            true
+          end
+          else false
+        in
+        let merge_leaves li ri =
+          (* merge kids.(ri) into kids.(li), drop separator li *)
+          let left = leaf_of inode.kids.(li) and right = leaf_of inode.kids.(ri) in
+          Array.blit right.lkeys 0 left.lkeys left.ln right.ln;
+          left.ln <- left.ln + right.ln;
+          left.next <- right.next;
+          Array.blit inode.ikeys ri inode.ikeys (ri - 1) (inode.icount - ri);
+          Array.blit inode.kids (ri + 1) inode.kids ri (inode.icount - ri);
+          inode.icount <- inode.icount - 1
+        in
+        match (left_sibling, right_sibling) with
+        | Some li, _ when borrow_from_left li -> ()
+        | _, Some ri when borrow_from_right ri -> ()
+        | Some li, _ -> merge_leaves li (li + 1)
+        | None, Some ri -> merge_leaves (ri - 1) ri
+        | None, None -> ())
+    | Internal inner -> (
+        let borrow_from_left li =
+          let left = internal_of inode.kids.(li) in
+          if left.icount > min_fill order then begin
+            Array.blit inner.ikeys 0 inner.ikeys 1 inner.icount;
+            Array.blit inner.kids 0 inner.kids 1 (inner.icount + 1);
+            inner.ikeys.(0) <- inode.ikeys.(li);
+            inner.kids.(0) <- left.kids.(left.icount);
+            inner.icount <- inner.icount + 1;
+            inode.ikeys.(li) <- left.ikeys.(left.icount - 1);
+            left.icount <- left.icount - 1;
+            true
+          end
+          else false
+        in
+        let borrow_from_right ri =
+          let right = internal_of inode.kids.(ri) in
+          if right.icount > min_fill order then begin
+            inner.ikeys.(inner.icount) <- inode.ikeys.(ri - 1);
+            inner.kids.(inner.icount + 1) <- right.kids.(0);
+            inner.icount <- inner.icount + 1;
+            inode.ikeys.(ri - 1) <- right.ikeys.(0);
+            Array.blit right.ikeys 1 right.ikeys 0 (right.icount - 1);
+            Array.blit right.kids 1 right.kids 0 right.icount;
+            right.icount <- right.icount - 1;
+            true
+          end
+          else false
+        in
+        let merge_internals li ri =
+          let left = internal_of inode.kids.(li) and right = internal_of inode.kids.(ri) in
+          left.ikeys.(left.icount) <- inode.ikeys.(li);
+          Array.blit right.ikeys 0 left.ikeys (left.icount + 1) right.icount;
+          Array.blit right.kids 0 left.kids (left.icount + 1) (right.icount + 1);
+          left.icount <- left.icount + 1 + right.icount;
+          Array.blit inode.ikeys ri inode.ikeys (ri - 1) (inode.icount - ri);
+          Array.blit inode.kids (ri + 1) inode.kids ri (inode.icount - ri);
+          inode.icount <- inode.icount - 1
+        in
+        match (left_sibling, right_sibling) with
+        | Some li, _ when borrow_from_left li -> ()
+        | _, Some ri when borrow_from_right ri -> ()
+        | Some li, _ -> merge_internals li (li + 1)
+        | None, Some ri -> merge_internals (ri - 1) ri
+        | None, None -> ())
+  in
+  match go t.root with
+  | _ ->
+      (* shrink the root if it lost all separators *)
+      (match t.root with
+      | Internal inode when inode.icount = 0 -> t.root <- inode.kids.(0)
+      | Internal _ | Leaf _ -> ());
+      t.count <- t.count - 1;
+      true
+  | exception Absent -> false
+
+let count t = t.count
+
+let min_key t =
+  let rec go = function
+    | Leaf leaf -> if leaf.ln = 0 then None else Some leaf.lkeys.(0)
+    | Internal inode -> go inode.kids.(0)
+  in
+  go t.root
+
+let max_key t =
+  let rec go = function
+    | Leaf leaf -> if leaf.ln = 0 then None else Some leaf.lkeys.(leaf.ln - 1)
+    | Internal inode -> go inode.kids.(inode.icount)
+  in
+  go t.root
+
+(* Leaf containing the first key >= lo, plus the slot index. *)
+let seek t lo =
+  let rec go = function
+    | Leaf leaf -> (leaf, lower_bound leaf.lkeys leaf.ln lo)
+    | Internal inode -> go inode.kids.(child_index inode lo)
+  in
+  go t.root
+
+let fold_range_while t ~lo ~init ~f =
+  let leaf, pos = seek t lo in
+  let rec walk leaf pos acc =
+    if pos >= leaf.ln then
+      match leaf.next with None -> acc | Some next -> walk next 0 acc
+    else
+      match f acc leaf.lkeys.(pos) with
+      | Some acc -> walk leaf (pos + 1) acc
+      | None -> acc
+  in
+  walk leaf pos init
+
+let fold_range t ~lo ~hi ~init ~f =
+  fold_range_while t ~lo ~init ~f:(fun acc k -> if k > hi then None else Some (f acc k))
+
+let to_list t =
+  List.rev (fold_range t ~lo:0 ~hi:max_int ~init:[] ~f:(fun acc k -> k :: acc))
+
+type stats = {
+  depth : int;
+  nodes : int;
+  leaves : int;
+  keys : int;
+  footprint_bytes : int;
+}
+
+let stats t =
+  let nodes = ref 0 and leaves = ref 0 and bytes = ref 0 in
+  let rec go depth node =
+    incr nodes;
+    match node with
+    | Leaf leaf ->
+        incr leaves;
+        (* keys array + header words *)
+        bytes := !bytes + (8 * (Array.length leaf.lkeys + 4));
+        depth
+    | Internal inode ->
+        bytes :=
+          !bytes + (8 * (Array.length inode.ikeys + Array.length inode.kids + 4));
+        go (depth + 1) inode.kids.(0)
+  in
+  let depth = go 1 t.root in
+  (* visit remaining nodes for the count (go above only followed the
+     leftmost path for depth); do a full traversal for sizes *)
+  nodes := 0;
+  leaves := 0;
+  bytes := 0;
+  let rec visit node =
+    incr nodes;
+    match node with
+    | Leaf leaf -> begin
+        incr leaves;
+        bytes := !bytes + (8 * (Array.length leaf.lkeys + 4))
+      end
+    | Internal inode ->
+        bytes := !bytes + (8 * (Array.length inode.ikeys + Array.length inode.kids + 4));
+        for i = 0 to inode.icount do
+          visit inode.kids.(i)
+        done
+  in
+  visit t.root;
+  { depth; nodes = !nodes; leaves = !leaves; keys = t.count; footprint_bytes = !bytes }
+
+let check_invariants t =
+  let order = t.order in
+  let problem = ref None in
+  let report fmt = Printf.ksprintf (fun m -> if !problem = None then problem := Some m) fmt in
+  (* (lo, hi) bounds: every key k in the subtree must satisfy
+     lo <= k < hi *)
+  let rec go node ~lo ~hi ~is_root ~depth =
+    match node with
+    | Leaf leaf ->
+        if (not is_root) && leaf.ln < min_fill order then
+          report "leaf underfull: %d < %d" leaf.ln (min_fill order);
+        if leaf.ln > order then report "leaf overfull: %d > %d" leaf.ln order;
+        for i = 0 to leaf.ln - 1 do
+          let k = leaf.lkeys.(i) in
+          if k < lo || k >= hi then report "leaf key %d outside (%d, %d)" k lo hi;
+          if i > 0 && leaf.lkeys.(i - 1) >= k then report "leaf keys not strictly sorted"
+        done;
+        depth
+    | Internal inode ->
+        if (not is_root) && inode.icount < min_fill order then
+          report "internal underfull: %d < %d" inode.icount (min_fill order);
+        if is_root && inode.icount < 1 then report "root internal has no separator";
+        if inode.icount > order then report "internal overfull";
+        for i = 0 to inode.icount - 1 do
+          let k = inode.ikeys.(i) in
+          if k < lo || k >= hi then report "separator %d outside (%d, %d)" k lo hi;
+          if i > 0 && inode.ikeys.(i - 1) >= k then report "separators not sorted"
+        done;
+        let depths =
+          List.init (inode.icount + 1) (fun i ->
+              let child_lo = if i = 0 then lo else inode.ikeys.(i - 1) in
+              let child_hi = if i = inode.icount then hi else inode.ikeys.(i) in
+              go inode.kids.(i) ~lo:child_lo ~hi:child_hi ~is_root:false
+                ~depth:(depth + 1))
+        in
+        (match depths with
+        | d :: rest when List.for_all (Int.equal d) rest -> ()
+        | _ -> report "leaves at unequal depths");
+        List.fold_left max depth depths
+  in
+  let _ = go t.root ~lo:min_int ~hi:max_int ~is_root:true ~depth:0 in
+  (* leaf chain must enumerate exactly the sorted keys *)
+  let chained = to_list t in
+  if List.length chained <> t.count then
+    report "leaf chain has %d keys, count says %d" (List.length chained) t.count;
+  match !problem with None -> Ok () | Some m -> Error m

@@ -1,0 +1,60 @@
+(** An in-memory B+tree over integer keys.
+
+    This is the index structure behind the node table — the stand-in
+    for the B-tree indexes MySQL maintains on the [pre], [post] and
+    [parent] columns in the paper's prototype (§5.1).  Keys are unique
+    62-bit non-negative integers; secondary indexes with duplicates are
+    layered on top by packing [(column_value, row_id)] composites (see
+    {!Index}).
+
+    Leaves are linked for ordered range scans; internal nodes hold
+    separator keys.  All of insert / member / delete / range run in
+    O(log n) node visits. *)
+
+type t
+
+val create : ?order:int -> unit -> t
+(** [order] is the maximum number of keys per node (default 64;
+    minimum 4). *)
+
+val insert : t -> int -> bool
+(** [insert t k] adds [k]; returns [false] (and leaves the tree
+    unchanged) if [k] was already present.
+    @raise Invalid_argument on negative keys. *)
+
+val mem : t -> int -> bool
+
+val delete : t -> int -> bool
+(** Returns [false] if the key was absent.  Rebalances (borrow/merge)
+    so the B+tree invariants are preserved. *)
+
+val count : t -> int
+
+val min_key : t -> int option
+val max_key : t -> int option
+
+val fold_range : t -> lo:int -> hi:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold over keys in [lo, hi] inclusive, ascending. *)
+
+val fold_range_while :
+  t -> lo:int -> init:'a -> f:('a -> int -> 'a option) -> 'a
+(** Scan ascending from the smallest key [>= lo]; stop when [f]
+    returns [None] (the last accumulator is returned) or the keys run
+    out. *)
+
+val to_list : t -> int list
+(** All keys ascending (for tests). *)
+
+type stats = {
+  depth : int;
+  nodes : int;
+  leaves : int;
+  keys : int;
+  footprint_bytes : int;  (** estimated in-memory footprint *)
+}
+
+val stats : t -> stats
+
+val check_invariants : t -> (unit, string) result
+(** Structural validation: ordering, separator correctness, fill
+    factors, leaf chaining.  Used by the property tests. *)

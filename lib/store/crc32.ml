@@ -1,0 +1,25 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc byte =
+  let table = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xFFl) in
+  Int32.logxor table.(idx) (Int32.shift_right_logical crc 8)
+
+let digest_bytes ?(off = 0) ?len buf =
+  let len = Option.value len ~default:(Bytes.length buf - off) in
+  let crc = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    crc := update !crc (Bytes.get_uint8 buf i)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,5 @@
+(** CRC-32 (IEEE 802.3 polynomial), used as the page checksum of the
+    storage engine. *)
+
+val digest_bytes : ?off:int -> ?len:int -> bytes -> int32
+val digest_string : string -> int32

@@ -1,0 +1,42 @@
+type t = Btree.t
+
+let limit = 1 lsl 31
+
+let pack ~key ~value =
+  if key < 0 || key >= limit then
+    invalid_arg (Printf.sprintf "Index: key %d out of [0, 2^31)" key);
+  if value < 0 || value >= limit then
+    invalid_arg (Printf.sprintf "Index: value %d out of [0, 2^31)" value);
+  (key lsl 31) lor value
+
+let unpack packed = (packed lsr 31, packed land (limit - 1))
+
+let create ?order () = Btree.create ?order ()
+let add t ~key ~value = Btree.insert t (pack ~key ~value)
+let remove t ~key ~value = Btree.delete t (pack ~key ~value)
+let mem t ~key ~value = Btree.mem t (pack ~key ~value)
+
+let find_all t ~key =
+  List.rev
+    (Btree.fold_range t ~lo:(pack ~key ~value:0) ~hi:(pack ~key ~value:(limit - 1))
+       ~init:[]
+       ~f:(fun acc packed -> snd (unpack packed) :: acc))
+
+let find_first t ~key =
+  (* The smallest pair at or after (key, 0) decides in one step. *)
+  let first = ref None in
+  ignore
+    (Btree.fold_range_while t ~lo:(pack ~key ~value:0) ~init:() ~f:(fun () packed ->
+         let k, v = unpack packed in
+         if k = key then first := Some v;
+         None));
+  !first
+
+let fold_from t ~key ~init ~f =
+  Btree.fold_range_while t ~lo:(pack ~key ~value:0) ~init ~f:(fun acc packed ->
+      let k, v = unpack packed in
+      f acc ~key:k ~value:v)
+
+let entry_count t = Btree.count t
+let footprint_bytes t = (Btree.stats t).Btree.footprint_bytes
+let btree_stats t = Btree.stats t

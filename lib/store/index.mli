@@ -1,0 +1,33 @@
+(** Secondary indexes with duplicate keys, layered over {!Btree} by
+    packing [(key, value)] composites into single 62-bit integers.
+
+    Both components must lie in [0, 2^31) — comfortably true for the
+    [pre]/[post]/[parent] sequence numbers and row locators they
+    index. *)
+
+type t
+
+val create : ?order:int -> unit -> t
+
+val add : t -> key:int -> value:int -> bool
+(** False if the exact (key, value) pair was already present.
+    @raise Invalid_argument if either component is outside
+    [0, 2^31). *)
+
+val remove : t -> key:int -> value:int -> bool
+
+val mem : t -> key:int -> value:int -> bool
+
+val find_all : t -> key:int -> int list
+(** All values for [key], ascending. *)
+
+val find_first : t -> key:int -> int option
+
+val fold_from :
+  t -> key:int -> init:'a -> f:('a -> key:int -> value:int -> 'a option) -> 'a
+(** Ordered scan of (key, value) pairs starting at the smallest pair
+    with key [>= key]; stop when [f] returns [None]. *)
+
+val entry_count : t -> int
+val footprint_bytes : t -> int
+val btree_stats : t -> Btree.stats

@@ -1,0 +1,164 @@
+type t = {
+  pager : Pager.t;
+  mutable fill_page : int; (* index of the page currently accepting rows, -1 if none *)
+  pre_index : Index.t; (* pre -> row locator *)
+  post_index : Index.t; (* post -> pre *)
+  parent_index : Index.t; (* parent -> pre *)
+  mutable rows : int;
+  mutable wal : Wal.t option; (* present in durable file mode *)
+}
+
+(* Row locator: page index and slot packed into one index value. *)
+let slot_bits = 12
+let max_slots = 1 lsl slot_bits
+let locator ~page ~slot = (page lsl slot_bits) lor slot
+let locator_page loc = loc lsr slot_bits
+let locator_slot loc = loc land (max_slots - 1)
+
+let make pager =
+  {
+    pager;
+    fill_page = -1;
+    pre_index = Index.create ();
+    post_index = Index.create ();
+    parent_index = Index.create ();
+    rows = 0;
+    wal = None;
+  }
+
+let create ?page_size () = make (Pager.in_memory ?page_size ())
+
+let wal_path path = path ^ ".wal"
+
+let create_file ?page_size ?cache_pages ?(durable = false) path =
+  let t = make (Pager.create_file ?page_size ?cache_pages path) in
+  if durable then t.wal <- Some (Wal.create (wal_path path));
+  t
+
+let index_row t (row : Page.row) loc =
+  if not (Index.add t.pre_index ~key:row.Page.pre ~value:loc) then
+    invalid_arg (Printf.sprintf "Node_table.insert: duplicate pre %d" row.Page.pre);
+  ignore (Index.add t.post_index ~key:row.Page.post ~value:row.Page.pre);
+  ignore (Index.add t.parent_index ~key:row.Page.parent ~value:row.Page.pre);
+  t.rows <- t.rows + 1
+
+(* Insert into pages and indexes without touching the log (used both
+   by the public insert and by WAL recovery). *)
+let rec insert_unlogged t row =
+  if Index.find_first t.pre_index ~key:row.Page.pre <> None then
+    invalid_arg (Printf.sprintf "Node_table.insert: duplicate pre %d" row.Page.pre);
+  let try_add page_idx =
+    let page = Pager.get t.pager page_idx in
+    match Page.add_row page row with
+    | Some slot ->
+        Pager.mark_dirty t.pager page_idx;
+        Some (locator ~page:page_idx ~slot)
+    | None -> None
+  in
+  let loc =
+    let existing = if t.fill_page >= 0 then try_add t.fill_page else None in
+    match existing with
+    | Some loc -> loc
+    | None ->
+        let fresh = Page.create ~size:(Pager.page_size t.pager) in
+        let idx = Pager.append t.pager fresh in
+        t.fill_page <- idx;
+        (match try_add idx with
+        | Some loc -> loc
+        | None -> invalid_arg "Node_table.insert: row does not fit in a fresh page")
+  in
+  index_row t row loc
+
+and open_file ?cache_pages path =
+  match Pager.open_file ?cache_pages path with
+  | Error _ as e -> e
+  | Ok pager -> (
+      let t = make pager in
+      match
+        for pidx = 0 to Pager.page_count pager - 1 do
+          let page = Pager.get pager pidx in
+          Page.iter_rows page ~f:(fun slot row ->
+              index_row t row (locator ~page:pidx ~slot))
+        done
+      with
+      | exception Invalid_argument msg -> failwith msg
+      | () -> (
+          t.fill_page <- Pager.page_count pager - 1;
+          (* Crash recovery: replay any rows the log holds that never
+             made it into a checkpointed page. *)
+          if not (Sys.file_exists (wal_path path)) then Ok t
+          else
+            match Wal.replay (wal_path path) with
+            | Error msg -> Error ("wal: " ^ msg)
+            | Ok logged -> (
+                List.iter
+                  (fun row ->
+                    if Index.find_first t.pre_index ~key:row.Page.pre = None then
+                      insert_unlogged t row)
+                  logged;
+                (* checkpoint the recovered state *)
+                Pager.flush pager;
+                match Wal.open_existing (wal_path path) with
+                | Error msg -> Error ("wal: " ^ msg)
+                | Ok wal ->
+                    Wal.checkpoint wal;
+                    t.wal <- Some wal;
+                    Ok t)))
+
+let insert t row =
+  insert_unlogged t row;
+  match t.wal with None -> () | Some wal -> Wal.append_insert wal row
+
+let fetch t loc =
+  let page = Pager.get t.pager (locator_page loc) in
+  Page.get_row page (locator_slot loc)
+
+let find_by_pre t pre =
+  match Index.find_first t.pre_index ~key:pre with
+  | Some loc -> Some (fetch t loc)
+  | None -> None
+
+let root t =
+  match Index.find_first t.parent_index ~key:0 with
+  | Some pre -> find_by_pre t pre
+  | None -> None
+
+let children t ~parent =
+  List.filter_map (fun pre -> find_by_pre t pre) (Index.find_all t.parent_index ~key:parent)
+
+let fold_descendants t ~pre ~post ~init ~f =
+  Index.fold_from t.pre_index ~key:(pre + 1) ~init ~f:(fun acc ~key:_ ~value:loc ->
+      let row = fetch t loc in
+      if row.Page.post < post then Some (f acc row) else None)
+
+let descendants t ~pre ~post =
+  List.rev (fold_descendants t ~pre ~post ~init:[] ~f:(fun acc row -> row :: acc))
+
+let parent_of t ~pre =
+  match find_by_pre t pre with
+  | None -> None
+  | Some row ->
+      if row.Page.parent = 0 then None else find_by_pre t row.Page.parent
+
+let row_count t = t.rows
+let data_bytes t = Pager.data_bytes t.pager
+
+let index_bytes t =
+  Index.footprint_bytes t.pre_index
+  + Index.footprint_bytes t.post_index
+  + Index.footprint_bytes t.parent_index
+
+let iter t ~f =
+  for pidx = 0 to Pager.page_count t.pager - 1 do
+    let page = Pager.get t.pager pidx in
+    Page.iter_rows page ~f:(fun _ row -> f row)
+  done
+
+let flush t =
+  Pager.flush t.pager;
+  match t.wal with None -> () | Some wal -> Wal.checkpoint wal
+
+let close t =
+  flush t;
+  Pager.close t.pager;
+  match t.wal with None -> () | Some wal -> Wal.close wal

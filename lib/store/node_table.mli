@@ -1,0 +1,70 @@
+(** The flat relational table of encoded nodes — the paper's MySQL
+    back-end (§5.1).
+
+    Each row holds the [pre], [post] and [parent] sequence numbers (the
+    XPath-accelerator encoding of the tree structure) and the server's
+    polynomial share.  B+tree indexes on all three columns support the
+    axes the query engines need:
+
+    - the root is the unique row with [parent = 0];
+    - children of a node are the rows with [parent = pre(node)];
+    - descendants of a node are the rows scanned from [pre(node) + 1]
+      in [pre] order while [post < post(node)] (document order makes
+      the subtree a contiguous [pre] run).
+
+    Sequence numbering convention (as in the paper): [pre] counts open
+    tags from 1, [post] counts close tags from 1, and the root's
+    [parent] is 0. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** In-memory table. *)
+
+val create_file : ?page_size:int -> ?cache_pages:int -> ?durable:bool -> string -> t
+(** Table backed by a page file.  With [durable:true] every insert is
+    written (and fsynced) to a write-ahead log at [path ^ ".wal"]
+    before being acknowledged; [flush]/[close] checkpoint the pages
+    and truncate the log. *)
+
+val open_file : ?cache_pages:int -> string -> (t, string) result
+(** Re-open a table; the heap is scanned once to rebuild the indexes.
+    If a write-ahead log is present, rows it holds beyond the last
+    checkpoint are recovered (a torn log tail is discarded). *)
+
+val insert : t -> Page.row -> unit
+(** Append a row.  @raise Invalid_argument on a duplicate [pre]. *)
+
+val find_by_pre : t -> int -> Page.row option
+val root : t -> Page.row option
+(** The row with [parent = 0]. *)
+
+val children : t -> parent:int -> Page.row list
+(** Rows with the given parent, ascending [pre]. *)
+
+val descendants : t -> pre:int -> post:int -> Page.row list
+(** All rows strictly inside the subtree of the node with the given
+    [pre]/[post] numbers, in document order. *)
+
+val fold_descendants :
+  t -> pre:int -> post:int -> init:'a -> f:('a -> Page.row -> 'a) -> 'a
+(** Streaming variant of [descendants]. *)
+
+val parent_of : t -> pre:int -> Page.row option
+(** The parent row of the node with the given [pre] (None for the
+    root or an unknown [pre]). *)
+
+val row_count : t -> int
+val data_bytes : t -> int
+(** Bytes of page images holding the rows (the paper's "output
+    size"). *)
+
+val index_bytes : t -> int
+(** Combined footprint of the pre/post/parent B+trees (the paper's
+    "index size"). *)
+
+val iter : t -> f:(Page.row -> unit) -> unit
+(** Visit all rows in insertion order. *)
+
+val flush : t -> unit
+val close : t -> unit

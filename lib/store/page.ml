@@ -1,0 +1,102 @@
+type row = { pre : int; post : int; parent : int; share : bytes }
+
+let row_equal a b =
+  a.pre = b.pre && a.post = b.post && a.parent = b.parent && Bytes.equal a.share b.share
+
+let pp_row fmt r =
+  Format.fprintf fmt "{pre=%d; post=%d; parent=%d; share=%d bytes}" r.pre r.post
+    r.parent (Bytes.length r.share)
+
+(* Layout:
+     0  u16  magic (0x5DB5)
+     2  u16  row count
+     4  u16  free offset (start of the cell area, grows downward)
+     6  u16  reserved
+     8  u32  crc32 of bytes [12, size)
+     12 ...  slot directory: u16 cell offset per row
+     ...     cells, from the end of the page downward:
+             u32 pre, u32 post, u32 parent, u16 share length, share *)
+
+let header_size = 12
+let magic = 0x5DB5
+let slot_size = 2
+
+type t = { data : bytes; mutable count : int; mutable free_off : int }
+
+let size t = Bytes.length t.data
+
+let create ~size =
+  if size < 64 then invalid_arg "Page.create: page size too small";
+  if size > 0xFFFF then invalid_arg "Page.create: page size must fit in 16 bits";
+  { data = Bytes.make size '\000'; count = 0; free_off = size }
+
+let cell_size row = 4 + 4 + 4 + 2 + Bytes.length row.share
+
+let check_seq what v =
+  if v < 0 || v >= 1 lsl 31 then
+    invalid_arg (Printf.sprintf "Page.add_row: %s=%d out of [0, 2^31)" what v)
+
+let add_row t row =
+  check_seq "pre" row.pre;
+  check_seq "post" row.post;
+  check_seq "parent" row.parent;
+  let need = cell_size row in
+  if need + slot_size > Bytes.length t.data - header_size then
+    invalid_arg "Page.add_row: row larger than a page";
+  let slot_end = header_size + ((t.count + 1) * slot_size) in
+  if t.free_off - need < slot_end then None
+  else begin
+    let off = t.free_off - need in
+    Bytes.set_int32_le t.data off (Int32.of_int row.pre);
+    Bytes.set_int32_le t.data (off + 4) (Int32.of_int row.post);
+    Bytes.set_int32_le t.data (off + 8) (Int32.of_int row.parent);
+    Bytes.set_uint16_le t.data (off + 12) (Bytes.length row.share);
+    Bytes.blit row.share 0 t.data (off + 14) (Bytes.length row.share);
+    Bytes.set_uint16_le t.data (header_size + (t.count * slot_size)) off;
+    t.free_off <- off;
+    t.count <- t.count + 1;
+    Some (t.count - 1)
+  end
+
+let get_row t slot =
+  if slot < 0 || slot >= t.count then
+    invalid_arg (Printf.sprintf "Page.get_row: slot %d out of [0, %d)" slot t.count);
+  let off = Bytes.get_uint16_le t.data (header_size + (slot * slot_size)) in
+  let pre = Int32.to_int (Bytes.get_int32_le t.data off) in
+  let post = Int32.to_int (Bytes.get_int32_le t.data (off + 4)) in
+  let parent = Int32.to_int (Bytes.get_int32_le t.data (off + 8)) in
+  let share_len = Bytes.get_uint16_le t.data (off + 12) in
+  let share = Bytes.sub t.data (off + 14) share_len in
+  { pre; post; parent; share }
+
+let row_count t = t.count
+let used_bytes t = header_size + (t.count * slot_size) + (size t - t.free_off)
+
+let iter_rows t ~f =
+  for slot = 0 to t.count - 1 do
+    f slot (get_row t slot)
+  done
+
+let serialize t =
+  let out = Bytes.copy t.data in
+  Bytes.set_uint16_le out 0 magic;
+  Bytes.set_uint16_le out 2 t.count;
+  Bytes.set_uint16_le out 4 t.free_off;
+  Bytes.set_uint16_le out 6 0;
+  let crc = Crc32.digest_bytes ~off:header_size out in
+  Bytes.set_int32_le out 8 crc;
+  out
+
+let deserialize image =
+  if Bytes.length image < 64 then Error "page image too small"
+  else if Bytes.get_uint16_le image 0 <> magic then Error "bad page magic"
+  else begin
+    let stored_crc = Bytes.get_int32_le image 8 in
+    let crc = Crc32.digest_bytes ~off:header_size image in
+    if not (Int32.equal stored_crc crc) then Error "page checksum mismatch"
+    else begin
+      let count = Bytes.get_uint16_le image 2 in
+      let free_off = Bytes.get_uint16_le image 4 in
+      Ok { data = Bytes.copy image; count; free_off }
+    end
+  end

@@ -1,0 +1,37 @@
+(** Slotted pages holding encoded node rows.
+
+    A row is one line of the paper's flat relational table: the
+    [pre], [post] and [parent] sequence numbers plus the server's
+    share of the node polynomial (§5.1).  Pages serialise to a fixed
+    size with a CRC-32 checksum. *)
+
+type row = { pre : int; post : int; parent : int; share : bytes }
+
+val row_equal : row -> row -> bool
+val pp_row : Format.formatter -> row -> unit
+
+type t
+
+val size : t -> int
+val create : size:int -> t
+
+val add_row : t -> row -> int option
+(** Append a row; [Some slot] on success, [None] when the page has no
+    room left.  @raise Invalid_argument if the row could never fit
+    even in an empty page, or if a sequence number is outside
+    [0, 2^31). *)
+
+val get_row : t -> int -> row
+(** @raise Invalid_argument on an out-of-range slot. *)
+
+val row_count : t -> int
+val used_bytes : t -> int
+
+val iter_rows : t -> f:(int -> row -> unit) -> unit
+(** Visit rows as [(slot, row)] in slot order. *)
+
+val serialize : t -> bytes
+(** Fixed-size image with an embedded checksum. *)
+
+val deserialize : bytes -> (t, string) result
+(** Rejects images with a bad magic number or checksum. *)

@@ -1,0 +1,212 @@
+type cache_stats = { hits : int; misses : int; evictions : int }
+
+let default_page_size = 8192
+let header_size = 64
+let file_magic = "SSDBPAG1"
+
+type cache_entry = { page : Page.t; mutable dirty : bool; mutable last_used : int }
+
+type file_state = {
+  fd : Unix.file_descr;
+  mutable npages : int;
+  cache : (int, cache_entry) Hashtbl.t;
+  cache_pages : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type backing = Memory of Page.t array ref * int ref | File of file_state
+type t = { psize : int; backing : backing }
+
+let page_size t = t.psize
+
+let in_memory ?(page_size = default_page_size) () =
+  { psize = page_size; backing = Memory (ref [||], ref 0) }
+
+let write_header fd psize npages =
+  let hdr = Bytes.make header_size '\000' in
+  Bytes.blit_string file_magic 0 hdr 0 8;
+  Bytes.set_int32_le hdr 8 (Int32.of_int psize);
+  Bytes.set_int32_le hdr 12 (Int32.of_int npages);
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let written = Unix.write fd hdr 0 header_size in
+  if written <> header_size then failwith "Pager: short header write"
+
+let create_file ?(page_size = default_page_size) ?(cache_pages = 256) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_header fd page_size 0;
+  {
+    psize = page_size;
+    backing =
+      File
+        {
+          fd;
+          npages = 0;
+          cache = Hashtbl.create 64;
+          cache_pages = max 4 cache_pages;
+          clock = 0;
+          hits = 0;
+          misses = 0;
+          evictions = 0;
+        };
+  }
+
+let open_file ?(cache_pages = 256) path =
+  match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | fd -> (
+      let hdr = Bytes.create header_size in
+      let n = Unix.read fd hdr 0 header_size in
+      if n <> header_size || not (String.equal (Bytes.sub_string hdr 0 8) file_magic)
+      then begin
+        Unix.close fd;
+        Error "not a page file (bad header)"
+      end
+      else begin
+        let psize = Int32.to_int (Bytes.get_int32_le hdr 8) in
+        let npages = Int32.to_int (Bytes.get_int32_le hdr 12) in
+        let expected = header_size + (npages * psize) in
+        let actual = (Unix.fstat fd).Unix.st_size in
+        if actual < expected then begin
+          Unix.close fd;
+          Error
+            (Printf.sprintf "torn page file: %d bytes, header promises %d" actual
+               expected)
+        end
+        else
+          Ok
+            {
+              psize;
+              backing =
+                File
+                  {
+                    fd;
+                    npages;
+                    cache = Hashtbl.create 64;
+                    cache_pages = max 4 cache_pages;
+                    clock = 0;
+                    hits = 0;
+                    misses = 0;
+                    evictions = 0;
+                  };
+            }
+      end)
+
+let page_count t =
+  match t.backing with
+  | Memory (_, used) -> !used
+  | File st -> st.npages
+
+let write_page_at fd psize idx page =
+  let image = Page.serialize page in
+  ignore (Unix.lseek fd (header_size + (idx * psize)) Unix.SEEK_SET);
+  let written = Unix.write fd image 0 psize in
+  if written <> psize then failwith "Pager: short page write"
+
+let read_page_at fd psize idx =
+  let image = Bytes.create psize in
+  ignore (Unix.lseek fd (header_size + (idx * psize)) Unix.SEEK_SET);
+  let rec fill off =
+    if off < psize then begin
+      let n = Unix.read fd image off (psize - off) in
+      if n = 0 then failwith "Pager: short page read";
+      fill (off + n)
+    end
+  in
+  fill 0;
+  match Page.deserialize image with
+  | Ok page -> page
+  | Error msg -> failwith (Printf.sprintf "Pager: page %d corrupt: %s" idx msg)
+
+let evict_if_needed st psize =
+  while Hashtbl.length st.cache >= st.cache_pages do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun idx entry ->
+        match !victim with
+        | Some (_, best) when best.last_used <= entry.last_used -> ()
+        | _ -> victim := Some (idx, entry))
+      st.cache;
+    match !victim with
+    | None -> failwith "Pager: cannot evict from an empty cache"
+    | Some (idx, entry) ->
+        if entry.dirty then write_page_at st.fd psize idx entry.page;
+        Hashtbl.remove st.cache idx;
+        st.evictions <- st.evictions + 1
+  done
+
+let append t page =
+  if Page.size page <> t.psize then invalid_arg "Pager.append: page size mismatch";
+  match t.backing with
+  | Memory (pages, used) ->
+      if !used >= Array.length !pages then begin
+        let grown = Array.make (max 16 (2 * Array.length !pages)) page in
+        Array.blit !pages 0 grown 0 !used;
+        pages := grown
+      end;
+      !pages.(!used) <- page;
+      incr used;
+      !used - 1
+  | File st ->
+      let idx = st.npages in
+      st.npages <- st.npages + 1;
+      evict_if_needed st t.psize;
+      st.clock <- st.clock + 1;
+      Hashtbl.replace st.cache idx { page; dirty = true; last_used = st.clock };
+      idx
+
+let get t idx =
+  if idx < 0 || idx >= page_count t then
+    invalid_arg (Printf.sprintf "Pager.get: page %d out of [0, %d)" idx (page_count t));
+  match t.backing with
+  | Memory (pages, _) -> !pages.(idx)
+  | File st -> (
+      st.clock <- st.clock + 1;
+      match Hashtbl.find_opt st.cache idx with
+      | Some entry ->
+          entry.last_used <- st.clock;
+          st.hits <- st.hits + 1;
+          entry.page
+      | None ->
+          st.misses <- st.misses + 1;
+          let page = read_page_at st.fd t.psize idx in
+          evict_if_needed st t.psize;
+          Hashtbl.replace st.cache idx { page; dirty = false; last_used = st.clock };
+          page)
+
+let mark_dirty t idx =
+  match t.backing with
+  | Memory _ -> ()
+  | File st -> (
+      match Hashtbl.find_opt st.cache idx with
+      | Some entry -> entry.dirty <- true
+      | None -> ())
+
+let flush t =
+  match t.backing with
+  | Memory _ -> ()
+  | File st ->
+      Hashtbl.iter
+        (fun idx entry ->
+          if entry.dirty then begin
+            write_page_at st.fd t.psize idx entry.page;
+            entry.dirty <- false
+          end)
+        st.cache;
+      write_header st.fd t.psize st.npages
+
+let close t =
+  match t.backing with
+  | Memory _ -> ()
+  | File st ->
+      flush t;
+      Unix.close st.fd
+
+let data_bytes t = page_count t * t.psize
+
+let cache_stats t =
+  match t.backing with
+  | Memory _ -> { hits = 0; misses = 0; evictions = 0 }
+  | File st -> { hits = st.hits; misses = st.misses; evictions = st.evictions }

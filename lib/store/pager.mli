@@ -1,0 +1,43 @@
+(** Page storage with a buffer pool.
+
+    Backing stores: anonymous memory (the default for benchmarks) or a
+    file of fixed-size page images.  File mode keeps a bounded LRU
+    cache of deserialised pages and writes dirty pages back on
+    eviction and flush. *)
+
+type t
+
+val in_memory : ?page_size:int -> unit -> t
+(** All pages live on the OCaml heap; [flush] is a no-op. *)
+
+val create_file : ?page_size:int -> ?cache_pages:int -> string -> t
+(** Create (truncate) a page file.  [cache_pages] bounds the buffer
+    pool (default 256). *)
+
+val open_file : ?cache_pages:int -> string -> (t, string) result
+(** Open an existing page file; the page size is recovered from the
+    file header.  Fails on a bad header or torn page file. *)
+
+val page_size : t -> int
+val page_count : t -> int
+
+val append : t -> Page.t -> int
+(** Add a page, returning its index.  The page must have the pager's
+    page size.  @raise Invalid_argument otherwise. *)
+
+val get : t -> int -> Page.t
+(** Fetch a page (through the cache in file mode).  The returned page
+    is shared: mutations are visible to other [get]s; call
+    [mark_dirty] after mutating.  @raise Invalid_argument on an
+    out-of-range index; @raise Failure on a corrupt page image. *)
+
+val mark_dirty : t -> int -> unit
+val flush : t -> unit
+val close : t -> unit
+
+val data_bytes : t -> int
+(** Total bytes of page images (page_count * page_size). *)
+
+type cache_stats = { hits : int; misses : int; evictions : int }
+
+val cache_stats : t -> cache_stats

@@ -1,0 +1,92 @@
+(* Record framing:
+     u32  payload length
+     u32  crc32 of the payload
+     ...  payload: u32 pre, u32 post, u32 parent, u16 share length, share *)
+
+type t = { fd : Unix.file_descr; mutable entries : int }
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  { fd; entries = 0 }
+
+let open_existing path =
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
+  | fd ->
+      ignore (Unix.lseek fd 0 Unix.SEEK_END);
+      Ok { fd; entries = 0 }
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let encode_row (row : Page.row) =
+  let share_len = Bytes.length row.Page.share in
+  let payload = Bytes.create (14 + share_len) in
+  Bytes.set_int32_le payload 0 (Int32.of_int row.Page.pre);
+  Bytes.set_int32_le payload 4 (Int32.of_int row.Page.post);
+  Bytes.set_int32_le payload 8 (Int32.of_int row.Page.parent);
+  Bytes.set_uint16_le payload 12 share_len;
+  Bytes.blit row.Page.share 0 payload 14 share_len;
+  payload
+
+let decode_row payload =
+  if Bytes.length payload < 14 then None
+  else begin
+    let pre = Int32.to_int (Bytes.get_int32_le payload 0) in
+    let post = Int32.to_int (Bytes.get_int32_le payload 4) in
+    let parent = Int32.to_int (Bytes.get_int32_le payload 8) in
+    let share_len = Bytes.get_uint16_le payload 12 in
+    if Bytes.length payload <> 14 + share_len then None
+    else Some { Page.pre; post; parent; share = Bytes.sub payload 14 share_len }
+  end
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd buf off (len - off) in
+      if n = 0 then failwith "Wal: short write";
+      go (off + n)
+    end
+  in
+  go 0
+
+let append_insert t row =
+  let payload = encode_row row in
+  let frame = Bytes.create (8 + Bytes.length payload) in
+  Bytes.set_int32_le frame 0 (Int32.of_int (Bytes.length payload));
+  Bytes.set_int32_le frame 4 (Crc32.digest_bytes payload);
+  Bytes.blit payload 0 frame 8 (Bytes.length payload);
+  write_all t.fd frame;
+  Unix.fsync t.fd;
+  t.entries <- t.entries + 1
+
+let checkpoint t =
+  Unix.ftruncate t.fd 0;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  Unix.fsync t.fd;
+  t.entries <- 0
+
+let replay path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let len = String.length contents in
+      let rec go pos acc =
+        if pos + 8 > len then List.rev acc
+        else begin
+          let payload_len = Int32.to_int (String.get_int32_le contents pos) in
+          let crc = String.get_int32_le contents (pos + 4) in
+          if payload_len < 0 || payload_len > 1 lsl 24 || pos + 8 + payload_len > len
+          then List.rev acc (* torn tail *)
+          else begin
+            let payload = Bytes.of_string (String.sub contents (pos + 8) payload_len) in
+            if not (Int32.equal crc (Crc32.digest_bytes payload)) then List.rev acc
+            else
+              match decode_row payload with
+              | None -> List.rev acc
+              | Some row -> go (pos + 8 + payload_len) (row :: acc)
+          end
+        end
+      in
+      Ok (go 0 [])
+
+let entry_count t = t.entries
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,35 @@
+(** A write-ahead log for the node table.
+
+    The paper's prototype delegates durability to MySQL; our storage
+    engine gets the same guarantee with a minimal ARIES-style redo log:
+    every inserted row is appended (CRC-framed) to the log before it is
+    acknowledged, the pager checkpoints pages on [flush], and re-opening
+    after a crash replays whatever the log holds beyond the last
+    checkpoint.  A torn tail (partial final record) is detected by the
+    framing checksum and discarded. *)
+
+type t
+
+val create : string -> t
+(** Create or truncate a log file. *)
+
+val open_existing : string -> (t, string) result
+(** Open an existing log for appending (the file may be empty). *)
+
+val append_insert : t -> Page.row -> unit
+(** Append one insert record and fsync it.
+    @raise Failure on write errors. *)
+
+val checkpoint : t -> unit
+(** All logged rows are now safely in the data file: truncate the
+    log. *)
+
+val replay : string -> (Page.row list, string) result
+(** Read the records of a log file in append order, stopping cleanly
+    at a torn or corrupt tail (the valid prefix is returned).  Returns
+    an error only if the file cannot be read at all. *)
+
+val entry_count : t -> int
+(** Records appended since the last checkpoint (this process's view). *)
+
+val close : t -> unit

@@ -1,0 +1,168 @@
+module Chacha20 = Secshare_prg.Chacha20
+module Seed = Secshare_prg.Seed
+
+let block_size = 16
+let stream_size = 12 (* the S_i part *)
+let check_size = 4 (* the F_k(S_i) part *)
+
+type key = { stream_key : bytes; word_key : bytes }
+
+(* Derive two independent ChaCha20 keys from the seed by domain
+   separation. *)
+let key_of_seed seed =
+  let master = Seed.to_bytes seed in
+  let derive tag =
+    let nonce = Bytes.make Chacha20.nonce_length '\000' in
+    Bytes.blit_string tag 0 nonce 0 (min (String.length tag) Chacha20.nonce_length);
+    Chacha20.keystream ~key:master ~nonce ~counter:0 32
+  in
+  { stream_key = derive "swp-stream"; word_key = derive "swp-words" }
+
+type encrypted = { blocks : bytes array; positions : (int * int) array }
+type trapdoor = { word_block : bytes; prf_key : bytes }
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  !h
+
+(* Canonical 16-byte block of a word: the first bytes verbatim, with a
+   64-bit digest of the whole word folded into the tail so that long
+   words stay distinguishable. *)
+let block_of_word word =
+  let block = Bytes.make block_size '\000' in
+  Bytes.blit_string word 0 block 0 (min (String.length word) block_size);
+  if String.length word > block_size then begin
+    let digest = fnv1a64 word in
+    for i = 0 to 7 do
+      let off = block_size - 8 + i in
+      Bytes.set_uint8 block off
+        (Bytes.get_uint8 block off
+        lxor Int64.to_int (Int64.logand (Int64.shift_right_logical digest (8 * i)) 0xFFL))
+    done
+  end;
+  block
+
+(* The per-word PRF key is derived from the block's first 12 bytes (the
+   part the client can recover before knowing the word — the standard
+   SWP split). *)
+let word_prf_key key block =
+  let nonce = Bytes.sub block 0 stream_size in
+  Chacha20.keystream ~key:key.word_key ~nonce ~counter:0 32
+
+(* S_i: 12 pseudorandom bytes per position, from one long keystream. *)
+let stream_at key i =
+  let nonce = Bytes.make Chacha20.nonce_length '\000' in
+  Bytes.set_int64_le nonce 0 (Int64.of_int i);
+  Chacha20.keystream ~key:key.stream_key ~nonce ~counter:0 stream_size
+
+(* F_k(s): the 4-byte PRF check value. *)
+let prf prf_key s =
+  let nonce = Bytes.make Chacha20.nonce_length '\000' in
+  Bytes.blit s 0 nonce 0 stream_size;
+  Chacha20.keystream ~key:prf_key ~nonce ~counter:1 check_size
+
+let xor_into dst src off =
+  for i = 0 to Bytes.length src - 1 do
+    Bytes.set_uint8 dst (off + i) (Bytes.get_uint8 dst (off + i) lxor Bytes.get_uint8 src i)
+  done
+
+let encrypt_block key ~position word =
+  let block = block_of_word word in
+  let s = stream_at key position in
+  let f = prf (word_prf_key key block) s in
+  let cipher = Bytes.copy block in
+  xor_into cipher s 0;
+  xor_into cipher f stream_size;
+  cipher
+
+let encrypt_words key pairs =
+  let blocks =
+    Array.of_list
+      (List.mapi (fun i (_, word) -> encrypt_block key ~position:i word) pairs)
+  in
+  let positions = Array.make (List.length pairs) (0, 0) in
+  let word_index = Hashtbl.create 64 in
+  List.iteri
+    (fun i (pre, _) ->
+      let idx = Option.value (Hashtbl.find_opt word_index pre) ~default:0 in
+      Hashtbl.replace word_index pre (idx + 1);
+      positions.(i) <- (pre, idx))
+    pairs;
+  { blocks; positions }
+
+let flatten_tree tree =
+  let acc = ref [] in
+  let pre = ref 0 in
+  let rec go node =
+    match node with
+    | Secshare_xml.Tree.Text s ->
+        (* text words belong to the enclosing element *)
+        List.iter (fun w -> acc := (!pre, w) :: !acc) (Secshare_trie.Tokenize.words s)
+    | Secshare_xml.Tree.Element { name; children; _ } ->
+        incr pre;
+        acc := (!pre, String.lowercase_ascii name) :: !acc;
+        let my_pre = !pre in
+        List.iter
+          (fun child ->
+            match child with
+            | Secshare_xml.Tree.Text s ->
+                List.iter
+                  (fun w -> acc := (my_pre, w) :: !acc)
+                  (Secshare_trie.Tokenize.words s)
+            | Secshare_xml.Tree.Element _ -> go child)
+          children
+  in
+  go tree;
+  List.rev !acc
+
+let encrypt_tree key tree = encrypt_words key (flatten_tree tree)
+
+let trapdoor key word =
+  let block = block_of_word (String.lowercase_ascii word) in
+  { word_block = block; prf_key = word_prf_key key block }
+
+let matches trapdoor cipher =
+  (* t = C xor W; a true match gives t = S || F_k(S) *)
+  let t = Bytes.copy cipher in
+  xor_into t trapdoor.word_block 0;
+  let s = Bytes.sub t 0 stream_size in
+  let expected = prf trapdoor.prf_key s in
+  let ok = ref true in
+  for i = 0 to check_size - 1 do
+    if Bytes.get_uint8 t (stream_size + i) <> Bytes.get_uint8 expected i then ok := false
+  done;
+  !ok
+
+let search enc trapdoor =
+  let hits = ref [] in
+  Array.iteri (fun i cipher -> if matches trapdoor cipher then hits := i :: !hits) enc.blocks;
+  List.rev !hits
+
+let search_elements enc trapdoor =
+  List.sort_uniq compare (List.map (fun i -> fst enc.positions.(i)) (search enc trapdoor))
+
+let decrypt_block key enc position =
+  if position < 0 || position >= Array.length enc.blocks then
+    invalid_arg (Printf.sprintf "Swp.decrypt_block: position %d out of range" position);
+  let cipher = enc.blocks.(position) in
+  let s = stream_at key position in
+  let block = Bytes.copy cipher in
+  (* left part: xor out the stream; it determines the word key, which
+     then unlocks the check part *)
+  xor_into block (Bytes.cat s (Bytes.make check_size '\000')) 0;
+  let f = prf (word_prf_key key block) s in
+  xor_into block (Bytes.cat (Bytes.make stream_size '\000') f) 0;
+  (* strip padding *)
+  let len = ref 0 in
+  while !len < block_size && Bytes.get block !len <> '\000' do
+    incr len
+  done;
+  Bytes.sub_string block 0 !len
+
+let storage_bytes enc =
+  (Array.length enc.blocks * block_size) + (Array.length enc.positions * 8)

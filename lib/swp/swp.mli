@@ -1,0 +1,60 @@
+(** A baseline: Song–Wagner–Perrig searchable symmetric encryption
+    (IEEE S&P 2000) — the scheme the paper's related-work section
+    positions itself against ("[5] suggest a different technique that
+    supports encrypting the data itself.  We adapted this work to
+    exploit the tree structure in XML documents").
+
+    This is the *sequential-scan* alternative: the document is
+    flattened into a sequence of fixed-size word blocks, each encrypted
+    as [W_i XOR (S_i, F_{k(W_i)}(S_i))] where [S_i] is a pseudorandom
+    stream and [F] a keyed PRF.  To search, the client reveals a
+    per-word trapdoor; the server scans *every* position and checks the
+    PRF relation — O(document) work per query and no tree pruning,
+    which is exactly what the paper's polynomial encoding buys.
+
+    Implemented with ChaCha20 as both the stream and the PRF.  Word
+    blocks are 16 bytes (longer words are truncated after hashing
+    their tail in); the PRF check uses m = 4 bytes, so false positives
+    occur with probability 2^-32 per position. *)
+
+type key
+
+val key_of_seed : Secshare_prg.Seed.t -> key
+
+type encrypted = {
+  blocks : bytes array;  (** one 16-byte ciphertext per word position *)
+  positions : (int * int) array;
+      (** for each word position: (element [pre], word index within the
+          element) — public structural metadata, as in the paper's
+          pre/post/parent columns *)
+}
+
+val encrypt_words : key -> (int * string) list -> encrypted
+(** Encrypt a flattened document: [(element_pre, word)] pairs in
+    document order. *)
+
+val encrypt_tree : key -> Secshare_xml.Tree.t -> encrypted
+(** Flatten an XML tree — each element contributes its tag name, each
+    text node its lowercase words — and encrypt the sequence.  Element
+    [pre] numbers match the secret-sharing encoder's numbering. *)
+
+type trapdoor
+
+val trapdoor : key -> string -> trapdoor
+(** The search token for one word: reveals that word's PRF key (and
+    the word block itself, as in the basic SWP scheme). *)
+
+val search : encrypted -> trapdoor -> int list
+(** Positions whose ciphertext matches the trapdoor (the server's
+    linear scan).  Every position is touched: the cost is
+    O(number of word blocks). *)
+
+val search_elements : encrypted -> trapdoor -> int list
+(** Distinct element [pre]s containing a match, ascending. *)
+
+val decrypt_block : key -> encrypted -> int -> string
+(** Recover the plaintext word block at a position (client side, for
+    tests).  @raise Invalid_argument on a bad position. *)
+
+val storage_bytes : encrypted -> int
+(** Ciphertext bytes plus position metadata. *)

@@ -1,0 +1,97 @@
+module Tree = Secshare_xml.Tree
+
+type mode = Compressed | Uncompressed
+
+type stats = {
+  text_nodes : int;
+  total_words : int;
+  distinct_words : int;
+  total_chars : int;
+  trie_nodes : int;
+  marker_nodes : int;
+}
+
+let zero_stats =
+  {
+    text_nodes = 0;
+    total_words = 0;
+    distinct_words = 0;
+    total_chars = 0;
+    trie_nodes = 0;
+    marker_nodes = 0;
+  }
+
+let word_path word =
+  if not (Tokenize.is_word word) then
+    invalid_arg (Printf.sprintf "Expand.word_path: %S is not a lowercase word" word);
+  List.init (String.length word) (fun i -> String.make 1 word.[i])
+
+let marker_element = Tree.element Tokenize.end_marker []
+
+(* A compressed trie as a forest of single-character elements; each
+   terminal gets an end-marker child (the paper's bottom node). *)
+let rec trie_forest_with_markers trie =
+  Trie.fold_edges trie ~init:[] ~f:(fun acc c child ->
+      let sub = trie_forest_with_markers child in
+      let sub = if is_terminal child then sub @ [ marker_element ] else sub in
+      Tree.element (String.make 1 c) sub :: acc)
+  |> List.rev
+
+and is_terminal trie = Trie.mem trie ""
+
+(* One path of character elements per word occurrence. *)
+let word_chain word =
+  let rec go i =
+    if i = String.length word then [ marker_element ]
+    else [ Tree.element (String.make 1 word.[i]) (go (i + 1)) ]
+  in
+  match go 0 with
+  | [ node ] -> node
+  | _ -> assert false
+
+let expand ~mode tree =
+  let stats = ref zero_stats in
+  let expand_text s =
+    let words = Tokenize.words s in
+    if words = [] then []
+    else begin
+      let distinct = List.sort_uniq String.compare words in
+      let chars = List.fold_left (fun acc w -> acc + String.length w) 0 words in
+      let replacement =
+        match mode with
+        | Compressed -> trie_forest_with_markers (Trie.of_words words)
+        | Uncompressed -> List.map word_chain words
+      in
+      let rec count_nodes acc = function
+        | Tree.Text _ -> acc
+        | Tree.Element { name; children; _ } ->
+            let acc = List.fold_left count_nodes acc children in
+            if String.equal name Tokenize.end_marker then (fst acc, snd acc + 1)
+            else (fst acc + 1, snd acc)
+      in
+      let chars_emitted, markers = List.fold_left count_nodes (0, 0) replacement in
+      stats :=
+        {
+          text_nodes = !stats.text_nodes + 1;
+          total_words = !stats.total_words + List.length words;
+          distinct_words = !stats.distinct_words + List.length distinct;
+          total_chars = !stats.total_chars + chars;
+          trie_nodes = !stats.trie_nodes + chars_emitted;
+          marker_nodes = !stats.marker_nodes + markers;
+        };
+      replacement
+    end
+  in
+  let rec go node =
+    match node with
+    | Tree.Text s -> expand_text s
+    | Tree.Element { name; attrs; children } ->
+        [ Tree.element ~attrs name (List.concat_map go children) ]
+  in
+  match go tree with
+  | [ root ] -> (root, !stats)
+  | _ -> invalid_arg "Expand.expand: root must be an element"
+
+let reduction_ratio stats =
+  if stats.total_chars = 0 then 0.0
+  else 1.0 -. (float_of_int stats.trie_nodes /. float_of_int stats.total_chars)

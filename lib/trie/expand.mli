@@ -1,0 +1,36 @@
+(** Rewriting an XML tree so its text content becomes searchable: every
+    text node is replaced by trie paths of single-character elements
+    (paper §4, figure 2).
+
+    After expansion the same polynomial encoding covers data as well as
+    tags, and [contains(text(), "joan")] queries become the path query
+    [//j/o/a/n]. *)
+
+type mode =
+  | Compressed  (** prefix-sharing trie; loses word order/cardinality *)
+  | Uncompressed  (** one path per word occurrence; lossless *)
+
+type stats = {
+  text_nodes : int;  (** text nodes replaced *)
+  total_words : int;  (** word occurrences across all text *)
+  distinct_words : int;  (** per text node, summed *)
+  total_chars : int;  (** characters across all word occurrences *)
+  trie_nodes : int;  (** character elements emitted *)
+  marker_nodes : int;  (** end-of-word elements emitted *)
+}
+
+val expand : mode:mode -> Secshare_xml.Tree.t -> Secshare_xml.Tree.t * stats
+(** Replace each text node with its trie representation.  Character
+    elements are named by their character; end-of-word markers are
+    named {!Tokenize.end_marker}.  Attributes are preserved
+    untouched. *)
+
+val word_path : string -> string list
+(** The element-name path of one word: ["joan"] becomes
+    [["j"; "o"; "a"; "n"]].  @raise Invalid_argument on a non-word
+    (see {!Tokenize.is_word}). *)
+
+val reduction_ratio : stats -> float
+(** [1 - trie_nodes / total_chars]: the size reduction the trie
+    achieves over storing every character occurrence (the paper quotes
+    75–80% for compressed tries on typical text). *)

@@ -1,0 +1,24 @@
+let alphabet = List.init 26 (fun i -> Char.chr (Char.code 'a' + i))
+let end_marker = "$"
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+let is_letter c = c >= 'a' && c <= 'z'
+
+let words s =
+  let acc = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      acc := Buffer.contents buf :: !acc;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      let c = lower c in
+      if is_letter c then Buffer.add_char buf c else flush ())
+    s;
+  flush ();
+  List.rev !acc
+
+let is_word s = s <> "" && String.for_all is_letter s

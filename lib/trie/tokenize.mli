@@ -1,0 +1,21 @@
+(** Splitting text data into words over the trie alphabet.
+
+    The paper's example splits a string into words, then each word into
+    characters over a small set (a..z); p = 29 covers the 26 letters,
+    the end-of-word marker and slack.  We lowercase ASCII letters and
+    treat every other byte as a separator. *)
+
+val words : string -> string list
+(** Lowercased alphabetic words, in occurrence order, duplicates
+    kept. *)
+
+val alphabet : char list
+(** The trie alphabet: ['a'..'z']. *)
+
+val end_marker : string
+(** The tag name used for the end-of-word node (the paper's bottom
+    symbol): ["$"]. *)
+
+val is_word : string -> bool
+(** True iff the string is non-empty and entirely within the
+    alphabet. *)

@@ -1,0 +1,77 @@
+module Char_map = Map.Make (Char)
+
+type t = { terminal : bool; children : t Char_map.t }
+
+let empty = { terminal = false; children = Char_map.empty }
+let is_empty t = (not t.terminal) && Char_map.is_empty t.children
+
+let add t word =
+  if not (Tokenize.is_word word) then
+    invalid_arg (Printf.sprintf "Trie.add: %S is not a lowercase word" word);
+  let rec go t i =
+    if i = String.length word then { t with terminal = true }
+    else begin
+      let c = word.[i] in
+      let child = Option.value (Char_map.find_opt c t.children) ~default:empty in
+      { t with children = Char_map.add c (go child (i + 1)) t.children }
+    end
+  in
+  go t 0
+
+let of_words words = List.fold_left add empty words
+
+let mem t word =
+  let rec go t i =
+    if i = String.length word then t.terminal
+    else
+      match Char_map.find_opt word.[i] t.children with
+      | Some child -> go child (i + 1)
+      | None -> false
+  in
+  go t 0
+
+let mem_prefix t prefix =
+  let rec go t i =
+    if i = String.length prefix then true
+    else
+      match Char_map.find_opt prefix.[i] t.children with
+      | Some child -> go child (i + 1)
+      | None -> false
+  in
+  go t 0
+
+let words t =
+  let acc = ref [] in
+  let buf = Buffer.create 16 in
+  let rec go t =
+    if t.terminal then acc := Buffer.contents buf :: !acc;
+    Char_map.iter
+      (fun c child ->
+        Buffer.add_char buf c;
+        go child;
+        Buffer.truncate buf (Buffer.length buf - 1))
+      t.children
+  in
+  go t;
+  List.sort String.compare !acc
+
+let rec word_count t =
+  (if t.terminal then 1 else 0)
+  + Char_map.fold (fun _ child acc -> acc + word_count child) t.children 0
+
+let rec node_count t =
+  Char_map.fold (fun _ child acc -> acc + 1 + node_count child) t.children 0
+
+let terminal_count = word_count
+
+let fold_edges t ~init ~f = Char_map.fold (fun c child acc -> f acc c child) t.children init
+
+let rec equal a b =
+  Bool.equal a.terminal b.terminal && Char_map.equal equal a.children b.children
+
+let rec pp fmt t =
+  Format.fprintf fmt "{%s%a}"
+    (if t.terminal then "." else "")
+    (fun fmt children ->
+      Char_map.iter (fun c child -> Format.fprintf fmt "%c%a" c pp child) children)
+    t.children

@@ -1,0 +1,44 @@
+(** Compressed tries over lowercase words (Fredkin 1960), the data
+    structure of the paper's §4.
+
+    A *compressed* trie shares common prefixes and loses word order and
+    cardinality (figure 2(b)); an *uncompressed* trie — a forest of
+    non-shared paths — retains exactly the original information
+    (figure 2(c)).  This module implements the compressed form; the
+    uncompressed form is just the word list itself and is handled in
+    {!Expand}. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : t -> string -> t
+(** Insert a word.  @raise Invalid_argument if the word is not within
+    the alphabet (see {!Tokenize.is_word}). *)
+
+val of_words : string list -> t
+val mem : t -> string -> bool
+
+val mem_prefix : t -> string -> bool
+(** True iff some stored word has this (possibly complete) prefix. *)
+
+val words : t -> string list
+(** Stored words, sorted (order is inherently lost — that is the
+    compression trade-off the paper describes). *)
+
+val word_count : t -> int
+(** Number of distinct stored words. *)
+
+val node_count : t -> int
+(** Number of character nodes (excluding the root and excluding
+    end-of-word markers). *)
+
+val terminal_count : t -> int
+(** Number of end-of-word markers (equal to [word_count]). *)
+
+val fold_edges : t -> init:'a -> f:('a -> char -> t -> 'a) -> 'a
+(** Fold over the root's outgoing edges in character order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

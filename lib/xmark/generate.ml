@@ -1,0 +1,288 @@
+module Tree = Secshare_xml.Tree
+module Rng = Secshare_prg.Xoshiro
+
+type profile = {
+  items_per_region : int;
+  categories : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+}
+
+let profile_of_factor factor =
+  if factor <= 0.0 then invalid_arg "Xmark: factor must be positive";
+  let scale base = max 1 (int_of_float (Float.round (float_of_int base *. factor))) in
+  {
+    items_per_region = scale 6;
+    categories = scale 10;
+    people = scale 25;
+    open_auctions = scale 12;
+    closed_auctions = scale 8;
+  }
+
+let el = Tree.element
+let txt s = Tree.text s
+let leaf name s = el name [ txt s ]
+
+let sentence rng n =
+  let words = List.init n (fun _ -> Rng.pick rng Vocab.lorem) in
+  String.concat " " words
+
+let number rng bound = string_of_int (Rng.next_int rng ~bound)
+let money rng = Printf.sprintf "%d.%02d" (Rng.next_int rng ~bound:500) (Rng.next_int rng ~bound:100)
+
+let date rng =
+  Printf.sprintf "%02d/%02d/%04d"
+    (1 + Rng.next_int rng ~bound:12)
+    (1 + Rng.next_int rng ~bound:28)
+    (1998 + Rng.next_int rng ~bound:4)
+
+let time rng =
+  Printf.sprintf "%02d:%02d:%02d"
+    (Rng.next_int rng ~bound:24)
+    (Rng.next_int rng ~bound:60)
+    (Rng.next_int rng ~bound:60)
+
+let person_name rng =
+  Rng.pick rng Vocab.first_names ^ " " ^ Rng.pick rng Vocab.last_names
+
+let item_name rng = Rng.pick rng Vocab.lorem ^ " " ^ Rng.pick rng Vocab.item_nouns
+
+(* Adjacent text siblings would be merged by any conforming parser, so
+   the generator coalesces them up front (keeping parse/print
+   round-trips exact). *)
+let coalesce_text children =
+  let rec go = function
+    | Tree.Text a :: Tree.Text b :: rest -> go (Tree.Text (a ^ " " ^ b) :: rest)
+    | node :: rest -> node :: go rest
+    | [] -> []
+  in
+  go children
+
+(* text ::= (#PCDATA | bold | keyword | emph)* *)
+let rec rich_text rng budget =
+  let chunk () = txt (sentence rng (30 + Rng.next_int rng ~bound:30)) in
+  if budget <= 0 then [ chunk () ]
+  else begin
+    let pieces = 1 + Rng.next_int rng ~bound:3 in
+    coalesce_text
+      (List.concat
+         (List.init pieces (fun _ ->
+              match Rng.next_int rng ~bound:10 with
+              | 0 -> [ el "bold" (rich_text rng (budget - 1)) ]
+              | 1 -> [ el "keyword" (rich_text rng (budget - 1)) ]
+              | 2 -> [ el "emph" (rich_text rng (budget - 1)) ]
+              | _ -> [ chunk () ])))
+  end
+
+(* description ::= (text | parlist); parlist ::= (listitem)*;
+   listitem ::= (text | parlist)* *)
+let rec description rng depth =
+  if depth > 0 && Rng.next_int rng ~bound:4 = 0 then
+    el "description" [ parlist rng (depth - 1) ]
+  else el "description" [ el "text" (rich_text rng 1) ]
+
+and parlist rng depth =
+  let items = 1 + Rng.next_int rng ~bound:3 in
+  el "parlist"
+    (List.init items (fun _ ->
+         if depth > 0 && Rng.next_int rng ~bound:4 = 0 then
+           el "listitem" [ parlist rng (depth - 1) ]
+         else el "listitem" [ el "text" (rich_text rng 1) ]))
+
+let category rng index =
+  el "category"
+    ~attrs:[ ("id", Printf.sprintf "category%d" index) ]
+    [ leaf "name" (sentence rng 2); description rng 1 ]
+
+let catgraph rng ncats =
+  let edges = if ncats < 2 then 0 else ncats + Rng.next_int rng ~bound:(max 1 ncats) in
+  el "catgraph"
+    (List.init edges (fun _ ->
+         el "edge"
+           ~attrs:
+             [
+               ("from", Printf.sprintf "category%d" (Rng.next_int rng ~bound:ncats));
+               ("to", Printf.sprintf "category%d" (Rng.next_int rng ~bound:ncats));
+             ]
+           []))
+
+let mailbox rng =
+  let mails = Rng.next_int rng ~bound:3 in
+  el "mailbox"
+    (List.init mails (fun _ ->
+         el "mail"
+           [
+             leaf "from" (person_name rng);
+             leaf "to" (person_name rng);
+             leaf "date" (date rng);
+             el "text" (rich_text rng 0);
+           ]))
+
+let item rng ~ncats ~index =
+  el "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" index) ]
+    [
+      leaf "location" (Rng.pick rng Vocab.countries);
+      leaf "quantity" (number rng 10);
+      leaf "name" (item_name rng);
+      leaf "payment" (Rng.pick rng Vocab.payment);
+      description rng 2;
+      leaf "shipping" (Rng.pick rng Vocab.shipping);
+      el "incategory"
+        ~attrs:[ ("category", Printf.sprintf "category%d" (Rng.next_int rng ~bound:(max 1 ncats))) ]
+        [];
+      mailbox rng;
+    ]
+
+let address rng =
+  let province =
+    if Rng.next_int rng ~bound:2 = 0 then [ leaf "province" (Rng.pick rng Vocab.countries) ]
+    else []
+  in
+  el "address"
+    ([
+       leaf "street" (number rng 100 ^ " " ^ Rng.pick rng Vocab.streets);
+       leaf "city" (Rng.pick rng Vocab.cities);
+       leaf "country" (Rng.pick rng Vocab.countries);
+     ]
+    @ province
+    @ [ leaf "zipcode" (number rng 99999) ])
+
+let profile_element rng =
+  let interests =
+    List.init (Rng.next_int rng ~bound:3) (fun _ ->
+        el "interest" ~attrs:[ ("category", Rng.pick rng Vocab.interests) ] [])
+  in
+  let optional p node = if Rng.next_int rng ~bound:100 < p then [ node () ] else [] in
+  el "profile"
+    ~attrs:[ ("income", money rng) ]
+    (interests
+    @ optional 60 (fun () -> leaf "education" (Rng.pick rng Vocab.education))
+    @ optional 70 (fun () -> leaf "gender" (Rng.pick rng Vocab.genders))
+    @ [ leaf "business" (if Rng.next_int rng ~bound:2 = 0 then "yes" else "no") ]
+    @ optional 60 (fun () -> leaf "age" (number rng 60)))
+
+let person rng ~index =
+  let optional p node = if Rng.next_int rng ~bound:100 < p then [ node () ] else [] in
+  let watches =
+    optional 40 (fun () ->
+        el "watches"
+          (List.init (Rng.next_int rng ~bound:4) (fun i ->
+               el "watch"
+                 ~attrs:[ ("open_auction", Printf.sprintf "open_auction%d" i) ]
+                 [])))
+  in
+  el "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" index) ]
+    ([
+       leaf "name" (person_name rng);
+       leaf "emailaddress" (Rng.pick rng Vocab.first_names ^ "@" ^ Rng.pick rng Vocab.cities ^ ".com");
+     ]
+    @ optional 60 (fun () -> leaf "phone" ("+" ^ number rng 99 ^ " " ^ number rng 9999999))
+    @ optional 75 (fun () -> address rng)
+    @ optional 30 (fun () -> leaf "homepage" ("www." ^ Rng.pick rng Vocab.last_names ^ ".org"))
+    @ optional 50 (fun () -> leaf "creditcard" (number rng 9999 ^ " " ^ number rng 9999))
+    @ optional 70 (fun () -> profile_element rng)
+    @ watches)
+
+let annotation rng =
+  let maybe_description =
+    if Rng.next_int rng ~bound:2 = 0 then [ description rng 1 ] else []
+  in
+  el "annotation"
+    ([ el "author" ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.next_int rng ~bound:100)) ] [] ]
+    @ maybe_description
+    @ [ leaf "happiness" (Rng.pick rng Vocab.happiness_words) ])
+
+let bidder rng =
+  el "bidder"
+    [
+      leaf "date" (date rng);
+      leaf "time" (time rng);
+      el "personref" ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.next_int rng ~bound:100)) ] [];
+      leaf "increase" (money rng);
+    ]
+
+let open_auction rng ~nitems ~index =
+  let optional p node = if Rng.next_int rng ~bound:100 < p then [ node () ] else [] in
+  let bidders = List.init (Rng.next_int rng ~bound:5) (fun _ -> bidder rng) in
+  el "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" index) ]
+    ([ leaf "initial" (money rng) ]
+    @ optional 40 (fun () -> leaf "reserve" (money rng))
+    @ bidders
+    @ [ leaf "current" (money rng) ]
+    @ optional 30 (fun () -> leaf "privacy" "yes")
+    @ [
+        el "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Rng.next_int rng ~bound:(max 1 nitems))) ] [];
+        el "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.next_int rng ~bound:100)) ] [];
+        annotation rng;
+        leaf "quantity" (number rng 10);
+        leaf "type" (Rng.pick rng Vocab.auction_types);
+        el "interval" [ leaf "start" (date rng); leaf "end" (date rng) ];
+      ])
+
+let closed_auction rng ~nitems =
+  let optional p node = if Rng.next_int rng ~bound:100 < p then [ node () ] else [] in
+  el "closed_auction"
+    ([
+       el "seller" ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.next_int rng ~bound:100)) ] [];
+       el "buyer" ~attrs:[ ("person", Printf.sprintf "person%d" (Rng.next_int rng ~bound:100)) ] [];
+       el "itemref" ~attrs:[ ("item", Printf.sprintf "item%d" (Rng.next_int rng ~bound:(max 1 nitems))) ] [];
+       leaf "price" (money rng);
+       leaf "date" (date rng);
+       leaf "quantity" (number rng 10);
+       leaf "type" (Rng.pick rng Vocab.auction_types);
+     ]
+    @ optional 60 (fun () -> annotation rng))
+
+let generate_profile ?(seed = 20050905L) profile =
+  let rng = Rng.create seed in
+  let nitems = profile.items_per_region * 6 in
+  let region name count offset =
+    el name (List.init count (fun i -> item rng ~ncats:profile.categories ~index:(offset + i)))
+  in
+  let n = profile.items_per_region in
+  el "site"
+    [
+      el "regions"
+        [
+          region "africa" n 0;
+          region "asia" n n;
+          region "australia" n (2 * n);
+          region "europe" n (3 * n);
+          region "namerica" n (4 * n);
+          region "samerica" n (5 * n);
+        ];
+      el "categories" (List.init profile.categories (fun i -> category rng i));
+      catgraph rng profile.categories;
+      el "people" (List.init profile.people (fun i -> person rng ~index:i));
+      el "open_auctions"
+        (List.init profile.open_auctions (fun i -> open_auction rng ~nitems ~index:i));
+      el "closed_auctions"
+        (List.init profile.closed_auctions (fun _ -> closed_auction rng ~nitems));
+    ]
+
+let generate ?seed ~factor () = generate_profile ?seed (profile_of_factor factor)
+
+let generate_bytes ?seed ~target_bytes () =
+  if target_bytes < 10_000 then
+    invalid_arg "Xmark.generate_bytes: target must be at least 10 KB";
+  (* Sizes are close to linear in the factor, but integer population
+     rounding bends the curve at small factors; refine the calibration
+     until the size lands within 5% (or give up after a few rounds and
+     keep the best attempt). *)
+  let size_of doc = String.length (Secshare_xml.Print.to_string doc) in
+  let target = float_of_int target_bytes in
+  let rec refine factor best best_error rounds =
+    let doc = generate ?seed ~factor () in
+    let bytes = size_of doc in
+    let error = Float.abs (float_of_int bytes -. target) /. target in
+    let best, best_error =
+      if error < best_error then (Some doc, error) else (best, best_error)
+    in
+    if error <= 0.05 || rounds <= 0 then Option.get best
+    else refine (factor *. (target /. float_of_int bytes)) best best_error (rounds - 1)
+  in
+  refine 1.0 None infinity 4

@@ -1,0 +1,30 @@
+(** Synthetic XMark auction documents (Schmidt et al., the benchmark
+    of the paper's §6), conforming to the DTD of Appendix A
+    ({!Secshare_xml.Dtd.xmark}).
+
+    The generator is deterministic in its seed and linear in its scale
+    factor, so encoding experiments can sweep document sizes
+    reproducibly.  [factor = 1.0] yields a document of roughly 100 KB
+    serialised. *)
+
+type profile = {
+  items_per_region : int;
+  categories : int;
+  people : int;
+  open_auctions : int;
+  closed_auctions : int;
+}
+
+val profile_of_factor : float -> profile
+(** The paper-shaped workload mix scaled by [factor] (at least one of
+    each population). *)
+
+val generate : ?seed:int64 -> factor:float -> unit -> Secshare_xml.Tree.t
+(** A document with [profile_of_factor factor] populations. *)
+
+val generate_profile : ?seed:int64 -> profile -> Secshare_xml.Tree.t
+
+val generate_bytes : ?seed:int64 -> target_bytes:int -> unit -> Secshare_xml.Tree.t
+(** Calibrates the factor so the serialised document is within a few
+    percent of [target_bytes].  @raise Invalid_argument below 10
+    KB. *)

@@ -1,0 +1,82 @@
+(** Word pools for the synthetic auction documents.  The real XMark
+    generator draws from Shakespeare; any stable English-ish pool
+    preserves the experiments (they depend on structure, not
+    prose). *)
+
+let first_names =
+  [|
+    "joan"; "john"; "mary"; "james"; "linda"; "robert"; "patricia"; "michael";
+    "barbara"; "william"; "elizabeth"; "david"; "jennifer"; "richard"; "maria";
+    "charles"; "susan"; "joseph"; "margaret"; "thomas"; "dorothy"; "daniel";
+    "lisa"; "paul"; "nancy"; "mark"; "karen"; "donald"; "betty"; "george";
+    "helen"; "kenneth"; "sandra"; "steven"; "donna"; "edward"; "carol"; "brian";
+    "ruth"; "ronald"; "sharon"; "anthony"; "michelle"; "kevin"; "laura";
+  |]
+
+let last_names =
+  [|
+    "johnson"; "smith"; "williams"; "jones"; "brown"; "davis"; "miller";
+    "wilson"; "moore"; "taylor"; "anderson"; "thomas"; "jackson"; "white";
+    "harris"; "martin"; "thompson"; "garcia"; "martinez"; "robinson"; "clark";
+    "rodriguez"; "lewis"; "lee"; "walker"; "hall"; "allen"; "young";
+    "hernandez"; "king"; "wright"; "lopez"; "hill"; "scott"; "green"; "adams";
+    "baker"; "gonzalez"; "nelson"; "carter"; "mitchell"; "perez"; "roberts";
+  |]
+
+let cities =
+  [|
+    "amsterdam"; "eindhoven"; "enschede"; "utrecht"; "rotterdam"; "toronto";
+    "boston"; "seattle"; "portland"; "austin"; "denver"; "chicago"; "atlanta";
+    "dallas"; "houston"; "phoenix"; "miami"; "berlin"; "munich"; "hamburg";
+    "paris"; "lyon"; "madrid"; "barcelona"; "rome"; "milan"; "vienna";
+    "zurich"; "geneva"; "brussels"; "antwerp"; "london"; "oxford"; "cambridge";
+  |]
+
+let countries =
+  [|
+    "netherlands"; "canada"; "germany"; "france"; "spain"; "italy"; "austria";
+    "switzerland"; "belgium"; "england"; "scotland"; "ireland"; "denmark";
+    "norway"; "sweden"; "finland"; "portugal"; "greece"; "poland"; "hungary";
+  |]
+
+let streets =
+  [|
+    "main"; "oak"; "pine"; "maple"; "cedar"; "elm"; "park"; "lake"; "hill";
+    "river"; "church"; "market"; "bridge"; "station"; "mill"; "forest";
+  |]
+
+let education = [| "high"; "school"; "college"; "graduate"; "other" |]
+let genders = [| "male"; "female" |]
+let payment = [| "cash"; "creditcard"; "money"; "order"; "personal"; "check" |]
+let shipping = [| "will"; "ship"; "internationally"; "buyer"; "pays"; "fixed"; "cost" |]
+let auction_types = [| "regular"; "featured"; "dutch" |]
+let happiness_words = [| "happy"; "satisfied"; "neutral"; "unhappy" |]
+
+let lorem =
+  [|
+    "lorem"; "ipsum"; "dolor"; "sit"; "amet"; "consectetur"; "adipiscing";
+    "elit"; "sed"; "do"; "eiusmod"; "tempor"; "incididunt"; "ut"; "labore";
+    "et"; "dolore"; "magna"; "aliqua"; "enim"; "ad"; "minim"; "veniam";
+    "quis"; "nostrud"; "exercitation"; "ullamco"; "laboris"; "nisi";
+    "aliquip"; "ex"; "ea"; "commodo"; "consequat"; "duis"; "aute"; "irure";
+    "in"; "reprehenderit"; "voluptate"; "velit"; "esse"; "cillum"; "eu";
+    "fugiat"; "nulla"; "pariatur"; "excepteur"; "sint"; "occaecat";
+    "cupidatat"; "non"; "proident"; "sunt"; "culpa"; "qui"; "officia";
+    "deserunt"; "mollit"; "anim"; "id"; "est"; "laborum"; "vintage";
+    "antique"; "rare"; "mint"; "condition"; "original"; "boxed"; "limited";
+    "edition"; "signed"; "collector"; "pristine"; "restored"; "classic";
+    "genuine"; "authentic"; "handmade"; "ornate"; "delicate"; "sturdy";
+    "polished"; "engraved"; "ceramic"; "wooden"; "silver"; "golden";
+    "crystal"; "porcelain"; "leather"; "brass"; "copper"; "marble";
+  |]
+
+let item_nouns =
+  [|
+    "clock"; "vase"; "painting"; "lamp"; "table"; "chair"; "mirror"; "book";
+    "camera"; "watch"; "ring"; "necklace"; "guitar"; "violin"; "radio";
+    "telescope"; "globe"; "chess"; "set"; "teapot"; "candlestick"; "rug";
+    "tapestry"; "sculpture"; "medal"; "coin"; "stamp"; "map"; "print";
+  |]
+
+let interests =
+  [| "music"; "books"; "sports"; "travel"; "art"; "cooking"; "gardening"; "film" |]

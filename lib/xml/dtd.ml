@@ -1,0 +1,424 @@
+type occurrence = Once | Optional | Zero_or_more | One_or_more
+
+type particle = { body : body; occ : occurrence }
+and body = Name of string | Seq of particle list | Choice of particle list
+
+type content =
+  | Empty
+  | Any
+  | Pcdata
+  | Mixed of string list
+  | Children of particle
+
+type t = { order : string list; models : (string, content) Hashtbl.t }
+
+exception Dtd_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Dtd_error msg)) fmt
+
+(* --- content model parsing (recursive descent over a string) --- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek_c cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && (match cur.src.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let eat cur c =
+  skip_ws cur;
+  match peek_c cur with
+  | Some x when x = c -> cur.pos <- cur.pos + 1
+  | Some x -> fail "expected '%c', got '%c' in content model %S" c x cur.src
+  | None -> fail "expected '%c' at end of content model %S" c cur.src
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name cur =
+  skip_ws cur;
+  let start = cur.pos in
+  while cur.pos < String.length cur.src && is_name_char cur.src.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  if cur.pos = start then fail "expected a name in content model %S" cur.src;
+  String.sub cur.src start (cur.pos - start)
+
+let read_occurrence cur =
+  match peek_c cur with
+  | Some '?' ->
+      cur.pos <- cur.pos + 1;
+      Optional
+  | Some '*' ->
+      cur.pos <- cur.pos + 1;
+      Zero_or_more
+  | Some '+' ->
+      cur.pos <- cur.pos + 1;
+      One_or_more
+  | Some _ | None -> Once
+
+let rec read_cp cur =
+  skip_ws cur;
+  let body =
+    match peek_c cur with
+    | Some '(' -> read_group cur
+    | Some _ -> Name (read_name cur)
+    | None -> fail "unexpected end of content model %S" cur.src
+  in
+  { body; occ = read_occurrence cur }
+
+and read_group cur =
+  eat cur '(';
+  let first = read_cp cur in
+  skip_ws cur;
+  match peek_c cur with
+  | Some '|' ->
+      let rec alts acc =
+        skip_ws cur;
+        match peek_c cur with
+        | Some '|' ->
+            cur.pos <- cur.pos + 1;
+            alts (read_cp cur :: acc)
+        | Some ')' ->
+            cur.pos <- cur.pos + 1;
+            List.rev acc
+        | Some c -> fail "expected '|' or ')', got '%c' in %S" c cur.src
+        | None -> fail "unterminated choice in %S" cur.src
+      in
+      Choice (alts [ first ])
+  | Some ',' ->
+      let rec parts acc =
+        skip_ws cur;
+        match peek_c cur with
+        | Some ',' ->
+            cur.pos <- cur.pos + 1;
+            parts (read_cp cur :: acc)
+        | Some ')' ->
+            cur.pos <- cur.pos + 1;
+            List.rev acc
+        | Some c -> fail "expected ',' or ')', got '%c' in %S" c cur.src
+        | None -> fail "unterminated sequence in %S" cur.src
+      in
+      Seq (parts [ first ])
+  | Some ')' ->
+      cur.pos <- cur.pos + 1;
+      Seq [ first ]
+  | Some c -> fail "expected '|', ',' or ')', got '%c' in %S" c cur.src
+  | None -> fail "unterminated group in %S" cur.src
+
+let parse_content spec =
+  let spec = String.trim spec in
+  if String.equal spec "EMPTY" then Empty
+  else if String.equal spec "ANY" then Any
+  else begin
+    let cur = { src = spec; pos = 0 } in
+    skip_ws cur;
+    (* Mixed content: ( #PCDATA ... ) *)
+    let probe = { src = spec; pos = cur.pos } in
+    let is_mixed =
+      match peek_c probe with
+      | Some '(' ->
+          probe.pos <- probe.pos + 1;
+          skip_ws probe;
+          probe.pos + 7 <= String.length spec
+          && String.equal (String.sub spec probe.pos 7) "#PCDATA"
+      | _ -> false
+    in
+    if is_mixed then begin
+      eat cur '(';
+      skip_ws cur;
+      cur.pos <- cur.pos + 7;
+      let rec names acc =
+        skip_ws cur;
+        match peek_c cur with
+        | Some '|' ->
+            cur.pos <- cur.pos + 1;
+            names (read_name cur :: acc)
+        | Some ')' ->
+            cur.pos <- cur.pos + 1;
+            List.rev acc
+        | Some c -> fail "expected '|' or ')' in mixed content, got '%c'" c
+        | None -> fail "unterminated mixed content %S" spec
+      in
+      let alternatives = names [] in
+      let trailing_star =
+        match peek_c cur with
+        | Some '*' ->
+            cur.pos <- cur.pos + 1;
+            true
+        | _ -> false
+      in
+      match (alternatives, trailing_star) with
+      | [], _ -> Pcdata
+      | names, true -> Mixed names
+      | _ :: _, false -> fail "mixed content with elements requires a trailing '*': %S" spec
+    end
+    else begin
+      let p = read_cp cur in
+      skip_ws cur;
+      if cur.pos <> String.length spec then
+        fail "trailing garbage in content model %S" spec;
+      Children p
+    end
+  end
+
+(* --- declaration scanning --- *)
+
+let parse text =
+  let models = Hashtbl.create 97 in
+  let order = ref [] in
+  let len = String.length text in
+  let rec scan i =
+    if i >= len then Ok ()
+    else if i + 3 < len && String.sub text i 4 = "<!--" then begin
+      (* comment *)
+      match String.index_from_opt text (i + 4) '>' with
+      | _ -> (
+          let rec find_end j =
+            if j + 2 >= len then Error "unterminated comment in DTD"
+            else if String.sub text j 3 = "-->" then Ok (j + 3)
+            else find_end (j + 1)
+          in
+          match find_end (i + 4) with Ok j -> scan j | Error e -> Error e)
+    end
+    else if i + 9 <= len && String.sub text i 9 = "<!ELEMENT" then begin
+      match String.index_from_opt text i '>' with
+      | None -> Error "unterminated <!ELEMENT declaration"
+      | Some close -> (
+          let decl = String.sub text (i + 9) (close - i - 9) in
+          let decl = String.trim decl in
+          (* name then content spec *)
+          let name_end = ref 0 in
+          while
+            !name_end < String.length decl && is_name_char decl.[!name_end]
+          do
+            incr name_end
+          done;
+          if !name_end = 0 then Error ("malformed <!ELEMENT: " ^ decl)
+          else begin
+            let name = String.sub decl 0 !name_end in
+            let spec = String.sub decl !name_end (String.length decl - !name_end) in
+            match parse_content spec with
+            | content ->
+                if Hashtbl.mem models name then
+                  Error (Printf.sprintf "duplicate declaration of element '%s'" name)
+                else begin
+                  Hashtbl.add models name content;
+                  order := name :: !order;
+                  scan (close + 1)
+                end
+            | exception Dtd_error msg -> Error msg
+          end)
+    end
+    else if text.[i] = '<' then begin
+      (* some other declaration (ATTLIST, ENTITY, ...): skip to '>' *)
+      match String.index_from_opt text i '>' with
+      | None -> Error "unterminated declaration"
+      | Some close -> scan (close + 1)
+    end
+    else scan (i + 1)
+  in
+  match scan 0 with
+  | Ok () -> Ok { order = List.rev !order; models }
+  | Error e -> Error e
+
+let element_names t = t.order
+let content_model t name = Hashtbl.find_opt t.models name
+
+(* --- validation --- *)
+
+(* All possible remainders after matching a prefix of [names] against
+   [p]; backtracking regex-style matcher (content models here are tiny,
+   so the potential blow-up is irrelevant). *)
+let rec remainders p names =
+  let once body names =
+    match body with
+    | Name n -> ( match names with x :: rest when String.equal x n -> [ rest ] | _ -> [])
+    | Seq parts ->
+        List.fold_left
+          (fun states part ->
+            List.concat_map (fun state -> remainders part state) states)
+          [ names ] parts
+    | Choice parts -> List.concat_map (fun part -> remainders part names) parts
+  in
+  let dedup states =
+    List.sort_uniq compare states
+  in
+  match p.occ with
+  | Once -> dedup (once p.body names)
+  | Optional -> dedup (names :: once p.body names)
+  | Zero_or_more | One_or_more ->
+      let rec star states acc =
+        match states with
+        | [] -> acc
+        | state :: rest ->
+            if List.mem state acc then star rest acc
+            else begin
+              let next =
+                List.filter
+                  (fun s -> List.length s < List.length state)
+                  (once p.body state)
+              in
+              star (next @ rest) (state :: acc)
+            end
+      in
+      let from_one = once p.body names in
+      let seeds = if p.occ = Zero_or_more then [ names ] else from_one in
+      dedup (star seeds [])
+
+let matches p names = List.mem [] (remainders p names)
+
+let pp_particle fmt p =
+  let rec go fmt p =
+    (match p.body with
+    | Name n -> Format.pp_print_string fmt n
+    | Seq parts ->
+        Format.fprintf fmt "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ",")
+             go)
+          parts
+    | Choice parts ->
+        Format.fprintf fmt "(%a)"
+          (Format.pp_print_list
+             ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "|")
+             go)
+          parts);
+    match p.occ with
+    | Once -> ()
+    | Optional -> Format.pp_print_char fmt '?'
+    | Zero_or_more -> Format.pp_print_char fmt '*'
+    | One_or_more -> Format.pp_print_char fmt '+'
+  in
+  go fmt p
+
+let validate t tree =
+  let problem = ref None in
+  let report fmt = Printf.ksprintf (fun msg -> if !problem = None then problem := Some msg) fmt in
+  let child_names children =
+    List.filter_map (fun c -> Tree.name c) children
+  in
+  let has_text children =
+    List.exists
+      (function
+        | Tree.Text s -> not (String.for_all (fun c -> c = ' ' || c = '\n' || c = '\t' || c = '\r') s)
+        | Tree.Element _ -> false)
+      children
+  in
+  let check node =
+    match node with
+    | Tree.Text _ -> ()
+    | Tree.Element { name; children; _ } -> (
+        match content_model t name with
+        | None -> report "element '%s' is not declared in the DTD" name
+        | Some Empty ->
+            if children <> [] then report "element '%s' is declared EMPTY but has content" name
+        | Some Any -> ()
+        | Some Pcdata ->
+            if child_names children <> [] then
+              report "element '%s' is (#PCDATA) but has element children" name
+        | Some (Mixed allowed) ->
+            List.iter
+              (fun n ->
+                if not (List.mem n allowed) then
+                  report "element '%s' does not allow child '%s' in mixed content" name n)
+              (child_names children)
+        | Some (Children p) ->
+            if has_text children then
+              report "element '%s' has element-only content but contains text" name;
+            let names = child_names children in
+            if not (matches p names) then
+              report "element '%s': children [%s] do not match model %s" name
+                (String.concat "," names)
+                (Format.asprintf "%a" pp_particle p))
+  in
+  Tree.iter_elements tree ~f:check;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let xmark =
+  {dtd|<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)*>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ELEMENT personref EMPTY>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ELEMENT interest EMPTY>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT income (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT seller EMPTY>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ELEMENT happiness (#PCDATA)>
+|dtd}

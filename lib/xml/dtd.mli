@@ -1,0 +1,40 @@
+(** A DTD subset: [<!ELEMENT>] declarations with full content models.
+
+    The paper's mapping function is defined over "tag names chosen from
+    a fixed sized set (described in a DTD)" — the XMark auction DTD of
+    Appendix A has 77 elements, which motivates the field choice
+    p = 83.  This module parses such DTDs, exposes the element-name
+    set, and validates documents against the content models (used to
+    check our synthetic XMark generator). *)
+
+type occurrence = Once | Optional | Zero_or_more | One_or_more
+
+type particle = { body : body; occ : occurrence }
+and body = Name of string | Seq of particle list | Choice of particle list
+
+type content =
+  | Empty
+  | Any
+  | Pcdata  (** [(#PCDATA)] *)
+  | Mixed of string list  (** [(#PCDATA | a | b)*] *)
+  | Children of particle
+
+type t
+
+val parse : string -> (t, string) result
+(** Parse every [<!ELEMENT ...>] declaration in the input; comments,
+    [<!ATTLIST>]/[<!ENTITY>] declarations and whitespace are ignored.
+    Duplicate element declarations are an error. *)
+
+val element_names : t -> string list
+(** Declared element names, in declaration order. *)
+
+val content_model : t -> string -> content option
+
+val validate : t -> Tree.t -> (unit, string) result
+(** Check that every element of the document matches its declared
+    content model (undeclared elements are an error; text is only
+    allowed under [PCDATA]/[Mixed]/[ANY] content). *)
+
+val xmark : string
+(** The auction DTD of the paper's Appendix A, verbatim. *)

@@ -1,0 +1,85 @@
+let escape_general ~quotes s =
+  let buf = Buffer.create (String.length s + 16) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quotes -> Buffer.add_string buf "&quot;"
+      | '\'' when quotes -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text s = escape_general ~quotes:false s
+let escape_attribute s = escape_general ~quotes:true s
+
+let utf8_of_code_point cp buf =
+  if cp < 0 then Error "negative character reference"
+  else if cp < 0x80 then begin
+    Buffer.add_char buf (Char.chr cp);
+    Ok ()
+  end
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)));
+    Ok ()
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)));
+    Ok ()
+  end
+  else if cp <= 0x10FFFF then begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)));
+    Ok ()
+  end
+  else Error "character reference out of Unicode range"
+
+let decode s =
+  let buf = Buffer.create (String.length s) in
+  let len = String.length s in
+  let rec go i =
+    if i >= len then Ok (Buffer.contents buf)
+    else if s.[i] <> '&' then begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+    else begin
+      match String.index_from_opt s i ';' with
+      | None -> Error "unterminated entity reference"
+      | Some j ->
+          let name = String.sub s (i + 1) (j - i - 1) in
+          let continue_after () = go (j + 1) in
+          let named n =
+            Buffer.add_string buf n;
+            continue_after ()
+          in
+          (match name with
+          | "amp" -> named "&"
+          | "lt" -> named "<"
+          | "gt" -> named ">"
+          | "quot" -> named "\""
+          | "apos" -> named "'"
+          | "" -> Error "empty entity reference"
+          | _ when name.[0] = '#' ->
+              let parse_cp () =
+                if String.length name > 1 && (name.[1] = 'x' || name.[1] = 'X') then
+                  int_of_string_opt ("0x" ^ String.sub name 2 (String.length name - 2))
+                else int_of_string_opt (String.sub name 1 (String.length name - 1))
+              in
+              (match parse_cp () with
+              | None -> Error (Printf.sprintf "malformed character reference &%s;" name)
+              | Some cp -> (
+                  match utf8_of_code_point cp buf with
+                  | Ok () -> continue_after ()
+                  | Error e -> Error e))
+          | _ -> Error (Printf.sprintf "unknown entity &%s;" name))
+    end
+  in
+  go 0

@@ -1,0 +1,12 @@
+(** Predefined XML entities and character references. *)
+
+val escape_text : string -> string
+(** Escape [&], [<], [>] for text content. *)
+
+val escape_attribute : string -> string
+(** Escape ampersand, angle brackets and both quote characters for
+    attribute values. *)
+
+val decode : string -> (string, string) result
+(** Decode entity and character references ([&amp;], [&#10;],
+    [&#x41;], ...) in a text run.  Unknown entities are an error. *)

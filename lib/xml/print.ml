@@ -1,0 +1,87 @@
+let attrs_to_buf buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (Entity.escape_attribute v);
+      Buffer.add_char buf '"')
+    attrs
+
+let has_text_child children =
+  List.exists (function Tree.Text _ -> true | Tree.Element _ -> false) children
+
+let to_buffer ?(decl = false) ?indent buf tree =
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  let pad level =
+    match indent with
+    | Some k ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (level * k) ' ')
+    | None -> ()
+  in
+  let rec go level node =
+    match node with
+    | Tree.Text s -> Buffer.add_string buf (Entity.escape_text s)
+    | Tree.Element { name; attrs; children = [] } ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        attrs_to_buf buf attrs;
+        Buffer.add_string buf "/>"
+    | Tree.Element { name; attrs; children } ->
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        attrs_to_buf buf attrs;
+        Buffer.add_char buf '>';
+        (* Mixed content is serialised verbatim; element-only content
+           may be pretty-printed without changing the data model. *)
+        let pretty = indent <> None && not (has_text_child children) in
+        List.iter
+          (fun child ->
+            if pretty then pad (level + 1);
+            go (level + 1) child)
+          children;
+        if pretty then pad level;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf name;
+        Buffer.add_char buf '>'
+  in
+  go 0 tree
+
+let to_string ?decl ?indent tree =
+  let buf = Buffer.create 4096 in
+  to_buffer ?decl ?indent buf tree;
+  Buffer.contents buf
+
+let to_channel ?decl ?indent oc tree =
+  let buf = Buffer.create 65536 in
+  to_buffer ?decl ?indent buf tree;
+  Buffer.output_buffer oc buf
+
+let events_to_string events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Sax.event) ->
+      match e with
+      | Sax.Start_element (name, attrs) ->
+          Buffer.add_char buf '<';
+          Buffer.add_string buf name;
+          attrs_to_buf buf attrs;
+          Buffer.add_char buf '>'
+      | Sax.End_element name ->
+          Buffer.add_string buf "</";
+          Buffer.add_string buf name;
+          Buffer.add_char buf '>'
+      | Sax.Text s -> Buffer.add_string buf (Entity.escape_text s)
+      | Sax.Comment s ->
+          Buffer.add_string buf "<!--";
+          Buffer.add_string buf s;
+          Buffer.add_string buf "-->"
+      | Sax.Pi (target, body) ->
+          Buffer.add_string buf "<?";
+          Buffer.add_string buf target;
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf body;
+          Buffer.add_string buf "?>")
+    events;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** XML serialisation. *)
+
+val to_string : ?decl:bool -> ?indent:int -> Tree.t -> string
+(** Serialise a tree.  [decl] prepends an XML declaration (default
+    false).  [indent], when given, pretty-prints with that many spaces
+    per level *only* around element-only content (text content is
+    never reformatted, so parse–print round-trips preserve data). *)
+
+val to_channel : ?decl:bool -> ?indent:int -> out_channel -> Tree.t -> unit
+
+val events_to_string : Sax.event list -> string
+(** Serialise a raw event stream (no pretty-printing). *)

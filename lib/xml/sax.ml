@@ -1,0 +1,355 @@
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+type position = { line : int; col : int }
+
+exception Parse_error of position * string
+
+(* A buffered character reader over either a string or a channel, with
+   single-character lookahead and position tracking. *)
+type input = {
+  refill : bytes -> int;  (* returns 0 at end of stream *)
+  buf : bytes;
+  mutable len : int;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable eof : bool;
+}
+
+let buffer_size = 65536
+
+let make_input refill =
+  {
+    refill;
+    buf = Bytes.create buffer_size;
+    len = 0;
+    pos = 0;
+    line = 1;
+    col = 1;
+    eof = false;
+  }
+
+let input_of_string s =
+  let offset = ref 0 in
+  let refill buf =
+    let remaining = String.length s - !offset in
+    let n = min remaining (Bytes.length buf) in
+    Bytes.blit_string s !offset buf 0 n;
+    offset := !offset + n;
+    n
+  in
+  make_input refill
+
+let input_of_channel ic =
+  let refill buf = input ic buf 0 (Bytes.length buf) in
+  make_input refill
+
+let position t = { line = t.line; col = t.col }
+let error t msg = raise (Parse_error (position t, msg))
+let errorf t fmt = Printf.ksprintf (error t) fmt
+
+let ensure t =
+  if t.pos >= t.len && not t.eof then begin
+    let n = t.refill t.buf in
+    t.len <- n;
+    t.pos <- 0;
+    if n = 0 then t.eof <- true
+  end
+
+let peek t =
+  ensure t;
+  if t.pos >= t.len then None else Some (Bytes.get t.buf t.pos)
+
+let advance t c =
+  t.pos <- t.pos + 1;
+  if c = '\n' then begin
+    t.line <- t.line + 1;
+    t.col <- 1
+  end
+  else t.col <- t.col + 1
+
+let next t =
+  match peek t with
+  | None -> None
+  | Some c ->
+      advance t c;
+      Some c
+
+let next_exn t what =
+  match next t with
+  | Some c -> c
+  | None -> errorf t "unexpected end of input (expecting %s)" what
+
+let expect t expected what =
+  let c = next_exn t what in
+  if c <> expected then errorf t "expected '%c' (%s), got '%c'" expected what c
+
+let expect_string t s what = String.iter (fun c -> expect t c what) s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space t =
+  let rec go () =
+    match peek t with
+    | Some c when is_space c ->
+        advance t c;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name t =
+  match peek t with
+  | Some c when is_name_start c ->
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek t with
+        | Some c when is_name_char c ->
+            advance t c;
+            Buffer.add_char buf c;
+            go ()
+        | _ -> Buffer.contents buf
+      in
+      go ()
+  | Some c -> errorf t "invalid name start character '%c'" c
+  | None -> error t "unexpected end of input (expecting a name)"
+
+let decode_here t raw =
+  match Entity.decode raw with
+  | Ok s -> s
+  | Error msg -> error t msg
+
+let read_attribute_value t =
+  let quote = next_exn t "attribute value quote" in
+  if quote <> '"' && quote <> '\'' then
+    errorf t "attribute value must be quoted, got '%c'" quote;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match next_exn t "attribute value" with
+    | c when c = quote -> decode_here t (Buffer.contents buf)
+    | '<' -> error t "'<' is not allowed inside an attribute value"
+    | c ->
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let read_attributes t =
+  let rec go acc =
+    skip_space t;
+    match peek t with
+    | Some c when is_name_start c ->
+        let name = read_name t in
+        skip_space t;
+        expect t '=' "attribute '='";
+        skip_space t;
+        let value = read_attribute_value t in
+        if List.mem_assoc name acc then errorf t "duplicate attribute '%s'" name;
+        go ((name, value) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* Read until the terminator string [stop]; used for comments, CDATA
+   and processing instructions. *)
+let read_until t stop what =
+  let buf = Buffer.create 32 in
+  let stop_len = String.length stop in
+  let matches_tail () =
+    Buffer.length buf >= stop_len
+    && String.equal (Buffer.sub buf (Buffer.length buf - stop_len) stop_len) stop
+  in
+  let rec go () =
+    if matches_tail () then Buffer.sub buf 0 (Buffer.length buf - stop_len)
+    else begin
+      let c = next_exn t what in
+      Buffer.add_char buf c;
+      go ()
+    end
+  in
+  go ()
+
+(* DOCTYPE: skip to the matching '>', tracking an optional internal
+   subset in [...] which may itself contain quoted strings and
+   comments. *)
+let skip_doctype t =
+  let rec go depth =
+    match next_exn t "DOCTYPE declaration" with
+    | '>' when depth = 0 -> ()
+    | '[' -> go (depth + 1)
+    | ']' when depth > 0 -> go (depth - 1)
+    | '"' ->
+        let rec quoted () = if next_exn t "quoted literal" <> '"' then quoted () in
+        quoted ();
+        go depth
+    | '\'' ->
+        let rec quoted () = if next_exn t "quoted literal" <> '\'' then quoted () in
+        quoted ();
+        go depth
+    | _ -> go depth
+  in
+  go 0
+
+type markup =
+  | M_start of string * (string * string) list * bool (* self-closing *)
+  | M_end of string
+  | M_comment of string
+  | M_cdata of string
+  | M_pi of string * string
+  | M_doctype
+
+(* Parse one '<'-initiated construct (the '<' is already consumed). *)
+let read_markup t =
+  match peek t with
+  | Some '/' ->
+      advance t '/';
+      let name = read_name t in
+      skip_space t;
+      expect t '>' "end of closing tag";
+      M_end name
+  | Some '?' ->
+      advance t '?';
+      let target = read_name t in
+      let body = read_until t "?>" "processing instruction" in
+      M_pi (target, String.trim body)
+  | Some '!' -> begin
+      advance t '!';
+      match peek t with
+      | Some '-' ->
+          expect_string t "--" "comment opener";
+          let body = read_until t "-->" "comment" in
+          (* XML forbids '--' inside comments. *)
+          let rec check i =
+            match String.index_from_opt body i '-' with
+            | Some j when j + 1 < String.length body && body.[j + 1] = '-' ->
+                error t "'--' is not allowed inside a comment"
+            | Some j -> check (j + 1)
+            | None -> ()
+          in
+          check 0;
+          M_comment body
+      | Some '[' ->
+          expect_string t "[CDATA[" "CDATA opener";
+          M_cdata (read_until t "]]>" "CDATA section")
+      | Some 'D' ->
+          expect_string t "DOCTYPE" "DOCTYPE keyword";
+          skip_doctype t;
+          M_doctype
+      | Some c -> errorf t "unexpected '<!%c'" c
+      | None -> error t "unexpected end of input after '<!'"
+    end
+  | Some c when is_name_start c ->
+      let name = read_name t in
+      let attrs = read_attributes t in
+      skip_space t;
+      (match next_exn t "end of start tag" with
+      | '>' -> M_start (name, attrs, false)
+      | '/' ->
+          expect t '>' "'>' of self-closing tag";
+          M_start (name, attrs, true)
+      | c -> errorf t "unexpected '%c' in start tag" c)
+  | Some c -> errorf t "unexpected '%c' after '<'" c
+  | None -> error t "unexpected end of input after '<'"
+
+let read_text t =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match peek t with
+    | Some '<' | None -> decode_here t (Buffer.contents buf)
+    | Some c ->
+        advance t c;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ()
+
+let all_space s = String.for_all is_space s
+
+let fold input ~init ~f =
+  let t = input in
+  let acc = ref init in
+  let emit e = acc := f !acc e in
+  let stack = ref [] in
+  let seen_root = ref false in
+  let rec loop () =
+    match peek t with
+    | None ->
+        (match !stack with
+        | [] ->
+            if not !seen_root then error t "document has no root element";
+            !acc
+        | name :: _ -> errorf t "unexpected end of input: '<%s>' is not closed" name)
+    | Some '<' ->
+        advance t '<';
+        (match read_markup t with
+        | M_start (name, attrs, self_closing) ->
+            if !stack = [] && !seen_root then
+              errorf t "multiple root elements ('%s')" name;
+            if !stack = [] then seen_root := true;
+            emit (Start_element (name, attrs));
+            if self_closing then emit (End_element name)
+            else stack := name :: !stack;
+            loop ()
+        | M_end name -> (
+            match !stack with
+            | top :: rest when String.equal top name ->
+                stack := rest;
+                emit (End_element name);
+                loop ()
+            | top :: _ -> errorf t "mismatched closing tag </%s>, expected </%s>" name top
+            | [] -> errorf t "closing tag </%s> without an open element" name)
+        | M_comment body ->
+            emit (Comment body);
+            loop ()
+        | M_cdata body ->
+            if !stack = [] && not (all_space body) then
+              error t "character data outside the root element";
+            if body <> "" then emit (Text body);
+            loop ()
+        | M_pi (target, body) ->
+            if String.lowercase_ascii target <> "xml" then emit (Pi (target, body));
+            loop ()
+        | M_doctype ->
+            if !seen_root then error t "DOCTYPE after the root element";
+            loop ())
+    | Some _ ->
+        let text = read_text t in
+        if !stack = [] then begin
+          if not (all_space text) then error t "character data outside the root element"
+        end
+        else if text <> "" then emit (Text text);
+        loop ()
+  in
+  loop ()
+
+let iter input ~f = fold input ~init:() ~f:(fun () e -> f e)
+
+let fold_string s ~init ~f =
+  match fold (input_of_string s) ~init ~f with
+  | acc -> Ok acc
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "line %d, column %d: %s" pos.line pos.col msg)
+
+let pp_event fmt = function
+  | Start_element (name, []) -> Format.fprintf fmt "<%s>" name
+  | Start_element (name, attrs) ->
+      Format.fprintf fmt "<%s %s>" name
+        (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) attrs))
+  | End_element name -> Format.fprintf fmt "</%s>" name
+  | Text s -> Format.fprintf fmt "text(%S)" s
+  | Comment s -> Format.fprintf fmt "comment(%S)" s
+  | Pi (target, body) -> Format.fprintf fmt "pi(%s,%S)" target body

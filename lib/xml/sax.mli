@@ -1,0 +1,46 @@
+(** A streaming (SAX-style) XML parser.
+
+    The encoder consumes events rather than a DOM so that, as in the
+    paper (§5.1), memory use is proportional to the *depth* of the
+    document, not its size — "no need for a big client machine with
+    lots of memory".
+
+    Supported: elements, attributes ([" "] or [' '] quoted),
+    self-closing tags, text with entity and character references,
+    comments, CDATA sections, processing instructions, an XML
+    declaration, and a DOCTYPE declaration (skipped, including an
+    internal subset).  Not supported (out of scope): namespaces as a
+    semantic layer (prefixes pass through verbatim), external DTD
+    fetching, non-UTF-8 encodings. *)
+
+type event =
+  | Start_element of string * (string * string) list
+      (** Tag name and attributes in document order. *)
+  | End_element of string
+  | Text of string
+      (** Decoded character data; adjacent runs may be split. *)
+  | Comment of string
+  | Pi of string * string  (** Processing-instruction target and body. *)
+
+type position = { line : int; col : int }
+
+exception Parse_error of position * string
+
+type input
+
+val input_of_string : string -> input
+val input_of_channel : in_channel -> input
+
+val fold : input -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Run the parser to the end of the document, threading an
+    accumulator through every event.  Enforces well-formedness:
+    matching tags, a single root element, no stray markup.
+    @raise Parse_error on malformed input. *)
+
+val iter : input -> f:(event -> unit) -> unit
+
+val fold_string : string -> init:'a -> f:('a -> event -> 'a) -> ('a, string) result
+(** [fold] on a string input with the error rendered as a message
+    ("line L, column C: ..."). *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,128 @@
+type t =
+  | Element of { name : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+let element ?(attrs = []) name children = Element { name; attrs; children }
+let text s = Text s
+
+let name = function Element { name; _ } -> Some name | Text _ -> None
+let children = function Element { children; _ } -> children | Text _ -> []
+
+(* Merge adjacent text children produced by split SAX text runs. *)
+let merge_text children =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | Text a :: Text b :: rest -> go acc (Text (a ^ b) :: rest)
+    | node :: rest -> go (node :: acc) rest
+  in
+  go [] children
+
+type builder = { mutable stack : (string * (string * string) list * t list) list; mutable root : t option }
+
+let feed builder event =
+  match event with
+  | Sax.Start_element (name, attrs) -> builder.stack <- (name, attrs, []) :: builder.stack
+  | Sax.End_element _ -> (
+      match builder.stack with
+      | (name, attrs, rev_children) :: rest ->
+          let node = Element { name; attrs; children = merge_text (List.rev rev_children) } in
+          (match rest with
+          | [] ->
+              builder.root <- Some node;
+              builder.stack <- []
+          | (pname, pattrs, pchildren) :: rest' ->
+              builder.stack <- (pname, pattrs, node :: pchildren) :: rest')
+      | [] -> invalid_arg "Tree.feed: unbalanced end element")
+  | Sax.Text s -> (
+      match builder.stack with
+      | (name, attrs, children) :: rest ->
+          builder.stack <- (name, attrs, Text s :: children) :: rest
+      | [] -> if not (String.for_all (fun c -> c = ' ' || c = '\n' || c = '\t' || c = '\r') s) then invalid_arg "Tree.feed: text outside root")
+  | Sax.Comment _ | Sax.Pi _ -> ()
+
+let finish builder =
+  match (builder.root, builder.stack) with
+  | Some root, [] -> Ok root
+  | _ -> Error "incomplete document"
+
+let of_input input =
+  let builder = { stack = []; root = None } in
+  match Sax.fold input ~init:() ~f:(fun () e -> feed builder e) with
+  | () -> finish builder
+  | exception Sax.Parse_error (pos, msg) ->
+      Error (Printf.sprintf "line %d, column %d: %s" pos.Sax.line pos.Sax.col msg)
+
+let of_string s = of_input (Sax.input_of_string s)
+let of_channel ic = of_input (Sax.input_of_channel ic)
+
+let of_events events =
+  let builder = { stack = []; root = None } in
+  match List.iter (feed builder) events with
+  | () -> finish builder
+  | exception Invalid_argument msg -> Error msg
+
+let to_events t =
+  let rec go acc = function
+    | Text s -> Sax.Text s :: acc
+    | Element { name; attrs; children } ->
+        let acc = Sax.Start_element (name, attrs) :: acc in
+        let acc = List.fold_left go acc children in
+        Sax.End_element name :: acc
+  in
+  List.rev (go [] t)
+
+let rec element_count = function
+  | Text _ -> 0
+  | Element { children; _ } -> 1 + List.fold_left (fun acc c -> acc + element_count c) 0 children
+
+let rec text_bytes = function
+  | Text s -> String.length s
+  | Element { children; _ } -> List.fold_left (fun acc c -> acc + text_bytes c) 0 children
+
+let rec depth = function
+  | Text _ -> 1
+  | Element { children; _ } ->
+      1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let tag_names t =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Text _ -> acc
+    | Element { name; children; _ } -> List.fold_left go (S.add name acc) children
+  in
+  S.elements (go S.empty t)
+
+let iter_elements t ~f =
+  let rec go node =
+    match node with
+    | Text _ -> ()
+    | Element { children; _ } ->
+        f node;
+        List.iter go children
+  in
+  go t
+
+let find_all t ~name =
+  let acc = ref [] in
+  iter_elements t ~f:(fun node ->
+      match node with
+      | Element { name = n; _ } when String.equal n name -> acc := node :: !acc
+      | Element _ | Text _ -> ());
+  List.rev !acc
+
+let rec equal a b =
+  match (a, b) with
+  | Text x, Text y -> String.equal x y
+  | Element ea, Element eb ->
+      String.equal ea.name eb.name && ea.attrs = eb.attrs
+      && List.length ea.children = List.length eb.children
+      && List.for_all2 equal ea.children eb.children
+  | Text _, Element _ | Element _, Text _ -> false
+
+let rec pp fmt = function
+  | Text s -> Format.fprintf fmt "%S" s
+  | Element { name; children = []; _ } -> Format.fprintf fmt "<%s/>" name
+  | Element { name; children; _ } ->
+      Format.fprintf fmt "@[<hv 2><%s>@,%a@;<0 -2></%s>@]" name
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+        children name

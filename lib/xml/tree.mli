@@ -1,0 +1,48 @@
+(** In-memory XML document trees (the DOM counterpart of {!Sax}). *)
+
+type t =
+  | Element of { name : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+
+val name : t -> string option
+(** Tag name of an element node, [None] for text. *)
+
+val children : t -> t list
+(** Children of an element ([[]] for text). *)
+
+val of_string : string -> (t, string) result
+(** Parse a document; comments and processing instructions are
+    dropped, adjacent text runs are merged. *)
+
+val of_channel : in_channel -> (t, string) result
+
+val of_events : Sax.event list -> (t, string) result
+(** Build from an event list (must describe exactly one element). *)
+
+val to_events : t -> Sax.event list
+(** Document-order event stream of the tree. *)
+
+val element_count : t -> int
+(** Number of element nodes. *)
+
+val text_bytes : t -> int
+(** Total size of all text content in bytes. *)
+
+val depth : t -> int
+(** 1 for a leaf element or a text node. *)
+
+val tag_names : t -> string list
+(** Distinct element names, sorted. *)
+
+val iter_elements : t -> f:(t -> unit) -> unit
+(** Pre-order visit of element nodes. *)
+
+val find_all : t -> name:string -> t list
+(** All descendant-or-self elements with the given name, in document
+    order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

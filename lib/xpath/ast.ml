@@ -1,0 +1,95 @@
+type axis = Child | Descendant
+type test = Name of string | Any | Parent
+type step = { axis : axis; test : test; contains : string option }
+type t = step list
+
+let step ?contains axis test = { axis; test; contains }
+
+let test_to_string = function Name n -> n | Any -> "*" | Parent -> ".."
+
+let step_to_string s =
+  let sep = match s.axis with Child -> "/" | Descendant -> "//" in
+  let predicate =
+    match s.contains with
+    | None -> ""
+    | Some w -> Printf.sprintf "[contains(text(), %S)]" w
+  in
+  sep ^ test_to_string s.test ^ predicate
+
+let to_string steps = String.concat "" (List.map step_to_string steps)
+
+let add_unique name names = if List.mem name names then names else names @ [ name ]
+
+let name_tests steps =
+  List.fold_left
+    (fun acc s -> match s.test with Name n -> add_unique n acc | Any | Parent -> acc)
+    [] steps
+
+let names_after steps =
+  let arr = Array.make (List.length steps) [] in
+  let rec go i = function
+    | [] -> ()
+    | _ :: rest ->
+        arr.(i) <- name_tests rest;
+        go (i + 1) rest
+  in
+  go 0 steps;
+  arr
+
+(* Pattern items of a contains() argument: literal characters plus the
+   two regular-expression forms of the paper's section 4 — '.' matches
+   any single character (the trie step "*") and '.*' matches any
+   character run (the trie step "//"). *)
+type pattern_item = Literal of char | Any_char | Any_run
+
+let pattern_items word =
+  let n = String.length word in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match word.[i] with
+      | '.' when i + 1 < n && word.[i + 1] = '*' -> go (i + 2) (Any_run :: acc)
+      | '.' -> go (i + 1) (Any_char :: acc)
+      | c when c >= 'a' && c <= 'z' -> go (i + 1) (Literal c :: acc)
+      | c ->
+          invalid_arg
+            (Printf.sprintf
+               "Ast.rewrite_contains: %C in pattern %S (lowercase letters, '.' and '.*' only)"
+               c word)
+  in
+  match go 0 [] with
+  | [] -> invalid_arg "Ast.rewrite_contains: empty pattern"
+  | items -> items
+
+let steps_of_pattern ~exact word =
+  let items = pattern_items word in
+  (* The first concrete item hangs anywhere below the node (//); each
+     Any_run makes the item after it a descendant step. *)
+  let rec go items ~axis acc =
+    match items with
+    | [] -> List.rev acc
+    | Any_run :: rest -> go rest ~axis:Descendant acc
+    | Literal c :: rest ->
+        go rest ~axis:Child
+          ({ axis; test = Name (String.make 1 c); contains = None } :: acc)
+    | Any_char :: rest -> go rest ~axis:Child ({ axis; test = Any; contains = None } :: acc)
+  in
+  let trailing_run = match List.rev items with Any_run :: _ -> true | _ -> false in
+  let steps = go items ~axis:Descendant [] in
+  if exact then begin
+    let marker_axis = if trailing_run then Descendant else Child in
+    steps
+    @ [ { axis = marker_axis; test = Name Secshare_trie.Tokenize.end_marker; contains = None } ]
+  end
+  else steps
+
+let rewrite_contains ?(exact = false) steps =
+  List.concat_map
+    (fun s ->
+      match s.contains with
+      | None -> [ s ]
+      | Some word -> { s with contains = None } :: steps_of_pattern ~exact word)
+    steps
+
+let equal (a : t) b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_string t)

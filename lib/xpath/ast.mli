@@ -1,0 +1,52 @@
+(** The XPath subset of the paper's query engines (§5.3).
+
+    A query is a sequence of steps, each with a direction — child
+    ([/]) or descendant ([//]) — and a node test: a tag name, [*]
+    (every child) or [..] (the parent).  A name step may carry a
+    [contains(text(), "word")] predicate, which the trie rewriting of
+    §4 turns into further character steps. *)
+
+type axis = Child | Descendant
+
+type test =
+  | Name of string
+  | Any  (** [*] *)
+  | Parent  (** [..] *)
+
+type step = { axis : axis; test : test; contains : string option }
+
+type t = step list
+(** Non-empty; queries are absolute (they start at the document
+    root). *)
+
+val step : ?contains:string -> axis -> test -> step
+
+val to_string : t -> string
+(** Canonical concrete syntax ([/a//b[contains(text(), "w")]]). *)
+
+val name_tests : t -> string list
+(** Distinct tag names tested anywhere in the query, in first-use
+    order (the advanced engine's look-ahead set). *)
+
+val names_after : t -> string list array
+(** [names_after q] has one entry per step: the distinct tag names
+    tested in *later* steps (what the advanced engine checks for
+    containment before descending past that step). *)
+
+val rewrite_contains : ?exact:bool -> t -> t
+(** Expand every [contains] predicate into trie steps: the pattern's
+    first item as a descendant step, subsequent items as child steps
+    (so [/name[contains(text(), "joan")]] becomes [/name//j/o/a/n]).
+
+    Patterns support the simple regular expressions of the paper's §4:
+    [.] matches any single character (a [*] step) and [.*] matches any
+    character run (the following item becomes a [//] step) — so
+    ["j.an"] becomes [//j/*/a/n] and ["j.*n"] becomes [//j//n].
+
+    With [exact:true] a final end-of-word step is appended, matching
+    whole words only.
+    @raise Invalid_argument if a pattern contains anything other than
+    lowercase letters, [.] and [.*], or is empty. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

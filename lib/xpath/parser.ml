@@ -1,0 +1,137 @@
+exception Error of int * string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur fmt = Printf.ksprintf (fun m -> raise (Error (cur.pos, m))) fmt
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && (cur.src.[cur.pos] = ' ' || cur.src.[cur.pos] = '\t')
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let eat cur c =
+  match peek cur with
+  | Some x when x = c -> cur.pos <- cur.pos + 1
+  | Some x -> fail cur "expected '%c', got '%c'" c x
+  | None -> fail cur "expected '%c' at end of query" c
+
+let eat_keyword cur kw =
+  skip_ws cur;
+  let n = String.length kw in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = kw then
+    cur.pos <- cur.pos + n
+  else fail cur "expected '%s'" kw
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = '$'
+
+let read_axis cur =
+  eat cur '/';
+  match peek cur with
+  | Some '/' ->
+      cur.pos <- cur.pos + 1;
+      Ast.Descendant
+  | Some _ | None -> Ast.Child
+
+let read_test cur =
+  match peek cur with
+  | Some '*' ->
+      cur.pos <- cur.pos + 1;
+      Ast.Any
+  | Some '.' ->
+      cur.pos <- cur.pos + 1;
+      eat cur '.';
+      Ast.Parent
+  | Some c when is_name_char c ->
+      let start = cur.pos in
+      while
+        cur.pos < String.length cur.src && is_name_char cur.src.[cur.pos]
+      do
+        cur.pos <- cur.pos + 1
+      done;
+      (* '..' handled above; a lone '.' never starts a name here *)
+      Ast.Name (String.sub cur.src start (cur.pos - start))
+  | Some c -> fail cur "expected a tag name, '*' or '..', got '%c'" c
+  | None -> fail cur "expected a node test at end of query"
+
+let read_string_literal cur =
+  skip_ws cur;
+  match peek cur with
+  | Some (('"' | '\'') as quote) ->
+      cur.pos <- cur.pos + 1;
+      let start = cur.pos in
+      let rec go () =
+        match peek cur with
+        | Some c when c = quote ->
+            let s = String.sub cur.src start (cur.pos - start) in
+            cur.pos <- cur.pos + 1;
+            s
+        | Some _ ->
+            cur.pos <- cur.pos + 1;
+            go ()
+        | None -> fail cur "unterminated string literal"
+      in
+      go ()
+  | Some c -> fail cur "expected a quoted string, got '%c'" c
+  | None -> fail cur "expected a quoted string at end of query"
+
+let read_predicate cur =
+  match peek cur with
+  | Some '[' ->
+      cur.pos <- cur.pos + 1;
+      eat_keyword cur "contains";
+      skip_ws cur;
+      eat cur '(';
+      eat_keyword cur "text";
+      skip_ws cur;
+      eat cur '(';
+      skip_ws cur;
+      eat cur ')';
+      skip_ws cur;
+      eat cur ',';
+      let word = read_string_literal cur in
+      skip_ws cur;
+      eat cur ')';
+      skip_ws cur;
+      eat cur ']';
+      Some (String.lowercase_ascii word)
+  | Some _ | None -> None
+
+let parse input =
+  let cur = { src = String.trim input; pos = 0 } in
+  match
+    if String.length cur.src = 0 then fail cur "empty query";
+    let rec steps acc =
+      match peek cur with
+      | Some '/' ->
+          let axis = read_axis cur in
+          let test = read_test cur in
+          let contains = read_predicate cur in
+          (match (test, contains) with
+          | (Ast.Any | Ast.Parent), Some _ ->
+              fail cur "contains() predicates require a named step"
+          | (Ast.Parent, _) when axis = Ast.Descendant ->
+              fail cur "'//..' is not supported"
+          | _ -> ());
+          steps ({ Ast.axis; test; contains } :: acc)
+      | Some c -> fail cur "unexpected '%c' (steps start with '/')" c
+      | None ->
+          if acc = [] then fail cur "query has no steps";
+          List.rev acc
+    in
+    steps []
+  with
+  | steps -> Ok steps
+  | exception Error (pos, msg) -> Error (Printf.sprintf "at position %d: %s" pos msg)
+
+let parse_exn input =
+  match parse input with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Xpath.parse: " ^ msg)

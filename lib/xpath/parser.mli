@@ -1,0 +1,16 @@
+(** Concrete syntax for the XPath subset.
+
+    Grammar:
+    {v
+    query     ::= step+
+    step      ::= ("/" | "//") test predicate?
+    test      ::= name | "*" | ".."
+    predicate ::= "[" "contains" "(" "text" "(" ")" "," string ")" "]"
+    string    ::= '"' chars '"' | "'" chars "'"
+    v} *)
+
+val parse : string -> (Ast.t, string) result
+(** Errors carry a character position and description. *)
+
+val parse_exn : string -> Ast.t
+(** @raise Invalid_argument on a malformed query. *)

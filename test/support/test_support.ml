@@ -1,0 +1,66 @@
+(** Shared generators and helpers for the test suites. *)
+
+module Tree = Secshare_xml.Tree
+
+let small_tags = [ "alpha"; "beta"; "gamma"; "delta"; "epsilon"; "zeta"; "eta" ]
+
+(* A random element tree over a small tag set: depth-bounded, with a
+   size budget threaded through so documents stay small but varied. *)
+let gen_tree : Tree.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let tag = oneofl small_tags in
+  let text_words = oneofl [ "joan"; "johnson"; "data"; "query"; "trie"; "xml" ] in
+  sized_size (int_range 1 40) @@ fix (fun self budget ->
+      let* name = tag in
+      if budget <= 1 then return (Tree.element name [])
+      else
+        let* n_children = int_range 0 (min 4 budget) in
+        let child_budget = if n_children = 0 then 0 else (budget - 1) / n_children in
+        let* children = list_repeat n_children (self child_budget) in
+        let* with_text = bool in
+        let* word = text_words in
+        let children = if with_text then Tree.text word :: children else children in
+        return (Tree.element name children))
+
+let gen_query_of_tags tags : Secshare_xpath.Ast.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* len = int_range 1 4 in
+  let step_gen =
+    let* axis = oneofl [ Secshare_xpath.Ast.Child; Secshare_xpath.Ast.Descendant ] in
+    let* test =
+      oneof
+        [
+          map (fun n -> Secshare_xpath.Ast.Name n) (oneofl tags);
+          return Secshare_xpath.Ast.Any;
+        ]
+    in
+    return { Secshare_xpath.Ast.axis; test; contains = None }
+  in
+  list_repeat len step_gen
+
+let gen_query = gen_query_of_tags small_tags
+
+let pres_of_metas metas =
+  List.map (fun (m : Secshare_rpc.Protocol.node_meta) -> m.Secshare_rpc.Protocol.pre) metas
+
+let test_seed = Secshare_prg.Seed.of_passphrase "test-suite-seed"
+
+let db_of_tree ?(p = 83) ?(e = 1) ?trie tree =
+  let config =
+    {
+      Secshare_core.Database.default_config with
+      p;
+      e;
+      trie;
+      seed = Some test_seed;
+      mapping = `From_document;
+    }
+  in
+  match Secshare_core.Database.create_tree ~config tree with
+  | Ok db -> db
+  | Error msg -> failwith ("db_of_tree: " ^ msg)
+
+let must_query ?engine ?strictness db q =
+  match Secshare_core.Database.query ?engine ?strictness db q with
+  | Ok r -> r
+  | Error msg -> failwith ("query failed: " ^ msg)

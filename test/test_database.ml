@@ -1,0 +1,190 @@
+(* The Database facade: bundles, batching, pattern queries, error
+   surfaces. *)
+
+module DB = Secshare_core.Database
+module QC = Secshare_core.Query_common
+module Tree = Secshare_xml.Tree
+
+let check = Alcotest.check
+let pres = Test_support.pres_of_metas
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ssdb-bundle" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun entry -> rm (Filename.concat path entry)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let sample_db () =
+  let doc = Secshare_xmark.Generate.generate ~factor:0.4 () in
+  Test_support.db_of_tree doc
+
+let queries = [ "/site"; "/site/regions/europe/item"; "//bidder/date" ]
+
+let test_bundle_roundtrip () =
+  with_temp_dir (fun dir ->
+      let db = sample_db () in
+      (match DB.save_bundle db ~dir with Ok () -> () | Error e -> Alcotest.fail e);
+      check Alcotest.bool "shares.db exists" true
+        (Sys.file_exists (Filename.concat dir "shares.db"));
+      check Alcotest.bool "map exists" true
+        (Sys.file_exists (Filename.concat dir "client.map"));
+      match DB.open_bundle ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok reopened ->
+          List.iter
+            (fun q ->
+              let original = Test_support.must_query ~strictness:QC.Strict db q in
+              let roundtrip =
+                match DB.query ~strictness:QC.Strict reopened q with
+                | Ok r -> r
+                | Error e -> Alcotest.failf "%s: %s" q e
+              in
+              check Alcotest.(list int) q (pres original.DB.nodes) (pres roundtrip.DB.nodes))
+            queries;
+          DB.close reopened)
+
+let test_bundle_missing_dir () =
+  match DB.open_bundle ~dir:"/nonexistent/bundle/here" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "opened a missing bundle"
+
+let test_bundle_corrupt_config () =
+  with_temp_dir (fun dir ->
+      let db = sample_db () in
+      (match DB.save_bundle db ~dir with Ok () -> () | Error e -> Alcotest.fail e);
+      Out_channel.with_open_text (Filename.concat dir "config") (fun oc ->
+          output_string oc "p = not_a_number\ne = 1\n");
+      match DB.open_bundle ~dir () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "opened a bundle with a corrupt config")
+
+let test_bundle_shares_public () =
+  (* re-opening the shares with a *different* seed must yield garbage:
+     the published half alone is useless *)
+  with_temp_dir (fun dir ->
+      let db = sample_db () in
+      (match DB.save_bundle db ~dir with Ok () -> () | Error e -> Alcotest.fail e);
+      Secshare_prg.Seed.save (Filename.concat dir "client.seed")
+        (Secshare_prg.Seed.of_passphrase "attacker guess");
+      match DB.open_bundle ~dir () with
+      | Error e -> Alcotest.fail e
+      | Ok hijacked ->
+          let r =
+            Result.get_ok (DB.query ~strictness:QC.Non_strict hijacked "/site")
+          in
+          check Alcotest.(list int) "no matches without the real seed" []
+            (pres r.DB.nodes);
+          DB.close hijacked)
+
+let test_rpc_batching_equivalence () =
+  let doc = Secshare_xmark.Generate.generate ~factor:0.4 () in
+  let mk batching =
+    let config =
+      {
+        DB.default_config with
+        seed = Some Test_support.test_seed;
+        rpc_batching = batching;
+      }
+    in
+    Result.get_ok (DB.create_tree ~config doc)
+  in
+  let batched = mk true and unbatched = mk false in
+  List.iter
+    (fun q ->
+      let rb =
+        Result.get_ok (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict batched q)
+      in
+      let ru =
+        Result.get_ok (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict unbatched q)
+      in
+      check Alcotest.(list int) ("results " ^ q) (pres rb.DB.nodes) (pres ru.DB.nodes);
+      check Alcotest.int ("same evaluations " ^ q)
+        rb.DB.metrics.Secshare_core.Metrics.evaluations
+        ru.DB.metrics.Secshare_core.Metrics.evaluations;
+      if List.length rb.DB.nodes > 0 then
+        check Alcotest.bool ("unbatched needs more round trips " ^ q) true
+          (ru.DB.rpc_calls >= rb.DB.rpc_calls))
+    queries;
+  DB.close batched;
+  DB.close unbatched
+
+(* --- §4 regular expressions in contains() --- *)
+
+let regex_db () =
+  let doc =
+    Result.get_ok
+      (Tree.of_string
+         "<people><name>joan</name><name>jean</name><name>jon</name><name>johnson</name></people>")
+  in
+  Test_support.db_of_tree ~trie:Secshare_trie.Expand.Compressed doc
+
+let count_matches db q =
+  List.length (Test_support.must_query ~strictness:QC.Strict db q).DB.nodes
+
+let test_contains_dot () =
+  let db = regex_db () in
+  (* j.an: joan and jean, not jon/johnson *)
+  check Alcotest.int "j.an" 2 (count_matches db "//name[contains(text(), \"j.an\")]");
+  (* j.n: jon and jean?  j-?-n: jon has j,o,n; jean j,e,a... no.  jon only *)
+  check Alcotest.int "j.n" 1 (count_matches db "//name[contains(text(), \"j.n\")]")
+
+let test_contains_dot_star () =
+  let db = regex_db () in
+  (* j.*n: result nodes are the final n character nodes — one per name,
+     except johnson whose chain has two n's below the j *)
+  check Alcotest.int "j.*n" 5 (count_matches db "//name[contains(text(), \"j.*n\")]");
+  (* j.*h: only johnson *)
+  check Alcotest.int "j.*h" 1 (count_matches db "//name[contains(text(), \"j.*h\")]")
+
+let test_contains_bad_pattern () =
+  let db = regex_db () in
+  match DB.query db "//name[contains(text(), \"j%n\")]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an invalid pattern"
+
+let test_storage_stats_consistency () =
+  let db = sample_db () in
+  let stats = DB.storage_stats db in
+  check Alcotest.bool "rows positive" true (stats.DB.rows > 0);
+  check Alcotest.int "encode stats agree" stats.DB.rows
+    stats.DB.encode_stats.Secshare_core.Encode.nodes;
+  check Alcotest.bool "data covers the shares" true
+    (stats.DB.data_bytes >= stats.DB.rows * 72)
+
+let test_accuracy_empty_result () =
+  let db = Test_support.db_of_tree (Tree.element "a" [ Tree.element "b" [] ]) in
+  (* both result sets empty -> accuracy defined as 1.0 *)
+  match DB.accuracy db "//zzz" with
+  | Ok a -> check (Alcotest.float 0.0001) "empty/empty" 1.0 a
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "database"
+    [
+      ( "bundles",
+        [
+          Alcotest.test_case "save/open roundtrip" `Quick test_bundle_roundtrip;
+          Alcotest.test_case "missing directory" `Quick test_bundle_missing_dir;
+          Alcotest.test_case "corrupt config" `Quick test_bundle_corrupt_config;
+          Alcotest.test_case "shares alone are useless" `Quick test_bundle_shares_public;
+        ] );
+      ( "batching",
+        [ Alcotest.test_case "batched = unbatched" `Quick test_rpc_batching_equivalence ] );
+      ( "contains patterns",
+        [
+          Alcotest.test_case "dot" `Quick test_contains_dot;
+          Alcotest.test_case "dot-star" `Quick test_contains_dot_star;
+          Alcotest.test_case "invalid pattern" `Quick test_contains_bad_pattern;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "storage stats" `Quick test_storage_stats_consistency;
+          Alcotest.test_case "accuracy of empty results" `Quick test_accuracy_empty_result;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+module Prime = Secshare_field.Prime
+module Modp = Secshare_field.Modp
+module Gf = Secshare_field.Gf
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- primes --- *)
+
+let test_is_prime_small () =
+  let primes = [ 2; 3; 5; 7; 11; 13; 29; 83; 97; 101; 7919 ] in
+  List.iter (fun p -> check Alcotest.bool (string_of_int p) true (Prime.is_prime p)) primes;
+  let composites = [ -7; 0; 1; 4; 9; 15; 77; 91; 7917; 1 lsl 20 ] in
+  List.iter (fun n -> check Alcotest.bool (string_of_int n) false (Prime.is_prime n)) composites
+
+let test_is_prime_carmichael () =
+  (* classic Fermat pseudoprimes must be rejected *)
+  List.iter
+    (fun n -> check Alcotest.bool (string_of_int n) false (Prime.is_prime n))
+    [ 561; 1105; 1729; 2465; 2821; 6601; 8911; 41041; 825265 ]
+
+let test_is_prime_large () =
+  check Alcotest.bool "2^31-1" true (Prime.is_prime 2147483647);
+  check Alcotest.bool "10^9+7" true (Prime.is_prime 1_000_000_007);
+  check Alcotest.bool "10^9+8" false (Prime.is_prime 1_000_000_008);
+  check Alcotest.bool "(2^31-1)^2 factor" false (Prime.is_prime (2147483647 * 3))
+
+let test_next_prev_prime () =
+  check Alcotest.int "next 84" 89 (Prime.next_prime 84);
+  check Alcotest.int "next 83" 83 (Prime.next_prime 83);
+  check Alcotest.int "next of small" 2 (Prime.next_prime (-5));
+  check Alcotest.(option int) "prev 84" (Some 83) (Prime.prev_prime 84);
+  check Alcotest.(option int) "prev 2" (Some 2) (Prime.prev_prime 2);
+  check Alcotest.(option int) "prev 1" None (Prime.prev_prime 1)
+
+let test_primes_up_to () =
+  check
+    Alcotest.(list int)
+    "primes <= 30"
+    [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29 ]
+    (Prime.primes_up_to 30);
+  check Alcotest.(list int) "primes <= 1" [] (Prime.primes_up_to 1)
+
+let test_factorize () =
+  check Alcotest.(list (pair int int)) "12" [ (2, 2); (3, 1) ] (Prime.factorize 12);
+  check Alcotest.(list (pair int int)) "1" [] (Prime.factorize 1);
+  check Alcotest.(list (pair int int)) "83" [ (83, 1) ] (Prime.factorize 83);
+  check
+    Alcotest.(list (pair int int))
+    "2^10 * 3^4" [ (2, 10); (3, 4) ]
+    (Prime.factorize (1024 * 81));
+  Alcotest.check_raises "factorize 0" (Invalid_argument "Prime.factorize: argument must be >= 1")
+    (fun () -> ignore (Prime.factorize 0))
+
+let test_is_prime_power () =
+  check Alcotest.(option (pair int int)) "8" (Some (2, 3)) (Prime.is_prime_power 8);
+  check Alcotest.(option (pair int int)) "83" (Some (83, 1)) (Prime.is_prime_power 83);
+  check Alcotest.(option (pair int int)) "729" (Some (3, 6)) (Prime.is_prime_power 729);
+  check Alcotest.(option (pair int int)) "12" None (Prime.is_prime_power 12);
+  check Alcotest.(option (pair int int)) "1" None (Prime.is_prime_power 1)
+
+let test_primitive_root () =
+  List.iter
+    (fun p ->
+      let g = Prime.primitive_root p in
+      (* g generates: its order is exactly p-1 *)
+      let rec order acc k = if acc = 1 then k else order (acc * g mod p) (k + 1) in
+      let ord = order (g mod p) 1 in
+      check Alcotest.int (Printf.sprintf "order of %d mod %d" g p) (p - 1) ord)
+    [ 3; 5; 7; 29; 83; 101 ]
+
+(* --- field axioms, shared for any packed field --- *)
+
+let field_axiom_tests name (field : Secshare_field.Field_intf.packed) =
+  let module F = (val field) in
+  let elt = QCheck2.Gen.map F.of_int (QCheck2.Gen.int_range 0 (F.order - 1)) in
+  let pair = QCheck2.Gen.pair elt elt in
+  let triple = QCheck2.Gen.triple elt elt elt in
+  [
+    qtest (name ^ ": add commutative") pair (fun (a, b) -> F.equal (F.add a b) (F.add b a));
+    qtest (name ^ ": add associative") triple (fun (a, b, c) ->
+        F.equal (F.add (F.add a b) c) (F.add a (F.add b c)));
+    qtest (name ^ ": mul commutative") pair (fun (a, b) -> F.equal (F.mul a b) (F.mul b a));
+    qtest (name ^ ": mul associative") triple (fun (a, b, c) ->
+        F.equal (F.mul (F.mul a b) c) (F.mul a (F.mul b c)));
+    qtest (name ^ ": distributivity") triple (fun (a, b, c) ->
+        F.equal (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c)));
+    qtest (name ^ ": additive inverse") elt (fun a -> F.is_zero (F.add a (F.neg a)));
+    qtest (name ^ ": sub = add neg") pair (fun (a, b) ->
+        F.equal (F.sub a b) (F.add a (F.neg b)));
+    qtest (name ^ ": multiplicative inverse") elt (fun a ->
+        F.is_zero a || F.equal F.one (F.mul a (F.inv a)));
+    qtest (name ^ ": Fermat/Lagrange a^(q-1)=1") elt (fun a ->
+        F.is_zero a || F.equal F.one (F.pow a (F.order - 1)));
+    qtest (name ^ ": of_int/to_int canonical") elt (fun a ->
+        F.equal a (F.of_int (F.to_int a)));
+    qtest (name ^ ": pow matches repeated mul")
+      (QCheck2.Gen.pair elt (QCheck2.Gen.int_range 0 12))
+      (fun (a, k) ->
+        let rec slow acc i = if i = 0 then acc else slow (F.mul acc a) (i - 1) in
+        F.equal (F.pow a k) (slow F.one k));
+  ]
+
+let field_unit_tests name (field : Secshare_field.Field_intf.packed) =
+  let module F = (val field) in
+  [
+    Alcotest.test_case (name ^ ": constants") `Quick (fun () ->
+        check Alcotest.bool "zero is zero" true (F.is_zero F.zero);
+        check Alcotest.bool "one not zero" false (F.is_zero F.one);
+        check Alcotest.int "elements count" F.order (List.length (F.elements ()));
+        check Alcotest.int "nonzero count" (F.order - 1) (List.length (F.nonzero_elements ())));
+    Alcotest.test_case (name ^ ": inv zero raises") `Quick (fun () ->
+        Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (F.inv F.zero));
+        Alcotest.check_raises "div by 0" Division_by_zero (fun () ->
+            ignore (F.div F.one F.zero)));
+    Alcotest.test_case (name ^ ": negative of_int normalises") `Quick (fun () ->
+        check Alcotest.bool "-1 = q-1" true (F.equal (F.of_int (-1)) (F.of_int (F.order - 1))));
+  ]
+
+(* --- Gf specifics --- *)
+
+let test_gf_irreducible () =
+  List.iter
+    (fun (p, e) ->
+      let m = Gf.irreducible ~p ~e in
+      check Alcotest.int "degree" (e + 1) (Array.length m);
+      check Alcotest.int "monic" 1 m.(e);
+      check Alcotest.bool "irreducible" true (Gf.is_irreducible ~p m))
+    [ (2, 2); (2, 3); (2, 4); (3, 2); (3, 3); (5, 2); (7, 2); (29, 2) ]
+
+let test_gf_reducible_detected () =
+  (* x^2 - 1 = (x-1)(x+1) over F_5 *)
+  check Alcotest.bool "x^2-1 over F5" false (Gf.is_irreducible ~p:5 [| 4; 0; 1 |]);
+  (* x^2 over F_3 *)
+  check Alcotest.bool "x^2 over F3" false (Gf.is_irreducible ~p:3 [| 0; 0; 1 |]);
+  (* x^2+1 over F_5: roots 2,3 *)
+  check Alcotest.bool "x^2+1 over F5" false (Gf.is_irreducible ~p:5 [| 1; 0; 1 |])
+
+let test_gf_char_freshman () =
+  (* (a+b)^p = a^p + b^p in characteristic p *)
+  let (module F) = Gf.create ~p:3 ~e:2 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let lhs = F.pow (F.add a b) 3 in
+          let rhs = F.add (F.pow a 3) (F.pow b 3) in
+          check Alcotest.bool "freshman's dream" true (F.equal lhs rhs))
+        (F.elements ()))
+    (F.elements ())
+
+let test_gf_rejects_bad_params () =
+  Alcotest.check_raises "p not prime" (Invalid_argument "Gf.create: 6 is not prime")
+    (fun () -> ignore (Gf.create ~p:6 ~e:2));
+  Alcotest.check_raises "e < 1" (Invalid_argument "Gf.create: e must be >= 1") (fun () ->
+      ignore (Gf.create ~p:5 ~e:0));
+  Alcotest.check_raises "too large" (Invalid_argument "Gf.create: p^e must be <= 2^30")
+    (fun () -> ignore (Gf.create ~p:2 ~e:40))
+
+let test_modp_rejects_composite () =
+  Alcotest.check_raises "Modp 4" (Invalid_argument "Modp.create: 4 is not prime") (fun () ->
+      ignore (Modp.create ~p:4))
+
+let () =
+  Alcotest.run "field"
+    [
+      ( "prime",
+        [
+          Alcotest.test_case "small primes" `Quick test_is_prime_small;
+          Alcotest.test_case "carmichael numbers" `Quick test_is_prime_carmichael;
+          Alcotest.test_case "large values" `Quick test_is_prime_large;
+          Alcotest.test_case "next/prev prime" `Quick test_next_prev_prime;
+          Alcotest.test_case "sieve" `Quick test_primes_up_to;
+          Alcotest.test_case "factorize" `Quick test_factorize;
+          Alcotest.test_case "prime powers" `Quick test_is_prime_power;
+          Alcotest.test_case "primitive roots" `Quick test_primitive_root;
+        ] );
+      ("modp F_5 axioms", field_axiom_tests "F5" (Modp.create ~p:5));
+      ("modp F_83 axioms", field_axiom_tests "F83" (Modp.create ~p:83));
+      ("modp units", field_unit_tests "F83" (Modp.create ~p:83) @ [
+          Alcotest.test_case "rejects composite" `Quick test_modp_rejects_composite ]);
+      ("gf F_9 axioms", field_axiom_tests "F9" (Gf.create ~p:3 ~e:2));
+      ("gf F_8 axioms", field_axiom_tests "F8" (Gf.create ~p:2 ~e:3));
+      ("gf F_25 axioms", field_axiom_tests "F25" (Gf.create ~p:5 ~e:2));
+      ( "gf units",
+        field_unit_tests "F9" (Gf.create ~p:3 ~e:2)
+        @ [
+            Alcotest.test_case "irreducible search" `Quick test_gf_irreducible;
+            Alcotest.test_case "reducible detected" `Quick test_gf_reducible_detected;
+            Alcotest.test_case "freshman's dream" `Quick test_gf_char_freshman;
+            Alcotest.test_case "bad parameters" `Quick test_gf_rejects_bad_params;
+          ] );
+    ]

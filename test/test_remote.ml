@@ -1,0 +1,113 @@
+(* End-to-end client/server deployment over a Unix-domain socket — the
+   paper's figure-3 architecture with real message passing. *)
+
+module DB = Secshare_core.Database
+module QC = Secshare_core.Query_common
+
+let check = Alcotest.check
+
+let with_served_db f =
+  let doc = Secshare_xmark.Generate.generate ~factor:0.5 () in
+  let config =
+    { DB.default_config with seed = Some Test_support.test_seed }
+  in
+  let db = match DB.create_tree ~config doc with Ok db -> db | Error e -> failwith e in
+  let path = Filename.temp_file "ssdb-remote" ".sock" in
+  Sys.remove path;
+  let server = DB.serve db ~path in
+  Fun.protect
+    ~finally:(fun () -> Secshare_rpc.Server.stop server)
+    (fun () -> f db path)
+
+let connect db path =
+  match DB.connect ~p:83 ~e:1 ~mapping:(DB.mapping db) ~seed:(DB.seed db) ~path () with
+  | Ok session -> session
+  | Error e -> failwith e
+
+let queries =
+  [ "/site"; "/site/regions/europe/item"; "//bidder/date"; "/site/*/person//city" ]
+
+let test_remote_matches_local () =
+  with_served_db (fun db path ->
+      let session = connect db path in
+      Fun.protect
+        ~finally:(fun () -> DB.session_close session)
+        (fun () ->
+          List.iter
+            (fun q ->
+              List.iter
+                (fun (engine, strictness) ->
+                  let local = Test_support.must_query ~engine ~strictness db q in
+                  match DB.session_query ~engine ~strictness session q with
+                  | Error e -> Alcotest.failf "%s remote: %s" q e
+                  | Ok remote ->
+                      check
+                        Alcotest.(list int)
+                        (Printf.sprintf "%s" q)
+                        (Test_support.pres_of_metas local.DB.nodes)
+                        (Test_support.pres_of_metas remote.DB.nodes))
+                [
+                  (DB.Simple, QC.Non_strict);
+                  (DB.Advanced, QC.Non_strict);
+                  (DB.Advanced, QC.Strict);
+                ])
+            queries))
+
+let test_remote_wrong_seed_finds_nothing () =
+  (* without the right seed the client regenerates garbage shares: the
+     data is meaningless, exactly as the paper promises *)
+  with_served_db (fun db path ->
+      match
+        DB.connect ~p:83 ~e:1 ~mapping:(DB.mapping db)
+          ~seed:(Secshare_prg.Seed.of_passphrase "wrong seed") ~path ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok session ->
+          Fun.protect
+            ~finally:(fun () -> DB.session_close session)
+            (fun () ->
+              match DB.session_query ~engine:DB.Simple ~strictness:QC.Non_strict session "/site" with
+              | Error e -> Alcotest.fail e
+              | Ok r ->
+                  check Alcotest.(list int) "root does not even match /site" []
+                    (Test_support.pres_of_metas r.DB.nodes)))
+
+let test_remote_sessions_are_independent () =
+  with_served_db (fun db path ->
+      let s1 = connect db path and s2 = connect db path in
+      Fun.protect
+        ~finally:(fun () ->
+          DB.session_close s1;
+          DB.session_close s2)
+        (fun () ->
+          let r1 = Result.get_ok (DB.session_query s1 "/site") in
+          let r2 = Result.get_ok (DB.session_query s2 "//bidder/date") in
+          check Alcotest.bool "both answered" true
+            (List.length r1.DB.nodes = 1 && r2.DB.nodes <> [])))
+
+let test_session_after_server_stop () =
+  let doc = Secshare_xmark.Generate.generate ~factor:0.2 () in
+  let config = { DB.default_config with seed = Some Test_support.test_seed } in
+  let db = match DB.create_tree ~config doc with Ok db -> db | Error e -> failwith e in
+  let path = Filename.temp_file "ssdb-remote" ".sock" in
+  Sys.remove path;
+  let server = DB.serve db ~path in
+  let session = connect db path in
+  Secshare_rpc.Server.stop server;
+  (match DB.session_query session "/site" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "query succeeded after server stop");
+  DB.session_close session
+
+let () =
+  Alcotest.run "remote"
+    [
+      ( "socket deployment",
+        [
+          Alcotest.test_case "remote = local on all configs" `Slow test_remote_matches_local;
+          Alcotest.test_case "wrong seed yields nothing" `Quick
+            test_remote_wrong_seed_finds_nothing;
+          Alcotest.test_case "independent sessions" `Quick test_remote_sessions_are_independent;
+          Alcotest.test_case "server stop surfaces errors" `Quick test_session_after_server_stop;
+        ] );
+    ]

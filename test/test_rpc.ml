@@ -1,0 +1,256 @@
+module Wire = Secshare_rpc.Wire
+module Protocol = Secshare_rpc.Protocol
+module Transport = Secshare_rpc.Transport
+module Server = Secshare_rpc.Server
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- wire primitives --- *)
+
+let test_wire_roundtrip () =
+  let w = Wire.writer () in
+  Wire.write_u8 w 200;
+  Wire.write_u32 w 0;
+  Wire.write_u32 w 0xFFFFFFFF;
+  Wire.write_i64 w (-42);
+  Wire.write_string w "hello";
+  Wire.write_bytes w (Bytes.of_string "\x00\xff");
+  Wire.write_list w (Wire.write_u32 w) [ 1; 2; 3 ];
+  let r = Wire.reader (Wire.contents w) in
+  check Alcotest.int "u8" 200 (Wire.read_u8 r);
+  check Alcotest.int "u32 zero" 0 (Wire.read_u32 r);
+  check Alcotest.int "u32 max" 0xFFFFFFFF (Wire.read_u32 r);
+  check Alcotest.int "i64" (-42) (Wire.read_i64 r);
+  check Alcotest.string "string" "hello" (Wire.read_string r);
+  check Alcotest.string "bytes" "\x00\xff" (Bytes.to_string (Wire.read_bytes r));
+  check Alcotest.(list int) "list" [ 1; 2; 3 ] (Wire.read_list r (fun () -> Wire.read_u32 r));
+  Wire.expect_end r
+
+let test_wire_errors () =
+  let r = Wire.reader "\x01" in
+  ignore (Wire.read_u8 r);
+  Alcotest.check_raises "underflow" (Wire.Decode_error "need 4 bytes at offset 1, have 1")
+    (fun () -> ignore (Wire.read_u32 r));
+  let w = Wire.writer () in
+  Wire.write_u8 w 7;
+  Wire.write_u8 w 8;
+  let r = Wire.reader (Wire.contents w) in
+  ignore (Wire.read_u8 r);
+  (match Wire.expect_end r with
+  | exception Wire.Decode_error _ -> ()
+  | () -> Alcotest.fail "trailing bytes accepted");
+  Alcotest.check_raises "u32 range" (Invalid_argument "Wire.write_u32: -1 out of range")
+    (fun () -> Wire.write_u32 (Wire.writer ()) (-1))
+
+(* --- protocol codec --- *)
+
+let gen_meta =
+  QCheck2.Gen.(
+    let* pre = int_range 0 1000000 in
+    let* post = int_range 0 1000000 in
+    let* parent = int_range 0 1000000 in
+    return { Protocol.pre; post; parent })
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Protocol.Ping;
+        return Protocol.Root;
+        map (fun p -> Protocol.Children p) (int_range 0 100000);
+        map (fun p -> Protocol.Parent p) (int_range 0 100000);
+        map (fun (a, b) -> Protocol.Descendants { pre = a; post = b })
+          (pair (int_range 0 100000) (int_range 0 100000));
+        map (fun (c, m) -> Protocol.Cursor_next { cursor = c; max_items = m })
+          (pair (int_range 0 1000) (int_range 1 100));
+        map (fun c -> Protocol.Cursor_close c) (int_range 0 1000);
+        map (fun (p, x) -> Protocol.Eval { pre = p; point = x })
+          (pair (int_range 0 100000) (int_range 1 82));
+        map (fun (ps, x) -> Protocol.Eval_batch { pres = ps; point = x })
+          (pair (list_size (int_range 0 20) (int_range 0 100000)) (int_range 1 82));
+        map (fun p -> Protocol.Share p) (int_range 0 100000);
+        map (fun ps -> Protocol.Shares ps) (list_size (int_range 0 20) (int_range 0 100000));
+        return Protocol.Table_stats;
+      ])
+
+let gen_bytes = QCheck2.Gen.(map Bytes.of_string (string_size (int_range 0 50)))
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Protocol.Pong;
+        return (Protocol.Node_opt None);
+        map (fun m -> Protocol.Node_opt (Some m)) gen_meta;
+        map (fun ms -> Protocol.Nodes ms) (list_size (int_range 0 20) gen_meta);
+        map (fun c -> Protocol.Cursor c) (int_range 0 100000);
+        map (fun (ms, e) -> Protocol.Batch (ms, e))
+          (pair (list_size (int_range 0 20) gen_meta) bool);
+        map (fun v -> Protocol.Value v) (int_range 0 100000);
+        map (fun vs -> Protocol.Values vs) (list_size (int_range 0 30) (int_range 0 100000));
+        map (fun b -> Protocol.Share_data b) gen_bytes;
+        map (fun bs -> Protocol.Shares_data bs) (list_size (int_range 0 10) gen_bytes);
+        map
+          (fun (r, d, i) -> Protocol.Stats { rows = r; data_bytes = d; index_bytes = i })
+          (triple (int_range 0 100000) (int_range 0 10000000) (int_range 0 10000000));
+        map (fun s -> Protocol.Error_msg s) (string_size (int_range 0 40));
+      ])
+
+let protocol_codec_suite =
+  [
+    qtest "request roundtrip" gen_request (fun req ->
+        Protocol.decode_request (Protocol.encode_request req) = req);
+    qtest "response roundtrip" gen_response (fun resp ->
+        Protocol.decode_response (Protocol.encode_response resp) = resp);
+  ]
+
+let fuzz_suite =
+  let gen_garbage = QCheck2.Gen.(string_size (int_range 0 64)) in
+  [
+    qtest ~count:500 "decode_request never crashes" gen_garbage (fun s ->
+        match Protocol.decode_request s with
+        | _ -> true
+        | exception Wire.Decode_error _ -> true);
+    qtest ~count:500 "decode_response never crashes" gen_garbage (fun s ->
+        match Protocol.decode_response s with
+        | _ -> true
+        | exception Wire.Decode_error _ -> true);
+    qtest ~count:200 "bit-flipped requests decode or fail cleanly"
+      QCheck2.Gen.(pair gen_request (pair (int_range 0 1000) (int_range 0 7)))
+      (fun (req, (pos, bit)) ->
+        let encoded = Bytes.of_string (Protocol.encode_request req) in
+        if Bytes.length encoded = 0 then true
+        else begin
+          let pos = pos mod Bytes.length encoded in
+          Bytes.set_uint8 encoded pos (Bytes.get_uint8 encoded pos lxor (1 lsl bit));
+          match Protocol.decode_request (Bytes.to_string encoded) with
+          | _ -> true
+          | exception Wire.Decode_error _ -> true
+        end);
+  ]
+
+let test_decode_garbage () =
+  (match Protocol.decode_request "\xFF" with
+  | exception Wire.Decode_error _ -> ()
+  | _ -> Alcotest.fail "bad tag accepted");
+  (match Protocol.decode_request "" with
+  | exception Wire.Decode_error _ -> ()
+  | _ -> Alcotest.fail "empty accepted");
+  match Protocol.decode_response (Protocol.encode_response Protocol.Pong ^ "x") with
+  | exception Wire.Decode_error _ -> ()
+  | _ -> Alcotest.fail "trailing bytes accepted"
+
+(* --- transports --- *)
+
+(* A tiny handler: Eval returns pre + point, Children returns one fake
+   node, everything else pongs. *)
+let toy_handler : Protocol.request -> Protocol.response = function
+  | Protocol.Eval { pre; point } -> Protocol.Value (pre + point)
+  | Protocol.Children parent ->
+      Protocol.Nodes [ { Protocol.pre = parent + 1; post = parent + 2; parent } ]
+  | Protocol.Share pre -> Protocol.Share_data (Bytes.make (pre mod 10) 'z')
+  | _ -> Protocol.Pong
+
+let test_local_transport () =
+  let t = Transport.local ~handler:toy_handler in
+  (match Transport.call t (Protocol.Eval { pre = 40; point = 2 }) with
+  | Protocol.Value 42 -> ()
+  | r -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Protocol.pp_response r));
+  let counters = Transport.counters t in
+  check Alcotest.int "calls" 1 counters.Transport.calls;
+  check Alcotest.bool "bytes counted" true (counters.Transport.bytes_sent > 0);
+  Transport.reset_counters t;
+  check Alcotest.int "reset" 0 (Transport.counters t).Transport.calls
+
+let test_socket_transport () =
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:toy_handler in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      match Transport.socket path with
+      | Error e -> Alcotest.fail e
+      | Ok t ->
+          for i = 0 to 20 do
+            match Transport.call t (Protocol.Eval { pre = i; point = 1 }) with
+            | Protocol.Value v -> check Alcotest.int "value" (i + 1) v
+            | r -> Alcotest.failf "unexpected %s" (Format.asprintf "%a" Protocol.pp_response r)
+          done;
+          (match Transport.call t (Protocol.Children 7) with
+          | Protocol.Nodes [ meta ] -> check Alcotest.int "child pre" 8 meta.Protocol.pre
+          | _ -> Alcotest.fail "children failed");
+          let counters = Transport.counters t in
+          check Alcotest.int "calls" 22 counters.Transport.calls;
+          Transport.close t)
+
+let test_socket_multiple_clients () =
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:toy_handler in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let clients =
+        List.init 4 (fun _ ->
+            match Transport.socket path with Ok t -> t | Error e -> Alcotest.fail e)
+      in
+      List.iteri
+        (fun i t ->
+          match Transport.call t (Protocol.Eval { pre = 100 * i; point = 5 }) with
+          | Protocol.Value v -> check Alcotest.int "value" ((100 * i) + 5) v
+          | _ -> Alcotest.fail "call failed")
+        clients;
+      List.iter Transport.close clients)
+
+let test_socket_connect_failure () =
+  match Transport.socket "/nonexistent/never/here.sock" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "connected to nothing"
+
+let test_server_survives_handler_exception () =
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let handler = function
+    | Protocol.Ping -> failwith "boom"
+    | r -> toy_handler r
+  in
+  let server = Server.start ~path ~handler in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      match Transport.socket path with
+      | Error e -> Alcotest.fail e
+      | Ok t ->
+          (match Transport.call t Protocol.Ping with
+          | Protocol.Error_msg _ -> ()
+          | _ -> Alcotest.fail "expected handler error");
+          (* connection must still work *)
+          (match Transport.call t (Protocol.Eval { pre = 1; point = 1 }) with
+          | Protocol.Value 2 -> ()
+          | _ -> Alcotest.fail "connection broken after handler error");
+          Transport.close t)
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "errors" `Quick test_wire_errors;
+        ] );
+      ( "protocol",
+        protocol_codec_suite @ fuzz_suite
+        @ [ Alcotest.test_case "garbage rejected" `Quick test_decode_garbage ] );
+      ( "transport",
+        [
+          Alcotest.test_case "local" `Quick test_local_transport;
+          Alcotest.test_case "socket end to end" `Quick test_socket_transport;
+          Alcotest.test_case "multiple clients" `Quick test_socket_multiple_clients;
+          Alcotest.test_case "connect failure" `Quick test_socket_connect_failure;
+          Alcotest.test_case "handler exceptions contained" `Quick
+            test_server_survives_handler_exception;
+        ] );
+    ]

@@ -1,0 +1,571 @@
+module Btree = Secshare_store.Btree
+module Index = Secshare_store.Index
+module Page = Secshare_store.Page
+module Pager = Secshare_store.Pager
+module Node_table = Secshare_store.Node_table
+module Crc32 = Secshare_store.Crc32
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- crc32 --- *)
+
+let test_crc32_vectors () =
+  (* standard check value *)
+  check Alcotest.int32 "123456789" 0xCBF43926l (Crc32.digest_string "123456789");
+  check Alcotest.int32 "empty" 0l (Crc32.digest_string "");
+  check Alcotest.bool "different data different crc" true
+    (not (Int32.equal (Crc32.digest_string "a") (Crc32.digest_string "b")))
+
+(* --- btree --- *)
+
+let must_ok = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invariant violation: %s" msg
+
+let test_btree_basic () =
+  let t = Btree.create ~order:4 () in
+  check Alcotest.bool "insert 5" true (Btree.insert t 5);
+  check Alcotest.bool "insert 3" true (Btree.insert t 3);
+  check Alcotest.bool "duplicate" false (Btree.insert t 5);
+  check Alcotest.bool "mem 5" true (Btree.mem t 5);
+  check Alcotest.bool "mem 4" false (Btree.mem t 4);
+  check Alcotest.int "count" 2 (Btree.count t);
+  check Alcotest.(list int) "to_list" [ 3; 5 ] (Btree.to_list t);
+  check Alcotest.(option int) "min" (Some 3) (Btree.min_key t);
+  check Alcotest.(option int) "max" (Some 5) (Btree.max_key t);
+  must_ok (Btree.check_invariants t)
+
+let test_btree_sequential_inserts () =
+  List.iter
+    (fun order ->
+      let t = Btree.create ~order () in
+      for i = 0 to 999 do
+        ignore (Btree.insert t i)
+      done;
+      check Alcotest.int "count" 1000 (Btree.count t);
+      must_ok (Btree.check_invariants t);
+      check Alcotest.(list int) "sorted" (List.init 1000 Fun.id) (Btree.to_list t))
+    [ 4; 5; 8; 64 ]
+
+let test_btree_reverse_inserts () =
+  let t = Btree.create ~order:4 () in
+  for i = 999 downto 0 do
+    ignore (Btree.insert t i)
+  done;
+  must_ok (Btree.check_invariants t);
+  check Alcotest.(list int) "sorted" (List.init 1000 Fun.id) (Btree.to_list t)
+
+let test_btree_range () =
+  let t = Btree.create ~order:4 () in
+  List.iter (fun k -> ignore (Btree.insert t (2 * k))) (List.init 100 Fun.id);
+  let got = Btree.fold_range t ~lo:10 ~hi:20 ~init:[] ~f:(fun acc k -> k :: acc) in
+  check Alcotest.(list int) "range" [ 10; 12; 14; 16; 18; 20 ] (List.rev got);
+  let empty = Btree.fold_range t ~lo:300 ~hi:400 ~init:[] ~f:(fun acc k -> k :: acc) in
+  check Alcotest.(list int) "past the end" [] empty;
+  let stop_early =
+    Btree.fold_range_while t ~lo:0 ~init:0 ~f:(fun acc _ -> if acc >= 5 then None else Some (acc + 1))
+  in
+  check Alcotest.int "fold_range_while stops" 5 stop_early
+
+let test_btree_delete () =
+  let t = Btree.create ~order:4 () in
+  for i = 0 to 499 do
+    ignore (Btree.insert t i)
+  done;
+  (* delete every third key *)
+  for i = 0 to 499 do
+    if i mod 3 = 0 then check Alcotest.bool "delete" true (Btree.delete t i)
+  done;
+  check Alcotest.bool "absent delete" false (Btree.delete t 0);
+  must_ok (Btree.check_invariants t);
+  let expected = List.filter (fun i -> i mod 3 <> 0) (List.init 500 Fun.id) in
+  check Alcotest.(list int) "survivors" expected (Btree.to_list t);
+  (* delete everything *)
+  List.iter (fun k -> ignore (Btree.delete t k)) expected;
+  check Alcotest.int "empty" 0 (Btree.count t);
+  must_ok (Btree.check_invariants t)
+
+let test_btree_negative_rejected () =
+  let t = Btree.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Btree.insert: negative key") (fun () ->
+      ignore (Btree.insert t (-1)))
+
+module Int_set = Set.Make (Int)
+
+let gen_ops =
+  QCheck2.Gen.(
+    pair (int_range 4 16)
+      (list_size (int_range 0 400)
+         (pair (int_range 0 99) bool (* key, insert? *))))
+
+let btree_model_suite =
+  [
+    qtest ~count:150 "btree matches a Set model under insert/delete" gen_ops
+      (fun (order, ops) ->
+        let t = Btree.create ~order () in
+        let model = ref Int_set.empty in
+        List.iter
+          (fun (k, insert) ->
+            if insert then begin
+              let added = Btree.insert t k in
+              let expected = not (Int_set.mem k !model) in
+              model := Int_set.add k !model;
+              if added <> expected then failwith "insert result mismatch"
+            end
+            else begin
+              let removed = Btree.delete t k in
+              let expected = Int_set.mem k !model in
+              model := Int_set.remove k !model;
+              if removed <> expected then failwith "delete result mismatch"
+            end)
+          ops;
+        Btree.to_list t = Int_set.elements !model
+        && Btree.count t = Int_set.cardinal !model
+        && Result.is_ok (Btree.check_invariants t));
+    qtest ~count:100 "range queries match model" gen_ops (fun (order, ops) ->
+        let t = Btree.create ~order () in
+        let model = ref Int_set.empty in
+        List.iter
+          (fun (k, insert) ->
+            if insert then begin
+              ignore (Btree.insert t k);
+              model := Int_set.add k !model
+            end)
+          ops;
+        List.for_all
+          (fun (lo, hi) ->
+            let got =
+              List.rev (Btree.fold_range t ~lo ~hi ~init:[] ~f:(fun acc k -> k :: acc))
+            in
+            let expected =
+              Int_set.elements (Int_set.filter (fun k -> k >= lo && k <= hi) !model)
+            in
+            got = expected)
+          [ (0, 99); (10, 50); (50, 10); (90, 99); (0, 0) ]);
+  ]
+
+(* --- index --- *)
+
+let test_index_duplicates () =
+  let idx = Index.create () in
+  check Alcotest.bool "add" true (Index.add idx ~key:7 ~value:100);
+  check Alcotest.bool "add dup value" true (Index.add idx ~key:7 ~value:50);
+  check Alcotest.bool "exact dup" false (Index.add idx ~key:7 ~value:100);
+  check Alcotest.(list int) "find_all sorted" [ 50; 100 ] (Index.find_all idx ~key:7);
+  check Alcotest.(option int) "find_first" (Some 50) (Index.find_first idx ~key:7);
+  check Alcotest.(option int) "find_first missing" None (Index.find_first idx ~key:8);
+  check Alcotest.bool "remove" true (Index.remove idx ~key:7 ~value:50);
+  check Alcotest.(list int) "after remove" [ 100 ] (Index.find_all idx ~key:7)
+
+let test_index_fold_from () =
+  let idx = Index.create () in
+  List.iter
+    (fun (k, v) -> ignore (Index.add idx ~key:k ~value:v))
+    [ (1, 10); (2, 20); (2, 21); (5, 50) ];
+  let acc = ref [] in
+  ignore
+    (Index.fold_from idx ~key:2 ~init:() ~f:(fun () ~key ~value ->
+         if key > 2 then None
+         else begin
+           acc := (key, value) :: !acc;
+           Some ()
+         end));
+  check Alcotest.(list (pair int int)) "scan from key" [ (2, 20); (2, 21) ] (List.rev !acc)
+
+let test_index_bounds () =
+  let idx = Index.create () in
+  Alcotest.check_raises "key too large"
+    (Invalid_argument (Printf.sprintf "Index: key %d out of [0, 2^31)" (1 lsl 31)))
+    (fun () -> ignore (Index.add idx ~key:(1 lsl 31) ~value:0))
+
+(* --- page --- *)
+
+let row pre post parent payload =
+  { Page.pre; post; parent; share = Bytes.of_string payload }
+
+let test_page_roundtrip () =
+  let page = Page.create ~size:512 in
+  let r1 = row 1 6 0 "alpha" and r2 = row 2 3 1 "beta" in
+  check Alcotest.(option int) "slot 0" (Some 0) (Page.add_row page r1);
+  check Alcotest.(option int) "slot 1" (Some 1) (Page.add_row page r2);
+  check Alcotest.bool "get 0" true (Page.row_equal r1 (Page.get_row page 0));
+  check Alcotest.bool "get 1" true (Page.row_equal r2 (Page.get_row page 1));
+  check Alcotest.int "count" 2 (Page.row_count page);
+  let image = Page.serialize page in
+  match Page.deserialize image with
+  | Error e -> Alcotest.fail e
+  | Ok page' ->
+      check Alcotest.bool "row survives" true (Page.row_equal r2 (Page.get_row page' 1))
+
+let test_page_fills_up () =
+  let page = Page.create ~size:128 in
+  let rec fill i = match Page.add_row page (row i (i + 1) 0 "xxxxxxxx") with
+    | Some _ -> fill (i + 1)
+    | None -> i
+  in
+  let fitted = fill 0 in
+  check Alcotest.bool "a few rows fit" true (fitted >= 2);
+  check Alcotest.int "count matches" fitted (Page.row_count page)
+
+let test_page_rejects () =
+  let page = Page.create ~size:128 in
+  Alcotest.check_raises "oversized row"
+    (Invalid_argument "Page.add_row: row larger than a page") (fun () ->
+      ignore (Page.add_row page (row 1 1 0 (String.make 1000 'x'))));
+  Alcotest.check_raises "bad slot" (Invalid_argument "Page.get_row: slot 0 out of [0, 0)")
+    (fun () -> ignore (Page.get_row page 0))
+
+let test_page_corruption_detected () =
+  let page = Page.create ~size:256 in
+  ignore (Page.add_row page (row 1 2 0 "payload"));
+  let image = Page.serialize page in
+  Bytes.set_uint8 image 100 (Bytes.get_uint8 image 100 lxor 0xFF);
+  match Page.deserialize image with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt page accepted"
+
+let page_fuzz_suite =
+  [
+    qtest ~count:300 "deserialize never crashes on garbage"
+      QCheck2.Gen.(string_size (int_range 0 600))
+      (fun s ->
+        match Page.deserialize (Bytes.of_string s) with
+        | Ok _ | Error _ -> true);
+    qtest ~count:200 "bit flips are caught by the checksum"
+      QCheck2.Gen.(pair (int_range 0 4095) (int_range 0 7))
+      (fun (pos, bit) ->
+        let page = Page.create ~size:512 in
+        ignore (Page.add_row page (row 1 2 0 "payload data here"));
+        let image = Page.serialize page in
+        let pos = pos mod Bytes.length image in
+        Bytes.set_uint8 image pos (Bytes.get_uint8 image pos lxor (1 lsl bit));
+        match Page.deserialize image with
+        | Error _ -> true
+        | Ok _ ->
+            (* flips inside the header's unchecked fields can slip the
+               CRC but must not corrupt previously written rows *)
+            pos < 12);
+  ]
+
+(* --- pager persistence --- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "pager" ".db" in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ path; path ^ ".wal" ]
+  in
+  Fun.protect ~finally:cleanup (fun () -> f path)
+
+let test_pager_file_roundtrip () =
+  with_temp_file (fun path ->
+      let pager = Pager.create_file ~page_size:256 ~cache_pages:4 path in
+      let pages =
+        List.init 10 (fun i ->
+            let page = Page.create ~size:256 in
+            ignore (Page.add_row page (row (i + 1) (i + 2) 0 (Printf.sprintf "row%d" i)));
+            page)
+      in
+      List.iteri (fun i page -> check Alcotest.int "index" i (Pager.append pager page)) pages;
+      (* with a 4-page cache, reading all 10 pages forces evictions *)
+      for i = 0 to 9 do
+        let page = Pager.get pager i in
+        let r = Page.get_row page 0 in
+        check Alcotest.int "pre" (i + 1) r.Page.pre
+      done;
+      Pager.close pager;
+      match Pager.open_file ~cache_pages:4 path with
+      | Error e -> Alcotest.fail e
+      | Ok pager' ->
+          check Alcotest.int "page count" 10 (Pager.page_count pager');
+          for i = 9 downto 0 do
+            let r = Page.get_row (Pager.get pager' i) 0 in
+            check Alcotest.int "pre after reopen" (i + 1) r.Page.pre
+          done;
+          let stats = Pager.cache_stats pager' in
+          check Alcotest.bool "evictions happened" true (stats.Pager.evictions > 0);
+          Pager.close pager')
+
+let test_pager_rejects_garbage () =
+  with_temp_file (fun path ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc "not a page file at all");
+      match Pager.open_file path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage accepted")
+
+(* --- node table --- *)
+
+(* A tiny tree:
+   pre=1 (root, parent 0, post 5)
+     pre=2 (post 2) { pre=3 (post 1) }
+     pre=4 (post 3)
+     pre=5 (post 4)
+*)
+let sample_rows =
+  [ row 1 5 0 "r"; row 2 2 1 "a"; row 3 1 2 "b"; row 4 3 1 "c"; row 5 4 1 "d" ]
+
+let pres rows = List.map (fun r -> r.Page.pre) rows
+
+let test_node_table_axes () =
+  let t = Node_table.create ~page_size:256 () in
+  List.iter (Node_table.insert t) sample_rows;
+  check Alcotest.int "rows" 5 (Node_table.row_count t);
+  check Alcotest.(option int) "root" (Some 1)
+    (Option.map (fun r -> r.Page.pre) (Node_table.root t));
+  check Alcotest.(list int) "children of 1" [ 2; 4; 5 ] (pres (Node_table.children t ~parent:1));
+  check Alcotest.(list int) "children of 2" [ 3 ] (pres (Node_table.children t ~parent:2));
+  check Alcotest.(list int) "descendants of root" [ 2; 3; 4; 5 ]
+    (pres (Node_table.descendants t ~pre:1 ~post:5));
+  check Alcotest.(list int) "descendants of 2" [ 3 ] (pres (Node_table.descendants t ~pre:2 ~post:2));
+  check Alcotest.(list int) "descendants of leaf" [] (pres (Node_table.descendants t ~pre:3 ~post:1));
+  check Alcotest.(option int) "parent of 3" (Some 2)
+    (Option.map (fun r -> r.Page.pre) (Node_table.parent_of t ~pre:3));
+  check Alcotest.(option int) "parent of root" None
+    (Option.map (fun r -> r.Page.pre) (Node_table.parent_of t ~pre:1));
+  check Alcotest.bool "find_by_pre" true
+    (Page.row_equal (List.nth sample_rows 2) (Option.get (Node_table.find_by_pre t 3)));
+  check Alcotest.bool "missing pre" true (Node_table.find_by_pre t 99 = None)
+
+let test_node_table_duplicate_pre () =
+  let t = Node_table.create () in
+  Node_table.insert t (row 1 1 0 "x");
+  Alcotest.check_raises "duplicate pre"
+    (Invalid_argument "Node_table.insert: duplicate pre 1") (fun () ->
+      Node_table.insert t (row 1 2 0 "y"))
+
+let test_node_table_sizes () =
+  let t = Node_table.create ~page_size:512 () in
+  List.iter (Node_table.insert t) sample_rows;
+  check Alcotest.bool "data bytes positive" true (Node_table.data_bytes t > 0);
+  check Alcotest.bool "index bytes positive" true (Node_table.index_bytes t > 0)
+
+let test_node_table_file_roundtrip () =
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:512 path in
+      List.iter (Node_table.insert t) sample_rows;
+      Node_table.close t;
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          check Alcotest.int "rows" 5 (Node_table.row_count t');
+          check Alcotest.(list int) "children rebuilt" [ 2; 4; 5 ]
+            (pres (Node_table.children t' ~parent:1));
+          check Alcotest.bool "payload intact" true
+            (Page.row_equal (List.nth sample_rows 4)
+               (Option.get (Node_table.find_by_pre t' 5)));
+          Node_table.close t')
+
+(* --- write-ahead log and crash recovery --- *)
+
+module Wal = Secshare_store.Wal
+
+let test_wal_replay () =
+  with_temp_file (fun path ->
+      let wal = Wal.create path in
+      let rows = List.map (fun i -> row i (i + 1) 0 (Printf.sprintf "payload%d" i)) [ 1; 2; 3 ] in
+      List.iter (Wal.append_insert wal) rows;
+      check Alcotest.int "entries" 3 (Wal.entry_count wal);
+      Wal.close wal;
+      match Wal.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok replayed ->
+          check Alcotest.int "replayed" 3 (List.length replayed);
+          List.iter2
+            (fun a b -> check Alcotest.bool "row" true (Page.row_equal a b))
+            rows replayed)
+
+let test_wal_torn_tail () =
+  with_temp_file (fun path ->
+      let wal = Wal.create path in
+      List.iter (fun i -> Wal.append_insert wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
+      Wal.close wal;
+      (* truncate mid-record: the valid prefix survives *)
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc (String.sub full 0 (String.length full - 5)));
+      match Wal.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok replayed -> check Alcotest.int "prefix recovered" 2 (List.length replayed))
+
+let test_wal_corrupt_record_stops_replay () =
+  with_temp_file (fun path ->
+      let wal = Wal.create path in
+      List.iter (fun i -> Wal.append_insert wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
+      Wal.close wal;
+      let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+      (* flip a byte inside the second record's payload *)
+      let record_len = Bytes.length full / 3 in
+      Bytes.set_uint8 full (record_len + 10) (Bytes.get_uint8 full (record_len + 10) lxor 0xFF);
+      Out_channel.with_open_bin path (fun oc -> output_bytes oc full);
+      match Wal.replay path with
+      | Error e -> Alcotest.fail e
+      | Ok replayed -> check Alcotest.int "stops at corruption" 1 (List.length replayed))
+
+let test_crash_recovery () =
+  with_temp_file (fun path ->
+      (* "crash": insert durably but never flush/close; simulate by
+         abandoning the table after the WAL writes *)
+      let t = Node_table.create_file ~page_size:512 ~durable:true path in
+      List.iter (Node_table.insert t) sample_rows;
+      (* no flush, no close: pages were never checkpointed *)
+      (match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok recovered ->
+          check Alcotest.int "all rows recovered" 5 (Node_table.row_count recovered);
+          check Alcotest.(list int) "axes work after recovery" [ 2; 4; 5 ]
+            (pres (Node_table.children recovered ~parent:1));
+          check Alcotest.bool "payload intact" true
+            (Page.row_equal (List.nth sample_rows 2)
+               (Option.get (Node_table.find_by_pre recovered 3)));
+          Node_table.close recovered);
+      (* after a clean close the WAL is checkpointed: reopening again
+         must not duplicate anything *)
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok again ->
+          check Alcotest.int "no duplicates after checkpoint" 5 (Node_table.row_count again);
+          Node_table.close again)
+
+let test_crash_recovery_partial_checkpoint () =
+  with_temp_file (fun path ->
+      (* first batch checkpointed, second only in the WAL *)
+      let t = Node_table.create_file ~page_size:512 ~durable:true path in
+      Node_table.insert t (row 1 5 0 "r");
+      Node_table.insert t (row 2 2 1 "a");
+      Node_table.flush t;
+      Node_table.insert t (row 3 1 2 "b");
+      Node_table.insert t (row 4 3 1 "c");
+      (* crash before the second flush; recovery merges pages + log *)
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok recovered ->
+          check Alcotest.int "pages + wal merged" 4 (Node_table.row_count recovered);
+          check Alcotest.(list int) "children" [ 2; 4 ]
+            (pres (Node_table.children recovered ~parent:1));
+          Node_table.close recovered)
+
+let test_durable_without_crash () =
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:512 ~durable:true path in
+      List.iter (Node_table.insert t) sample_rows;
+      Node_table.close t;
+      check Alcotest.bool "wal exists" true (Sys.file_exists (path ^ ".wal"));
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          check Alcotest.int "rows" 5 (Node_table.row_count t');
+          Node_table.close t')
+
+(* Build a random forest shape and compare axes against naive scans. *)
+let gen_tree_rows =
+  QCheck2.Gen.(
+    let* n = int_range 1 60 in
+    (* random parent structure: parent of node i (pre = i+1) is a
+       uniformly chosen earlier node, giving valid pre/post nesting via
+       a DFS renumbering *)
+    let* parents = list_repeat n (int_range 0 1000) in
+    return (n, parents))
+
+let build_rows (n, parent_choices) =
+  (* children lists in insertion order *)
+  let children = Array.make (n + 1) [] in
+  List.iteri
+    (fun i choice ->
+      let node = i + 1 in
+      if node > 1 then begin
+        let parent = 1 + (choice mod (node - 1)) in
+        children.(parent) <- node :: children.(parent)
+      end)
+    parent_choices;
+  Array.iteri (fun i l -> children.(i) <- List.rev l) children;
+  (* DFS assigns pre/post *)
+  let rows = ref [] in
+  let pre = ref 0 and post = ref 0 in
+  let rec dfs node parent_pre =
+    incr pre;
+    let my_pre = !pre in
+    List.iter (fun kid -> dfs kid my_pre) children.(node);
+    incr post;
+    let row = { Page.pre = my_pre; post = !post; parent = parent_pre; share = Bytes.empty } in
+    rows := row :: !rows
+  in
+  dfs 1 0;
+  List.sort (fun a b -> compare a.Page.pre b.Page.pre) !rows
+
+let node_table_model_suite =
+  [
+    qtest ~count:100 "axes match naive scans" gen_tree_rows (fun spec ->
+        let rows = build_rows spec in
+        let t = Node_table.create ~page_size:512 () in
+        List.iter (Node_table.insert t) rows;
+        List.for_all
+          (fun (r : Page.row) ->
+            let naive_children =
+              List.filter (fun (c : Page.row) -> c.Page.parent = r.Page.pre) rows
+            in
+            let naive_desc =
+              List.filter
+                (fun (c : Page.row) -> c.Page.pre > r.Page.pre && c.Page.post < r.Page.post)
+                rows
+            in
+            pres (Node_table.children t ~parent:r.Page.pre) = pres naive_children
+            && pres (Node_table.descendants t ~pre:r.Page.pre ~post:r.Page.post)
+               = pres naive_desc)
+          rows);
+  ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ("crc32", [ Alcotest.test_case "vectors" `Quick test_crc32_vectors ]);
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basic;
+          Alcotest.test_case "sequential inserts" `Quick test_btree_sequential_inserts;
+          Alcotest.test_case "reverse inserts" `Quick test_btree_reverse_inserts;
+          Alcotest.test_case "range scans" `Quick test_btree_range;
+          Alcotest.test_case "delete with rebalancing" `Quick test_btree_delete;
+          Alcotest.test_case "negative keys rejected" `Quick test_btree_negative_rejected;
+        ]
+        @ btree_model_suite );
+      ( "index",
+        [
+          Alcotest.test_case "duplicate keys" `Quick test_index_duplicates;
+          Alcotest.test_case "fold_from" `Quick test_index_fold_from;
+          Alcotest.test_case "bounds" `Quick test_index_bounds;
+        ] );
+      ( "page",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_page_roundtrip;
+          Alcotest.test_case "fills up" `Quick test_page_fills_up;
+          Alcotest.test_case "rejects bad input" `Quick test_page_rejects;
+          Alcotest.test_case "corruption detected" `Quick test_page_corruption_detected;
+        ]
+        @ page_fuzz_suite );
+      ( "pager",
+        [
+          Alcotest.test_case "file roundtrip with eviction" `Quick test_pager_file_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_pager_rejects_garbage;
+        ] );
+      ( "node table",
+        [
+          Alcotest.test_case "axes" `Quick test_node_table_axes;
+          Alcotest.test_case "duplicate pre rejected" `Quick test_node_table_duplicate_pre;
+          Alcotest.test_case "size accounting" `Quick test_node_table_sizes;
+          Alcotest.test_case "file roundtrip" `Quick test_node_table_file_roundtrip;
+        ]
+        @ node_table_model_suite );
+      ( "write-ahead log",
+        [
+          Alcotest.test_case "replay" `Quick test_wal_replay;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt record stops replay" `Quick
+            test_wal_corrupt_record_stops_replay;
+          Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "partial checkpoint" `Quick test_crash_recovery_partial_checkpoint;
+          Alcotest.test_case "durable clean shutdown" `Quick test_durable_without_crash;
+        ] );
+    ]

@@ -1,0 +1,122 @@
+(* The Song-Wagner-Perrig sequential-scan baseline. *)
+
+module Swp = Secshare_swp.Swp
+module Tree = Secshare_xml.Tree
+module Seed = Secshare_prg.Seed
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let key = Swp.key_of_seed (Seed.of_passphrase "swp-tests")
+let other_key = Swp.key_of_seed (Seed.of_passphrase "swp-other")
+
+let sample_words =
+  [ (1, "site"); (2, "person"); (3, "name"); (3, "joan"); (3, "johnson"); (4, "city"); (4, "enschede"); (5, "person") ]
+
+let test_search_finds_words () =
+  let enc = Swp.encrypt_words key sample_words in
+  check Alcotest.(list int) "joan at position 3" [ 3 ]
+    (Swp.search enc (Swp.trapdoor key "joan"));
+  check Alcotest.(list int) "person twice" [ 1; 7 ]
+    (Swp.search enc (Swp.trapdoor key "person"));
+  check Alcotest.(list int) "absent" [] (Swp.search enc (Swp.trapdoor key "zebra"));
+  check Alcotest.(list int) "case folded" [ 3 ] (Swp.search enc (Swp.trapdoor key "JOAN"))
+
+let test_search_elements () =
+  let enc = Swp.encrypt_words key sample_words in
+  check Alcotest.(list int) "person elements" [ 2; 5 ]
+    (Swp.search_elements enc (Swp.trapdoor key "person"));
+  check Alcotest.(list int) "joan element" [ 3 ]
+    (Swp.search_elements enc (Swp.trapdoor key "joan"))
+
+let test_wrong_key_finds_nothing () =
+  let enc = Swp.encrypt_words key sample_words in
+  List.iter
+    (fun w ->
+      check Alcotest.(list int) ("wrong key " ^ w) []
+        (Swp.search enc (Swp.trapdoor other_key w)))
+    [ "joan"; "person"; "site" ]
+
+let test_ciphertexts_hide_repeats () =
+  (* the same word at different positions must encrypt differently *)
+  let enc = Swp.encrypt_words key [ (1, "person"); (2, "person") ] in
+  check Alcotest.bool "repeated words differ" false
+    (Bytes.equal enc.Swp.blocks.(0) enc.Swp.blocks.(1))
+
+let test_decrypt () =
+  let enc = Swp.encrypt_words key sample_words in
+  List.iteri
+    (fun i (_, word) -> check Alcotest.string "decrypt" word (Swp.decrypt_block key enc i))
+    sample_words;
+  Alcotest.check_raises "bad position"
+    (Invalid_argument "Swp.decrypt_block: position 99 out of range") (fun () ->
+      ignore (Swp.decrypt_block key enc 99))
+
+let test_encrypt_tree () =
+  let doc =
+    Result.get_ok
+      (Tree.of_string
+         "<people><person><name>Joan Johnson</name></person><person><name>Bob</name></person></people>")
+  in
+  let enc = Swp.encrypt_tree key doc in
+  (* pre numbering: people=1 person=2 name=3 person=4 name=5 *)
+  check Alcotest.(list int) "tag search: person" [ 2; 4 ]
+    (Swp.search_elements enc (Swp.trapdoor key "person"));
+  check Alcotest.(list int) "word search: joan under name 3" [ 3 ]
+    (Swp.search_elements enc (Swp.trapdoor key "joan"));
+  check Alcotest.(list int) "bob under second name" [ 5 ]
+    (Swp.search_elements enc (Swp.trapdoor key "bob"));
+  check Alcotest.bool "storage accounted" true (Swp.storage_bytes enc > 0)
+
+let gen_word =
+  QCheck2.Gen.(
+    let* len = int_range 1 24 in
+    let* chars = list_repeat len (char_range 'a' 'z') in
+    return (String.init len (List.nth chars)))
+
+let property_suite =
+  [
+    qtest "every encrypted word is found"
+      QCheck2.Gen.(list_size (int_range 1 40) gen_word)
+      (fun words ->
+        let pairs = List.mapi (fun i w -> (i + 1, w)) words in
+        let enc = Swp.encrypt_words key pairs in
+        List.for_all
+          (fun (_, w) -> Swp.search enc (Swp.trapdoor key w) <> [])
+          pairs);
+    qtest "matches are exactly the occurrences"
+      QCheck2.Gen.(pair (list_size (int_range 0 40) gen_word) gen_word)
+      (fun (words, probe) ->
+        let pairs = List.mapi (fun i w -> (i + 1, w)) words in
+        let enc = Swp.encrypt_words key pairs in
+        let expected =
+          List.filteri (fun _ (_, w) -> String.equal w probe) pairs
+          |> List.map (fun (pre, _) -> pre - 1)
+        in
+        Swp.search enc (Swp.trapdoor key probe) = expected);
+    qtest "decrypt recovers short words"
+      QCheck2.Gen.(list_size (int_range 1 20) gen_word)
+      (fun words ->
+        let pairs = List.mapi (fun i w -> (i + 1, w)) words in
+        let enc = Swp.encrypt_words key pairs in
+        List.for_all
+          (fun (i, (_, w)) ->
+            String.length w > 16 || String.equal w (Swp.decrypt_block key enc i))
+          (List.mapi (fun i p -> (i, p)) pairs));
+  ]
+
+let () =
+  Alcotest.run "swp"
+    [
+      ( "baseline",
+        [
+          Alcotest.test_case "search finds words" `Quick test_search_finds_words;
+          Alcotest.test_case "element aggregation" `Quick test_search_elements;
+          Alcotest.test_case "wrong key finds nothing" `Quick test_wrong_key_finds_nothing;
+          Alcotest.test_case "repeats hidden" `Quick test_ciphertexts_hide_repeats;
+          Alcotest.test_case "decrypt" `Quick test_decrypt;
+          Alcotest.test_case "tree flattening" `Quick test_encrypt_tree;
+        ]
+        @ property_suite );
+    ]

@@ -1,0 +1,188 @@
+module Trie = Secshare_trie.Trie
+module Tokenize = Secshare_trie.Tokenize
+module Expand = Secshare_trie.Expand
+module Tree = Secshare_xml.Tree
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let gen_word =
+  QCheck2.Gen.(
+    let* len = int_range 1 10 in
+    let* chars = list_repeat len (char_range 'a' 'z') in
+    return (String.init len (List.nth chars)))
+
+let gen_words = QCheck2.Gen.(list_size (int_range 0 30) gen_word)
+
+(* --- tokenizer --- *)
+
+let test_words () =
+  check Alcotest.(list string) "basic" [ "joan"; "johnson" ] (Tokenize.words "Joan Johnson");
+  check Alcotest.(list string) "punctuation"
+    [ "a"; "b"; "c" ]
+    (Tokenize.words "a, b... c!");
+  check Alcotest.(list string) "digits split" [ "x"; "y" ] (Tokenize.words "x12y3");
+  check Alcotest.(list string) "empty" [] (Tokenize.words "  123 ,,, ");
+  check Alcotest.(list string) "duplicates kept" [ "a"; "a" ] (Tokenize.words "a a")
+
+let test_is_word () =
+  check Alcotest.bool "ok" true (Tokenize.is_word "joan");
+  check Alcotest.bool "empty" false (Tokenize.is_word "");
+  check Alcotest.bool "upper" false (Tokenize.is_word "Joan");
+  check Alcotest.bool "digit" false (Tokenize.is_word "a1")
+
+(* --- trie --- *)
+
+let test_trie_basics () =
+  let t = Trie.of_words [ "joan"; "johnson" ] in
+  check Alcotest.bool "mem joan" true (Trie.mem t "joan");
+  check Alcotest.bool "mem johnson" true (Trie.mem t "johnson");
+  check Alcotest.bool "mem jo" false (Trie.mem t "jo");
+  check Alcotest.bool "prefix jo" true (Trie.mem_prefix t "jo");
+  check Alcotest.bool "prefix xyz" false (Trie.mem_prefix t "xyz");
+  check Alcotest.int "word_count" 2 (Trie.word_count t);
+  (* j-o shared: j,o,a,n,h,n,s,o,n = 9 nodes *)
+  check Alcotest.int "node_count shares prefixes" 9 (Trie.node_count t);
+  check Alcotest.(list string) "words sorted" [ "joan"; "johnson" ] (Trie.words t)
+
+let test_trie_prefix_word () =
+  (* a word that is a prefix of another must keep its own terminal *)
+  let t = Trie.of_words [ "jo"; "joan" ] in
+  check Alcotest.bool "jo" true (Trie.mem t "jo");
+  check Alcotest.bool "joan" true (Trie.mem t "joan");
+  check Alcotest.bool "joa" false (Trie.mem t "joa");
+  check Alcotest.int "words" 2 (Trie.word_count t)
+
+let test_trie_rejects_bad_words () =
+  Alcotest.check_raises "uppercase" (Invalid_argument "Trie.add: \"Joan\" is not a lowercase word")
+    (fun () -> ignore (Trie.add Trie.empty "Joan"))
+
+let trie_property_suite =
+  [
+    qtest "mem iff inserted" gen_words (fun words ->
+        let t = Trie.of_words words in
+        List.for_all (Trie.mem t) words);
+    qtest "words = sorted distinct input" gen_words (fun words ->
+        let t = Trie.of_words words in
+        Trie.words t = List.sort_uniq String.compare words);
+    qtest "word_count = distinct count" gen_words (fun words ->
+        Trie.word_count (Trie.of_words words)
+        = List.length (List.sort_uniq String.compare words));
+    qtest "insertion order irrelevant" gen_words (fun words ->
+        Trie.equal (Trie.of_words words) (Trie.of_words (List.rev words)));
+    qtest "node_count <= total chars" gen_words (fun words ->
+        Trie.node_count (Trie.of_words words)
+        <= List.fold_left (fun acc w -> acc + String.length w) 0 words);
+    qtest "non-member words rejected"
+      QCheck2.Gen.(pair gen_words gen_word)
+      (fun (words, probe) ->
+        let t = Trie.of_words words in
+        Trie.mem t probe = List.mem probe words);
+  ]
+
+(* --- expansion --- *)
+
+let count_named tree name =
+  List.length (Tree.find_all tree ~name)
+
+let test_expand_compressed_shares_prefix () =
+  let doc = Tree.element "name" [ Tree.text "joan johnson" ] in
+  let expanded, stats = Expand.expand ~mode:Expand.Compressed doc in
+  check Alcotest.int "text nodes" 1 stats.Expand.text_nodes;
+  check Alcotest.int "words" 2 stats.Expand.total_words;
+  check Alcotest.int "chars" 11 stats.Expand.total_chars;
+  (* shared j-o prefix: 9 character nodes *)
+  check Alcotest.int "trie nodes" 9 stats.Expand.trie_nodes;
+  check Alcotest.int "markers" 2 stats.Expand.marker_nodes;
+  (* root/j/o branches to a and h *)
+  check Alcotest.int "single j element" 1 (count_named expanded "j");
+  check Alcotest.int "two n elements" 3 (count_named expanded "n")
+
+let test_expand_uncompressed_keeps_duplicates () =
+  let doc = Tree.element "name" [ Tree.text "ab ab" ] in
+  let expanded, stats = Expand.expand ~mode:Expand.Uncompressed doc in
+  check Alcotest.int "trie nodes" 4 stats.Expand.trie_nodes;
+  check Alcotest.int "markers" 2 stats.Expand.marker_nodes;
+  check Alcotest.int "two a chains" 2 (count_named expanded "a");
+  let compressed, cstats = Expand.expand ~mode:Expand.Compressed doc in
+  check Alcotest.int "compressed trie nodes" 2 cstats.Expand.trie_nodes;
+  check Alcotest.int "compressed single chain" 1 (count_named compressed "a")
+
+let test_expand_preserves_structure () =
+  let doc =
+    Tree.element "people"
+      [
+        Tree.element "person" [ Tree.element "name" [ Tree.text "bob" ] ];
+        Tree.element "person" [];
+      ]
+  in
+  let expanded, _ = Expand.expand ~mode:Expand.Compressed doc in
+  check Alcotest.int "persons kept" 2 (count_named expanded "person");
+  check Alcotest.int "names kept" 1 (count_named expanded "name");
+  check Alcotest.int "two b nodes in b-o-b" 2 (count_named expanded "b");
+  check Alcotest.int "marker" 1 (count_named expanded Tokenize.end_marker)
+
+let test_word_path () =
+  check Alcotest.(list string) "joan" [ "j"; "o"; "a"; "n" ] (Expand.word_path "joan");
+  Alcotest.check_raises "bad word"
+    (Invalid_argument "Expand.word_path: \"Jo1\" is not a lowercase word") (fun () ->
+      ignore (Expand.word_path "Jo1"))
+
+let test_reduction_ratio () =
+  (* many repeats compress heavily *)
+  let doc = Tree.element "d" [ Tree.text (String.concat " " (List.init 50 (fun _ -> "word"))) ] in
+  let _, stats = Expand.expand ~mode:Expand.Compressed doc in
+  let ratio = Expand.reduction_ratio stats in
+  check Alcotest.bool "high compression on repeats" true (ratio > 0.9);
+  let _, ustats = Expand.expand ~mode:Expand.Uncompressed doc in
+  check (Alcotest.float 0.0001) "uncompressed stores everything" 0.0
+    (Expand.reduction_ratio ustats)
+
+let expand_property_suite =
+  [
+    qtest ~count:100 "markers = distinct words per text (compressed)" Test_support.gen_tree
+      (fun tree ->
+        let _, stats = Expand.expand ~mode:Expand.Compressed tree in
+        stats.Expand.marker_nodes = stats.Expand.distinct_words);
+    qtest ~count:100 "uncompressed chars = total chars" Test_support.gen_tree (fun tree ->
+        let _, stats = Expand.expand ~mode:Expand.Uncompressed tree in
+        stats.Expand.trie_nodes = stats.Expand.total_chars
+        && stats.Expand.marker_nodes = stats.Expand.total_words);
+    qtest ~count:100 "compressed never larger than uncompressed" Test_support.gen_tree
+      (fun tree ->
+        let _, c = Expand.expand ~mode:Expand.Compressed tree in
+        let _, u = Expand.expand ~mode:Expand.Uncompressed tree in
+        c.Expand.trie_nodes <= u.Expand.trie_nodes);
+    qtest ~count:100 "expansion leaves no text" Test_support.gen_tree (fun tree ->
+        let expanded, _ = Expand.expand ~mode:Expand.Compressed tree in
+        Tree.text_bytes expanded = 0);
+  ]
+
+let () =
+  Alcotest.run "trie"
+    [
+      ( "tokenize",
+        [
+          Alcotest.test_case "words" `Quick test_words;
+          Alcotest.test_case "is_word" `Quick test_is_word;
+        ] );
+      ( "trie",
+        [
+          Alcotest.test_case "basics" `Quick test_trie_basics;
+          Alcotest.test_case "prefix words" `Quick test_trie_prefix_word;
+          Alcotest.test_case "rejects bad words" `Quick test_trie_rejects_bad_words;
+        ]
+        @ trie_property_suite );
+      ( "expand",
+        [
+          Alcotest.test_case "compressed shares prefixes" `Quick
+            test_expand_compressed_shares_prefix;
+          Alcotest.test_case "uncompressed keeps duplicates" `Quick
+            test_expand_uncompressed_keeps_duplicates;
+          Alcotest.test_case "structure preserved" `Quick test_expand_preserves_structure;
+          Alcotest.test_case "word_path" `Quick test_word_path;
+          Alcotest.test_case "reduction ratio" `Quick test_reduction_ratio;
+        ]
+        @ expand_property_suite );
+    ]

@@ -1,0 +1,117 @@
+module Generate = Secshare_xmark.Generate
+module Tree = Secshare_xml.Tree
+module Dtd = Secshare_xml.Dtd
+module Print = Secshare_xml.Print
+
+let check = Alcotest.check
+
+let dtd =
+  match Dtd.parse Dtd.xmark with Ok d -> d | Error e -> failwith ("xmark dtd: " ^ e)
+
+let test_valid_against_dtd () =
+  List.iter
+    (fun factor ->
+      let doc = Generate.generate ~factor () in
+      match Dtd.validate dtd doc with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "factor %.1f invalid: %s" factor msg)
+    [ 0.2; 1.0; 3.0 ]
+
+let test_deterministic () =
+  let a = Generate.generate ~seed:99L ~factor:1.0 () in
+  let b = Generate.generate ~seed:99L ~factor:1.0 () in
+  check Alcotest.bool "same seed same doc" true (Tree.equal a b);
+  let c = Generate.generate ~seed:100L ~factor:1.0 () in
+  check Alcotest.bool "different seed different doc" false (Tree.equal a c)
+
+let test_structure () =
+  let doc = Generate.generate ~factor:1.0 () in
+  (match doc with
+  | Tree.Element { name = "site"; children; _ } ->
+      let names = List.filter_map Tree.name children in
+      check
+        Alcotest.(list string)
+        "site children"
+        [ "regions"; "categories"; "catgraph"; "people"; "open_auctions"; "closed_auctions" ]
+        names
+  | _ -> Alcotest.fail "root is not site");
+  let profile = Generate.profile_of_factor 1.0 in
+  check Alcotest.int "people count" profile.Generate.people
+    (List.length (Tree.find_all doc ~name:"person"));
+  check Alcotest.int "items count"
+    (6 * profile.Generate.items_per_region)
+    (List.length (Tree.find_all doc ~name:"item"));
+  check Alcotest.int "open auctions" profile.Generate.open_auctions
+    (List.length (Tree.find_all doc ~name:"open_auction"))
+
+let test_size_scaling () =
+  let size factor = String.length (Print.to_string (Generate.generate ~factor ())) in
+  let s1 = size 1.0 and s4 = size 4.0 in
+  let ratio = float_of_int s4 /. float_of_int s1 in
+  if ratio < 2.5 || ratio > 6.0 then
+    Alcotest.failf "scaling not roughly linear: %d -> %d (ratio %.2f)" s1 s4 ratio
+
+let test_generate_bytes_accuracy () =
+  List.iter
+    (fun target ->
+      let doc = Generate.generate_bytes ~target_bytes:target () in
+      let actual = String.length (Print.to_string doc) in
+      let err = abs (actual - target) in
+      if err * 10 > target then
+        Alcotest.failf "target %d bytes, got %d (>10%% off)" target actual)
+    [ 100_000; 500_000 ]
+
+let test_generate_bytes_rejects_small () =
+  Alcotest.check_raises "tiny target"
+    (Invalid_argument "Xmark.generate_bytes: target must be at least 10 KB") (fun () ->
+      ignore (Generate.generate_bytes ~target_bytes:100 ()))
+
+let test_profile_minimums () =
+  let p = Generate.profile_of_factor 0.0001 in
+  check Alcotest.bool "at least one of each" true
+    (p.Generate.items_per_region >= 1 && p.Generate.people >= 1 && p.Generate.categories >= 1);
+  Alcotest.check_raises "non-positive factor"
+    (Invalid_argument "Xmark: factor must be positive") (fun () ->
+      ignore (Generate.profile_of_factor 0.0))
+
+let test_tag_names_subset_of_dtd () =
+  let doc = Generate.generate ~factor:2.0 () in
+  let declared = Dtd.element_names dtd in
+  List.iter
+    (fun name ->
+      if not (List.mem name declared) then Alcotest.failf "undeclared tag %s" name)
+    (Tree.tag_names doc)
+
+let test_queries_have_results () =
+  (* the paper's experiments need these paths populated *)
+  let doc = Generate.generate ~factor:2.0 () in
+  List.iter
+    (fun q ->
+      let ast = Secshare_xpath.Parser.parse_exn q in
+      let hits = Secshare_core.Reference.run doc ast in
+      if hits = [] then Alcotest.failf "query %s matches nothing" q)
+    [
+      "/site";
+      "/site/regions/europe/item";
+      "/site/regions/europe/item/description/parlist/listitem";
+      "/site/*/person//city";
+      "//bidder/date";
+      "/*/*/open_auction/bidder/date";
+    ]
+
+let () =
+  Alcotest.run "xmark"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "valid against the auction DTD" `Quick test_valid_against_dtd;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "size scales linearly" `Quick test_size_scaling;
+          Alcotest.test_case "byte targeting" `Quick test_generate_bytes_accuracy;
+          Alcotest.test_case "rejects tiny targets" `Quick test_generate_bytes_rejects_small;
+          Alcotest.test_case "profile minimums" `Quick test_profile_minimums;
+          Alcotest.test_case "only declared tags" `Quick test_tag_names_subset_of_dtd;
+          Alcotest.test_case "benchmark queries populated" `Quick test_queries_have_results;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+module Sax = Secshare_xml.Sax
+module Tree = Secshare_xml.Tree
+module Print = Secshare_xml.Print
+module Dtd = Secshare_xml.Dtd
+module Entity = Secshare_xml.Entity
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let tree_testable = Alcotest.testable Tree.pp Tree.equal
+
+let parse_ok s =
+  match Tree.of_string s with Ok t -> t | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_err s =
+  match Tree.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "expected parse error for %S" s
+
+(* --- entities --- *)
+
+let test_escape () =
+  check Alcotest.string "text" "a&amp;b&lt;c&gt;d" (Entity.escape_text "a&b<c>d");
+  check Alcotest.string "attr" "&quot;&apos;" (Entity.escape_attribute "\"'")
+
+let test_decode () =
+  check Alcotest.(result string string) "named" (Ok "<&>\"'")
+    (Entity.decode "&lt;&amp;&gt;&quot;&apos;");
+  check Alcotest.(result string string) "decimal" (Ok "A") (Entity.decode "&#65;");
+  check Alcotest.(result string string) "hex" (Ok "A") (Entity.decode "&#x41;");
+  check Alcotest.(result string string) "utf8 2-byte" (Ok "\xC3\xA9") (Entity.decode "&#233;");
+  (match Entity.decode "&bogus;" with
+  | Error _ -> ()
+  | Ok s -> Alcotest.failf "bogus entity decoded to %S" s);
+  match Entity.decode "&unterminated" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated entity accepted"
+
+(* --- parser happy paths --- *)
+
+let test_parse_basics () =
+  check tree_testable "self closing" (Tree.element "a" []) (parse_ok "<a/>");
+  check tree_testable "nested"
+    (Tree.element "a" [ Tree.element "b" []; Tree.element "c" [] ])
+    (parse_ok "<a><b/><c></c></a>");
+  check tree_testable "text"
+    (Tree.element "a" [ Tree.text "hello world" ])
+    (parse_ok "<a>hello world</a>");
+  check tree_testable "mixed"
+    (Tree.element "a" [ Tree.text "x"; Tree.element "b" []; Tree.text "y" ])
+    (parse_ok "<a>x<b/>y</a>")
+
+let test_parse_attributes () =
+  match parse_ok "<a x=\"1\" y='two'/>" with
+  | Tree.Element { attrs; _ } ->
+      check Alcotest.(list (pair string string)) "attrs" [ ("x", "1"); ("y", "two") ] attrs
+  | Tree.Text _ -> Alcotest.fail "expected element"
+
+let test_parse_entities_in_text () =
+  check tree_testable "entities"
+    (Tree.element "a" [ Tree.text "x < y & z" ])
+    (parse_ok "<a>x &lt; y &amp; z</a>")
+
+let test_parse_cdata () =
+  check tree_testable "cdata"
+    (Tree.element "a" [ Tree.text "<raw>&stuff;" ])
+    (parse_ok "<a><![CDATA[<raw>&stuff;]]></a>")
+
+let test_parse_comments_dropped () =
+  check tree_testable "comment"
+    (Tree.element "a" [ Tree.element "b" [] ])
+    (parse_ok "<a><!-- hi --><b/><!-- bye --></a>")
+
+let test_parse_decl_doctype () =
+  check tree_testable "prolog"
+    (Tree.element "a" [])
+    (parse_ok
+       "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+        <!DOCTYPE a [<!ELEMENT a EMPTY>]>\n\
+        <a/>")
+
+let test_parse_whitespace_and_newlines () =
+  check tree_testable "surrounding space" (Tree.element "a" []) (parse_ok "  \n <a/> \n ")
+
+(* --- parser error paths --- *)
+
+let test_parse_errors () =
+  List.iter parse_err
+    [
+      "";
+      "   ";
+      "<a>";
+      "</a>";
+      "<a></b>";
+      "<a><b></a></b>";
+      "<a/><b/>";
+      "text only";
+      "<a x=1/>";
+      "<a x=\"1/>";
+      "<a 1x=\"1\"/>";
+      "<a x=\"1\" x=\"2\"/>";
+      "<a>&bogus;</a>";
+      "<a>&amp</a>";
+      "<a><!-- -- --></a>";
+      "<1a/>";
+      "<a><![CDATA[x]]</a>";
+      "trailing<a/>";
+      "<a/>trailing";
+    ]
+
+let test_error_position () =
+  match Tree.of_string "<a>\n<b>\n</c>\n</a>" with
+  | Error msg ->
+      check Alcotest.bool "mentions line 3" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 3")
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* --- events --- *)
+
+let test_sax_events () =
+  let events = ref [] in
+  Sax.iter (Sax.input_of_string "<a x=\"1\">t<b/></a>") ~f:(fun e -> events := e :: !events);
+  let got = List.rev !events in
+  check Alcotest.int "event count" 5 (List.length got);
+  match got with
+  | [
+   Sax.Start_element ("a", [ ("x", "1") ]);
+   Sax.Text "t";
+   Sax.Start_element ("b", []);
+   Sax.End_element "b";
+   Sax.End_element "a";
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected event stream"
+
+let test_tree_to_events_roundtrip () =
+  let t = parse_ok "<a><b>x</b><c/></a>" in
+  match Tree.of_events (Tree.to_events t) with
+  | Ok t' -> check tree_testable "roundtrip" t t'
+  | Error e -> Alcotest.fail e
+
+(* --- printing --- *)
+
+let test_print_escapes () =
+  let t = Tree.element ~attrs:[ ("k", "a\"b") ] "a" [ Tree.text "x<y&z" ] in
+  check Alcotest.string "escaped" "<a k=\"a&quot;b\">x&lt;y&amp;z</a>" (Print.to_string t)
+
+(* Pretty printing inserts padding between element-only children; a
+   reparse sees that padding as ignorable whitespace text.  Compare
+   modulo whitespace-only text nodes. *)
+let rec strip_ws = function
+  | Tree.Text _ as t -> Some t
+  | Tree.Element { name; attrs; children } ->
+      let children =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Tree.Text s
+              when String.for_all (fun ch -> ch = ' ' || ch = '\n' || ch = '\t' || ch = '\r') s
+              -> None
+            | c -> strip_ws c)
+          children
+      in
+      Some (Tree.element ~attrs name children)
+
+let equal_modulo_ws a b =
+  match (strip_ws a, strip_ws b) with
+  | Some a, Some b -> Tree.equal a b
+  | _ -> false
+
+let test_print_indent_preserves_data () =
+  let t = parse_ok "<a><b>text stays</b><c><d/></c></a>" in
+  let pretty = Print.to_string ~indent:2 t in
+  check Alcotest.bool "pretty print reparses equal modulo padding" true
+    (equal_modulo_ws t (parse_ok pretty))
+
+(* --- random roundtrips --- *)
+
+let roundtrip_suite =
+  [
+    qtest ~count:200 "parse(print(t)) = t" Test_support.gen_tree (fun t ->
+        match Tree.of_string (Print.to_string t) with
+        | Ok t' -> Tree.equal t t'
+        | Error _ -> false);
+    qtest ~count:100 "pretty parse(print(t)) = t modulo padding" Test_support.gen_tree
+      (fun t ->
+        match Tree.of_string (Print.to_string ~indent:3 ~decl:true t) with
+        | Ok t' -> equal_modulo_ws t t'
+        | Error _ -> false);
+  ]
+
+(* --- parser fuzzing --- *)
+
+let fuzz_suite =
+  [
+    qtest ~count:500 "parser never crashes on garbage"
+      QCheck2.Gen.(string_size (int_range 0 200))
+      (fun s -> match Tree.of_string s with Ok _ | Error _ -> true);
+    qtest ~count:300 "parser survives mutated valid documents"
+      QCheck2.Gen.(
+        triple Test_support.gen_tree (int_range 0 10000) (int_range 0 255))
+      (fun (t, pos, byte) ->
+        let doc = Bytes.of_string (Print.to_string t) in
+        if Bytes.length doc = 0 then true
+        else begin
+          Bytes.set doc (pos mod Bytes.length doc) (Char.chr byte);
+          match Tree.of_string (Bytes.to_string doc) with Ok _ | Error _ -> true
+        end);
+  ]
+
+(* --- tree utilities --- *)
+
+let test_tree_measures () =
+  let t = parse_ok "<a><b><c/></b><b/>txt</a>" in
+  check Alcotest.int "element_count" 4 (Tree.element_count t);
+  check Alcotest.int "depth" 3 (Tree.depth t);
+  check Alcotest.int "text_bytes" 3 (Tree.text_bytes t);
+  check Alcotest.(list string) "tag_names" [ "a"; "b"; "c" ] (Tree.tag_names t);
+  check Alcotest.int "find_all b" 2 (List.length (Tree.find_all t ~name:"b"))
+
+(* --- DTD --- *)
+
+let test_dtd_parse_xmark () =
+  match Dtd.parse Dtd.xmark with
+  | Error e -> Alcotest.fail e
+  | Ok dtd -> (
+      check Alcotest.int "77 elements" 77 (List.length (Dtd.element_names dtd));
+      check Alcotest.bool "site declared" true (Dtd.content_model dtd "site" <> None);
+      (match Dtd.content_model dtd "incategory" with
+      | Some Dtd.Empty -> ()
+      | _ -> Alcotest.fail "incategory should be EMPTY");
+      (match Dtd.content_model dtd "name" with
+      | Some Dtd.Pcdata -> ()
+      | _ -> Alcotest.fail "name should be #PCDATA");
+      match Dtd.content_model dtd "text" with
+      | Some (Dtd.Mixed names) ->
+          check Alcotest.(list string) "mixed names" [ "bold"; "keyword"; "emph" ] names
+      | _ -> Alcotest.fail "text should be mixed")
+
+let validate_case dtd_src doc expect_ok =
+  match Dtd.parse dtd_src with
+  | Error e -> Alcotest.fail e
+  | Ok dtd -> (
+      match Dtd.validate dtd (parse_ok doc) with
+      | Ok () -> if not expect_ok then Alcotest.failf "expected invalid: %s" doc
+      | Error msg -> if expect_ok then Alcotest.failf "expected valid: %s (%s)" doc msg)
+
+let simple_dtd =
+  "<!ELEMENT root (a, b?, c*)> <!ELEMENT a (#PCDATA)> <!ELEMENT b EMPTY> <!ELEMENT c (a | b)+>"
+
+let test_dtd_validation () =
+  validate_case simple_dtd "<root><a/></root>" true;
+  validate_case simple_dtd "<root><a/><b/></root>" true;
+  validate_case simple_dtd "<root><a/><c><a/><b/></c><c><b/></c></root>" true;
+  validate_case simple_dtd "<root><b/></root>" false;
+  validate_case simple_dtd "<root><a/><b/><b/></root>" false;
+  validate_case simple_dtd "<root><a/><c/></root>" false;
+  validate_case simple_dtd "<root><a/><unknown/></root>" false;
+  validate_case simple_dtd "<root><a>text ok</a></root>" true;
+  validate_case simple_dtd "<root><a/>stray text</root>" false;
+  validate_case simple_dtd "<root><a/><b>not empty</b></root>" false
+
+let test_dtd_duplicate_rejected () =
+  match Dtd.parse "<!ELEMENT a EMPTY> <!ELEMENT a EMPTY>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate declaration accepted"
+
+let test_dtd_occurrences () =
+  let dtd_src = "<!ELEMENT r (x+)> <!ELEMENT x EMPTY>" in
+  validate_case dtd_src "<r><x/></r>" true;
+  validate_case dtd_src "<r><x/><x/><x/></r>" true;
+  validate_case dtd_src "<r/>" false
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "entities",
+        [
+          Alcotest.test_case "escape" `Quick test_escape;
+          Alcotest.test_case "decode" `Quick test_decode;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basics;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "entities in text" `Quick test_parse_entities_in_text;
+          Alcotest.test_case "CDATA" `Quick test_parse_cdata;
+          Alcotest.test_case "comments dropped" `Quick test_parse_comments_dropped;
+          Alcotest.test_case "declaration and DOCTYPE" `Quick test_parse_decl_doctype;
+          Alcotest.test_case "whitespace" `Quick test_parse_whitespace_and_newlines;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_position;
+          Alcotest.test_case "sax events" `Quick test_sax_events;
+          Alcotest.test_case "tree/events roundtrip" `Quick test_tree_to_events_roundtrip;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "escaping" `Quick test_print_escapes;
+          Alcotest.test_case "indent preserves data" `Quick test_print_indent_preserves_data;
+        ]
+        @ roundtrip_suite
+        @ fuzz_suite );
+      ("tree", [ Alcotest.test_case "measures" `Quick test_tree_measures ]);
+      ( "dtd",
+        [
+          Alcotest.test_case "xmark DTD parses" `Quick test_dtd_parse_xmark;
+          Alcotest.test_case "validation" `Quick test_dtd_validation;
+          Alcotest.test_case "duplicates rejected" `Quick test_dtd_duplicate_rejected;
+          Alcotest.test_case "occurrence operators" `Quick test_dtd_occurrences;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+module Ast = Secshare_xpath.Ast
+module Parser = Secshare_xpath.Parser
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let ast_testable = Alcotest.testable Ast.pp Ast.equal
+
+let parse_ok s =
+  match Parser.parse s with Ok q -> q | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_err s =
+  match Parser.parse s with
+  | Error _ -> ()
+  | Ok q -> Alcotest.failf "expected error for %S, got %s" s (Ast.to_string q)
+
+let step = Ast.step
+
+let test_parse_basic () =
+  check ast_testable "/site" [ step Ast.Child (Ast.Name "site") ] (parse_ok "/site");
+  check ast_testable "//city" [ step Ast.Descendant (Ast.Name "city") ] (parse_ok "//city");
+  check ast_testable "/site/*/person//city"
+    [
+      step Ast.Child (Ast.Name "site");
+      step Ast.Child Ast.Any;
+      step Ast.Child (Ast.Name "person");
+      step Ast.Descendant (Ast.Name "city");
+    ]
+    (parse_ok "/site/*/person//city");
+  check ast_testable "parent step"
+    [ step Ast.Child (Ast.Name "a"); step Ast.Child Ast.Parent ]
+    (parse_ok "/a/..")
+
+let test_parse_paper_queries () =
+  (* every query from tables 1 and 2 must parse *)
+  List.iter
+    (fun q -> ignore (parse_ok q))
+    [
+      "/site";
+      "/site/regions";
+      "/site/regions/europe";
+      "/site/regions/europe/item";
+      "/site/regions/europe/item/description";
+      "/site/regions/europe/item/description/parlist";
+      "/site/regions/europe/item/description/parlist/listitem";
+      "/site/regions/europe/item/description/parlist/listitem/text";
+      "/site/regions/europe/item/description/parlist/listitem/text/keyword";
+      "/site//europe/item";
+      "/site//europe//item";
+      "/site/*/person//city";
+      "/*/*/open_auction/bidder/date";
+      "//bidder/date";
+    ]
+
+let test_parse_contains () =
+  let q = parse_ok "/name[contains(text(), \"Joan\")]" in
+  check ast_testable "contains"
+    [ { Ast.axis = Ast.Child; test = Ast.Name "name"; contains = Some "joan" } ]
+    q;
+  (* single quotes and spacing *)
+  check ast_testable "quoting" q (parse_ok "/name[ contains( text( ) , 'JOAN' ) ]")
+
+let test_parse_errors () =
+  List.iter parse_err
+    [
+      "";
+      "site";
+      "/";
+      "//";
+      "/site/";
+      "/site//";
+      "/si te";
+      "/*[contains(text(), \"x\")]";
+      "/..[contains(text(), \"x\")]";
+      "//..";
+      "/name[contains(text)]";
+      "/name[contains(text(), \"unterminated)]";
+      "/name[starts-with(text(), \"x\")]";
+    ]
+
+let test_to_string_roundtrip_examples () =
+  List.iter
+    (fun q -> check ast_testable q (parse_ok q) (parse_ok (Ast.to_string (parse_ok q))))
+    [ "/site/*/person//city"; "//a/../b"; "/name[contains(text(), \"joan\")]" ]
+
+let roundtrip_suite =
+  [
+    qtest "parse(to_string(q)) = q" Test_support.gen_query (fun q ->
+        match Parser.parse (Ast.to_string q) with Ok q' -> Ast.equal q q' | Error _ -> false);
+  ]
+
+let test_name_tests () =
+  let q = parse_ok "/site/*/person//city/../person" in
+  check Alcotest.(list string) "distinct in order" [ "site"; "person"; "city" ]
+    (Ast.name_tests q)
+
+let test_names_after () =
+  let q = parse_ok "/site/*/person//city" in
+  let after = Ast.names_after q in
+  check Alcotest.int "length" 4 (Array.length after);
+  check Alcotest.(list string) "after step 0" [ "person"; "city" ] after.(0);
+  check Alcotest.(list string) "after step 1" [ "person"; "city" ] after.(1);
+  check Alcotest.(list string) "after step 2" [ "city" ] after.(2);
+  check Alcotest.(list string) "after step 3" [] after.(3)
+
+let test_rewrite_contains () =
+  let q = parse_ok "/name[contains(text(), \"joan\")]" in
+  check ast_testable "prefix match" (parse_ok "/name//j/o/a/n") (Ast.rewrite_contains q);
+  check ast_testable "exact match"
+    (parse_ok "/name//j/o/a/n/$")
+    (Ast.rewrite_contains ~exact:true q);
+  (* no-op without predicates *)
+  let plain = parse_ok "/a//b" in
+  check ast_testable "no predicate untouched" plain (Ast.rewrite_contains plain)
+
+let () =
+  Alcotest.run "xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse_basic;
+          Alcotest.test_case "paper queries" `Quick test_parse_paper_queries;
+          Alcotest.test_case "contains predicate" `Quick test_parse_contains;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "to_string examples" `Quick test_to_string_roundtrip_examples;
+        ]
+        @ roundtrip_suite );
+      ( "analysis",
+        [
+          Alcotest.test_case "name_tests" `Quick test_name_tests;
+          Alcotest.test_case "names_after" `Quick test_names_after;
+          Alcotest.test_case "rewrite_contains" `Quick test_rewrite_contains;
+        ] );
+    ]
