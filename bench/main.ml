@@ -293,7 +293,9 @@ let transport_ablation () =
     ~finally:(fun () -> Secshare_rpc.Server.stop server)
     (fun () ->
       let session =
-        must (DB.connect ~p:83 ~e:1 ~mapping:(DB.mapping db) ~seed:(DB.seed db) ~path ())
+        must
+          (DB.connect ~timeout:30.0 ~max_retries:2 ~p:83 ~e:1 ~mapping:(DB.mapping db)
+             ~seed:(DB.seed db) ~path ())
       in
       Fun.protect
         ~finally:(fun () -> DB.session_close session)
@@ -308,7 +310,14 @@ let transport_ablation () =
               in
               printf "%-28s %12.3f %12.3f %10d %12d\n" q local.DB.seconds
                 remote.DB.seconds remote.DB.rpc_calls remote.DB.rpc_bytes)
-            [ "/site/regions/europe/item"; "/site/*/person//city"; "//bidder/date" ]))
+            [ "/site/regions/europe/item"; "/site/*/person//city"; "//bidder/date" ];
+          (* resilience accounting: all zero on a healthy local run —
+             nonzero values flag a flaky environment, so the transport
+             numbers above should be read with suspicion *)
+          let c = DB.session_rpc_counters session in
+          printf "resilience: %d retries, %d reconnects, %d timeouts\n"
+            c.Secshare_rpc.Transport.retries c.Secshare_rpc.Transport.reconnects
+            c.Secshare_rpc.Transport.timeouts))
 
 (* ------------------------------------------------------------------ *)
 (* Extra ablation: Eval batching (the paper's per-call RMI model)     *)

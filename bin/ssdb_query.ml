@@ -22,7 +22,8 @@ let report query result =
     r.DB.seconds r.DB.metrics.Metrics.evaluations r.DB.metrics.Metrics.equality_tests
     r.DB.metrics.Metrics.reconstructions r.DB.rpc_calls r.DB.rpc_bytes
 
-let run db_path socket_path map_path seed_path p e engine_name strictness_name queries =
+let run db_path socket_path map_path seed_path p e engine_name strictness_name timeout
+    max_retries queries =
   let engine =
     match engine_name with
     | "simple" -> Ok DB.Simple
@@ -45,17 +46,20 @@ let run db_path socket_path map_path seed_path p e engine_name strictness_name q
           | Error m -> err "seed: %s" m
           | Ok seed -> (
               let run_all query_fn =
+                let failures = ref 0 in
                 List.iter
                   (fun q ->
                     match query_fn q with
                     | Ok result -> report q result
-                    | Error m -> Printf.printf "query %s failed: %s\n" q m)
+                    | Error m ->
+                        incr failures;
+                        Printf.eprintf "query %s failed: %s\n%!" q m)
                   queries;
-                `Ok 0
+                `Ok (if !failures > 0 then 1 else 0)
               in
               match socket_path with
               | Some path -> (
-                  match DB.connect ~p ~e ~mapping ~seed ~path () with
+                  match DB.connect ?timeout ~max_retries ~p ~e ~mapping ~seed ~path () with
                   | Error m -> err "connect: %s" m
                   | Ok session ->
                       Fun.protect
@@ -103,6 +107,20 @@ let strictness_arg =
     & info [ "test" ] ~docv:"NAME"
         ~doc:"Matching test: strict (equality) or nonstrict (containment).")
 
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-RPC deadline for remote queries (with --connect).")
+
+let max_retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Retry failed idempotent RPCs up to N times with exponential backoff, \
+           reconnecting a dead socket (with --connect).")
+
 let queries =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"XPath queries.")
 
@@ -112,6 +130,6 @@ let cmd =
     Term.(
       ret
         (const run $ db_path $ socket_path $ map_path $ seed_path $ p_arg $ e_arg
-       $ engine_arg $ strictness_arg $ queries))
+       $ engine_arg $ strictness_arg $ timeout_arg $ max_retries_arg $ queries))
 
 let () = exit (Cmd.eval' cmd)

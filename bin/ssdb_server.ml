@@ -6,17 +6,23 @@ open Cmdliner
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let run db_path socket_path p e =
+let run db_path socket_path p e cursor_ttl max_cursors =
   if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
   else
     match Secshare_store.Node_table.open_file db_path with
     | Error m -> err "database: %s" m
     | Ok table ->
         let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
-        let filter = Secshare_core.Server_filter.create ring table in
+        let cursor_ttl = if cursor_ttl > 0.0 then Some cursor_ttl else None in
+        let filter =
+          Secshare_core.Server_filter.create ?cursor_ttl ~max_cursors ring table
+        in
         let server =
-          Secshare_rpc.Server.start ~path:socket_path
-            ~handler:(Secshare_core.Server_filter.handler filter)
+          Secshare_rpc.Server.start_sessions ~path:socket_path
+            ~session:(fun () ->
+              let on_request, on_close = Secshare_core.Server_filter.connection filter in
+              { Secshare_rpc.Server.on_request; on_close })
+            ()
         in
         Printf.printf "serving %s (%d rows) on %s\n%!" db_path
           (Secshare_store.Node_table.row_count table)
@@ -28,8 +34,18 @@ let run db_path socket_path p e =
           Unix.sleepf 0.2
         done;
         Secshare_rpc.Server.stop server;
+        let srv = Secshare_rpc.Server.stats server in
+        let cur = Secshare_core.Server_filter.cursor_stats filter in
         Secshare_store.Node_table.close table;
-        print_endline "server stopped";
+        Printf.printf
+          "server stopped: %d connections, %d requests, %d accept errors; cursors: %d \
+           open, %d evicted (%d by ttl)\n"
+          srv.Secshare_rpc.Server.connections_accepted
+          srv.Secshare_rpc.Server.requests_handled
+          srv.Secshare_rpc.Server.accept_errors
+          cur.Secshare_core.Server_filter.open_cursors
+          cur.Secshare_core.Server_filter.evicted_cursors
+          cur.Secshare_core.Server_filter.expired_cursors;
         `Ok 0
 
 let db_path =
@@ -45,8 +61,24 @@ let socket_path =
 let p_arg = Arg.(value & opt int 83 & info [ "p" ] ~docv:"P" ~doc:"Field characteristic.")
 let e_arg = Arg.(value & opt int 1 & info [ "e" ] ~docv:"E" ~doc:"Extension degree.")
 
+let cursor_ttl_arg =
+  Arg.(
+    value & opt float 300.0
+    & info [ "cursor-ttl" ] ~docv:"SECONDS"
+        ~doc:"Evict scan cursors idle longer than this; 0 disables the TTL.")
+
+let max_cursors_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "max-cursors" ] ~docv:"N"
+        ~doc:"Cap on concurrently open scan cursors (LRU eviction past it).")
+
 let cmd =
   let doc = "serve an encrypted share database over a Unix-domain socket" in
-  Cmd.v (Cmd.info "ssdb_server" ~doc) Term.(ret (const run $ db_path $ socket_path $ p_arg $ e_arg))
+  Cmd.v (Cmd.info "ssdb_server" ~doc)
+    Term.(
+      ret
+        (const run $ db_path $ socket_path $ p_arg $ e_arg $ cursor_ttl_arg
+       $ max_cursors_arg))
 
 let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,8 @@ type config = {
   mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
   page_size : int;
   rpc_batching : bool;
+  cursor_ttl : float option;
+  max_cursors : int;
 }
 
 let default_config =
@@ -22,6 +24,8 @@ let default_config =
     mapping = `From_document;
     page_size = 8192;
     rpc_batching = true;
+    cursor_ttl = None;
+    max_cursors = 1024;
   }
 
 type engine = Simple | Advanced
@@ -44,11 +48,24 @@ type query_result = {
   seconds : float;
 }
 
-let build_mapping config tree =
-  let q =
-    let rec pow acc i = if i = 0 then acc else pow (acc * config.p) (i - 1) in
-    pow 1 config.e
+(* Field orders past this are useless for the scheme (a share stores
+   q - 1 packed coefficients) and risk int overflow downstream; reject
+   them instead of letting [p^e] wrap around silently. *)
+let max_field_order = 1 lsl 20
+
+let checked_field_order ~p ~e =
+  let rec go acc i =
+    if i = 0 then Ok acc
+    else if acc > max_field_order / p then
+      Error
+        (Printf.sprintf
+           "p^e = %d^%d exceeds the safe field-order bound of %d (would overflow)" p e
+           max_field_order)
+    else go (acc * p) (i - 1)
   in
+  go 1 e
+
+let build_mapping config ~q tree =
   let base =
     match config.mapping with
     | `Explicit m -> Ok m
@@ -65,11 +82,14 @@ let create_tree ?(config = default_config) tree =
     if not (Secshare_field.Prime.is_prime config.p) then
       Error (Printf.sprintf "p = %d is not prime" config.p)
     else if config.e < 1 then Error "e must be >= 1"
-    else Ok (Ring.of_prime_power ~p:config.p ~e:config.e)
+    else
+      match checked_field_order ~p:config.p ~e:config.e with
+      | Error _ as e -> e
+      | Ok q -> Ok (Ring.of_prime_power ~p:config.p ~e:config.e, q)
   with
   | Error _ as e -> e
-  | Ok ring -> (
-      match build_mapping config tree with
+  | Ok (ring, q) -> (
+      match build_mapping config ~q tree with
       | Error _ as e -> e
       | Ok map -> (
           let seed =
@@ -81,7 +101,10 @@ let create_tree ?(config = default_config) tree =
           match Encode.encode_tree ring ~mapping:map ~seed ~table ?trie:config.trie tree with
           | Error e -> Error (Encode.error_to_string e)
           | Ok encode_stats ->
-              let server = Server_filter.create ring table in
+              let server =
+                Server_filter.create ?cursor_ttl:config.cursor_ttl
+                  ~max_cursors:config.max_cursors ring table
+              in
               let transport = Transport.local ~handler:(Server_filter.handler server) in
               let filter =
                 Client_filter.create ring ~seed ~batch_eval:config.rpc_batching transport
@@ -97,17 +120,20 @@ let zero_encode_stats =
     duration_seconds = 0.0;
   }
 
-let of_parts ?(rpc_batching = true) ~p ~e ~mapping:map ~seed ~table () =
+let of_parts ?(rpc_batching = true) ?cursor_ttl ?max_cursors ~p ~e ~mapping:map ~seed
+    ~table () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else if e < 1 then Error "e must be >= 1"
-  else begin
-    let ring = Ring.of_prime_power ~p ~e in
-    let server = Server_filter.create ring table in
-    let transport = Transport.local ~handler:(Server_filter.handler server) in
-    let filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport in
-    Ok { ring; map; seed; table; server; filter; encode_stats = zero_encode_stats }
-  end
+  else
+    match checked_field_order ~p ~e with
+    | Error _ as err -> err
+    | Ok _ ->
+        let ring = Ring.of_prime_power ~p ~e in
+        let server = Server_filter.create ?cursor_ttl ?max_cursors ring table in
+        let transport = Transport.local ~handler:(Server_filter.handler server) in
+        let filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport in
+        Ok { ring; map; seed; table; server; filter; encode_stats = zero_encode_stats }
 
 let create ?config xml =
   match Secshare_xml.Tree.of_string xml with
@@ -192,30 +218,51 @@ let seed t = t.seed
 let client_filter t = t.filter
 let table t = t.table
 
-let serve t ~path =
-  Secshare_rpc.Server.start ~path ~handler:(Server_filter.handler t.server)
+let serve ?send_timeout t ~path =
+  (* session-scoped handlers so a dropped connection takes its open
+     cursors with it *)
+  Secshare_rpc.Server.start_sessions ?send_timeout ~path
+    ~session:(fun () ->
+      let on_request, on_close = Server_filter.connection t.server in
+      { Secshare_rpc.Server.on_request; on_close })
+    ()
+
+let open_cursors t = Server_filter.open_cursors t.server
+let cursor_stats t = Server_filter.cursor_stats t.server
+let sweep_cursors t = Server_filter.sweep_cursors t.server
 
 type session = { s_filter : Client_filter.t; s_map : Mapping.t }
 
-let connect ?(rpc_batching = true) ~p ~e ~mapping ~seed ~path () =
+let connect ?(rpc_batching = true) ?timeout ?max_retries ~p ~e ~mapping ~seed ~path () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else
-    match Transport.socket path with
-    | Error msg -> Error ("connect: " ^ msg)
-    | Ok transport ->
-        let ring = Ring.of_prime_power ~p ~e in
-        Ok
+    match checked_field_order ~p ~e with
+    | Error _ as err -> err
+    | Ok _ -> (
+        let policy =
           {
-            s_filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport;
-            s_map = mapping;
+            Transport.default_policy with
+            Transport.call_timeout = timeout;
+            max_retries = Option.value max_retries ~default:0;
           }
+        in
+        match Transport.socket ~policy path with
+        | Error msg -> Error ("connect: " ^ msg)
+        | Ok transport ->
+            let ring = Ring.of_prime_power ~p ~e in
+            Ok
+              {
+                s_filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport;
+                s_map = mapping;
+              })
 
 let session_query ?engine ?strictness session q =
   match parse_query q with
   | Error _ as e -> e
   | Ok ast -> run_query_on session.s_filter ~map:session.s_map ?engine ?strictness ast
 
+let session_rpc_counters session = Client_filter.rpc_counters session.s_filter
 let session_close session = Client_filter.close session.s_filter
 let close t = Node_table.close t.table
 

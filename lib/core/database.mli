@@ -22,6 +22,12 @@ type config = {
       (** batch containment evaluations into one round trip (default
           true); disable to reproduce the per-node-call cost model of
           the paper's RMI filter *)
+  cursor_ttl : float option;
+      (** evict server-side scan cursors idle longer than this many
+          seconds (default [None]: no TTL) *)
+  max_cursors : int;
+      (** cap on concurrently open server-side cursors, evicting the
+          least recently used past it (default 1024) *)
 }
 
 val default_config : config
@@ -41,6 +47,8 @@ val create : ?config:config -> string -> (t, string) result
 
 val of_parts :
   ?rpc_batching:bool ->
+  ?cursor_ttl:float ->
+  ?max_cursors:int ->
   p:int ->
   e:int ->
   mapping:Mapping.t ->
@@ -91,14 +99,26 @@ val table : t -> Secshare_store.Node_table.t
 
 (** {2 Remote deployment} *)
 
-val serve : t -> path:string -> Secshare_rpc.Server.t
-(** Expose this database's server half on a Unix-domain socket. *)
+val serve : ?send_timeout:float -> t -> path:string -> Secshare_rpc.Server.t
+(** Expose this database's server half on a Unix-domain socket.  Each
+    connection gets a session-scoped handler: cursors it opened are
+    evicted when it disconnects.  [send_timeout] bounds each response
+    write (see {!Secshare_rpc.Server.start_sessions}). *)
+
+val open_cursors : t -> int
+(** Server-side cursors currently open (for leak tests/monitoring). *)
+
+val cursor_stats : t -> Server_filter.cursor_stats
+val sweep_cursors : t -> int
+(** Evict cursors idle past the configured TTL now; returns how many. *)
 
 type session
 (** A remote client: secret state plus a socket transport. *)
 
 val connect :
   ?rpc_batching:bool ->
+  ?timeout:float ->
+  ?max_retries:int ->
   p:int ->
   e:int ->
   mapping:Mapping.t ->
@@ -106,6 +126,10 @@ val connect :
   path:string ->
   unit ->
   (session, string) result
+(** [timeout] bounds each RPC round trip (seconds); [max_retries]
+    (default 0) retries failed idempotent calls with exponential
+    backoff, transparently reconnecting a dead socket (see
+    {!Secshare_rpc.Transport.policy}). *)
 
 val session_query :
   ?engine:engine ->
@@ -113,6 +137,10 @@ val session_query :
   session ->
   string ->
   (query_result, string) result
+
+val session_rpc_counters : session -> Secshare_rpc.Transport.counters
+(** Live transport counters for the session (calls, bytes, retries,
+    reconnects, timeouts). *)
 
 val session_close : session -> unit
 val close : t -> unit

@@ -2,18 +2,43 @@ module Protocol = Secshare_rpc.Protocol
 module Node_table = Secshare_store.Node_table
 module Page = Secshare_store.Page
 
-type cursor = { mutable items : Protocol.node_meta list }
+type cursor = {
+  mutable items : Protocol.node_meta list;
+  mutable last_used : float;
+}
+
+type cursor_stats = {
+  open_cursors : int;
+  evicted_cursors : int;  (** removed by TTL, cap pressure, or connection close *)
+  expired_cursors : int;  (** the TTL subset of [evicted_cursors] *)
+}
 
 type t = {
   ring : Secshare_poly.Ring.t;
   table : Node_table.t;
   cursors : (int, cursor) Hashtbl.t;
   mutable next_cursor : int;
+  cursor_ttl : float option;
+  max_cursors : int;
+  mutable evicted_total : int;
+  mutable expired_total : int;
+  now : unit -> float;
   lock : Mutex.t;
 }
 
-let create ring table =
-  { ring; table; cursors = Hashtbl.create 16; next_cursor = 1; lock = Mutex.create () }
+let create ?cursor_ttl ?(max_cursors = 1024) ?(now = Unix.gettimeofday) ring table =
+  {
+    ring;
+    table;
+    cursors = Hashtbl.create 16;
+    next_cursor = 1;
+    cursor_ttl;
+    max_cursors = max 1 max_cursors;
+    evicted_total = 0;
+    expired_total = 0;
+    now;
+    lock = Mutex.create ();
+  }
 
 let meta_of_row (row : Page.row) =
   { Protocol.pre = row.Page.pre; post = row.Page.post; parent = row.Page.parent }
@@ -25,6 +50,45 @@ let eval_share t (row : Page.row) point =
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Drop cursors idle past the TTL.  Called with the lock held, on
+   every cursor operation, so a server under any load at all converges
+   to zero leaked cursors without a dedicated sweeper thread. *)
+let sweep_locked t =
+  match t.cursor_ttl with
+  | None -> 0
+  | Some ttl ->
+      let now = t.now () in
+      let stale =
+        Hashtbl.fold
+          (fun id c acc -> if now -. c.last_used > ttl then id :: acc else acc)
+          t.cursors []
+      in
+      List.iter (Hashtbl.remove t.cursors) stale;
+      let n = List.length stale in
+      t.expired_total <- t.expired_total + n;
+      t.evicted_total <- t.evicted_total + n;
+      n
+
+(* Called with the lock held: make room for one more cursor by
+   evicting the least-recently-used one once the cap is reached, so an
+   abandoned drain can never pin server memory. *)
+let enforce_cap_locked t =
+  while Hashtbl.length t.cursors >= t.max_cursors do
+    let oldest =
+      Hashtbl.fold
+        (fun id c acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= c.last_used -> acc
+          | _ -> Some (id, c))
+        t.cursors None
+    in
+    match oldest with
+    | None -> ()
+    | Some (id, _) ->
+        Hashtbl.remove t.cursors id;
+        t.evicted_total <- t.evicted_total + 1
+  done
 
 let handle t (request : Protocol.request) : Protocol.response =
   match request with
@@ -43,12 +107,15 @@ let handle t (request : Protocol.request) : Protocol.response =
                meta_of_row row :: acc))
       in
       with_lock t (fun () ->
+          ignore (sweep_locked t);
+          enforce_cap_locked t;
           let id = t.next_cursor in
           t.next_cursor <- t.next_cursor + 1;
-          Hashtbl.replace t.cursors id { items };
+          Hashtbl.replace t.cursors id { items; last_used = t.now () };
           Protocol.Cursor id)
   | Protocol.Cursor_next { cursor; max_items } ->
       with_lock t (fun () ->
+          ignore (sweep_locked t);
           match Hashtbl.find_opt t.cursors cursor with
           | None -> Protocol.Error_msg (Printf.sprintf "unknown cursor %d" cursor)
           | Some c ->
@@ -64,6 +131,7 @@ let handle t (request : Protocol.request) : Protocol.response =
               in
               let batch, remaining = take max_items c.items in
               c.items <- remaining;
+              c.last_used <- t.now ();
               let exhausted = remaining = [] in
               if exhausted then Hashtbl.remove t.cursors cursor;
               Protocol.Batch (batch, exhausted))
@@ -114,4 +182,38 @@ let handler t request =
   | response -> response
   | exception exn -> Protocol.Error_msg (Printexc.to_string exn)
 
+(* A per-connection view: remembers which cursors this connection
+   opened so they can be evicted the moment it goes away, instead of
+   lingering until the TTL sweep. *)
+let connection t =
+  let owned = ref [] in
+  let on_request request =
+    let response = handler t request in
+    (match (request, response) with
+    | Protocol.Descendants _, Protocol.Cursor id -> owned := id :: !owned
+    | _ -> ());
+    response
+  in
+  let on_close () =
+    with_lock t (fun () ->
+        List.iter
+          (fun id ->
+            if Hashtbl.mem t.cursors id then begin
+              Hashtbl.remove t.cursors id;
+              t.evicted_total <- t.evicted_total + 1
+            end)
+          !owned;
+        owned := [])
+  in
+  (on_request, on_close)
+
+let sweep_cursors t = with_lock t (fun () -> sweep_locked t)
 let open_cursors t = with_lock t (fun () -> Hashtbl.length t.cursors)
+
+let cursor_stats t =
+  with_lock t (fun () ->
+      {
+        open_cursors = Hashtbl.length t.cursors;
+        evicted_cursors = t.evicted_total;
+        expired_cursors = t.expired_total;
+      })

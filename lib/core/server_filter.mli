@@ -8,14 +8,48 @@
 
     Cursors implement the [nextNode()] pipeline: a [Descendants]
     request opens a server-side scan buffer; the client drains it in
-    small batches so it holds only one batch at a time. *)
+    small batches so it holds only one batch at a time.  Abandoned
+    cursors cannot accumulate: each cursor carries a last-used
+    timestamp and is evicted once idle past [cursor_ttl] (swept on
+    every cursor operation or via {!sweep_cursors}); the total is
+    capped at [max_cursors] with least-recently-used eviction; and a
+    {!connection}-scoped handler evicts a connection's cursors the
+    moment it closes. *)
 
 type t
 
-val create : Secshare_poly.Ring.t -> Secshare_store.Node_table.t -> t
+val create :
+  ?cursor_ttl:float ->
+  ?max_cursors:int ->
+  ?now:(unit -> float) ->
+  Secshare_poly.Ring.t ->
+  Secshare_store.Node_table.t ->
+  t
+(** [cursor_ttl] (seconds, default: none) evicts cursors idle longer
+    than that; [max_cursors] (default 1024) bounds concurrently open
+    cursors, evicting the least recently used past the cap.  [now] is
+    the clock, injectable for tests. *)
 
 val handler : t -> Secshare_rpc.Protocol.request -> Secshare_rpc.Protocol.response
 (** Total: errors come back as [Error_msg]. *)
 
+val connection :
+  t ->
+  (Secshare_rpc.Protocol.request -> Secshare_rpc.Protocol.response) * (unit -> unit)
+(** A per-connection handler plus its close hook: the hook evicts
+    every cursor the connection opened and still holds.  Feed the pair
+    to {!Secshare_rpc.Server.start_sessions}. *)
+
+val sweep_cursors : t -> int
+(** Evict cursors idle past the TTL now; returns how many. *)
+
 val open_cursors : t -> int
 (** Number of cursors currently open (for leak tests). *)
+
+type cursor_stats = {
+  open_cursors : int;
+  evicted_cursors : int;  (** removed by TTL, cap pressure, or connection close *)
+  expired_cursors : int;  (** the TTL subset of [evicted_cursors] *)
+}
+
+val cursor_stats : t -> cursor_stats

@@ -1,7 +1,41 @@
-let write_all fd buf =
+exception Timeout
+
+(* A peer that vanishes between frames turns the next write into
+   SIGPIPE, which kills the whole process by default; the RPC layer
+   needs the EPIPE exception instead so the retry policy can classify
+   it.  Ignored lazily, once, on first frame I/O. *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> () (* no SIGPIPE on this platform *))
+
+(* Wait until [fd] is ready for the given direction or [deadline]
+   (absolute, [Unix.gettimeofday] clock) passes.  [select] can return
+   early on EINTR, so loop on the remaining time. *)
+let wait_ready fd ~for_read deadline =
+  match deadline with
+  | None -> ()
+  | Some deadline ->
+      let rec wait () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then raise Timeout;
+        let ready =
+          match
+            if for_read then Unix.select [ fd ] [] [] remaining
+            else Unix.select [] [ fd ] [] remaining
+          with
+          | r, w, _ -> r <> [] || w <> []
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        in
+        if not ready then wait ()
+      in
+      wait ()
+
+let write_all ?deadline fd buf =
   let len = Bytes.length buf in
   let rec go off =
     if off < len then begin
+      wait_ready fd ~for_read:false deadline;
       let n = Unix.write fd buf off (len - off) in
       if n = 0 then failwith "socket closed during write";
       go (off + n)
@@ -9,10 +43,11 @@ let write_all fd buf =
   in
   go 0
 
-let read_exactly fd len =
+let read_exactly ?deadline fd len =
   let buf = Bytes.create len in
   let rec go off =
     if off < len then begin
+      wait_ready fd ~for_read:true deadline;
       let n = Unix.read fd buf off (len - off) in
       if n = 0 then failwith "socket closed during read";
       go (off + n)
@@ -21,14 +56,15 @@ let read_exactly fd len =
   go 0;
   buf
 
-let send fd payload =
+let send ?deadline fd payload =
+  Lazy.force ignore_sigpipe;
   let header = Bytes.create 4 in
   Bytes.set_int32_be header 0 (Int32.of_int (String.length payload));
-  write_all fd header;
-  write_all fd (Bytes.of_string payload)
+  write_all ?deadline fd header;
+  write_all ?deadline fd (Bytes.of_string payload)
 
-let recv fd =
-  let header = read_exactly fd 4 in
+let recv ?deadline fd =
+  let header = read_exactly ?deadline fd 4 in
   let len = Int32.to_int (Bytes.get_int32_be header 0) in
   if len < 0 || len > 1 lsl 28 then failwith "unreasonable frame length";
-  Bytes.to_string (read_exactly fd len)
+  Bytes.to_string (read_exactly ?deadline fd len)

@@ -1,8 +1,19 @@
 (** Length-prefixed message framing over a file descriptor (4-byte
-    big-endian length, then the payload). *)
+    big-endian length, then the payload).
 
-val send : Unix.file_descr -> string -> unit
-(** @raise Failure on a closed peer. *)
+    Both operations take an optional absolute [deadline] (on the
+    [Unix.gettimeofday] clock).  I/O is then guarded by [Unix.select]:
+    if the peer does not become ready before the deadline — including
+    mid-frame, after a partial read or write — {!Timeout} is raised and
+    the stream must be considered desynchronised (the caller should
+    drop the connection). *)
 
-val recv : Unix.file_descr -> string
-(** @raise Failure on a closed peer or an implausible length. *)
+exception Timeout
+
+val send : ?deadline:float -> Unix.file_descr -> string -> unit
+(** @raise Failure on a closed peer.
+    @raise Timeout when [deadline] passes before the frame is written. *)
+
+val recv : ?deadline:float -> Unix.file_descr -> string
+(** @raise Failure on a closed peer or an implausible length.
+    @raise Timeout when [deadline] passes before a full frame arrives. *)

@@ -1,13 +1,30 @@
+type session = {
+  on_request : Protocol.request -> Protocol.response;
+  on_close : unit -> unit;
+}
+
+type stats = {
+  connections_accepted : int;
+  connections_active : int;
+  requests_handled : int;
+  accept_errors : int;
+}
+
 type t = {
   socket_path : string;
   listen_fd : Unix.file_descr;
+  send_timeout : float option;
   mutable running : bool;
   mutable client_fds : Unix.file_descr list;
+  mutable handler_threads : Thread.t list;
+  mutable connections_accepted : int;
+  mutable requests_handled : int;
+  mutable accept_errors : int;
   lock : Mutex.t;
   accept_thread : Thread.t option ref;
 }
 
-let handle_connection t handler fd =
+let handle_connection t session fd =
   let finished = ref false in
   while (not !finished) && t.running do
     match Frame.recv fd with
@@ -15,34 +32,66 @@ let handle_connection t handler fd =
         let reply =
           match Protocol.decode_request request_payload with
           | request -> (
-              match handler request with
+              match session.on_request request with
               | response -> response
               | exception exn ->
                   Protocol.Error_msg ("handler: " ^ Printexc.to_string exn))
           | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg)
         in
-        (match Frame.send fd (Protocol.encode_response reply) with
+        Mutex.lock t.lock;
+        t.requests_handled <- t.requests_handled + 1;
+        Mutex.unlock t.lock;
+        let deadline =
+          Option.map (fun s -> Unix.gettimeofday () +. s) t.send_timeout
+        in
+        (match Frame.send ?deadline fd (Protocol.encode_response reply) with
         | () -> ()
-        | exception (Failure _ | Unix.Unix_error _) -> finished := true)
+        | exception (Failure _ | Unix.Unix_error _ | Frame.Timeout) -> finished := true)
     | exception (Failure _ | Unix.Unix_error _) -> finished := true
   done;
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match session.on_close () with
+  | () -> ()
+  | exception _ -> ());
+  (* unregister before closing, so [stop] never shuts down a reused
+     descriptor number *)
   Mutex.lock t.lock;
   t.client_fds <- List.filter (fun other -> other != fd) t.client_fds;
-  Mutex.unlock t.lock
+  let self = Thread.id (Thread.self ()) in
+  t.handler_threads <-
+    List.filter (fun thread -> Thread.id thread <> self) t.handler_threads;
+  Mutex.unlock t.lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
 
-let accept_loop t handler =
+let accept_loop t make_session =
+  let consecutive_failures = ref 0 in
   while t.running do
     match Unix.accept t.listen_fd with
     | fd, _ ->
+        consecutive_failures := 0;
+        let session = make_session () in
         Mutex.lock t.lock;
         t.client_fds <- fd :: t.client_fds;
+        t.connections_accepted <- t.connections_accepted + 1;
+        let thread = Thread.create (handle_connection t session) fd in
+        t.handler_threads <- thread :: t.handler_threads;
+        Mutex.unlock t.lock
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ when not t.running ->
+        () (* listening socket closed by stop *)
+    | exception Unix.Unix_error _ ->
+        (* e.g. EMFILE: back off instead of spinning at 100% CPU, and
+           keep serving the connections we already have *)
+        Mutex.lock t.lock;
+        t.accept_errors <- t.accept_errors + 1;
         Mutex.unlock t.lock;
-        ignore (Thread.create (handle_connection t handler) fd)
-    | exception Unix.Unix_error _ -> () (* listening socket closed by stop *)
+        incr consecutive_failures;
+        let delay =
+          Float.min 1.0 (0.005 *. (2.0 ** float_of_int (min !consecutive_failures 8)))
+        in
+        Thread.delay delay
   done
 
-let start ~path ~handler =
+let start_sessions ?send_timeout ~path ~session () =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
@@ -51,16 +100,39 @@ let start ~path ~handler =
     {
       socket_path = path;
       listen_fd;
+      send_timeout;
       running = true;
       client_fds = [];
+      handler_threads = [];
+      connections_accepted = 0;
+      requests_handled = 0;
+      accept_errors = 0;
       lock = Mutex.create ();
       accept_thread = ref None;
     }
   in
-  t.accept_thread := Some (Thread.create (fun () -> accept_loop t handler) ());
+  t.accept_thread := Some (Thread.create (fun () -> accept_loop t session) ());
   t
 
+let start ~path ~handler =
+  start_sessions ~path
+    ~session:(fun () -> { on_request = handler; on_close = ignore })
+    ()
+
 let path t = t.socket_path
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      connections_accepted = t.connections_accepted;
+      connections_active = List.length t.client_fds;
+      requests_handled = t.requests_handled;
+      accept_errors = t.accept_errors;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
 
 let stop t =
   if t.running then begin
@@ -73,11 +145,16 @@ let stop t =
        Unix.close fd
      with Unix.Unix_error _ -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match !(t.accept_thread) with None -> () | Some thread -> Thread.join thread);
+    (* drain: shut down the read side of every live connection, so
+       handlers blocked in [recv] see EOF while in-flight responses
+       still go out, then wait for every handler to finish *)
     Mutex.lock t.lock;
-    let clients = t.client_fds in
-    t.client_fds <- [];
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      t.client_fds;
+    let handlers = t.handler_threads in
     Mutex.unlock t.lock;
-    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
-    (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
-    match !(t.accept_thread) with None -> () | Some thread -> Thread.join thread
+    List.iter Thread.join handlers;
+    (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
   end

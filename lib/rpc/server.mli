@@ -1,17 +1,52 @@
 (** A threaded Unix-domain-socket server for the filter protocol — the
-    "big server" side of the paper's architecture (figure 3). *)
+    "big server" side of the paper's architecture (figure 3).
+
+    Each accepted connection runs on its own handler thread.  The
+    server keeps per-connection accounting, backs off instead of
+    spinning when [accept] fails persistently (e.g. EMFILE), and
+    {!stop} performs a graceful drain: stop accepting, let in-flight
+    requests finish, join every handler thread, then unlink the
+    socket. *)
 
 type t
+
+type session = {
+  on_request : Protocol.request -> Protocol.response;
+      (** Must be safe for concurrent calls across connections (each
+          connection issues one request at a time). *)
+  on_close : unit -> unit;
+      (** Runs exactly once when the connection ends — client
+          disconnect, handler I/O failure, or server drain — before
+          the descriptor is closed.  Use it to release per-connection
+          server state (e.g. evict the connection's cursors). *)
+}
 
 val start : path:string -> handler:(Protocol.request -> Protocol.response) -> t
 (** Bind [path] (unlinking any stale socket), then accept connections
     on a background thread; each connection gets its own handler
-    thread.  The handler must be safe for concurrent calls (the query
-    engines issue one request at a time per connection, but several
-    clients may connect).  @raise Unix.Unix_error if binding fails. *)
+    thread.  @raise Unix.Unix_error if binding fails. *)
+
+val start_sessions :
+  ?send_timeout:float -> path:string -> session:(unit -> session) -> unit -> t
+(** Like {!start}, but a fresh [session] is created per connection,
+    giving the handler connection identity and a close hook.
+    [send_timeout] bounds each response write so a client that stops
+    reading cannot wedge a handler thread forever. *)
 
 val path : t -> string
 
+type stats = {
+  connections_accepted : int;
+  connections_active : int;
+  requests_handled : int;
+  accept_errors : int;  (** failed [accept] calls (backoff applied) *)
+}
+
+val stats : t -> stats
+
 val stop : t -> unit
-(** Stop accepting, close the listening socket and unlink the path.
-    In-flight connections are closed. *)
+(** Graceful drain: stop accepting, close the listening socket, shut
+    down the read side of live connections (in-flight responses still
+    go out), join all handler threads — running their [on_close]
+    hooks — and unlink the path.  Returns once every handler has
+    exited. *)

@@ -2,25 +2,92 @@ type counters = {
   mutable calls : int;
   mutable bytes_sent : int;
   mutable bytes_received : int;
+  mutable retries : int;
+  mutable reconnects : int;
+  mutable timeouts : int;
+}
+
+type policy = {
+  call_timeout : float option;
+  max_retries : int;
+  backoff_base : float;
+  backoff_max : float;
+  backoff_jitter : float;
+}
+
+let default_policy =
+  {
+    call_timeout = None;
+    max_retries = 0;
+    backoff_base = 0.05;
+    backoff_max = 1.0;
+    backoff_jitter = 0.5;
+  }
+
+type socket_conn = {
+  path : string;
+  policy : policy;
+  mutable fd : Unix.file_descr option;
+  mutable closed : bool;
 }
 
 type kind =
   | Local of (Protocol.request -> Protocol.response)
-  | Socket of { fd : Unix.file_descr; mutable alive : bool }
+  | Socket of socket_conn
 
 type t = { kind : kind; counters : counters }
 
-let fresh_counters () = { calls = 0; bytes_sent = 0; bytes_received = 0 }
+let fresh_counters () =
+  {
+    calls = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    retries = 0;
+    reconnects = 0;
+    timeouts = 0;
+  }
+
 let local ~handler = { kind = Local handler; counters = fresh_counters () }
 
-let socket path =
-  match
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    fd
-  with
-  | fd -> Ok { kind = Socket { fd; alive = true }; counters = fresh_counters () }
+let connect_fd path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> fd
+  | exception exn ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise exn
+
+let socket ?(policy = default_policy) path =
+  match connect_fd path with
+  | fd ->
+      Ok
+        {
+          kind = Socket { path; policy; fd = Some fd; closed = false };
+          counters = fresh_counters ();
+        }
   | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+(* Every request is a pure read of server state except [Cursor_next],
+   which advances a server-side cursor: resending it after an
+   ambiguous failure could silently skip a batch. *)
+let idempotent = function Protocol.Cursor_next _ -> false | _ -> true
+
+let backoff_delay policy attempt =
+  let d = policy.backoff_base *. (2.0 ** float_of_int attempt) in
+  let d = Float.min d policy.backoff_max in
+  let jitter =
+    if policy.backoff_jitter <= 0.0 then 0.0
+    else
+      let state = Random.State.make_self_init () in
+      policy.backoff_jitter *. ((Random.State.float state 2.0) -. 1.0)
+  in
+  Float.max 0.0 (d *. (1.0 +. jitter))
+
+let drop_connection conn =
+  (match conn.fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  conn.fd <- None
 
 let call t request =
   let encoded = Protocol.encode_request request in
@@ -38,36 +105,83 @@ let call t request =
           t.counters.bytes_received <- t.counters.bytes_received + String.length reply;
           Protocol.decode_response reply
       | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg))
-  | Socket conn -> (
-      if not conn.alive then Protocol.Error_msg "transport closed"
-      else
-        match
-          Frame.send conn.fd encoded;
-          Frame.recv conn.fd
-        with
-        | reply ->
-            t.counters.bytes_received <- t.counters.bytes_received + String.length reply;
-            Protocol.decode_response reply
-        | exception Failure msg ->
-            conn.alive <- false;
-            Protocol.Error_msg ("transport: " ^ msg)
-        | exception Unix.Unix_error (err, _, _) ->
-            conn.alive <- false;
-            Protocol.Error_msg ("transport: " ^ Unix.error_message err)
-        | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg))
+  | Socket conn ->
+      if conn.closed then Protocol.Error_msg "transport closed"
+      else begin
+        let retryable = idempotent request in
+        let rec attempt n =
+          let fail msg =
+            if retryable && n < conn.policy.max_retries then begin
+              t.counters.retries <- t.counters.retries + 1;
+              Thread.delay (backoff_delay conn.policy n);
+              attempt (n + 1)
+            end
+            else Protocol.Error_msg ("transport: " ^ msg)
+          in
+          match
+            match conn.fd with
+            | Some fd -> Ok fd
+            | None -> (
+                match connect_fd conn.path with
+                | fd ->
+                    conn.fd <- Some fd;
+                    t.counters.reconnects <- t.counters.reconnects + 1;
+                    Ok fd
+                | exception Unix.Unix_error (err, _, _) ->
+                    Error ("reconnect: " ^ Unix.error_message err))
+          with
+          | Error msg -> fail msg
+          | Ok fd -> (
+              let deadline =
+                Option.map
+                  (fun seconds -> Unix.gettimeofday () +. seconds)
+                  conn.policy.call_timeout
+              in
+              match
+                Frame.send ?deadline fd encoded;
+                Frame.recv ?deadline fd
+              with
+              | reply -> (
+                  t.counters.bytes_received <-
+                    t.counters.bytes_received + String.length reply;
+                  (* an undecodable reply is a protocol error, not a
+                     transport error: the peer answered, retrying the
+                     same request will not help *)
+                  match Protocol.decode_response reply with
+                  | response -> response
+                  | exception Wire.Decode_error msg ->
+                      Protocol.Error_msg ("codec: " ^ msg))
+              | exception Frame.Timeout ->
+                  t.counters.timeouts <- t.counters.timeouts + 1;
+                  (* the stream may hold a late reply for the timed-out
+                     request: unusable, drop the connection *)
+                  drop_connection conn;
+                  fail "timeout"
+              | exception Failure msg ->
+                  drop_connection conn;
+                  fail msg
+              | exception Unix.Unix_error (err, _, _) ->
+                  drop_connection conn;
+                  fail (Unix.error_message err))
+        in
+        attempt 0
+      end
 
 let counters t = t.counters
 
 let reset_counters t =
   t.counters.calls <- 0;
   t.counters.bytes_sent <- 0;
-  t.counters.bytes_received <- 0
+  t.counters.bytes_received <- 0;
+  t.counters.retries <- 0;
+  t.counters.reconnects <- 0;
+  t.counters.timeouts <- 0
 
 let close t =
   match t.kind with
   | Local _ -> ()
   | Socket conn ->
-      if conn.alive then begin
-        conn.alive <- false;
-        (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+      if not conn.closed then begin
+        conn.closed <- true;
+        drop_connection conn
       end

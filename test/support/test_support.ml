@@ -64,3 +64,143 @@ let must_query ?engine ?strictness db q =
   match Secshare_core.Database.query ?engine ?strictness db q with
   | Ok r -> r
   | Error msg -> failwith ("query failed: " ^ msg)
+
+(** A fault-injecting protocol server, wire-compatible with
+    {!Secshare_rpc.Transport.socket}.  It speaks real frames over a
+    real Unix-domain socket, but consults a per-call [plan] that can
+    stall, drop the connection before replying, truncate a reply
+    mid-frame, or answer garbage — exercising the client's timeout,
+    retry, and reconnect paths.  Call numbers are global across
+    connections (so "fail call 1, serve call 2" tests reconnects). *)
+module Flaky = struct
+  module Frame = Secshare_rpc.Frame
+  module Protocol = Secshare_rpc.Protocol
+
+  type fault =
+    | Stall of float  (** read the request, sleep, then drop the link *)
+    | Close_before_reply  (** read the request, close without answering *)
+    | Truncate_reply  (** send half a frame, then close *)
+    | Garbage_reply  (** a well-framed but undecodable payload *)
+
+  type t = {
+    path : string;
+    listen_fd : Unix.file_descr;
+    mutable running : bool;
+    mutable calls : int;
+    lock : Mutex.t;
+    mutable threads : Thread.t list;
+    mutable client_fds : Unix.file_descr list;
+  }
+
+  let next_call t =
+    Mutex.lock t.lock;
+    t.calls <- t.calls + 1;
+    let n = t.calls in
+    Mutex.unlock t.lock;
+    n
+
+  let serve_connection t ~handler ~plan fd =
+    let finished = ref false in
+    while (not !finished) && t.running do
+      match Frame.recv fd with
+      | exception (Failure _ | Unix.Unix_error _) -> finished := true
+      | payload -> (
+          let n = next_call t in
+          match plan n with
+          | None -> (
+              let reply =
+                match Protocol.decode_request payload with
+                | request -> handler request
+                | exception _ -> Protocol.Error_msg "undecodable request"
+              in
+              match Frame.send fd (Protocol.encode_response reply) with
+              | () -> ()
+              | exception (Failure _ | Unix.Unix_error _) -> finished := true)
+          | Some (Stall seconds) ->
+              Thread.delay seconds;
+              finished := true
+          | Some Close_before_reply -> finished := true
+          | Some Truncate_reply ->
+              let reply =
+                Protocol.encode_response (Protocol.Error_msg "you will never read this")
+              in
+              let header = Bytes.create 4 in
+              Bytes.set_int32_be header 0 (Int32.of_int (String.length reply));
+              let partial = String.sub reply 0 (String.length reply / 2) in
+              (try
+                 ignore (Unix.write fd header 0 4);
+                 ignore
+                   (Unix.write fd (Bytes.of_string partial) 0 (String.length partial))
+               with Failure _ | Unix.Unix_error _ -> ());
+              finished := true
+          | Some Garbage_reply -> (
+              match Frame.send fd "\xde\xad\xbe\xef" with
+              | () -> ()
+              | exception (Failure _ | Unix.Unix_error _) -> finished := true))
+    done;
+    Mutex.lock t.lock;
+    t.client_fds <- List.filter (fun other -> other != fd) t.client_fds;
+    Mutex.unlock t.lock;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let start ?(handler = fun _ -> Protocol.Pong) ~plan path =
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind listen_fd (Unix.ADDR_UNIX path);
+    Unix.listen listen_fd 16;
+    let t =
+      {
+        path;
+        listen_fd;
+        running = true;
+        calls = 0;
+        lock = Mutex.create ();
+        threads = [];
+        client_fds = [];
+      }
+    in
+    let accept_thread =
+      Thread.create
+        (fun () ->
+          while t.running do
+            match Unix.accept t.listen_fd with
+            | fd, _ ->
+                Mutex.lock t.lock;
+                t.client_fds <- fd :: t.client_fds;
+                t.threads <- Thread.create (serve_connection t ~handler ~plan) fd :: t.threads;
+                Mutex.unlock t.lock
+            | exception Unix.Unix_error _ -> Thread.yield ()
+          done)
+        ()
+    in
+    Mutex.lock t.lock;
+    t.threads <- accept_thread :: t.threads;
+    Mutex.unlock t.lock;
+    t
+
+  let calls t =
+    Mutex.lock t.lock;
+    let n = t.calls in
+    Mutex.unlock t.lock;
+    n
+
+  let stop t =
+    if t.running then begin
+      t.running <- false;
+      (try
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         (try Unix.connect fd (Unix.ADDR_UNIX t.path) with Unix.Unix_error _ -> ());
+         Unix.close fd
+       with Unix.Unix_error _ -> ());
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.lock;
+      List.iter
+        (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.client_fds;
+      let threads = t.threads in
+      t.threads <- [];
+      Mutex.unlock t.lock;
+      List.iter Thread.join threads;
+      try Unix.unlink t.path with Unix.Unix_error _ -> ()
+    end
+end

@@ -157,6 +157,31 @@ let test_storage_stats_consistency () =
   check Alcotest.bool "data covers the shares" true
     (stats.DB.data_bytes >= stats.DB.rows * 72)
 
+let test_field_order_overflow_rejected () =
+  (* 83^20 wraps the native int: the configuration must be rejected
+     with a clear error, not produce a bogus field size *)
+  let tree = Tree.element "a" [ Tree.element "b" [] ] in
+  List.iter
+    (fun e ->
+      let config = { DB.default_config with e; seed = Some Test_support.test_seed } in
+      let contains_bound msg =
+        let needle = "bound" in
+        let n = String.length needle and len = String.length msg in
+        let rec scan i = i + n <= len && (String.sub msg i n = needle || scan (i + 1)) in
+        scan 0
+      in
+      match DB.create_tree ~config tree with
+      | Error msg ->
+          check Alcotest.bool
+            (Printf.sprintf "e = %d names the bound: %s" e msg)
+            true (contains_bound msg)
+      | Ok _ -> Alcotest.failf "e = %d accepted despite overflow" e)
+    [ 4; 20; 40 ];
+  (* a sane extension degree still works *)
+  match DB.create_tree ~config:{ DB.default_config with e = 2; p = 5 } tree with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "p=5 e=2 should be fine: %s" msg
+
 let test_accuracy_empty_result () =
   let db = Test_support.db_of_tree (Tree.element "a" [ Tree.element "b" [] ]) in
   (* both result sets empty -> accuracy defined as 1.0 *)
@@ -185,6 +210,8 @@ let () =
       ( "facade",
         [
           Alcotest.test_case "storage stats" `Quick test_storage_stats_consistency;
+          Alcotest.test_case "field-order overflow rejected" `Quick
+            test_field_order_overflow_rejected;
           Alcotest.test_case "accuracy of empty results" `Quick test_accuracy_empty_result;
         ] );
     ]

@@ -99,6 +99,181 @@ let test_session_after_server_stop () =
   | Ok _ -> Alcotest.fail "query succeeded after server stop");
   DB.session_close session
 
+(* --- resilience: cursor lifecycle across connection failures --- *)
+
+module Transport = Secshare_rpc.Transport
+module Protocol = Secshare_rpc.Protocol
+module Server_filter = Secshare_core.Server_filter
+
+(* Open a Descendants cursor over the whole document on a raw
+   transport and pull a single batch, leaving the cursor mid-drain. *)
+let open_dangling_cursor transport =
+  let root =
+    match Transport.call transport Protocol.Root with
+    | Protocol.Node_opt (Some meta) -> meta
+    | r -> Alcotest.failf "root: %a" (fun fmt -> Protocol.pp_response fmt) r
+  in
+  (match
+     Transport.call transport
+       (Protocol.Descendants { pre = root.Protocol.pre; post = root.Protocol.post })
+   with
+  | Protocol.Cursor id -> id
+  | r -> Alcotest.failf "descendants: %a" (fun fmt -> Protocol.pp_response fmt) r)
+  |> fun cursor ->
+  (match Transport.call transport (Protocol.Cursor_next { cursor; max_items = 1 }) with
+  | Protocol.Batch (_, false) -> ()
+  | Protocol.Batch (_, true) -> Alcotest.fail "document too small: cursor drained"
+  | r -> Alcotest.failf "cursor_next: %a" (fun fmt -> Protocol.pp_response fmt) r);
+  cursor
+
+let wait_for ~msg predicate =
+  let rec go n =
+    if predicate () then ()
+    else if n = 0 then Alcotest.fail msg
+    else begin
+      Thread.delay 0.02;
+      go (n - 1)
+    end
+  in
+  go 150
+
+let test_disconnect_evicts_cursors () =
+  (* a client that vanishes mid-drain must not leak its cursor: the
+     per-connection close hook evicts it *)
+  with_served_db (fun db path ->
+      let transport =
+        match Transport.socket path with Ok t -> t | Error e -> Alcotest.fail e
+      in
+      ignore (open_dangling_cursor transport);
+      check Alcotest.int "cursor open while draining" 1 (DB.open_cursors db);
+      Transport.close transport;
+      wait_for ~msg:"cursor leaked after disconnect" (fun () -> DB.open_cursors db = 0);
+      let stats = DB.cursor_stats db in
+      check Alcotest.bool "eviction counted" true
+        (stats.Server_filter.evicted_cursors >= 1))
+
+let test_drain_evicts_cursors () =
+  (* after a graceful server drain every connection's close hook has
+     run: zero cursors remain open *)
+  let doc = Secshare_xmark.Generate.generate ~factor:0.2 () in
+  let config = { DB.default_config with seed = Some Test_support.test_seed } in
+  let db = match DB.create_tree ~config doc with Ok db -> db | Error e -> failwith e in
+  let path = Filename.temp_file "ssdb-remote" ".sock" in
+  Sys.remove path;
+  let server = DB.serve db ~path in
+  let transport =
+    match Transport.socket path with Ok t -> t | Error e -> Alcotest.fail e
+  in
+  ignore (open_dangling_cursor transport);
+  check Alcotest.int "cursor open mid-drain" 1 (DB.open_cursors db);
+  Secshare_rpc.Server.stop server;
+  check Alcotest.int "no cursors after drain" 0 (DB.open_cursors db);
+  Transport.close transport
+
+let test_cursor_ttl_eviction () =
+  (* abandoned cursors expire once idle past the TTL, with a fake
+     clock so the test needs no sleeps *)
+  let clock = ref 1000.0 in
+  let doc = Secshare_xmark.Generate.generate ~factor:0.2 () in
+  let config = { DB.default_config with seed = Some Test_support.test_seed } in
+  let db = match DB.create_tree ~config doc with Ok db -> db | Error e -> failwith e in
+  let filter =
+    Server_filter.create ~cursor_ttl:30.0 ~now:(fun () -> !clock) (DB.ring db)
+      (DB.table db)
+  in
+  let root =
+    match Server_filter.handler filter Protocol.Root with
+    | Protocol.Node_opt (Some meta) -> meta
+    | _ -> Alcotest.fail "no root"
+  in
+  (match
+     Server_filter.handler filter
+       (Protocol.Descendants { pre = root.Protocol.pre; post = root.Protocol.post })
+   with
+  | Protocol.Cursor _ -> ()
+  | _ -> Alcotest.fail "no cursor");
+  check Alcotest.int "cursor open" 1 (Server_filter.open_cursors filter);
+  clock := !clock +. 10.0;
+  check Alcotest.int "young cursor survives sweep" 0 (Server_filter.sweep_cursors filter);
+  clock := !clock +. 25.0;
+  check Alcotest.int "stale cursor swept" 1 (Server_filter.sweep_cursors filter);
+  check Alcotest.int "none left" 0 (Server_filter.open_cursors filter);
+  let stats = Server_filter.cursor_stats filter in
+  check Alcotest.int "expiry counted" 1 stats.Server_filter.expired_cursors
+
+let test_cursor_cap_evicts_lru () =
+  let clock = ref 0.0 in
+  let doc = Secshare_xmark.Generate.generate ~factor:0.2 () in
+  let config = { DB.default_config with seed = Some Test_support.test_seed } in
+  let db = match DB.create_tree ~config doc with Ok db -> db | Error e -> failwith e in
+  let filter =
+    Server_filter.create ~max_cursors:3 ~now:(fun () -> !clock) (DB.ring db) (DB.table db)
+  in
+  let root =
+    match Server_filter.handler filter Protocol.Root with
+    | Protocol.Node_opt (Some meta) -> meta
+    | _ -> Alcotest.fail "no root"
+  in
+  let open_cursor () =
+    clock := !clock +. 1.0;
+    match
+      Server_filter.handler filter
+        (Protocol.Descendants { pre = root.Protocol.pre; post = root.Protocol.post })
+    with
+    | Protocol.Cursor id -> id
+    | _ -> Alcotest.fail "no cursor"
+  in
+  let first = open_cursor () in
+  let _ = open_cursor () and _ = open_cursor () and _ = open_cursor () in
+  check Alcotest.int "cap respected" 3 (Server_filter.open_cursors filter);
+  (match
+     Server_filter.handler filter (Protocol.Cursor_next { cursor = first; max_items = 1 })
+   with
+  | Protocol.Error_msg _ -> () (* the oldest cursor was the LRU victim *)
+  | _ -> Alcotest.fail "LRU cursor should have been evicted");
+  let stats = Server_filter.cursor_stats filter in
+  check Alcotest.int "one cap eviction" 1 stats.Server_filter.evicted_cursors
+
+let test_remote_recovers_across_server_restart () =
+  (* the acceptance scenario at the query level: the server dies and
+     comes back between queries; a session with retries recovers *)
+  let doc = Secshare_xmark.Generate.generate ~factor:0.2 () in
+  let config = { DB.default_config with seed = Some Test_support.test_seed } in
+  let db = match DB.create_tree ~config doc with Ok db -> db | Error e -> failwith e in
+  let path = Filename.temp_file "ssdb-remote" ".sock" in
+  Sys.remove path;
+  let server = DB.serve db ~path in
+  let session =
+    match
+      DB.connect ~timeout:2.0 ~max_retries:5 ~p:83 ~e:1 ~mapping:(DB.mapping db)
+        ~seed:(DB.seed db) ~path ()
+    with
+    | Ok session -> session
+    | Error e -> Alcotest.fail e
+  in
+  let expected =
+    Test_support.pres_of_metas (Test_support.must_query db "/site").DB.nodes
+  in
+  (match DB.session_query session "/site" with
+  | Ok r ->
+      check Alcotest.(list int) "before restart" expected
+        (Test_support.pres_of_metas r.DB.nodes)
+  | Error e -> Alcotest.failf "before restart: %s" e);
+  Secshare_rpc.Server.stop server;
+  let server = DB.serve db ~path in
+  Fun.protect
+    ~finally:(fun () -> Secshare_rpc.Server.stop server)
+    (fun () ->
+      (match DB.session_query session "/site" with
+      | Ok r ->
+          check Alcotest.(list int) "after restart" expected
+            (Test_support.pres_of_metas r.DB.nodes)
+      | Error e -> Alcotest.failf "after restart: %s" e);
+      let counters = DB.session_rpc_counters session in
+      check Alcotest.bool "recovery used reconnect" true
+        (counters.Transport.reconnects >= 1);
+      DB.session_close session)
+
 let () =
   Alcotest.run "remote"
     [
@@ -109,5 +284,15 @@ let () =
             test_remote_wrong_seed_finds_nothing;
           Alcotest.test_case "independent sessions" `Quick test_remote_sessions_are_independent;
           Alcotest.test_case "server stop surfaces errors" `Quick test_session_after_server_stop;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "disconnect evicts cursors" `Quick
+            test_disconnect_evicts_cursors;
+          Alcotest.test_case "drain evicts cursors" `Quick test_drain_evicts_cursors;
+          Alcotest.test_case "cursor ttl eviction" `Quick test_cursor_ttl_eviction;
+          Alcotest.test_case "cursor cap evicts lru" `Quick test_cursor_cap_evicts_lru;
+          Alcotest.test_case "session recovers across restart" `Quick
+            test_remote_recovers_across_server_restart;
         ] );
     ]

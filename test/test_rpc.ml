@@ -233,6 +233,218 @@ let test_server_survives_handler_exception () =
           | _ -> Alcotest.fail "connection broken after handler error");
           Transport.close t)
 
+(* --- resilience: deadlines, retry, reconnect, drain --- *)
+
+module Flaky = Test_support.Flaky
+
+let fast_policy =
+  {
+    Transport.call_timeout = Some 1.0;
+    max_retries = 2;
+    backoff_base = 0.02;
+    backoff_max = 0.1;
+    backoff_jitter = 0.5;
+  }
+
+let with_flaky ?handler plan f =
+  let path = Filename.temp_file "ssdb-flaky" ".sock" in
+  Sys.remove path;
+  let flaky = Flaky.start ?handler ~plan path in
+  Fun.protect ~finally:(fun () -> Flaky.stop flaky) (fun () -> f flaky path)
+
+let must_connect ?policy path =
+  match Transport.socket ?policy path with
+  | Ok t -> t
+  | Error e -> Alcotest.fail ("connect: " ^ e)
+
+let test_call_timeout_bounded () =
+  (* a stalled server must not hang the client: the call fails within
+     the configured deadline *)
+  with_flaky
+    (fun n -> if n = 1 then Some (Flaky.Stall 1.5) else None)
+    (fun _flaky path ->
+      let t =
+        must_connect
+          ~policy:{ fast_policy with Transport.call_timeout = Some 0.25; max_retries = 0 }
+          path
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Transport.call t Protocol.Ping with
+      | Protocol.Error_msg msg ->
+          check Alcotest.bool ("timeout surfaced: " ^ msg) true
+            (String.length msg >= 7)
+      | r -> Alcotest.failf "expected timeout, got %a" Protocol.pp_response r);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check Alcotest.bool "bounded by deadline" true (elapsed < 1.0);
+      check Alcotest.int "timeout counted" 1 (Transport.counters t).Transport.timeouts;
+      Transport.close t)
+
+let test_retry_reconnects () =
+  (* server drops the connection on the first call: an idempotent
+     request recovers transparently on a fresh connection *)
+  with_flaky ~handler:toy_handler
+    (fun n -> if n = 1 then Some Flaky.Close_before_reply else None)
+    (fun _flaky path ->
+      let t = must_connect ~policy:fast_policy path in
+      (match Transport.call t (Protocol.Eval { pre = 40; point = 2 }) with
+      | Protocol.Value 42 -> ()
+      | r -> Alcotest.failf "expected recovery, got %a" Protocol.pp_response r);
+      let counters = Transport.counters t in
+      check Alcotest.int "one retry" 1 counters.Transport.retries;
+      check Alcotest.int "one reconnect" 1 counters.Transport.reconnects;
+      Transport.close t)
+
+let test_truncated_reply_recovers () =
+  with_flaky ~handler:toy_handler
+    (fun n -> if n = 1 then Some Flaky.Truncate_reply else None)
+    (fun _flaky path ->
+      let t = must_connect ~policy:fast_policy path in
+      (match Transport.call t (Protocol.Eval { pre = 1; point = 1 }) with
+      | Protocol.Value 2 -> ()
+      | r -> Alcotest.failf "expected recovery, got %a" Protocol.pp_response r);
+      check Alcotest.bool "reconnected" true
+        ((Transport.counters t).Transport.reconnects >= 1);
+      Transport.close t)
+
+let test_cursor_next_never_retried () =
+  (* Cursor_next is not idempotent (a resend could skip a batch): the
+     failure must surface instead of being retried *)
+  with_flaky ~handler:toy_handler
+    (fun n -> if n = 1 then Some Flaky.Close_before_reply else None)
+    (fun flaky path ->
+      let t = must_connect ~policy:fast_policy path in
+      (match Transport.call t (Protocol.Cursor_next { cursor = 1; max_items = 4 }) with
+      | Protocol.Error_msg _ -> ()
+      | r -> Alcotest.failf "expected failure, got %a" Protocol.pp_response r);
+      check Alcotest.int "no retries" 0 (Transport.counters t).Transport.retries;
+      check Alcotest.int "server saw exactly one call" 1 (Flaky.calls flaky);
+      Transport.close t)
+
+let test_protocol_error_not_retried () =
+  (* an undecodable reply from a live peer is a protocol error: no
+     retry, and the connection stays usable *)
+  with_flaky ~handler:toy_handler
+    (fun n -> if n = 1 then Some Flaky.Garbage_reply else None)
+    (fun _flaky path ->
+      let t = must_connect ~policy:fast_policy path in
+      (match Transport.call t Protocol.Ping with
+      | Protocol.Error_msg msg ->
+          check Alcotest.bool "codec error" true
+            (String.length msg >= 5 && String.sub msg 0 5 = "codec")
+      | r -> Alcotest.failf "expected codec error, got %a" Protocol.pp_response r);
+      check Alcotest.int "no retries" 0 (Transport.counters t).Transport.retries;
+      (match Transport.call t (Protocol.Eval { pre = 1; point = 1 }) with
+      | Protocol.Value 2 -> ()
+      | r -> Alcotest.failf "connection broken: %a" Protocol.pp_response r);
+      check Alcotest.int "no reconnect" 0 (Transport.counters t).Transport.reconnects;
+      Transport.close t)
+
+let test_server_restart_recovery () =
+  (* the acceptance scenario: kill the server between calls, restart
+     it on the same path; the client recovers via retry + reconnect *)
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:toy_handler in
+  let t =
+    must_connect
+      ~policy:{ fast_policy with Transport.max_retries = 5; call_timeout = Some 1.0 }
+      path
+  in
+  (match Transport.call t (Protocol.Eval { pre = 1; point = 1 }) with
+  | Protocol.Value 2 -> ()
+  | r -> Alcotest.failf "before restart: %a" Protocol.pp_response r);
+  Server.stop server;
+  let server = Server.start ~path ~handler:toy_handler in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      (match Transport.call t (Protocol.Eval { pre = 40; point = 2 }) with
+      | Protocol.Value 42 -> ()
+      | r -> Alcotest.failf "after restart: %a" Protocol.pp_response r);
+      check Alcotest.bool "reconnected" true
+        ((Transport.counters t).Transport.reconnects >= 1);
+      Transport.close t)
+
+let test_stopped_server_fails_fast () =
+  (* with the server gone for good, the client must fail within the
+     deadline/backoff budget — never hang *)
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:toy_handler in
+  let t = must_connect ~policy:fast_policy path in
+  (match Transport.call t Protocol.Ping with
+  | Protocol.Pong -> ()
+  | r -> Alcotest.failf "ping failed: %a" Protocol.pp_response r);
+  Server.stop server;
+  let t0 = Unix.gettimeofday () in
+  (match Transport.call t (Protocol.Eval { pre = 1; point = 1 }) with
+  | Protocol.Error_msg _ -> ()
+  | r -> Alcotest.failf "expected failure, got %a" Protocol.pp_response r);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "failed fast" true (elapsed < 4.0);
+  Transport.close t
+
+let test_graceful_drain () =
+  (* stop must let the in-flight request finish (and its response go
+     out) before returning, then leave no handler thread behind *)
+  let slow_handler request =
+    match request with
+    | Protocol.Eval _ ->
+        Thread.delay 0.3;
+        toy_handler request
+    | r -> toy_handler r
+  in
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:slow_handler in
+  let t = must_connect path in
+  let result = ref None in
+  let client =
+    Thread.create
+      (fun () -> result := Some (Transport.call t (Protocol.Eval { pre = 40; point = 2 })))
+      ()
+  in
+  Thread.delay 0.1;
+  let t0 = Unix.gettimeofday () in
+  Server.stop server;
+  let stop_elapsed = Unix.gettimeofday () -. t0 in
+  Thread.join client;
+  (match !result with
+  | Some (Protocol.Value 42) -> ()
+  | Some r -> Alcotest.failf "in-flight request lost: %a" Protocol.pp_response r
+  | None -> Alcotest.fail "client never finished");
+  check Alcotest.bool "stop waited for the in-flight request" true (stop_elapsed > 0.05);
+  let stats = Server.stats server in
+  check Alcotest.int "no active connections after drain" 0
+    stats.Server.connections_active;
+  Transport.close t
+
+let test_server_stats () =
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:toy_handler in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let t = must_connect path in
+      for _ = 1 to 5 do
+        ignore (Transport.call t Protocol.Ping)
+      done;
+      Transport.close t;
+      (* the handler thread notices the close asynchronously *)
+      let rec settle n =
+        let stats = Server.stats server in
+        if stats.Server.connections_active > 0 && n > 0 then begin
+          Thread.delay 0.02;
+          settle (n - 1)
+        end
+        else stats
+      in
+      let stats = settle 100 in
+      check Alcotest.int "accepted" 1 stats.Server.connections_accepted;
+      check Alcotest.int "handled" 5 stats.Server.requests_handled;
+      check Alcotest.int "drained" 0 stats.Server.connections_active)
+
 let () =
   Alcotest.run "rpc"
     [
@@ -252,5 +464,22 @@ let () =
           Alcotest.test_case "connect failure" `Quick test_socket_connect_failure;
           Alcotest.test_case "handler exceptions contained" `Quick
             test_server_survives_handler_exception;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "timeout is bounded" `Quick test_call_timeout_bounded;
+          Alcotest.test_case "retry reconnects" `Quick test_retry_reconnects;
+          Alcotest.test_case "truncated reply recovers" `Quick
+            test_truncated_reply_recovers;
+          Alcotest.test_case "cursor_next never retried" `Quick
+            test_cursor_next_never_retried;
+          Alcotest.test_case "protocol errors not retried" `Quick
+            test_protocol_error_not_retried;
+          Alcotest.test_case "server restart recovery" `Quick
+            test_server_restart_recovery;
+          Alcotest.test_case "stopped server fails fast" `Quick
+            test_stopped_server_fails_fast;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "server stats" `Quick test_server_stats;
         ] );
     ]
