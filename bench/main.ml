@@ -324,32 +324,54 @@ let transport_ablation () =
 (* ------------------------------------------------------------------ *)
 
 let batching_ablation () =
-  heading "Ablation — batched vs per-node containment evaluations";
+  heading "Ablation — per-node vs batched vs fused-scan round trips";
   printf
-    "The paper's RMI filter pays one round trip per evaluation; our protocol
-     can batch a filtering step into one Eval_batch message.  Same results,
-     very different round-trip counts (simple engine, containment test):
+    "Three cost models for the same queries.  Per-node is the paper's RMI
+     filter: one round trip per evaluation.  Batched folds each filtering
+     step into one Eval_batch message but still navigates with per-parent
+     Children calls and descendant cursors.  Fused sends the axis scan and
+     the share evaluations in a single Scan_eval message, halving the round
+     trips of the batched protocol on chain queries.  Results must be (and
+     are asserted) identical (simple engine, containment test):
 
 ";
   let doc = xmark_doc (if !quick then 100_000 else 300_000) in
-  let mk batching =
-    make_db ~cfg:{ config with DB.rpc_batching = batching } doc
+  let mk ~batching ~fused =
+    make_db ~cfg:{ config with DB.rpc_batching = batching; rpc_fused_scan = fused } doc
   in
-  let batched = mk true and unbatched = mk false in
-  printf "%-28s %10s %12s %12s %12s
-" "query" "matches" "calls(batch)" "calls(RMI)"
-    "RMI/batch";
+  let per_node = mk ~batching:false ~fused:false in
+  let batched = mk ~batching:true ~fused:false in
+  let fused = mk ~batching:true ~fused:true in
+  printf "%-46s %8s %11s %12s %12s %12s
+" "query" "matches" "calls(RMI)" "calls(batch)"
+    "calls(fused)" "batch/fused";
+  let chain_queries =
+    [
+      "/site/regions/europe/item";
+      "/site/regions/europe/item/description/parlist";
+      "/site/regions/europe/item/description/parlist/listitem/text/keyword";
+      "/site/*/person//city";
+      "//bidder/date";
+    ]
+  in
   List.iter
     (fun q ->
+      let rn = must (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict per_node q) in
       let rb = must (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict batched q) in
-      let ru = must (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict unbatched q) in
-      printf "%-28s %10d %12d %12d %11.1fx
-" q (List.length rb.DB.nodes) rb.DB.rpc_calls
-        ru.DB.rpc_calls
-        (float_of_int ru.DB.rpc_calls /. float_of_int (max 1 rb.DB.rpc_calls)))
-    [ "/site/regions/europe/item"; "/site/*/person//city"; "//bidder/date" ];
+      let rf = must (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict fused q) in
+      let pres (r : DB.query_result) =
+        List.map (fun (m : Secshare_rpc.Protocol.node_meta) -> m.Secshare_rpc.Protocol.pre) r.DB.nodes
+      in
+      if not (pres rn = pres rb && pres rb = pres rf) then
+        failwith (Printf.sprintf "batching ablation: %s results diverge" q);
+      printf "%-46s %8d %11d %12d %12d %11.1fx
+" q (List.length rf.DB.nodes)
+        rn.DB.rpc_calls rb.DB.rpc_calls rf.DB.rpc_calls
+        (float_of_int rb.DB.rpc_calls /. float_of_int (max 1 rf.DB.rpc_calls)))
+    chain_queries;
+  DB.close per_node;
   DB.close batched;
-  DB.close unbatched
+  DB.close fused
 
 (* ------------------------------------------------------------------ *)
 (* Extra ablation: concurrent clients on one server                   *)

@@ -9,7 +9,7 @@ module Metrics = Secshare_core.Metrics
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let report query result =
+let report ~explain query result =
   let r : DB.query_result = result in
   Printf.printf "query: %s\n" query;
   Printf.printf "matches (%d): %s\n" (List.length r.DB.nodes)
@@ -20,10 +20,16 @@ let report query result =
   Printf.printf
     "time: %.3f s | evaluations: %d | equality tests: %d | reconstructions: %d | rpc: %d calls, %d bytes\n"
     r.DB.seconds r.DB.metrics.Metrics.evaluations r.DB.metrics.Metrics.equality_tests
-    r.DB.metrics.Metrics.reconstructions r.DB.rpc_calls r.DB.rpc_bytes
+    r.DB.metrics.Metrics.reconstructions r.DB.rpc_calls r.DB.rpc_bytes;
+  if explain then begin
+    Printf.printf "plan: %s\n"
+      (String.concat " -> "
+         (List.map (fun (s : Metrics.op_stats) -> s.Metrics.op_name) r.DB.operators));
+    Format.printf "%a@." Metrics.pp_op_table r.DB.operators
+  end
 
 let run db_path socket_path map_path seed_path p e engine_name strictness_name timeout
-    max_retries queries =
+    max_retries explain queries =
   let engine =
     match engine_name with
     | "simple" -> Ok DB.Simple
@@ -50,7 +56,7 @@ let run db_path socket_path map_path seed_path p e engine_name strictness_name t
                 List.iter
                   (fun q ->
                     match query_fn q with
-                    | Ok result -> report q result
+                    | Ok result -> report ~explain q result
                     | Error m ->
                         incr failures;
                         Printf.eprintf "query %s failed: %s\n%!" q m)
@@ -121,6 +127,14 @@ let max_retries_arg =
           "Retry failed idempotent RPCs up to N times with exponential backoff, \
            reconnecting a dead socket (with --connect).")
 
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the executed plan and a per-operator table (rows in/out, batches, \
+           evaluation pairs, RPC calls/bytes, cumulative wall time) after each query.")
+
 let queries =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"XPath queries.")
 
@@ -130,6 +144,7 @@ let cmd =
     Term.(
       ret
         (const run $ db_path $ socket_path $ map_path $ seed_path $ p_arg $ e_arg
-       $ engine_arg $ strictness_arg $ timeout_arg $ max_retries_arg $ queries))
+       $ engine_arg $ strictness_arg $ timeout_arg $ max_retries_arg $ explain_arg
+       $ queries))
 
 let () = exit (Cmd.eval' cmd)

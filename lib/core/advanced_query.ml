@@ -1,106 +1,81 @@
-module Protocol = Secshare_rpc.Protocol
 module Ast = Secshare_xpath.Ast
 open Query_common
 
-(* Keep only candidates whose subtree contains every point.  Points are
-   applied one at a time over the whole candidate list (one batched
-   round trip per point); a node drops out at its first failing point,
-   so the evaluation count matches a per-node short-circuiting check —
-   only the round-trip count differs. *)
-let filter_contains_all filter metas points =
-  List.fold_left
-    (fun metas point ->
-      match metas with
+(* AdvancedQuery as a plan lowering: every step carries the look-ahead
+   points of the remaining query (the names still to be matched), and
+   the cheap containment sieve — own point first, then the look-ahead
+   points — always runs before a strict equality test, since equality
+   implies containment.  Descendant steps lower to [Pruned_scan],
+   whose level-by-level walk never enters a branch that fails the
+   sieve.
+
+   With the fused protocol the *first* sieve point rides inside the
+   child scan; the remaining points still drop out one [Eval_batch]
+   round at a time, so the evaluation counts (one pair per surviving
+   node per point) match the unfused lowering — only the round-trip
+   count shrinks. *)
+let lower ~fused ~mapping ~strictness query =
+  if query = [] then raise (Query_error "empty query");
+  let look_names = Ast.names_after query in
+  let step_ops ~first index (step : Ast.step) =
+    let look = look_points mapping look_names.(index) in
+    let own_point =
+      match step.Ast.test with
+      | Ast.Name name -> Some (map_point mapping name)
+      | Ast.Any | Ast.Parent -> None
+    in
+    let sieve = match own_point with None -> look | Some p -> p :: look in
+    let strict_eq =
+      match (own_point, strictness) with
+      | Some point, Strict -> [ Plan.Filter_equality { point } ]
+      | _ -> []
+    in
+    let containment points =
+      match points with
       | [] -> []
-      | _ -> Client_filter.containment_batch filter metas ~point)
-    metas points
-
-(* The test the current step applies to candidates, given the
-   look-ahead points of the remaining query.  The look-ahead is always
-   containment; only the step's own match can be strict. *)
-let step_filter filter ~strictness ~own_point ~look candidates =
-  let points = match own_point with None -> look | Some p -> p :: look in
-  (* the cheap containment sieve always runs first: equality implies
-     containment, so nothing true is lost *)
-  let survivors = filter_contains_all filter candidates points in
-  match (own_point, strictness) with
-  | None, _ | Some _, Non_strict -> survivors
-  | Some point, Strict ->
-      List.filter (fun m -> Client_filter.equality filter m ~point) survivors
-
-(* For descendant steps: walk downward from (but excluding) the nodes
-   of [sources], level by level.  A node whose subtree lacks one of the
-   required names is a dead branch: neither collected nor entered.  The
-   prune test stays containment-based even in strict mode — it is what
-   lets the walk stop early. *)
-let walk_descendants filter ~strictness ~own_point ~look sources =
-  let prune_points = match own_point with None -> look | Some p -> p :: look in
-  let collected = ref [] in
-  let rec level frontier =
-    match frontier with
-    | [] -> ()
-    | _ ->
-        let children =
-          sort_dedup
-            (List.concat_map
-               (fun (m : Protocol.node_meta) ->
-                 Client_filter.children filter ~pre:m.Protocol.pre)
-               frontier)
+      | _ -> [ Plan.Filter_containment { points } ]
+    in
+    match (step.Ast.test, step.Ast.axis) with
+    | Ast.Parent, _ -> (Plan.Parent_step :: Plan.Dedup :: containment look)
+    | _, Ast.Child ->
+        let axis = if first then Plan.Root_scan else Plan.Child_scan in
+        let eval, rest =
+          if fused then
+            match sieve with [] -> (None, []) | p :: rest -> (Some p, rest)
+          else (None, sieve)
         in
-        let survivors = filter_contains_all filter children prune_points in
-        let keep =
-          match (own_point, strictness) with
-          | None, _ | Some _, Non_strict -> survivors
-          | Some point, Strict ->
-              List.filter (fun m -> Client_filter.equality filter m ~point) survivors
+        (Plan.Scan { axis; eval } :: Plan.Dedup :: containment rest) @ strict_eq
+    | _, Ast.Descendant ->
+        (* the walk prunes with the full sieve even in strict mode —
+           containment is what lets it stop early; the equality test
+           runs after, on each level's survivors *)
+        let prefix =
+          if first then [ Plan.Scan { axis = Plan.Root_scan; eval = None } ] else []
         in
-        collected := List.rev_append keep !collected;
-        level survivors
+        prefix
+        @ (Plan.Pruned_scan { prune = sieve; include_self = first } :: strict_eq)
+        @ [ Plan.Dedup ]
   in
-  level sources;
-  sort_dedup !collected
+  let rec go ~first index = function
+    | [] -> []
+    | step :: rest -> step_ops ~first index step @ go ~first:false (index + 1) rest
+  in
+  go ~first:true 0 query
 
-let run filter ~mapping ~strictness query =
+let run_explained filter ~mapping ~strictness query =
   if query = [] then raise (Query_error "empty query");
   let all_names_mapped =
     List.for_all (fun n -> Mapping.value mapping n <> None) (Ast.name_tests query)
   in
-  let look_names = Ast.names_after query in
-  let own_point_of (step : Ast.step) =
-    match step.Ast.test with
-    | Ast.Name name -> Some (map_point mapping name)
-    | Ast.Any | Ast.Parent -> None
-  in
-  let rec go frontier ~index ~first = function
-    | [] -> frontier
-    | (step : Ast.step) :: rest ->
-        let look = look_points mapping look_names.(index) in
-        let own_point = own_point_of step in
-        let next =
-          match (step.Ast.test, step.Ast.axis) with
-          | Ast.Parent, _ -> filter_contains_all filter (parents_of filter frontier) look
-          | _, Ast.Child ->
-              let candidates =
-                if first then Option.to_list (Client_filter.root filter)
-                else
-                  sort_dedup
-                    (List.concat_map
-                       (fun (m : Protocol.node_meta) ->
-                         Client_filter.children filter ~pre:m.Protocol.pre)
-                       frontier)
-              in
-              step_filter filter ~strictness ~own_point ~look candidates
-          | _, Ast.Descendant ->
-              let sources =
-                if first then Option.to_list (Client_filter.root filter) else frontier
-              in
-              let below = walk_descendants filter ~strictness ~own_point ~look sources in
-              if first then
-                (* the root itself is a descendant of the document node *)
-                let root_hits = step_filter filter ~strictness ~own_point ~look sources in
-                sort_dedup (root_hits @ below)
-              else below
-        in
-        go (sort_dedup next) ~index:(index + 1) ~first:false rest
-  in
-  if not all_names_mapped then [] else go [] ~index:0 ~first:true query
+  if not all_names_mapped then ([], [])
+  else begin
+    let plan =
+      lower ~fused:(Client_filter.fused_scan filter) ~mapping ~strictness query
+    in
+    let ops = Operator.build filter plan in
+    let metas = Operator.drain ops in
+    (sort_dedup metas, Operator.stats_list ops)
+  end
+
+let run filter ~mapping ~strictness query =
+  fst (run_explained filter ~mapping ~strictness query)

@@ -16,6 +16,20 @@
     level, pruning subtrees whose polynomials rule the remaining
     names out. *)
 
+val lower :
+  fused:bool ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  Secshare_xpath.Ast.t ->
+  Plan.t
+(** Lower a query to the streaming plan this engine executes: every
+    step carries the look-ahead points of the remaining query, child
+    steps apply them as a containment sieve (first point fused into
+    the scan when [fused]), descendant steps become the pruned
+    look-ahead walk.
+    @raise Query_common.Query_error on an empty query or a name with
+    no map entry. *)
+
 val run :
   Client_filter.t ->
   mapping:Mapping.t ->
@@ -23,3 +37,11 @@ val run :
   Secshare_xpath.Ast.t ->
   Secshare_rpc.Protocol.node_meta list
 (** Same contract as {!Simple_query.run}. *)
+
+val run_explained :
+  Client_filter.t ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  Secshare_xpath.Ast.t ->
+  Secshare_rpc.Protocol.node_meta list * Metrics.op_stats list
+(** Same contract as {!Simple_query.run_explained}. *)

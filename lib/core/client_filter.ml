@@ -9,23 +9,32 @@ type t = {
   seed : Secshare_prg.Seed.t;
   transport : Transport.t;
   batch_size : int;
+  scan_batch : int;
   batch_eval : bool;
+  fused_scan : bool;
   metrics : Metrics.t;
 }
 
-let create ring ~seed ?(batch_size = 64) ?(batch_eval = true) transport =
+let create ring ~seed ?(batch_size = 64) ?(scan_batch = 256) ?(batch_eval = true)
+    ?(fused_scan = true) transport =
   {
     ring;
     seed;
     transport;
     batch_size = max 1 batch_size;
+    scan_batch = max 1 scan_batch;
     batch_eval;
+    fused_scan;
     metrics = Metrics.create ();
   }
 
 let metrics t = t.metrics
 let reset_metrics t = Metrics.reset t.metrics
 let rpc_counters t = Transport.counters t.transport
+let batch_size t = t.batch_size
+let scan_batch t = t.scan_batch
+let batch_eval t = t.batch_eval
+let fused_scan t = t.fused_scan
 
 let call t request =
   match Transport.call t.transport request with
@@ -52,20 +61,63 @@ let parent t ~pre =
   | Protocol.Node_opt meta -> meta
   | response -> protocol_error "Parent" response
 
+let descendants_cursor t ~pre ~post =
+  match call t (Protocol.Descendants { pre; post }) with
+  | Protocol.Cursor id -> id
+  | response -> protocol_error "Descendants" response
+
+let cursor_next t ~cursor ~max_items =
+  match call t (Protocol.Cursor_next { cursor; max_items }) with
+  | Protocol.Batch (items, exhausted) -> (items, exhausted)
+  | response -> protocol_error "Cursor_next" response
+
+let cursor_close t cursor =
+  match call t (Protocol.Cursor_close cursor) with
+  | Protocol.Pong -> ()
+  | response -> protocol_error "Cursor_close" response
+
 let iter_descendants t (meta : Protocol.node_meta) ~f =
-  let cursor =
-    match call t (Protocol.Descendants { pre = meta.Protocol.pre; post = meta.Protocol.post }) with
-    | Protocol.Cursor id -> id
-    | response -> protocol_error "Descendants" response
-  in
+  let cursor = descendants_cursor t ~pre:meta.Protocol.pre ~post:meta.Protocol.post in
   let rec drain () =
-    match call t (Protocol.Cursor_next { cursor; max_items = t.batch_size }) with
-    | Protocol.Batch (items, exhausted) ->
-        List.iter f items;
-        if not exhausted then drain ()
-    | response -> protocol_error "Cursor_next" response
+    let items, exhausted = cursor_next t ~cursor ~max_items:t.batch_size in
+    List.iter f items;
+    if not exhausted then drain ()
   in
   drain ()
+
+(* --- fused scans (Scan_eval) --- *)
+
+let scan_eval t ~target ~points ~max_items =
+  match call t (Protocol.Scan_eval { target; points; max_items }) with
+  | Protocol.Scan_batch { rows; cursor } -> (rows, cursor)
+  | response -> protocol_error "Scan_eval" response
+
+let scan_next t ~cursor ~max_items =
+  match call t (Protocol.Scan_next { cursor; max_items }) with
+  | Protocol.Scan_batch { rows; cursor } -> (rows, cursor)
+  | response -> protocol_error "Scan_next" response
+
+(* Merge one fused batch: for each row, regenerate the client share,
+   combine with the server evaluations, and keep the rows where every
+   point sums to zero (the containment test, one pair per point). *)
+let filter_scan_rows t rows ~points =
+  match points with
+  | [] -> List.map fst rows
+  | _ ->
+      let n_points = List.length points in
+      List.filter_map
+        (fun ((meta : Protocol.node_meta), server_values) ->
+          if List.length server_values <> n_points then
+            raise (Filter_error "Scan_batch arity mismatch");
+          t.metrics.Metrics.nodes_examined <- t.metrics.Metrics.nodes_examined + 1;
+          t.metrics.Metrics.evaluations <- t.metrics.Metrics.evaluations + n_points;
+          let poly = Share.client t.ring ~seed:t.seed ~pre:meta.Protocol.pre in
+          let contains point server_value =
+            let client_value = Cyclic.eval t.ring poly point in
+            Share.combine_evaluations t.ring ~client:client_value ~server:server_value = 0
+          in
+          if List.for_all2 contains points server_values then Some meta else None)
+        rows
 
 let descendants t meta =
   let acc = ref [] in

@@ -20,18 +20,29 @@ val create :
   Secshare_poly.Ring.t ->
   seed:Secshare_prg.Seed.t ->
   ?batch_size:int ->
+  ?scan_batch:int ->
   ?batch_eval:bool ->
+  ?fused_scan:bool ->
   Secshare_rpc.Transport.t ->
   t
 (** [batch_size] bounds cursor batches (default 64): the client holds
-    at most one batch of node metadata at a time.  [batch_eval]
+    at most one batch of node metadata at a time.  [scan_batch]
+    (default 256) bounds fused [Scan_eval] batches.  [batch_eval]
     (default true) lets {!containment_batch} use one [Eval_batch]
     round trip; disabling it reproduces the per-node-call cost model
-    of the paper's RMI filter (see the batching ablation). *)
+    of the paper's RMI filter (see the batching ablation).
+    [fused_scan] (default true) lets the execution pipeline use the
+    fused [Scan_eval] request — axis scan and share evaluation in one
+    message — instead of per-parent [Children] / [Descendants] calls
+    followed by a separate [Eval_batch]. *)
 
 val metrics : t -> Metrics.t
 val reset_metrics : t -> unit
 val rpc_counters : t -> Secshare_rpc.Transport.counters
+val batch_size : t -> int
+val scan_batch : t -> int
+val batch_eval : t -> bool
+val fused_scan : t -> bool
 
 (** {2 Structure navigation} *)
 
@@ -46,6 +57,52 @@ val iter_descendants :
 
 val descendants :
   t -> Secshare_rpc.Protocol.node_meta -> Secshare_rpc.Protocol.node_meta list
+
+(** {2 Cursor-level access}
+
+    The streaming operators manage cursors themselves so they can stop
+    early (e.g. a satisfied [limit]) and close the server side
+    eagerly instead of waiting for TTL eviction. *)
+
+val descendants_cursor : t -> pre:int -> post:int -> int
+val cursor_next :
+  t -> cursor:int -> max_items:int -> Secshare_rpc.Protocol.node_meta list * bool
+(** Items plus whether the cursor is exhausted (exhausted cursors are
+    freed server-side). *)
+
+val cursor_close : t -> int -> unit
+
+(** {2 Fused scans}
+
+    One [Scan_eval] round trip both walks an axis range server-side
+    and evaluates every scanned share at the supplied points — the
+    scan and the containment test of a name step travel in the same
+    message. *)
+
+val scan_eval :
+  t ->
+  target:Secshare_rpc.Protocol.scan_target ->
+  points:int list ->
+  max_items:int ->
+  (Secshare_rpc.Protocol.node_meta * int list) list * int option
+(** First batch plus a continuation cursor when more rows remain. *)
+
+val scan_next :
+  t ->
+  cursor:int ->
+  max_items:int ->
+  (Secshare_rpc.Protocol.node_meta * int list) list * int option
+
+val filter_scan_rows :
+  t ->
+  (Secshare_rpc.Protocol.node_meta * int list) list ->
+  points:int list ->
+  Secshare_rpc.Protocol.node_meta list
+(** Client half of a fused batch: combine each row's server
+    evaluations with regenerated client shares and keep the rows
+    passing the containment test at every point (counted in the
+    metrics, one evaluation pair per point).  With no points, strips
+    the (empty) value lists. *)
 
 val table_stats : t -> Secshare_rpc.Protocol.stats
 

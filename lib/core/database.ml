@@ -11,6 +11,7 @@ type config = {
   mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
   page_size : int;
   rpc_batching : bool;
+  rpc_fused_scan : bool;
   cursor_ttl : float option;
   max_cursors : int;
 }
@@ -24,6 +25,7 @@ let default_config =
     mapping = `From_document;
     page_size = 8192;
     rpc_batching = true;
+    rpc_fused_scan = true;
     cursor_ttl = None;
     max_cursors = 1024;
   }
@@ -43,6 +45,7 @@ type t = {
 type query_result = {
   nodes : Secshare_rpc.Protocol.node_meta list;
   metrics : Metrics.t;
+  operators : Metrics.op_stats list;
   rpc_calls : int;
   rpc_bytes : int;
   seconds : float;
@@ -107,7 +110,8 @@ let create_tree ?(config = default_config) tree =
               in
               let transport = Transport.local ~handler:(Server_filter.handler server) in
               let filter =
-                Client_filter.create ring ~seed ~batch_eval:config.rpc_batching transport
+                Client_filter.create ring ~seed ~batch_eval:config.rpc_batching
+                  ~fused_scan:config.rpc_fused_scan transport
               in
               Ok { ring; map; seed; table; server; filter; encode_stats }))
 
@@ -120,8 +124,8 @@ let zero_encode_stats =
     duration_seconds = 0.0;
   }
 
-let of_parts ?(rpc_batching = true) ?cursor_ttl ?max_cursors ~p ~e ~mapping:map ~seed
-    ~table () =
+let of_parts ?(rpc_batching = true) ?(rpc_fused_scan = true) ?cursor_ttl ?max_cursors ~p
+    ~e ~mapping:map ~seed ~table () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else if e < 1 then Error "e must be >= 1"
@@ -132,7 +136,10 @@ let of_parts ?(rpc_batching = true) ?cursor_ttl ?max_cursors ~p ~e ~mapping:map 
         let ring = Ring.of_prime_power ~p ~e in
         let server = Server_filter.create ?cursor_ttl ?max_cursors ring table in
         let transport = Transport.local ~handler:(Server_filter.handler server) in
-        let filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport in
+        let filter =
+          Client_filter.create ring ~seed ~batch_eval:rpc_batching
+            ~fused_scan:rpc_fused_scan transport
+        in
         Ok { ring; map; seed; table; server; filter; encode_stats = zero_encode_stats }
 
 let create ?config xml =
@@ -153,15 +160,16 @@ let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.St
   let t0 = Unix.gettimeofday () in
   match
     match engine with
-    | Simple -> Simple_query.run filter ~mapping:map ~strictness ast
-    | Advanced -> Advanced_query.run filter ~mapping:map ~strictness ast
+    | Simple -> Simple_query.run_explained filter ~mapping:map ~strictness ast
+    | Advanced -> Advanced_query.run_explained filter ~mapping:map ~strictness ast
   with
-  | nodes ->
+  | nodes, operators ->
       let seconds = Unix.gettimeofday () -. t0 in
       let counters = Client_filter.rpc_counters filter in
       Ok
         {
           nodes;
+          operators;
           metrics = Metrics.copy (Client_filter.metrics filter);
           rpc_calls = counters.Transport.calls - calls0;
           rpc_bytes =
@@ -233,7 +241,8 @@ let sweep_cursors t = Server_filter.sweep_cursors t.server
 
 type session = { s_filter : Client_filter.t; s_map : Mapping.t }
 
-let connect ?(rpc_batching = true) ?timeout ?max_retries ~p ~e ~mapping ~seed ~path () =
+let connect ?(rpc_batching = true) ?(rpc_fused_scan = true) ?timeout ?max_retries ~p ~e
+    ~mapping ~seed ~path () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else
@@ -253,7 +262,9 @@ let connect ?(rpc_batching = true) ?timeout ?max_retries ~p ~e ~mapping ~seed ~p
             let ring = Ring.of_prime_power ~p ~e in
             Ok
               {
-                s_filter = Client_filter.create ring ~seed ~batch_eval:rpc_batching transport;
+                s_filter =
+                  Client_filter.create ring ~seed ~batch_eval:rpc_batching
+                    ~fused_scan:rpc_fused_scan transport;
                 s_map = mapping;
               })
 
@@ -308,7 +319,7 @@ let save_bundle t ~dir =
   | exception Sys_error msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let open_bundle ?rpc_batching ~dir () =
+let open_bundle ?rpc_batching ?rpc_fused_scan ~dir () =
   match In_channel.with_open_text (Filename.concat dir "config") In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | contents -> (
@@ -323,4 +334,6 @@ let open_bundle ?rpc_batching ~dir () =
               | Ok seed -> (
                   match Node_table.open_file (Filename.concat dir "shares.db") with
                   | Error msg -> Error ("shares: " ^ msg)
-                  | Ok table -> of_parts ?rpc_batching ~p ~e ~mapping ~seed ~table ()))))
+                  | Ok table ->
+                      of_parts ?rpc_batching ?rpc_fused_scan ~p ~e ~mapping ~seed ~table
+                        ()))))

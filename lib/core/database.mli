@@ -22,6 +22,11 @@ type config = {
       (** batch containment evaluations into one round trip (default
           true); disable to reproduce the per-node-call cost model of
           the paper's RMI filter *)
+  rpc_fused_scan : bool;
+      (** let the execution pipeline use the fused [Scan_eval] request
+          — axis scan and share evaluation in one message — instead
+          of per-parent [Children] / cursor calls followed by a
+          separate evaluation round trip (default true) *)
   cursor_ttl : float option;
       (** evict server-side scan cursors idle longer than this many
           seconds (default [None]: no TTL) *)
@@ -37,6 +42,9 @@ type engine = Simple | Advanced
 type query_result = {
   nodes : Secshare_rpc.Protocol.node_meta list;  (** document order *)
   metrics : Metrics.t;
+  operators : Metrics.op_stats list;
+      (** per-operator execution counters, in plan order (the data
+          behind [ssdb_query --explain]) *)
   rpc_calls : int;
   rpc_bytes : int;
   seconds : float;
@@ -47,6 +55,7 @@ val create : ?config:config -> string -> (t, string) result
 
 val of_parts :
   ?rpc_batching:bool ->
+  ?rpc_fused_scan:bool ->
   ?cursor_ttl:float ->
   ?max_cursors:int ->
   p:int ->
@@ -117,6 +126,7 @@ type session
 
 val connect :
   ?rpc_batching:bool ->
+  ?rpc_fused_scan:bool ->
   ?timeout:float ->
   ?max_retries:int ->
   p:int ->
@@ -157,4 +167,5 @@ val save_bundle : t -> dir:string -> (unit, string) result
 (** Write the bundle (creating [dir] if needed; existing files are
     overwritten). *)
 
-val open_bundle : ?rpc_batching:bool -> dir:string -> unit -> (t, string) result
+val open_bundle :
+  ?rpc_batching:bool -> ?rpc_fused_scan:bool -> dir:string -> unit -> (t, string) result

@@ -43,3 +43,39 @@ let pp fmt t =
     "{evals=%d; eq_tests=%d; reconstructions=%d; examined=%d; degenerate=%d}"
     t.evaluations t.equality_tests t.reconstructions t.nodes_examined
     t.degenerate_divisions
+
+(* --- per-operator counters for the streaming pipeline --- *)
+
+type op_stats = {
+  op_name : string;
+  mutable batches : int;  (** output batches emitted *)
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable eval_pairs : int;
+  mutable rpc_calls : int;
+  mutable rpc_bytes : int;
+  mutable wall_seconds : float;
+}
+
+let op_stats op_name =
+  {
+    op_name;
+    batches = 0;
+    rows_in = 0;
+    rows_out = 0;
+    eval_pairs = 0;
+    rpc_calls = 0;
+    rpc_bytes = 0;
+    wall_seconds = 0.0;
+  }
+
+let copy_op_stats s = { s with op_name = s.op_name }
+
+let pp_op_stats fmt s =
+  Format.fprintf fmt "%-28s %8d %8d %8d %8d %6d %10d %9.4f" s.op_name s.rows_in
+    s.rows_out s.batches s.eval_pairs s.rpc_calls s.rpc_bytes s.wall_seconds
+
+let pp_op_table fmt ops =
+  Format.fprintf fmt "%-28s %8s %8s %8s %8s %6s %10s %9s" "operator" "rows_in"
+    "rows_out" "batches" "evals" "rpcs" "bytes" "wall(s)";
+  List.iter (fun s -> Format.fprintf fmt "@\n%a" pp_op_stats s) ops

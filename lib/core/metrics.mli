@@ -25,3 +25,30 @@ val add : t -> t -> unit
 
 val copy : t -> t
 val pp : Format.formatter -> t -> unit
+
+(** {2 Per-operator counters}
+
+    Every operator of the streaming execution pipeline (see
+    {!Operator}) carries one of these; [ssdb_query --explain] prints
+    them as the query's execution profile. *)
+
+type op_stats = {
+  op_name : string;
+  mutable batches : int;  (** output batches emitted *)
+  mutable rows_in : int;  (** rows pulled from the upstream operator *)
+  mutable rows_out : int;
+  mutable eval_pairs : int;
+      (** (client, server) share-evaluation pairs this operator combined *)
+  mutable rpc_calls : int;
+  mutable rpc_bytes : int;  (** request + response bytes of those calls *)
+  mutable wall_seconds : float;
+}
+
+val op_stats : string -> op_stats
+(** Fresh zeroed counters with the given operator label. *)
+
+val copy_op_stats : op_stats -> op_stats
+val pp_op_stats : Format.formatter -> op_stats -> unit
+
+val pp_op_table : Format.formatter -> op_stats list -> unit
+(** Aligned table, one row per operator, header included. *)

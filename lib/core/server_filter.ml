@@ -2,8 +2,25 @@ module Protocol = Secshare_rpc.Protocol
 module Node_table = Secshare_store.Node_table
 module Page = Secshare_store.Page
 
+(* A fused scan in flight: what remains to be walked, plus the points
+   every emitted row is evaluated at.  Unlike the legacy [Descendants]
+   buffer, nothing is materialized up front — the scan resumes from
+   the node table one batch at a time (the resumable range-scan API),
+   so an abandoned scan pins no row memory. *)
+type scan_state = {
+  points : int list;
+  mutable pending_parents : int list;  (** Children_of mode *)
+  mutable buffered_rows : Page.row list;  (** children fetched but not yet sent *)
+  mutable current_range : (int * int) option;  (** (next_pre, below_post) *)
+  mutable pending_ranges : (int * int) list;
+}
+
+type cursor_state =
+  | Buffered of Protocol.node_meta list  (** legacy [Descendants] buffer *)
+  | Scanning of scan_state
+
 type cursor = {
-  mutable items : Protocol.node_meta list;
+  mutable state : cursor_state;
   mutable last_used : float;
 }
 
@@ -90,6 +107,80 @@ let enforce_cap_locked t =
         t.evicted_total <- t.evicted_total + 1
   done
 
+(* Register a cursor under a fresh id.  Called with the lock held. *)
+let register_cursor_locked t state =
+  ignore (sweep_locked t);
+  enforce_cap_locked t;
+  let id = t.next_cursor in
+  t.next_cursor <- t.next_cursor + 1;
+  Hashtbl.replace t.cursors id { state; last_used = t.now () };
+  id
+
+(* Nested pre-ranges cover the same rows twice.  Subtree ranges either
+   nest or are disjoint, so after sorting by [from_pre] a range is
+   redundant exactly when it ends before the previously kept one. *)
+let dedup_ranges ranges =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) ranges in
+  let rec keep last_post = function
+    | [] -> []
+    | (from_pre, below_post) :: rest ->
+        if below_post <= last_post then keep last_post rest
+        else (from_pre, below_post) :: keep below_post rest
+  in
+  keep min_int sorted
+
+let eval_row t (row : Page.row) points = List.map (eval_share t row) points
+
+(* Pull up to [max_items] rows out of a scan, advancing its resumable
+   position.  Returns the evaluated rows and whether the scan is done. *)
+let scan_step t (scan : scan_state) ~max_items =
+  let taken = ref [] in
+  let count = ref 0 in
+  let emit row =
+    taken := (meta_of_row row, eval_row t row scan.points) :: !taken;
+    incr count
+  in
+  let exhausted = ref false in
+  while (not !exhausted) && !count < max_items do
+    match scan.buffered_rows with
+    | row :: rest ->
+        scan.buffered_rows <- rest;
+        emit row
+    | [] -> (
+        match scan.current_range with
+        | Some (from_pre, below_post) ->
+            let rows, resume =
+              Node_table.scan_range t.table ~from_pre ~below_post
+                ~max_rows:(max_items - !count)
+            in
+            List.iter emit rows;
+            scan.current_range <-
+              (match resume with
+              | Some pre -> Some (pre, below_post)
+              | None -> None)
+        | None -> (
+            match (scan.pending_ranges, scan.pending_parents) with
+            | range :: rest, _ ->
+                scan.current_range <- Some range;
+                scan.pending_ranges <- rest
+            | [], parent :: rest ->
+                scan.pending_parents <- rest;
+                scan.buffered_rows <- Node_table.children t.table ~parent
+            | [], [] -> exhausted := true))
+  done;
+  let done_ =
+    !exhausted
+    || (scan.buffered_rows = [] && scan.current_range = None
+       && scan.pending_ranges = [] && scan.pending_parents = [])
+  in
+  (List.rev !taken, done_)
+
+let scan_batch t scan ~max_items ~cursor_of_remainder =
+  let max_items = max 1 max_items in
+  let rows, done_ = scan_step t scan ~max_items in
+  let cursor = if done_ then None else Some (cursor_of_remainder ()) in
+  Protocol.Scan_batch { rows; cursor }
+
 let handle t (request : Protocol.request) : Protocol.response =
   match request with
   | Protocol.Ping -> Protocol.Pong
@@ -106,19 +197,17 @@ let handle t (request : Protocol.request) : Protocol.response =
           (Node_table.fold_descendants t.table ~pre ~post ~init:[] ~f:(fun acc row ->
                meta_of_row row :: acc))
       in
-      with_lock t (fun () ->
-          ignore (sweep_locked t);
-          enforce_cap_locked t;
-          let id = t.next_cursor in
-          t.next_cursor <- t.next_cursor + 1;
-          Hashtbl.replace t.cursors id { items; last_used = t.now () };
-          Protocol.Cursor id)
+      with_lock t (fun () -> Protocol.Cursor (register_cursor_locked t (Buffered items)))
   | Protocol.Cursor_next { cursor; max_items } ->
       with_lock t (fun () ->
           ignore (sweep_locked t);
           match Hashtbl.find_opt t.cursors cursor with
           | None -> Protocol.Error_msg (Printf.sprintf "unknown cursor %d" cursor)
-          | Some c ->
+          | Some ({ state = Scanning _; _ } as c) ->
+              c.last_used <- t.now ();
+              Protocol.Error_msg
+                (Printf.sprintf "cursor %d is a scan cursor (use Scan_next)" cursor)
+          | Some ({ state = Buffered items; _ } as c) ->
               let max_items = max 1 max_items in
               let rec take n items =
                 if n = 0 then ([], items)
@@ -129,12 +218,55 @@ let handle t (request : Protocol.request) : Protocol.response =
                       let taken, remaining = take (n - 1) rest in
                       (x :: taken, remaining)
               in
-              let batch, remaining = take max_items c.items in
-              c.items <- remaining;
+              let batch, remaining = take max_items items in
+              c.state <- Buffered remaining;
               c.last_used <- t.now ();
               let exhausted = remaining = [] in
               if exhausted then Hashtbl.remove t.cursors cursor;
               Protocol.Batch (batch, exhausted))
+  | Protocol.Scan_eval { target; points; max_items } ->
+      let scan =
+        match target with
+        | Protocol.Children_of parents ->
+            {
+              points;
+              pending_parents = List.sort_uniq compare parents;
+              buffered_rows = [];
+              current_range = None;
+              pending_ranges = [];
+            }
+        | Protocol.Pre_ranges ranges ->
+            {
+              points;
+              pending_parents = [];
+              buffered_rows = [];
+              current_range = None;
+              pending_ranges = dedup_ranges ranges;
+            }
+      in
+      (* evaluation happens outside the lock would be nicer, but scans
+         hold only index positions and the table is append-only while
+         serving, so the critical section stays short in practice *)
+      with_lock t (fun () ->
+          scan_batch t scan ~max_items ~cursor_of_remainder:(fun () ->
+              register_cursor_locked t (Scanning scan)))
+  | Protocol.Scan_next { cursor; max_items } ->
+      with_lock t (fun () ->
+          ignore (sweep_locked t);
+          match Hashtbl.find_opt t.cursors cursor with
+          | None -> Protocol.Error_msg (Printf.sprintf "unknown cursor %d" cursor)
+          | Some { state = Buffered _; _ } ->
+              Protocol.Error_msg
+                (Printf.sprintf "cursor %d is a batch cursor (use Cursor_next)" cursor)
+          | Some ({ state = Scanning scan; _ } as c) ->
+              c.last_used <- t.now ();
+              let response =
+                scan_batch t scan ~max_items ~cursor_of_remainder:(fun () -> cursor)
+              in
+              (match response with
+              | Protocol.Scan_batch { cursor = None; _ } -> Hashtbl.remove t.cursors cursor
+              | _ -> ());
+              response)
   | Protocol.Cursor_close cursor ->
       with_lock t (fun () ->
           Hashtbl.remove t.cursors cursor;
@@ -191,6 +323,8 @@ let connection t =
     let response = handler t request in
     (match (request, response) with
     | Protocol.Descendants _, Protocol.Cursor id -> owned := id :: !owned
+    | Protocol.Scan_eval _, Protocol.Scan_batch { cursor = Some id; _ } ->
+        if not (List.mem id !owned) then owned := id :: !owned
     | _ -> ());
     response
   in

@@ -1,55 +1,74 @@
-module Protocol = Secshare_rpc.Protocol
 module Ast = Secshare_xpath.Ast
 open Query_common
 
-(* Candidates reached from [frontier] along the step's axis.  [first]
-   marks the first step, whose implicit context is the virtual
-   document node (parent of the root). *)
-let candidates filter ~first frontier (step : Ast.step) =
-  match (step.Ast.test, step.Ast.axis) with
-  | Ast.Parent, _ -> parents_of filter frontier
-  | _, Ast.Child ->
-      if first then Option.to_list (Client_filter.root filter)
-      else
-        sort_dedup
-          (List.concat_map
-             (fun (m : Protocol.node_meta) ->
-               Client_filter.children filter ~pre:m.Protocol.pre)
-             frontier)
-  | _, Ast.Descendant ->
-      let sources =
-        if first then Option.to_list (Client_filter.root filter) else frontier
-      in
-      (* strict descendants of every frontier node; the first step's
-         sources (the root) are themselves candidates since they are
-         descendants of the document node *)
-      let acc = ref (if first then sources else []) in
-      List.iter
-        (fun source ->
-          Client_filter.iter_descendants filter source ~f:(fun m -> acc := m :: !acc))
-        sources;
-      sort_dedup !acc
+(* SimpleQuery as a plan lowering: each step becomes an axis scan, a
+   dedup, and (for a name step) the step's single test.  No look-ahead
+   — the lowered plan never inspects later steps.
 
-let apply_test filter ~mapping ~strictness metas (step : Ast.step) =
-  match step.Ast.test with
-  | Ast.Any | Ast.Parent -> metas
-  | Ast.Name name -> (
-      let point = map_point mapping name in
-      match strictness with
-      | Non_strict -> Client_filter.containment_batch filter metas ~point
-      | Strict -> List.filter (fun m -> Client_filter.equality filter m ~point) metas)
+   With the fused protocol the non-strict containment point rides
+   inside the scan ([Scan { eval = Some _ }]); otherwise it lowers to
+   a separate [Filter_containment] round trip after the dedup, which
+   reproduces the engine's historical dedup-then-test evaluation
+   counts.  The strict test is always a separate [Filter_equality]:
+   the old engine ran no containment sieve before it, and fusing one
+   in would change the cost model. *)
+let lower ~fused ~mapping ~strictness query =
+  if query = [] then raise (Query_error "empty query");
+  let step_ops ~first (step : Ast.step) =
+    let name_point =
+      match step.Ast.test with
+      | Ast.Name name -> Some (map_point mapping name)
+      | Ast.Any | Ast.Parent -> None
+    in
+    let fused_eval =
+      match (strictness, name_point) with
+      | Non_strict, Some point when fused -> Some point
+      | _ -> None
+    in
+    let test_ops =
+      match (name_point, strictness) with
+      | None, _ -> []
+      | Some _, Non_strict when fused_eval <> None -> []
+      | Some point, Non_strict -> [ Plan.Filter_containment { points = [ point ] } ]
+      | Some point, Strict -> [ Plan.Filter_equality { point } ]
+    in
+    match (step.Ast.test, step.Ast.axis) with
+    | Ast.Parent, _ -> [ Plan.Parent_step; Plan.Dedup ]
+    | _, Ast.Child ->
+        let axis = if first then Plan.Root_scan else Plan.Child_scan in
+        (Plan.Scan { axis; eval = fused_eval } :: Plan.Dedup :: test_ops)
+    | _, Ast.Descendant ->
+        (* a first [//] descends from the virtual document node, so the
+           root itself is a candidate: seed the scan with the root and
+           include it *)
+        let prefix =
+          if first then [ Plan.Scan { axis = Plan.Root_scan; eval = None } ] else []
+        in
+        prefix
+        @ (Plan.Scan
+             { axis = Plan.Descendant_scan { include_self = first }; eval = fused_eval }
+          :: Plan.Dedup :: test_ops)
+  in
+  let rec go ~first = function
+    | [] -> []
+    | step :: rest -> step_ops ~first step @ go ~first:false rest
+  in
+  go ~first:true query
 
-let run filter ~mapping ~strictness query =
+let run_explained filter ~mapping ~strictness query =
   if query = [] then raise (Query_error "empty query");
   let all_names_mapped =
     List.for_all (fun n -> Mapping.value mapping n <> None) (Ast.name_tests query)
   in
-  let rec go frontier ~first = function
-    | [] -> frontier
-    | step :: rest ->
-        let expanded = candidates filter ~first frontier step in
-        let filtered = apply_test filter ~mapping ~strictness expanded step in
-        go (sort_dedup filtered) ~first:false rest
-  in
-  if not all_names_mapped then []
-  else go [] ~first:true query
+  if not all_names_mapped then ([], [])
+  else begin
+    let plan =
+      lower ~fused:(Client_filter.fused_scan filter) ~mapping ~strictness query
+    in
+    let ops = Operator.build filter plan in
+    let metas = Operator.drain ops in
+    (sort_dedup metas, Operator.stats_list ops)
+  end
+
+let run filter ~mapping ~strictness query =
+  fst (run_explained filter ~mapping ~strictness query)

@@ -14,6 +14,19 @@
     with [Strict] every candidate whose own tag *is* the step name
     (the equality test). *)
 
+val lower :
+  fused:bool ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  Secshare_xpath.Ast.t ->
+  Plan.t
+(** Lower a query to the streaming plan this engine executes.  With
+    [fused:true] each non-strict name test rides inside its axis scan
+    ([Scan_eval]); otherwise it lowers to a separate containment
+    filter after the step's dedup.
+    @raise Query_common.Query_error on an empty query or a name with
+    no map entry. *)
+
 val run :
   Client_filter.t ->
   mapping:Mapping.t ->
@@ -25,3 +38,12 @@ val run :
     nothing (empty result), mirroring plaintext XPath over a document
     that cannot contain the name.
     @raise Client_filter.Filter_error on transport failures. *)
+
+val run_explained :
+  Client_filter.t ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  Secshare_xpath.Ast.t ->
+  Secshare_rpc.Protocol.node_meta list * Metrics.op_stats list
+(** Like {!run}, also returning each plan operator's execution
+    counters in plan order (empty for an unmapped name). *)

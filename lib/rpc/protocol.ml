@@ -1,5 +1,13 @@
 type node_meta = { pre : int; post : int; parent : int }
 
+(** What a fused scan walks over.  [Pre_ranges] pairs are
+    [(from_pre, below_post)]: ascending-[pre] runs that stop at the
+    first row whose [post] reaches [below_post] (see
+    [Node_table.scan_range]). *)
+type scan_target =
+  | Children_of of int list
+  | Pre_ranges of (int * int) list
+
 type request =
   | Ping
   | Root
@@ -13,6 +21,12 @@ type request =
   | Share of int
   | Shares of int list
   | Table_stats
+  | Scan_eval of { target : scan_target; points : int list; max_items : int }
+      (** Fused scan + evaluation: walk the target ranges and return
+          each row's metadata together with its share evaluated at
+          every point, one batch per round trip. *)
+  | Scan_next of { cursor : int; max_items : int }
+      (** Continue a [Scan_eval] whose reply carried a cursor. *)
 
 type stats = { rows : int; data_bytes : int; index_bytes : int }
 
@@ -27,6 +41,11 @@ type response =
   | Share_data of bytes
   | Shares_data of bytes list
   | Stats of stats
+  | Scan_batch of { rows : (node_meta * int list) list; cursor : int option }
+      (** One batch of a fused scan: each row carries the server-share
+          evaluations at the request's points, in order.  [cursor] is
+          present when more batches remain (drain with [Scan_next] or
+          abandon with [Cursor_close]). *)
   | Error_msg of string
 
 let write_meta w (m : node_meta) =
@@ -76,7 +95,26 @@ let encode_request req =
   | Shares pres ->
       Wire.write_u8 w 10;
       Wire.write_list w (Wire.write_u32 w) pres
-  | Table_stats -> Wire.write_u8 w 11);
+  | Table_stats -> Wire.write_u8 w 11
+  | Scan_eval { target; points; max_items } ->
+      Wire.write_u8 w 12;
+      (match target with
+      | Children_of parents ->
+          Wire.write_u8 w 0;
+          Wire.write_list w (Wire.write_u32 w) parents
+      | Pre_ranges ranges ->
+          Wire.write_u8 w 1;
+          Wire.write_list w
+            (fun (from_pre, below_post) ->
+              Wire.write_u32 w from_pre;
+              Wire.write_u32 w below_post)
+            ranges);
+      Wire.write_list w (Wire.write_u32 w) points;
+      Wire.write_u32 w max_items
+  | Scan_next { cursor; max_items } ->
+      Wire.write_u8 w 13;
+      Wire.write_u32 w cursor;
+      Wire.write_u32 w max_items);
   Wire.contents w
 
 let decode_request s =
@@ -107,6 +145,26 @@ let decode_request s =
     | 9 -> Share (Wire.read_u32 r)
     | 10 -> Shares (Wire.read_list r (fun () -> Wire.read_u32 r))
     | 11 -> Table_stats
+    | 12 ->
+        let target =
+          match Wire.read_u8 r with
+          | 0 -> Children_of (Wire.read_list r (fun () -> Wire.read_u32 r))
+          | 1 ->
+              Pre_ranges
+                (Wire.read_list r (fun () ->
+                     let from_pre = Wire.read_u32 r in
+                     let below_post = Wire.read_u32 r in
+                     (from_pre, below_post)))
+          | tag ->
+              raise (Wire.Decode_error (Printf.sprintf "unknown scan target tag %d" tag))
+        in
+        let points = Wire.read_list r (fun () -> Wire.read_u32 r) in
+        let max_items = Wire.read_u32 r in
+        Scan_eval { target; points; max_items }
+    | 13 ->
+        let cursor = Wire.read_u32 r in
+        let max_items = Wire.read_u32 r in
+        Scan_next { cursor; max_items }
     | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown request tag %d" tag))
   in
   Wire.expect_end r;
@@ -149,7 +207,19 @@ let encode_response resp =
       Wire.write_i64 w index_bytes
   | Error_msg msg ->
       Wire.write_u8 w 11;
-      Wire.write_string w msg);
+      Wire.write_string w msg
+  | Scan_batch { rows; cursor } ->
+      Wire.write_u8 w 12;
+      Wire.write_list w
+        (fun (m, values) ->
+          write_meta w m;
+          Wire.write_list w (Wire.write_u32 w) values)
+        rows;
+      (match cursor with
+      | None -> Wire.write_u8 w 0
+      | Some c ->
+          Wire.write_u8 w 1;
+          Wire.write_u32 w c));
   Wire.contents w
 
 let decode_response s =
@@ -175,6 +245,21 @@ let decode_response s =
         let index_bytes = Wire.read_i64 r in
         Stats { rows; data_bytes; index_bytes }
     | 11 -> Error_msg (Wire.read_string r)
+    | 12 ->
+        let rows =
+          Wire.read_list r (fun () ->
+              let m = read_meta r in
+              let values = Wire.read_list r (fun () -> Wire.read_u32 r) in
+              (m, values))
+        in
+        let cursor =
+          match Wire.read_u8 r with
+          | 0 -> None
+          | 1 -> Some (Wire.read_u32 r)
+          | tag ->
+              raise (Wire.Decode_error (Printf.sprintf "unknown cursor flag %d" tag))
+        in
+        Scan_batch { rows; cursor }
     | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown response tag %d" tag))
   in
   Wire.expect_end r;
@@ -197,6 +282,16 @@ let pp_request fmt = function
   | Share pre -> Format.fprintf fmt "Share(%d)" pre
   | Shares pres -> Format.fprintf fmt "Shares(%d nodes)" (List.length pres)
   | Table_stats -> Format.pp_print_string fmt "Table_stats"
+  | Scan_eval { target; points; max_items } ->
+      let target_s =
+        match target with
+        | Children_of parents -> Printf.sprintf "children-of %d" (List.length parents)
+        | Pre_ranges ranges -> Printf.sprintf "%d ranges" (List.length ranges)
+      in
+      Format.fprintf fmt "Scan_eval(%s,%d points,max=%d)" target_s (List.length points)
+        max_items
+  | Scan_next { cursor; max_items } ->
+      Format.fprintf fmt "Scan_next(%d,max=%d)" cursor max_items
 
 let pp_response fmt = function
   | Pong -> Format.pp_print_string fmt "Pong"
@@ -214,4 +309,7 @@ let pp_response fmt = function
   | Stats s ->
       Format.fprintf fmt "Stats(rows=%d,data=%d,index=%d)" s.rows s.data_bytes
         s.index_bytes
+  | Scan_batch { rows; cursor } ->
+      Format.fprintf fmt "Scan_batch(%d,%s)" (List.length rows)
+        (match cursor with None -> "exhausted" | Some c -> Printf.sprintf "cursor=%d" c)
   | Error_msg msg -> Format.fprintf fmt "Error(%s)" msg

@@ -14,6 +14,15 @@
 
 type node_meta = { pre : int; post : int; parent : int }
 
+type scan_target =
+  | Children_of of int list  (** children of every listed parent [pre] *)
+  | Pre_ranges of (int * int) list
+      (** [(from_pre, below_post)] runs: ascending [pre] from
+          [from_pre], stopping at the first row with
+          [post >= below_post].  A node's strict descendants are
+          [(pre + 1, post)]; its whole subtree is [(pre, post + 1)].
+          Nested ranges are deduplicated server-side. *)
+
 type request =
   | Ping
   | Root
@@ -29,6 +38,16 @@ type request =
   | Share of int  (** raw share of node [pre] *)
   | Shares of int list
   | Table_stats
+  | Scan_eval of { target : scan_target; points : int list; max_items : int }
+      (** Fused axis scan + share evaluation: one round trip returns a
+          batch of scanned rows, each with its server-share evaluated
+          at every point.  Replaces a per-parent [Children] (or
+          [Descendants] cursor drain) followed by an [Eval_batch].
+          The reply is a [Scan_batch]; when it carries a cursor,
+          continue with [Scan_next] or abandon with [Cursor_close]. *)
+  | Scan_next of { cursor : int; max_items : int }
+      (** Next batch of a [Scan_eval] (not idempotent, like
+          [Cursor_next]). *)
 
 type stats = { rows : int; data_bytes : int; index_bytes : int }
 
@@ -43,6 +62,9 @@ type response =
   | Share_data of bytes
   | Shares_data of bytes list
   | Stats of stats
+  | Scan_batch of { rows : (node_meta * int list) list; cursor : int option }
+      (** One batch of a fused scan; [cursor] is present when more
+          rows remain. *)
   | Error_msg of string
 
 val encode_request : request -> string

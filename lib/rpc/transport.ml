@@ -67,10 +67,14 @@ let socket ?(policy = default_policy) path =
         }
   | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
 
-(* Every request is a pure read of server state except [Cursor_next],
-   which advances a server-side cursor: resending it after an
-   ambiguous failure could silently skip a batch. *)
-let idempotent = function Protocol.Cursor_next _ -> false | _ -> true
+(* Every request is a pure read of server state except [Cursor_next]
+   and [Scan_next], which advance a server-side cursor: resending one
+   after an ambiguous failure could silently skip a batch.
+   ([Scan_eval], like [Descendants], only creates a cursor — a retried
+   duplicate leaks until evicted, which is safe.) *)
+let idempotent = function
+  | Protocol.Cursor_next _ | Protocol.Scan_next _ -> false
+  | _ -> true
 
 let backoff_delay policy attempt =
   let d = policy.backoff_base *. (2.0 ** float_of_int attempt) in

@@ -134,6 +134,27 @@ let fold_descendants t ~pre ~post ~init ~f =
 let descendants t ~pre ~post =
   List.rev (fold_descendants t ~pre ~post ~init:[] ~f:(fun acc row -> row :: acc))
 
+let scan_range t ~from_pre ~below_post ~max_rows =
+  let max_rows = max 1 max_rows in
+  let resume = ref None in
+  let count = ref 0 in
+  let rows =
+    Index.fold_from t.pre_index ~key:from_pre ~init:[]
+      ~f:(fun rows ~key:_ ~value:loc ->
+        let row = fetch t loc in
+        if row.Page.post >= below_post then None
+        else if !count >= max_rows then begin
+          (* budget hit: this row was not taken, restart here *)
+          resume := Some row.Page.pre;
+          None
+        end
+        else begin
+          incr count;
+          Some (row :: rows)
+        end)
+  in
+  (List.rev rows, !resume)
+
 let parent_of t ~pre =
   match find_by_pre t pre with
   | None -> None

@@ -50,6 +50,17 @@ val fold_descendants :
   t -> pre:int -> post:int -> init:'a -> f:('a -> Page.row -> 'a) -> 'a
 (** Streaming variant of [descendants]. *)
 
+val scan_range :
+  t -> from_pre:int -> below_post:int -> max_rows:int -> Page.row list * int option
+(** Resumable range scan: up to [max_rows] rows in ascending [pre]
+    order starting at [from_pre], stopping at the first row with
+    [post >= below_post].  The second component is the [pre] to resume
+    from when the scan stopped on the row budget ([None] when the
+    range itself was exhausted).  Subtree conventions: a node's strict
+    descendants are [(from_pre = pre + 1, below_post = post)]; the
+    subtree including the node itself is
+    [(from_pre = pre, below_post = post + 1)]. *)
+
 val parent_of : t -> pre:int -> Page.row option
 (** The parent row of the node with the given [pre] (None for the
     root or an unknown [pre]). *)
