@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- --quick      -- smaller documents
      dune exec bench/main.exe -- fig4 fig5    -- selected experiments
      dune exec bench/main.exe -- micro        -- bechamel microbenchmarks
+     dune exec bench/main.exe -- --json b.json fig5  -- machine-readable results
 
    Absolute numbers differ from the paper (2005 hardware, Java + MySQL
    versus OCaml and our own storage engine); the shapes are the claim:
@@ -24,6 +25,61 @@ let quick = ref false
 let seed = Secshare_prg.Seed.of_passphrase "secshare-bench-seed"
 let config = { DB.default_config with seed = Some seed }
 let printf = Stdlib.Printf.printf
+
+(* --- machine-readable results (--json FILE) ----------------------- *)
+
+(* Experiments append one flat record per measured row; [--json FILE]
+   dumps them all as a JSON array so CI can archive and diff runs
+   without scraping the human tables. *)
+
+type jv = J_str of string | J_int of int | J_float of float
+
+let json_path : string option ref = ref None
+let json_rows : (string * (string * jv) list) list ref = ref []
+
+let record experiment fields =
+  if !json_path <> None then json_rows := (experiment, fields) :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jv_to_string = function
+  | J_str s -> "\"" ^ json_escape s ^ "\""
+  | J_int n -> string_of_int n
+  | J_float f -> if Float.is_finite f then Printf.sprintf "%.9g" f else "null"
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (experiment, fields) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  {\"experiment\": \"";
+      Buffer.add_string buf (json_escape experiment);
+      Buffer.add_string buf "\"";
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf ", \"";
+          Buffer.add_string buf (json_escape k);
+          Buffer.add_string buf "\": ";
+          Buffer.add_string buf (jv_to_string v))
+        fields;
+      Buffer.add_string buf "}")
+    (List.rev !json_rows);
+  Buffer.add_string buf "\n]\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf))
 
 let heading title =
   printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -79,6 +135,14 @@ let fig4 () =
       printf "%10.2f %12.2f %12.2f %12d %10.2f %8.2f\n" (mb input_bytes)
         (mb stats.DB.data_bytes) (mb stats.DB.index_bytes) stats.DB.rows seconds
         (float_of_int stats.DB.data_bytes /. float_of_int input_bytes);
+      record "fig4"
+        [
+          ("input_bytes", J_int input_bytes);
+          ("data_bytes", J_int stats.DB.data_bytes);
+          ("index_bytes", J_int stats.DB.index_bytes);
+          ("nodes", J_int stats.DB.rows);
+          ("seconds", J_float seconds);
+        ];
       DB.close db)
     sizes;
   printf
@@ -117,7 +181,15 @@ let fig5 () =
       let simple = must (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict db q) in
       let advanced = must (DB.query ~engine:DB.Advanced ~strictness:QC.Non_strict db q) in
       printf "%3d %-60s %8d %13d %13d\n" (i + 1) q (List.length simple.DB.nodes)
-        simple.DB.metrics.Metrics.evaluations advanced.DB.metrics.Metrics.evaluations)
+        simple.DB.metrics.Metrics.evaluations advanced.DB.metrics.Metrics.evaluations;
+      record "fig5"
+        [
+          ("query", J_str q);
+          ("steps", J_int (i + 1));
+          ("output", J_int (List.length simple.DB.nodes));
+          ("evals_simple", J_int simple.DB.metrics.Metrics.evaluations);
+          ("evals_advanced", J_int advanced.DB.metrics.Metrics.evaluations);
+        ])
     table1_queries;
   printf
     "\nPaper's shape: the two engines stay within a constant factor on these\n\
@@ -186,6 +258,17 @@ let fig6 () =
       | _ -> assert false)
     table2_queries;
   fig6_measurements := List.rev !fig6_measurements;
+  List.iter
+    (fun row ->
+      record "fig6"
+        (("query", J_str row.query)
+         :: List.map
+              (fun (name, s) ->
+                let name = String.map (fun c -> if c = '/' then '_' else c) name in
+                ("seconds_" ^ name, J_float s))
+              row.times
+        @ [ ("strict_size", J_int row.strict_size); ("loose_size", J_int row.loose_size) ]))
+    !fig6_measurements;
   printf
     "\nPaper's shape: the advanced engine wins on every query; strict checking\n\
      is sometimes a slight overhead, sometimes a major improvement (it shrinks\n\
@@ -367,7 +450,15 @@ let batching_ablation () =
       printf "%-46s %8d %11d %12d %12d %11.1fx
 " q (List.length rf.DB.nodes)
         rn.DB.rpc_calls rb.DB.rpc_calls rf.DB.rpc_calls
-        (float_of_int rb.DB.rpc_calls /. float_of_int (max 1 rf.DB.rpc_calls)))
+        (float_of_int rb.DB.rpc_calls /. float_of_int (max 1 rf.DB.rpc_calls));
+      record "batching"
+        [
+          ("query", J_str q);
+          ("matches", J_int (List.length rf.DB.nodes));
+          ("calls_per_node", J_int rn.DB.rpc_calls);
+          ("calls_batched", J_int rb.DB.rpc_calls);
+          ("calls_fused", J_int rf.DB.rpc_calls);
+        ])
     chain_queries;
   DB.close per_node;
   DB.close batched;
@@ -601,7 +692,9 @@ let micro () =
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
-      | Some (estimate :: _) -> printf "%-40s %16.1f\n" name estimate
+      | Some (estimate :: _) ->
+          printf "%-40s %16.1f\n" name estimate;
+          record "micro" [ ("benchmark", J_str name); ("ns_per_run", J_float estimate) ]
       | Some [] | None -> printf "%-40s %16s\n" name "n/a")
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
@@ -624,17 +717,20 @@ let experiments =
   ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun arg ->
-        if arg = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | [ "--json" ] ->
+        prerr_endline "--json needs a FILE argument";
+        exit 2
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | arg :: rest -> parse (arg :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected = if args = [] then List.map fst experiments else args in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -645,4 +741,9 @@ let () =
           printf "unknown experiment %S (available: %s)\n" name
             (String.concat ", " (List.map fst experiments)))
     selected;
+  (match !json_path with
+  | Some path ->
+      write_json path;
+      printf "\nwrote %d result rows to %s\n" (List.length !json_rows) path
+  | None -> ());
   printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

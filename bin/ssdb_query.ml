@@ -6,12 +6,14 @@ open Cmdliner
 module DB = Secshare_core.Database
 module QC = Secshare_core.Query_common
 module Metrics = Secshare_core.Metrics
+module Obs = Secshare_obs
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let report ~explain query result =
+let report ~explain ~trace query result =
   let r : DB.query_result = result in
   Printf.printf "query: %s\n" query;
+  if trace then Printf.printf "trace: %s\n" (Obs.Span.trace_id_to_hex r.DB.trace_id);
   Printf.printf "matches (%d): %s\n" (List.length r.DB.nodes)
     (String.concat ", "
        (List.map
@@ -29,7 +31,8 @@ let report ~explain query result =
   end
 
 let run db_path socket_path map_path seed_path p e engine_name strictness_name timeout
-    max_retries explain queries =
+    max_retries explain trace trace_log queries =
+  Obs.Trace.set_log_file trace_log;
   let engine =
     match engine_name with
     | "simple" -> Ok DB.Simple
@@ -56,7 +59,7 @@ let run db_path socket_path map_path seed_path p e engine_name strictness_name t
                 List.iter
                   (fun q ->
                     match query_fn q with
-                    | Ok result -> report ~explain q result
+                    | Ok result -> report ~explain ~trace q result
                     | Error m ->
                         incr failures;
                         Printf.eprintf "query %s failed: %s\n%!" q m)
@@ -135,6 +138,23 @@ let explain_arg =
           "Print the executed plan and a per-operator table (rows in/out, batches, \
            evaluation pairs, RPC calls/bytes, cumulative wall time) after each query.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print each query's trace id (hex).  The same id rides every RPC frame the \
+           query sends, so a server started with --trace-log records its spans under \
+           it.")
+
+let trace_log_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-log" ] ~docv:"FILE"
+        ~doc:
+          "Append every finished client-side span (query, operators, RPCs) to FILE as \
+           JSON lines.")
+
 let queries =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"XPath queries.")
 
@@ -145,6 +165,6 @@ let cmd =
       ret
         (const run $ db_path $ socket_path $ map_path $ seed_path $ p_arg $ e_arg
        $ engine_arg $ strictness_arg $ timeout_arg $ max_retries_arg $ explain_arg
-       $ queries))
+       $ trace_arg $ trace_log_arg $ queries))
 
 let () = exit (Cmd.eval' cmd)

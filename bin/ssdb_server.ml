@@ -1,52 +1,104 @@
 (* CLI: serve a database file over a Unix-domain socket — the "big
    server" of figure 3.  The server holds only public material: shares
-   and pre/post/parent numbers. *)
+   and pre/post/parent numbers.
+
+   Observability surface: [--metrics-port] serves Prometheus text
+   exposition on GET /metrics and a drain-aware GET /healthz;
+   [--slow-query-ms] logs one structured line per slow query lifetime;
+   [--log-level] picks how chatty the stderr event log is;
+   [--trace-log] appends every finished server-side span as JSONL. *)
 
 open Cmdliner
+module Obs = Secshare_obs
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let run db_path socket_path p e cursor_ttl max_cursors =
-  if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
-  else
-    match Secshare_store.Node_table.open_file db_path with
-    | Error m -> err "database: %s" m
-    | Ok table ->
-        let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
-        let cursor_ttl = if cursor_ttl > 0.0 then Some cursor_ttl else None in
-        let filter =
-          Secshare_core.Server_filter.create ?cursor_ttl ~max_cursors ring table
-        in
-        let server =
-          Secshare_rpc.Server.start_sessions ~path:socket_path
-            ~session:(fun () ->
-              let on_request, on_close = Secshare_core.Server_filter.connection filter in
-              { Secshare_rpc.Server.on_request; on_close })
-            ()
-        in
-        Printf.printf "serving %s (%d rows) on %s\n%!" db_path
-          (Secshare_store.Node_table.row_count table)
-          socket_path;
-        let stop = ref false in
-        Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
-        Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
-        while not !stop do
-          Unix.sleepf 0.2
-        done;
-        Secshare_rpc.Server.stop server;
-        let srv = Secshare_rpc.Server.stats server in
-        let cur = Secshare_core.Server_filter.cursor_stats filter in
-        Secshare_store.Node_table.close table;
-        Printf.printf
-          "server stopped: %d connections, %d requests, %d accept errors; cursors: %d \
-           open, %d evicted (%d by ttl)\n"
-          srv.Secshare_rpc.Server.connections_accepted
-          srv.Secshare_rpc.Server.requests_handled
-          srv.Secshare_rpc.Server.accept_errors
-          cur.Secshare_core.Server_filter.open_cursors
-          cur.Secshare_core.Server_filter.evicted_cursors
-          cur.Secshare_core.Server_filter.expired_cursors;
-        `Ok 0
+let run db_path socket_path p e cursor_ttl max_cursors metrics_port slow_query_ms
+    log_level trace_log =
+  match Obs.Events.level_of_string log_level with
+  | Result.Error m -> err "%s" m
+  | Result.Ok level -> (
+      Obs.Events.set_level level;
+      Obs.Trace.set_log_file trace_log;
+      if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
+      else
+        match Secshare_store.Node_table.open_file db_path with
+        | Error m -> err "database: %s" m
+        | Ok table ->
+            let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
+            let cursor_ttl = if cursor_ttl > 0.0 then Some cursor_ttl else None in
+            let slow_query_ms = if slow_query_ms > 0.0 then Some slow_query_ms else None in
+            let filter =
+              Secshare_core.Server_filter.create ?cursor_ttl ~max_cursors ?slow_query_ms
+                ring table
+            in
+            let draining = ref false in
+            let started = Unix.gettimeofday () in
+            Obs.Registry.gauge_fn ~help:"Seconds since this server started."
+              "ssdb_server_uptime_seconds" (fun () -> Unix.gettimeofday () -. started);
+            Obs.Registry.gauge_fn
+              ~help:"1 while the server is draining connections, else 0."
+              "ssdb_server_draining"
+              (fun () -> if !draining then 1.0 else 0.0);
+            let http =
+              if metrics_port < 0 then None
+              else
+                match
+                  Obs.Metrics_http.start ~port:metrics_port
+                    ~healthy:(fun () -> not !draining)
+                    ()
+                with
+                | http ->
+                    Printf.printf "metrics on http://127.0.0.1:%d/metrics\n%!"
+                      (Obs.Metrics_http.port http);
+                    Some http
+                | exception Unix.Unix_error (errno, _, _) ->
+                    Printf.eprintf "metrics port %d: %s\n%!" metrics_port
+                      (Unix.error_message errno);
+                    None
+            in
+            let server =
+              Secshare_rpc.Server.start_sessions ~path:socket_path
+                ~session:(fun () ->
+                  let on_request, on_close =
+                    Secshare_core.Server_filter.connection filter
+                  in
+                  { Secshare_rpc.Server.on_request; on_close })
+                ()
+            in
+            Obs.Events.info "serving db=%s rows=%d socket=%s" db_path
+              (Secshare_store.Node_table.row_count table)
+              socket_path;
+            Printf.printf "serving %s (%d rows) on %s\n%!" db_path
+              (Secshare_store.Node_table.row_count table)
+              socket_path;
+            let stop = ref false in
+            Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+            Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true));
+            while not !stop do
+              Unix.sleepf 0.2
+            done;
+            (* flip /healthz to 503 before the drain so load balancers
+               stop routing here while in-flight requests finish *)
+            draining := true;
+            Secshare_rpc.Server.stop server;
+            let srv = Secshare_rpc.Server.stats server in
+            let cur = Secshare_core.Server_filter.cursor_stats filter in
+            Secshare_store.Node_table.close table;
+            (* the metrics endpoint outlives the RPC drain so a final
+               scrape can observe the drained state *)
+            Option.iter Obs.Metrics_http.stop http;
+            Obs.Trace.set_log_file None;
+            Printf.printf
+              "server stopped: %d connections, %d requests, %d accept errors; cursors: \
+               %d open, %d evicted (%d by ttl)\n"
+              srv.Secshare_rpc.Server.connections_accepted
+              srv.Secshare_rpc.Server.requests_handled
+              srv.Secshare_rpc.Server.accept_errors
+              cur.Secshare_core.Server_filter.open_cursors
+              cur.Secshare_core.Server_filter.evicted_cursors
+              cur.Secshare_core.Server_filter.expired_cursors;
+            `Ok 0)
 
 let db_path =
   Arg.(
@@ -73,12 +125,43 @@ let max_cursors_arg =
     & info [ "max-cursors" ] ~docv:"N"
         ~doc:"Cap on concurrently open scan cursors (LRU eviction past it).")
 
+let metrics_port_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve Prometheus text exposition on http://127.0.0.1:PORT/metrics and a \
+           drain-aware health check on /healthz.  0 binds an ephemeral port (printed \
+           at startup); negative (the default) disables the endpoint.")
+
+let slow_query_ms_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "slow-query-ms" ] ~docv:"MS"
+        ~doc:
+          "Log one structured line per query lifetime that took at least MS \
+           milliseconds (trace id, opcode mix, batch/row/byte counts, duration — \
+           never query content).  0 disables the slow-query log.")
+
+let log_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:"Stderr event-log level: $(b,error), $(b,info) or $(b,debug).")
+
+let trace_log_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-log" ] ~docv:"FILE"
+        ~doc:"Append every finished server-side span to FILE as JSON lines.")
+
 let cmd =
   let doc = "serve an encrypted share database over a Unix-domain socket" in
   Cmd.v (Cmd.info "ssdb_server" ~doc)
     Term.(
       ret
         (const run $ db_path $ socket_path $ p_arg $ e_arg $ cursor_ttl_arg
-       $ max_cursors_arg))
+       $ max_cursors_arg $ metrics_port_arg $ slow_query_ms_arg $ log_level_arg
+       $ trace_log_arg))
 
 let () = exit (Cmd.eval' cmd)

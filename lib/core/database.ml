@@ -2,6 +2,7 @@ module Ring = Secshare_poly.Ring
 module Node_table = Secshare_store.Node_table
 module Transport = Secshare_rpc.Transport
 module Ast = Secshare_xpath.Ast
+module Obs = Secshare_obs
 
 type config = {
   p : int;
@@ -14,6 +15,7 @@ type config = {
   rpc_fused_scan : bool;
   cursor_ttl : float option;
   max_cursors : int;
+  slow_query_ms : float option;
 }
 
 let default_config =
@@ -28,7 +30,54 @@ let default_config =
     rpc_fused_scan = true;
     cursor_ttl = None;
     max_cursors = 1024;
+    slow_query_ms = None;
   }
+
+(* Process-wide client-side query families, mirroring the per-query
+   [Metrics.t] deltas into the registry after each query. *)
+let obs_client_queries =
+  Obs.Registry.counter ~help:"Queries executed by this process's clients."
+    "ssdb_client_queries_total"
+
+let obs_query_seconds =
+  Obs.Registry.histogram ~help:"End-to-end query latency in seconds."
+    "ssdb_client_query_seconds"
+
+let obs_evaluations =
+  Obs.Registry.counter ~help:"Containment evaluation pairs (figure 5's quantity)."
+    "ssdb_client_evaluations_total"
+
+let obs_equality_tests =
+  Obs.Registry.counter ~help:"Equality tests performed."
+    "ssdb_client_equality_tests_total"
+
+let obs_reconstructions =
+  Obs.Registry.counter ~help:"Full polynomial reconstructions for equality tests."
+    "ssdb_client_reconstructions_total"
+
+let obs_nodes_examined =
+  Obs.Registry.counter ~help:"Candidate nodes inspected."
+    "ssdb_client_nodes_examined_total"
+
+let obs_degenerate_divisions =
+  Obs.Registry.counter ~help:"Equality tests aborted on a zero child product."
+    "ssdb_client_degenerate_divisions_total"
+
+(* Field-exhaustive on purpose, like [Metrics.add]: a new counter that
+   is not mirrored here fails to compile. *)
+let mirror_query_metrics
+    {
+      Metrics.evaluations;
+      equality_tests;
+      reconstructions;
+      nodes_examined;
+      degenerate_divisions;
+    } =
+  Obs.Registry.inc ~by:evaluations obs_evaluations;
+  Obs.Registry.inc ~by:equality_tests obs_equality_tests;
+  Obs.Registry.inc ~by:reconstructions obs_reconstructions;
+  Obs.Registry.inc ~by:nodes_examined obs_nodes_examined;
+  Obs.Registry.inc ~by:degenerate_divisions obs_degenerate_divisions
 
 type engine = Simple | Advanced
 
@@ -49,6 +98,7 @@ type query_result = {
   rpc_calls : int;
   rpc_bytes : int;
   seconds : float;
+  trace_id : int64;
 }
 
 (* Field orders past this are useless for the scheme (a share stores
@@ -106,7 +156,8 @@ let create_tree ?(config = default_config) tree =
           | Ok encode_stats ->
               let server =
                 Server_filter.create ?cursor_ttl:config.cursor_ttl
-                  ~max_cursors:config.max_cursors ring table
+                  ~max_cursors:config.max_cursors ?slow_query_ms:config.slow_query_ms
+                  ring table
               in
               let transport = Transport.local ~handler:(Server_filter.handler server) in
               let filter =
@@ -124,8 +175,8 @@ let zero_encode_stats =
     duration_seconds = 0.0;
   }
 
-let of_parts ?(rpc_batching = true) ?(rpc_fused_scan = true) ?cursor_ttl ?max_cursors ~p
-    ~e ~mapping:map ~seed ~table () =
+let of_parts ?(rpc_batching = true) ?(rpc_fused_scan = true) ?cursor_ttl ?max_cursors
+    ?slow_query_ms ~p ~e ~mapping:map ~seed ~table () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else if e < 1 then Error "e must be >= 1"
@@ -134,7 +185,9 @@ let of_parts ?(rpc_batching = true) ?(rpc_fused_scan = true) ?cursor_ttl ?max_cu
     | Error _ as err -> err
     | Ok _ ->
         let ring = Ring.of_prime_power ~p ~e in
-        let server = Server_filter.create ?cursor_ttl ?max_cursors ring table in
+        let server =
+          Server_filter.create ?cursor_ttl ?max_cursors ?slow_query_ms ring table
+        in
         let transport = Transport.local ~handler:(Server_filter.handler server) in
         let filter =
           Client_filter.create ring ~seed ~batch_eval:rpc_batching
@@ -157,24 +210,34 @@ let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.St
   let counters = Client_filter.rpc_counters filter in
   let calls0 = counters.Transport.calls in
   let bytes0 = counters.Transport.bytes_sent + counters.Transport.bytes_received in
+  (* one trace per query: the ambient id flows into every operator
+     span and rides the frame header of every RPC the query makes *)
+  let trace_id = Obs.Trace.genid () in
   let t0 = Unix.gettimeofday () in
   match
-    match engine with
-    | Simple -> Simple_query.run_explained filter ~mapping:map ~strictness ast
-    | Advanced -> Advanced_query.run_explained filter ~mapping:map ~strictness ast
+    Obs.Trace.with_ambient trace_id (fun () ->
+        Obs.Trace.with_span ~kind:Obs.Span.Client "query" (fun () ->
+            match engine with
+            | Simple -> Simple_query.run_explained filter ~mapping:map ~strictness ast
+            | Advanced -> Advanced_query.run_explained filter ~mapping:map ~strictness ast))
   with
   | nodes, operators ->
       let seconds = Unix.gettimeofday () -. t0 in
       let counters = Client_filter.rpc_counters filter in
+      let metrics = Metrics.copy (Client_filter.metrics filter) in
+      Obs.Registry.inc obs_client_queries;
+      Obs.Histogram.observe obs_query_seconds seconds;
+      mirror_query_metrics metrics;
       Ok
         {
           nodes;
           operators;
-          metrics = Metrics.copy (Client_filter.metrics filter);
+          metrics;
           rpc_calls = counters.Transport.calls - calls0;
           rpc_bytes =
             counters.Transport.bytes_sent + counters.Transport.bytes_received - bytes0;
           seconds;
+          trace_id;
         }
   | exception Query_common.Query_error msg -> Error msg
   | exception Client_filter.Filter_error msg -> Error ("filter: " ^ msg)

@@ -33,6 +33,11 @@ type config = {
   max_cursors : int;
       (** cap on concurrently open server-side cursors, evicting the
           least recently used past it (default 1024) *)
+  slow_query_ms : float option;
+      (** log one structured info-level line per server-side query
+          lifetime at least this slow (default [None]: off); the line
+          carries trace id, opcode mix, batch/row/byte counts and
+          duration only — see {!Server_filter.create} *)
 }
 
 val default_config : config
@@ -48,6 +53,10 @@ type query_result = {
   rpc_calls : int;
   rpc_bytes : int;
   seconds : float;
+  trace_id : int64;
+      (** the query's trace id: every client span and — over a socket
+          transport — every server-side span of this query carries it
+          (see {!Secshare_obs.Trace}) *)
 }
 
 val create : ?config:config -> string -> (t, string) result
@@ -58,6 +67,7 @@ val of_parts :
   ?rpc_fused_scan:bool ->
   ?cursor_ttl:float ->
   ?max_cursors:int ->
+  ?slow_query_ms:float ->
   p:int ->
   e:int ->
   mapping:Mapping.t ->

@@ -22,21 +22,23 @@ let reset t =
   t.nodes_examined <- 0;
   t.degenerate_divisions <- 0
 
-let add acc t =
-  acc.evaluations <- acc.evaluations + t.evaluations;
-  acc.equality_tests <- acc.equality_tests + t.equality_tests;
-  acc.reconstructions <- acc.reconstructions + t.reconstructions;
-  acc.nodes_examined <- acc.nodes_examined + t.nodes_examined;
-  acc.degenerate_divisions <- acc.degenerate_divisions + t.degenerate_divisions
+(* Destructuring patterns make these field-exhaustive: adding a
+   counter to [t] without extending the aggregation here is a fatal
+   missing-field warning under the dev profile, not a silently dropped
+   count. *)
+let add acc
+    { evaluations; equality_tests; reconstructions; nodes_examined; degenerate_divisions }
+    =
+  acc.evaluations <- acc.evaluations + evaluations;
+  acc.equality_tests <- acc.equality_tests + equality_tests;
+  acc.reconstructions <- acc.reconstructions + reconstructions;
+  acc.nodes_examined <- acc.nodes_examined + nodes_examined;
+  acc.degenerate_divisions <- acc.degenerate_divisions + degenerate_divisions
 
-let copy t =
-  {
-    evaluations = t.evaluations;
-    equality_tests = t.equality_tests;
-    reconstructions = t.reconstructions;
-    nodes_examined = t.nodes_examined;
-    degenerate_divisions = t.degenerate_divisions;
-  }
+let copy
+    { evaluations; equality_tests; reconstructions; nodes_examined; degenerate_divisions }
+    =
+  { evaluations; equality_tests; reconstructions; nodes_examined; degenerate_divisions }
 
 let pp fmt t =
   Format.fprintf fmt

@@ -1,5 +1,25 @@
 module Protocol = Secshare_rpc.Protocol
 module Transport = Secshare_rpc.Transport
+module Obs = Secshare_obs
+
+let () =
+  Obs.Registry.declare ~kind:Obs.Registry.K_histogram
+    ~help:
+      "Operator lifetime wall seconds (cumulative: a pull includes its upstream), by \
+       operator."
+    "ssdb_client_op_seconds"
+
+(* Operator names carry plan parameters ("scan-children+eval@5"); the
+   metric label keeps only the prefix before the first parameter
+   delimiter so label values stay a closed enumeration — evaluation
+   points never reach the registry. *)
+let base_name name =
+  let cut = ref (String.length name) in
+  String.iteri
+    (fun i ch ->
+      match ch with ('+' | '(' | '[' | '@') when i < !cut -> cut := i | _ -> ())
+    name;
+  String.sub name 0 !cut
 
 (* Batch-pull operators: each [next] call returns one bounded batch of
    node metadata (or [None] when the stream is dry), pulling batches
@@ -19,6 +39,8 @@ type t = {
   next_fn : unit -> batch option;
   close_fn : unit -> unit;
   mutable closed : bool;
+  mutable op_trace : int64;  (** ambient trace captured at the first pull *)
+  mutable op_started : float;  (** wall clock of the first pull; 0 = never pulled *)
 }
 
 let stats t = t.stats
@@ -26,10 +48,26 @@ let stats t = t.stats
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    t.close_fn ()
+    t.close_fn ();
+    (* one span and one histogram sample per operator lifetime, both
+       skipped when the operator was never pulled *)
+    if t.op_started > 0.0 then begin
+      Obs.Histogram.observe
+        (Obs.Registry.histogram
+           ~labels:[ ("operator", base_name t.stats.Metrics.op_name) ]
+           "ssdb_client_op_seconds")
+        t.stats.Metrics.wall_seconds;
+      Obs.Trace.emit ~trace_id:t.op_trace
+        ~name:("op:" ^ t.stats.Metrics.op_name)
+        ~start:t.op_started ~duration:t.stats.Metrics.wall_seconds ()
+    end
   end
 
 let next t =
+  if t.op_started = 0.0 then begin
+    t.op_started <- Unix.gettimeofday ();
+    t.op_trace <- Obs.Trace.current_id ()
+  end;
   let t0 = Unix.gettimeofday () in
   let result = t.next_fn () in
   (* cumulative: a pull from upstream runs inside this window, so an
@@ -44,7 +82,7 @@ let next t =
   result
 
 let make ?(close = fun () -> ()) stats next_fn =
-  { stats; next_fn; close_fn = close; closed = false }
+  { stats; next_fn; close_fn = close; closed = false; op_trace = 0L; op_started = 0.0 }
 
 (* Pull one batch from upstream, counting it as this operator's input.
    Goes through [next] (not [next_fn]) so the upstream operator's own

@@ -1,6 +1,34 @@
 module Protocol = Secshare_rpc.Protocol
 module Node_table = Secshare_store.Node_table
 module Page = Secshare_store.Page
+module Obs = Secshare_obs
+
+(* Cursor-lifecycle metric families.  The gauge is maintained
+   incrementally (every insert and removal goes through one pair of
+   functions below) so several filter instances in one process — the
+   two server parts of a test database — aggregate naturally. *)
+let () =
+  Obs.Registry.declare ~kind:Obs.Registry.K_counter
+    ~help:"Cursors evicted before being drained, by reason."
+    "ssdb_server_cursor_evictions_total"
+
+let obs_open_cursors =
+  Obs.Registry.gauge ~help:"Server-side cursors currently open."
+    "ssdb_server_open_cursors"
+
+let obs_cursors_opened =
+  Obs.Registry.counter ~help:"Server-side cursors opened."
+    "ssdb_server_cursors_opened_total"
+
+let obs_queries =
+  Obs.Registry.counter
+    ~help:"Query-opening requests handled (scan_eval and descendants)."
+    "ssdb_server_queries_total"
+
+let obs_slow_queries =
+  Obs.Registry.counter
+    ~help:"Query lifetimes that exceeded the slow-query threshold."
+    "ssdb_server_slow_queries_total"
 
 (* A fused scan in flight: what remains to be walked, plus the points
    every emitted row is evaluated at.  Unlike the legacy [Descendants]
@@ -19,9 +47,20 @@ type cursor_state =
   | Buffered of Protocol.node_meta list  (** legacy [Descendants] buffer *)
   | Scanning of scan_state
 
+(* Besides its payload, a cursor carries the accounting the slow-query
+   log reports when its lifetime ends: nothing here derives from query
+   plaintext — opcode names, counts, sizes and times only. *)
 type cursor = {
   mutable state : cursor_state;
   mutable last_used : float;
+  created : float;
+  trace_id : int64;  (** the opener's ambient trace; 0 = untraced *)
+  opened_op : string;
+  next_op : string;  (** the opcode that drains this cursor *)
+  mutable next_calls : int;
+  mutable batches : int;
+  mutable rows : int;
+  mutable resp_bytes : int;  (** approximate response payload bytes *)
 }
 
 type cursor_stats = {
@@ -37,13 +76,15 @@ type t = {
   mutable next_cursor : int;
   cursor_ttl : float option;
   max_cursors : int;
+  slow_query_ms : float option;
   mutable evicted_total : int;
   mutable expired_total : int;
   now : unit -> float;
   lock : Mutex.t;
 }
 
-let create ?cursor_ttl ?(max_cursors = 1024) ?(now = Unix.gettimeofday) ring table =
+let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettimeofday)
+    ring table =
   {
     ring;
     table;
@@ -51,6 +92,7 @@ let create ?cursor_ttl ?(max_cursors = 1024) ?(now = Unix.gettimeofday) ring tab
     next_cursor = 1;
     cursor_ttl;
     max_cursors = max 1 max_cursors;
+    slow_query_ms;
     evicted_total = 0;
     expired_total = 0;
     now;
@@ -68,6 +110,58 @@ let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+type removal_reason = Drained | Client_close | Ttl | Cap | Connection_close
+
+let reason_label = function
+  | Drained -> "drained"
+  | Client_close -> "client_close"
+  | Ttl -> "ttl"
+  | Cap -> "cap"
+  | Connection_close -> "connection_close"
+
+(* One structured line per query whose lifetime crossed the threshold.
+   Everything in it is safe under the information-flow argument
+   (DESIGN.md §9): trace id, opcode names, counts, sizes, duration —
+   never evaluation points, pre/post numbers, or share values. *)
+let maybe_log_slow t ~trace_id ~cursor ~opened_op ~next_op ~next_calls ~batches ~rows
+    ~resp_bytes ~duration ~reason =
+  match t.slow_query_ms with
+  | None -> ()
+  | Some threshold_ms ->
+      let ms = duration *. 1000.0 in
+      if ms >= threshold_ms then begin
+        Obs.Registry.inc obs_slow_queries;
+        let ops =
+          if next_calls = 0 then Printf.sprintf "%s:1" opened_op
+          else Printf.sprintf "%s:1,%s:%d" opened_op next_op next_calls
+        in
+        Obs.Events.info
+          "slow-query trace=%016Lx cursor=%s ops=%s batches=%d rows=%d bytes=%d \
+           duration_ms=%.1f reason=%s"
+          trace_id
+          (match cursor with Some id -> string_of_int id | None -> "-")
+          ops batches rows resp_bytes ms reason
+      end
+
+(* The single removal path: every cursor leaves the table through
+   here, so the open-cursor gauge, the per-reason eviction counters
+   and the slow-query check can never drift apart. *)
+let finish_cursor_locked t id c ~reason =
+  Hashtbl.remove t.cursors id;
+  Obs.Registry.gauge_add obs_open_cursors (-1);
+  (match reason with
+  | Ttl | Cap | Connection_close ->
+      Obs.Registry.inc
+        (Obs.Registry.counter
+           ~labels:[ ("reason", reason_label reason) ]
+           "ssdb_server_cursor_evictions_total")
+  | Drained | Client_close -> ());
+  maybe_log_slow t ~trace_id:c.trace_id ~cursor:(Some id) ~opened_op:c.opened_op
+    ~next_op:c.next_op ~next_calls:c.next_calls ~batches:c.batches ~rows:c.rows
+    ~resp_bytes:c.resp_bytes
+    ~duration:(t.now () -. c.created)
+    ~reason:(reason_label reason)
+
 (* Drop cursors idle past the TTL.  Called with the lock held, on
    every cursor operation, so a server under any load at all converges
    to zero leaked cursors without a dedicated sweeper thread. *)
@@ -78,10 +172,10 @@ let sweep_locked t =
       let now = t.now () in
       let stale =
         Hashtbl.fold
-          (fun id c acc -> if now -. c.last_used > ttl then id :: acc else acc)
+          (fun id c acc -> if now -. c.last_used > ttl then (id, c) :: acc else acc)
           t.cursors []
       in
-      List.iter (Hashtbl.remove t.cursors) stale;
+      List.iter (fun (id, c) -> finish_cursor_locked t id c ~reason:Ttl) stale;
       let n = List.length stale in
       t.expired_total <- t.expired_total + n;
       t.evicted_total <- t.evicted_total + n;
@@ -102,19 +196,42 @@ let enforce_cap_locked t =
     in
     match oldest with
     | None -> ()
-    | Some (id, _) ->
-        Hashtbl.remove t.cursors id;
+    | Some (id, c) ->
+        finish_cursor_locked t id c ~reason:Cap;
         t.evicted_total <- t.evicted_total + 1
   done
 
-(* Register a cursor under a fresh id.  Called with the lock held. *)
-let register_cursor_locked t state =
+(* Register a cursor under a fresh id, seeded with the accounting of
+   whatever the opening request already returned.  Called with the
+   lock held, on the thread that carries the opener's ambient trace. *)
+let register_cursor_locked t state ~opened_op ~next_op ~created ~batches ~rows
+    ~resp_bytes =
   ignore (sweep_locked t);
   enforce_cap_locked t;
   let id = t.next_cursor in
   t.next_cursor <- t.next_cursor + 1;
-  Hashtbl.replace t.cursors id { state; last_used = t.now () };
+  Hashtbl.replace t.cursors id
+    {
+      state;
+      last_used = t.now ();
+      created;
+      trace_id = Obs.Trace.current_id ();
+      opened_op;
+      next_op;
+      next_calls = 0;
+      batches;
+      rows;
+      resp_bytes;
+    };
+  Obs.Registry.gauge_add obs_open_cursors 1;
+  Obs.Registry.inc obs_cursors_opened;
   id
+
+(* Approximate response payload: 12 bytes of metadata per row plus 4
+   per evaluated value — what the slow-query log reports as [bytes].
+   Wire-exact sizes live in the server frame-byte counters. *)
+let batch_bytes rows =
+  List.fold_left (fun acc (_, values) -> acc + 12 + (4 * List.length values)) 0 rows
 
 (* Nested pre-ranges cover the same rows twice.  Subtree ranges either
    nest or are disjoint, so after sorting by [from_pre] a range is
@@ -190,6 +307,8 @@ let handle t (request : Protocol.request) : Protocol.response =
   | Protocol.Parent pre ->
       Protocol.Node_opt (Option.map meta_of_row (Node_table.parent_of t.table ~pre))
   | Protocol.Descendants { pre; post } ->
+      Obs.Registry.inc obs_queries;
+      let started = t.now () in
       (* The server buffers the intermediate result; the client drains
          it one batch at a time (nextNode). *)
       let items =
@@ -197,7 +316,10 @@ let handle t (request : Protocol.request) : Protocol.response =
           (Node_table.fold_descendants t.table ~pre ~post ~init:[] ~f:(fun acc row ->
                meta_of_row row :: acc))
       in
-      with_lock t (fun () -> Protocol.Cursor (register_cursor_locked t (Buffered items)))
+      with_lock t (fun () ->
+          Protocol.Cursor
+            (register_cursor_locked t (Buffered items) ~opened_op:"descendants"
+               ~next_op:"cursor_next" ~created:started ~batches:0 ~rows:0 ~resp_bytes:0))
   | Protocol.Cursor_next { cursor; max_items } ->
       with_lock t (fun () ->
           ignore (sweep_locked t);
@@ -221,10 +343,16 @@ let handle t (request : Protocol.request) : Protocol.response =
               let batch, remaining = take max_items items in
               c.state <- Buffered remaining;
               c.last_used <- t.now ();
+              c.next_calls <- c.next_calls + 1;
+              c.batches <- c.batches + 1;
+              c.rows <- c.rows + List.length batch;
+              c.resp_bytes <- c.resp_bytes + (12 * List.length batch);
               let exhausted = remaining = [] in
-              if exhausted then Hashtbl.remove t.cursors cursor;
+              if exhausted then finish_cursor_locked t cursor c ~reason:Drained;
               Protocol.Batch (batch, exhausted))
   | Protocol.Scan_eval { target; points; max_items } ->
+      Obs.Registry.inc obs_queries;
+      let started = t.now () in
       let scan =
         match target with
         | Protocol.Children_of parents ->
@@ -248,8 +376,27 @@ let handle t (request : Protocol.request) : Protocol.response =
          hold only index positions and the table is append-only while
          serving, so the critical section stays short in practice *)
       with_lock t (fun () ->
-          scan_batch t scan ~max_items ~cursor_of_remainder:(fun () ->
-              register_cursor_locked t (Scanning scan)))
+          let max_items = max 1 max_items in
+          let rows, done_ = scan_step t scan ~max_items in
+          let bytes = batch_bytes rows in
+          if done_ then begin
+            (* a one-shot scan never registers a cursor, so its
+               slow-query check happens inline *)
+            maybe_log_slow t
+              ~trace_id:(Obs.Trace.current_id ())
+              ~cursor:None ~opened_op:"scan_eval" ~next_op:"scan_next" ~next_calls:0
+              ~batches:1 ~rows:(List.length rows) ~resp_bytes:bytes
+              ~duration:(t.now () -. started)
+              ~reason:"drained";
+            Protocol.Scan_batch { rows; cursor = None }
+          end
+          else
+            let id =
+              register_cursor_locked t (Scanning scan) ~opened_op:"scan_eval"
+                ~next_op:"scan_next" ~created:started ~batches:1
+                ~rows:(List.length rows) ~resp_bytes:bytes
+            in
+            Protocol.Scan_batch { rows; cursor = Some id })
   | Protocol.Scan_next { cursor; max_items } ->
       with_lock t (fun () ->
           ignore (sweep_locked t);
@@ -264,12 +411,20 @@ let handle t (request : Protocol.request) : Protocol.response =
                 scan_batch t scan ~max_items ~cursor_of_remainder:(fun () -> cursor)
               in
               (match response with
-              | Protocol.Scan_batch { cursor = None; _ } -> Hashtbl.remove t.cursors cursor
+              | Protocol.Scan_batch { rows; cursor = continuation } ->
+                  c.next_calls <- c.next_calls + 1;
+                  c.batches <- c.batches + 1;
+                  c.rows <- c.rows + List.length rows;
+                  c.resp_bytes <- c.resp_bytes + batch_bytes rows;
+                  if continuation = None then
+                    finish_cursor_locked t cursor c ~reason:Drained
               | _ -> ());
               response)
   | Protocol.Cursor_close cursor ->
       with_lock t (fun () ->
-          Hashtbl.remove t.cursors cursor;
+          (match Hashtbl.find_opt t.cursors cursor with
+          | Some c -> finish_cursor_locked t cursor c ~reason:Client_close
+          | None -> ());
           Protocol.Pong)
   | Protocol.Eval { pre; point } -> (
       match Node_table.find_by_pre t.table pre with
@@ -332,10 +487,11 @@ let connection t =
     with_lock t (fun () ->
         List.iter
           (fun id ->
-            if Hashtbl.mem t.cursors id then begin
-              Hashtbl.remove t.cursors id;
-              t.evicted_total <- t.evicted_total + 1
-            end)
+            match Hashtbl.find_opt t.cursors id with
+            | Some c ->
+                finish_cursor_locked t id c ~reason:Connection_close;
+                t.evicted_total <- t.evicted_total + 1
+            | None -> ())
           !owned;
         owned := [])
   in

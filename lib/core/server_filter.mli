@@ -21,14 +21,20 @@ type t
 val create :
   ?cursor_ttl:float ->
   ?max_cursors:int ->
+  ?slow_query_ms:float ->
   ?now:(unit -> float) ->
   Secshare_poly.Ring.t ->
   Secshare_store.Node_table.t ->
   t
 (** [cursor_ttl] (seconds, default: none) evicts cursors idle longer
     than that; [max_cursors] (default 1024) bounds concurrently open
-    cursors, evicting the least recently used past the cap.  [now] is
-    the clock, injectable for tests. *)
+    cursors, evicting the least recently used past the cap.
+    [slow_query_ms] (default: off) logs one structured info-level line
+    per query lifetime — cursor open to removal, or a one-shot scan —
+    that took at least this many milliseconds: trace id, opcode mix,
+    batch/row/byte counts and duration only, never evaluation points,
+    node numbers or share values.  [now] is the clock, injectable for
+    tests. *)
 
 val handler : t -> Secshare_rpc.Protocol.request -> Secshare_rpc.Protocol.response
 (** Total: errors come back as [Error_msg]. *)

@@ -1,0 +1,50 @@
+(* The event sink: timestamped, leveled, structured-ish (key=value)
+   lines.  Libraries log through [error]/[info]/[debug]; binaries pick
+   the level ([ssdb_server --log-level]).  The default level is
+   [Error] so library users and tests stay quiet unless they opt in. *)
+
+type level = Error | Info | Debug
+
+let level_to_string = function Error -> "error" | Info -> "info" | Debug -> "debug"
+
+let level_of_string s : (level, string) result =
+  match s with
+  | "error" -> Result.Ok Error
+  | "info" -> Result.Ok Info
+  | "debug" -> Result.Ok Debug
+  | other -> Result.Error ("unknown log level " ^ other)
+
+let severity = function Error -> 0 | Info -> 1 | Debug -> 2
+let current_level = Atomic.make Error
+let set_level l = Atomic.set current_level l
+let level () = Atomic.get current_level
+
+let emit_lock = Mutex.create ()
+
+let timestamp now =
+  let tm = Unix.gmtime now in
+  let ms = int_of_float (Float.rem now 1.0 *. 1000.0) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    ms
+
+let default_sink lvl msg =
+  Printf.eprintf "%s %-5s %s\n%!" (timestamp (Unix.gettimeofday ())) (level_to_string lvl)
+    msg
+
+let sink : (level -> string -> unit) ref = ref default_sink
+let set_sink = function None -> sink := default_sink | Some f -> sink := f
+
+let logf lvl fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if severity lvl <= severity (Atomic.get current_level) then begin
+        Mutex.lock emit_lock;
+        (try !sink lvl msg with _ -> ());
+        Mutex.unlock emit_lock
+      end)
+    fmt
+
+let error fmt = logf Error fmt
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt

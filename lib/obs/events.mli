@@ -1,0 +1,23 @@
+(** Timestamped, leveled event log (the structured stderr lines of
+    [ssdb_server --log-level], the slow-query log's transport, and the
+    transport retry/reconnect breadcrumbs).
+
+    The default level is {!Error} so libraries and tests stay quiet;
+    binaries raise it.  The sink is replaceable for tests. *)
+
+type level = Error | Info | Debug
+
+val level_to_string : level -> string
+val level_of_string : string -> (level, string) result
+val set_level : level -> unit
+val level : unit -> level
+
+val set_sink : (level -> string -> unit) option -> unit
+(** Replace the output sink ([None] restores the default: one
+    [timestamp level message] line to stderr).  The sink only sees
+    messages that pass the level filter. *)
+
+val logf : level -> ('a, unit, string, unit) format4 -> 'a
+val error : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a

@@ -1,0 +1,127 @@
+(* Log-bucketed latency histogram.  Buckets are fixed at construction
+   (upper bounds, ascending), so two histograms with the same bounds
+   merge by elementwise addition — the property that makes per-shard
+   histograms aggregatable into fleet-wide quantiles. *)
+
+type t = {
+  bounds : float array;  (** inclusive upper bounds, ascending *)
+  counts : int array;  (** length = length bounds + 1 (overflow last) *)
+  mutable sum : float;
+  mutable count : int;
+  mutable max_value : float;
+  lock : Mutex.t;
+}
+
+(* Powers of two from 1 microsecond to ~8.4 seconds: 24 buckets plus
+   the overflow bucket.  Log-spaced bounds keep the relative quantile
+   error constant across five decades of latency. *)
+let default_bounds = Array.init 24 (fun i -> 1e-6 *. (2.0 ** float_of_int i))
+
+let create ?(bounds = default_bounds) () =
+  let bounds = Array.copy bounds in
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Histogram.create: bounds must be strictly ascending")
+    bounds;
+  {
+    bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    sum = 0.0;
+    count = 0;
+    max_value = 0.0;
+    lock = Mutex.create ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* First bucket whose upper bound admits [v] ([v <= bound], the
+   Prometheus [le] convention); the overflow bucket otherwise. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe t v =
+  with_lock t (fun () ->
+      let i = bucket_index t.bounds v in
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.sum <- t.sum +. v;
+      t.count <- t.count + 1;
+      if v > t.max_value then t.max_value <- v)
+
+let count t = with_lock t (fun () -> t.count)
+let sum t = with_lock t (fun () -> t.sum)
+let max_value t = with_lock t (fun () -> t.max_value)
+let bounds t = Array.copy t.bounds
+let counts t = with_lock t (fun () -> Array.copy t.counts)
+
+(* Upper bound of the bucket where the cumulative count crosses
+   [q * count] — a conservative (over-) estimate, exact for values
+   lying on bucket bounds.  The overflow bucket reports the true
+   maximum, which is tracked exactly. *)
+let quantile t q =
+  with_lock t (fun () ->
+      if t.count = 0 then 0.0
+      else begin
+        let q = Float.max 0.0 (Float.min 1.0 q) in
+        let rank = int_of_float (ceil (q *. float_of_int t.count)) in
+        let rank = max rank 1 in
+        let n = Array.length t.bounds in
+        let rec go i acc =
+          if i >= n then t.max_value
+          else
+            let acc = acc + t.counts.(i) in
+            if acc >= rank then t.bounds.(i) else go (i + 1) acc
+        in
+        go 0 0
+      end)
+
+let p50 t = quantile t 0.50
+let p90 t = quantile t 0.90
+let p99 t = quantile t 0.99
+
+let merge ~into t =
+  if into == t then invalid_arg "Histogram.merge: cannot merge into itself";
+  (* consistent lock order (registry histograms are few; deadlock is
+     avoided by ordering on the physical identity of the mutexes) *)
+  let snapshot =
+    with_lock t (fun () -> (Array.copy t.counts, t.sum, t.count, t.max_value))
+  in
+  let counts, s, c, m = snapshot in
+  with_lock into (fun () ->
+      if Array.length into.counts <> Array.length counts then
+        invalid_arg "Histogram.merge: bucket layouts differ";
+      Array.iteri (fun i b -> if b <> t.bounds.(i) then
+          invalid_arg "Histogram.merge: bucket layouts differ") into.bounds;
+      Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) counts;
+      into.sum <- into.sum +. s;
+      into.count <- into.count + c;
+      if m > into.max_value then into.max_value <- m)
+
+type snapshot = {
+  snap_bounds : float array;
+  cumulative : int array;  (** cumulative counts per bound, then +Inf *)
+  snap_sum : float;
+  snap_count : int;
+  snap_max : float;
+}
+
+let snapshot t =
+  with_lock t (fun () ->
+      let n = Array.length t.counts in
+      let cumulative = Array.make n 0 in
+      let acc = ref 0 in
+      for i = 0 to n - 1 do
+        acc := !acc + t.counts.(i);
+        cumulative.(i) <- !acc
+      done;
+      {
+        snap_bounds = Array.copy t.bounds;
+        cumulative;
+        snap_sum = t.sum;
+        snap_count = t.count;
+        snap_max = t.max_value;
+      })

@@ -1,0 +1,51 @@
+(** Log-bucketed, mergeable latency histogram.
+
+    Buckets are fixed inclusive upper bounds ([v <= bound], the
+    Prometheus [le] convention) plus an overflow bucket; the default
+    layout is powers of two from 1 microsecond to ~8.4 seconds.  All
+    operations are thread-safe.  Two histograms with the same bucket
+    layout merge by elementwise addition, so per-process histograms
+    aggregate into fleet-wide quantiles without approximation error
+    beyond the bucket width. *)
+
+type t
+
+val default_bounds : float array
+
+val create : ?bounds:float array -> unit -> t
+(** @raise Invalid_argument when [bounds] is not strictly ascending. *)
+
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+
+val max_value : t -> float
+(** Exact maximum of all observed values (0 when empty). *)
+
+val bounds : t -> float array
+val counts : t -> int array
+(** Per-bucket counts (overflow bucket last); a copy. *)
+
+val quantile : t -> float -> float
+(** Upper bound of the bucket containing the [q]-quantile (0 when
+    empty; the exact maximum for the overflow bucket). *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+val merge : into:t -> t -> unit
+(** Elementwise addition.  Associative and commutative over the
+    resulting bucket counts, sum, count and max.
+    @raise Invalid_argument when bucket layouts differ. *)
+
+type snapshot = {
+  snap_bounds : float array;
+  cumulative : int array;  (** cumulative counts per bound, then +Inf *)
+  snap_sum : float;
+  snap_count : int;
+  snap_max : float;
+}
+
+val snapshot : t -> snapshot
+(** Consistent cumulative view for Prometheus exposition. *)

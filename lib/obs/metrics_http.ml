@@ -1,0 +1,168 @@
+(* A deliberately tiny HTTP/1.0 server for the two observability
+   endpoints: GET /metrics (Prometheus text exposition of a registry)
+   and GET /healthz (200 while serving, 503 while draining).  One
+   thread per connection, close after the response — scrape traffic
+   is low-rate and the absence of keep-alive keeps the code
+   inspectable.  Bound to loopback by default: the exposition carries
+   counts only, but there is no reason to widen the listener. *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  addr : Unix.inet_addr;
+  port : int;
+  mutable running : bool;
+  lock : Mutex.t;
+  mutable threads : Thread.t list;
+  accept_thread : Thread.t option ref;
+}
+
+let http_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  let day = [| "Sun"; "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat" |].(tm.Unix.tm_wday) in
+  let mon =
+    [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun"; "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec" |]
+      .(tm.Unix.tm_mon)
+  in
+  Printf.sprintf "%s, %02d %s %04d %02d:%02d:%02d GMT" day tm.Unix.tm_mday mon
+    (tm.Unix.tm_year + 1900) tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let write_response fd ~status ~content_type body =
+  let head =
+    Printf.sprintf
+      "HTTP/1.0 %s\r\nDate: %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n"
+      status (http_date ()) content_type (String.length body)
+  in
+  let payload = Bytes.of_string (head ^ body) in
+  let len = Bytes.length payload in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd payload off (len - off) in
+      if n = 0 then () else go (off + n)
+  in
+  go 0
+
+(* Read until the end-of-headers blank line, bounded at 8 KiB; only
+   the request line matters. *)
+let read_request fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 512 in
+  let has_terminator contents =
+    let n = String.length contents in
+    let rec find i =
+      if i + 4 > n then false
+      else if String.sub contents i 4 = "\r\n\r\n" then true
+      else find (i + 1)
+    in
+    find 0
+  in
+  let rec go () =
+    let contents = Buffer.contents buf in
+    if has_terminator contents then Some contents
+    else if Buffer.length buf > 8192 then None
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+      | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let parse_request_line contents =
+  match String.index_opt contents '\r' with
+  | None -> None
+  | Some eol -> (
+      match String.split_on_char ' ' (String.sub contents 0 eol) with
+      | [ meth; path; _version ] -> Some (meth, path)
+      | _ -> None)
+
+let handle_connection ~registry ~healthy fd =
+  (match read_request fd with
+  | None -> ()
+  | Some contents -> (
+      match parse_request_line contents with
+      | Some ("GET", "/metrics") ->
+          write_response fd ~status:"200 OK"
+            ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+            (Registry.render registry)
+      | Some ("GET", "/healthz") ->
+          if healthy () then
+            write_response fd ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+          else
+            write_response fd ~status:"503 Service Unavailable"
+              ~content_type:"text/plain" "draining\n"
+      | Some ("GET", _) ->
+          write_response fd ~status:"404 Not Found" ~content_type:"text/plain"
+            "not found (try /metrics or /healthz)\n"
+      | Some _ ->
+          write_response fd ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+            "GET only\n"
+      | None -> ()));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
+    ?(healthy = fun () -> true) () =
+  let inet_addr = Unix.inet_addr_of_string addr in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (match Unix.bind listen_fd (Unix.ADDR_INET (inet_addr, port)) with
+  | () -> ()
+  | exception exn ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise exn);
+  Unix.listen listen_fd 16;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      listen_fd;
+      addr = inet_addr;
+      port;
+      running = true;
+      lock = Mutex.create ();
+      threads = [];
+      accept_thread = ref None;
+    }
+  in
+  t.accept_thread :=
+    Some
+      (Thread.create
+         (fun () ->
+           while t.running do
+             match Unix.accept t.listen_fd with
+             | fd, _ when t.running ->
+                 Mutex.lock t.lock;
+                 t.threads <-
+                   Thread.create (handle_connection ~registry ~healthy) fd :: t.threads;
+                 Mutex.unlock t.lock
+             | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+             | exception Unix.Unix_error _ ->
+                 if t.running then Thread.delay 0.05
+           done)
+         ());
+  t
+
+let port t = t.port
+
+let stop t =
+  if t.running then begin
+    t.running <- false;
+    (* wake a blocked [accept] with a throwaway connection *)
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_INET (t.addr, t.port)) with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match !(t.accept_thread) with None -> () | Some thread -> Thread.join thread);
+    Mutex.lock t.lock;
+    let threads = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.lock;
+    List.iter Thread.join threads
+  end

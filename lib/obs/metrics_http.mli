@@ -1,0 +1,26 @@
+(** The observability HTTP endpoint ([ssdb_server --metrics-port]):
+
+    - [GET /metrics] — Prometheus text exposition of a registry;
+    - [GET /healthz] — [200 ok] while serving, [503 draining] once the
+      [healthy] callback turns false (graceful-drain signal for load
+      balancers).
+
+    HTTP/1.0, one thread per connection, loopback by default.  Pass
+    [port:0] to bind an ephemeral port (tests); {!port} reports the
+    bound one. *)
+
+type t
+
+val start :
+  ?addr:string ->
+  port:int ->
+  ?registry:Registry.t ->
+  ?healthy:(unit -> bool) ->
+  unit ->
+  t
+(** @raise Unix.Unix_error when binding fails. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Stop accepting, join every connection thread. *)

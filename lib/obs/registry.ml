@@ -1,0 +1,225 @@
+(* A named metric registry with Prometheus text exposition.
+
+   Families are identified by name and hold one child per label set.
+   Lookup-or-create is idempotent, so hot paths can re-request a
+   handle by name without keeping module-level state.  Counters and
+   settable gauges are lock-free ([Atomic]); histograms carry their
+   own lock; the registry lock only guards the family table. *)
+
+type labels = (string * string) list
+
+type child =
+  | Counter of int Atomic.t
+  | Gauge of int Atomic.t
+  | Gauge_fn of (unit -> float)
+  | Histogram of Histogram.t
+
+type kind = K_counter | K_gauge | K_histogram
+
+type family = {
+  name : string;
+  help : string;
+  kind : kind;
+  mutable children : (labels * child) list;  (** oldest first *)
+}
+
+type t = { lock : Mutex.t; mutable families : family list (* oldest first *) }
+
+let create () = { lock = Mutex.create (); families = [] }
+let default = create ()
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+  && not (match name.[0] with '0' .. '9' -> true | _ -> false)
+
+let normalize_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_to_string = function
+  | K_counter -> "counter"
+  | K_gauge -> "gauge"
+  | K_histogram -> "histogram"
+
+(* Find or create the family, then the child for [labels].  The
+   [make] thunk builds a fresh child when none exists. *)
+let child_of t ~kind ~help ~labels ~make name =
+  if not (valid_name name) then invalid_arg ("Registry: bad metric name " ^ name);
+  let labels = normalize_labels labels in
+  with_lock t (fun () ->
+      let family =
+        match List.find_opt (fun f -> String.equal f.name name) t.families with
+        | Some f ->
+            if f.kind <> kind then
+              invalid_arg
+                (Printf.sprintf "Registry: %s is a %s, requested as %s" name
+                   (kind_to_string f.kind) (kind_to_string kind));
+            f
+        | None ->
+            let f = { name; help; kind; children = [] } in
+            t.families <- t.families @ [ f ];
+            f
+      in
+      match List.assoc_opt labels family.children with
+      | Some child -> child
+      | None ->
+          let child = make () in
+          family.children <- family.children @ [ (labels, child) ];
+          child)
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  match
+    child_of registry ~kind:K_counter ~help ~labels
+      ~make:(fun () -> Counter (Atomic.make 0))
+      name
+  with
+  | Counter a -> a
+  | _ -> assert false
+
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  match
+    child_of registry ~kind:K_gauge ~help ~labels
+      ~make:(fun () -> Gauge (Atomic.make 0))
+      name
+  with
+  | Gauge a -> a
+  | _ -> assert false
+
+let gauge_set g v = Atomic.set g v
+let gauge_add g by = ignore (Atomic.fetch_and_add g by)
+let gauge_value g = Atomic.get g
+
+let gauge_fn ?(registry = default) ?(help = "") ?(labels = []) name f =
+  (* replace the callback on re-registration: the newest owner of the
+     name (e.g. a restarted server) wins *)
+  if not (valid_name name) then invalid_arg ("Registry: bad metric name " ^ name);
+  let labels = normalize_labels labels in
+  with_lock registry (fun () ->
+      let family =
+        match List.find_opt (fun fam -> String.equal fam.name name) registry.families with
+        | Some fam ->
+            if fam.kind <> K_gauge then
+              invalid_arg ("Registry: " ^ name ^ " already registered with another type");
+            fam
+        | None ->
+            let fam = { name; help; kind = K_gauge; children = [] } in
+            registry.families <- registry.families @ [ fam ];
+            fam
+      in
+      family.children <-
+        List.filter (fun (l, _) -> l <> labels) family.children @ [ (labels, Gauge_fn f) ])
+
+let histogram ?(registry = default) ?(help = "") ?(labels = []) ?bounds name =
+  match
+    child_of registry ~kind:K_histogram ~help ~labels
+      ~make:(fun () -> Histogram (Histogram.create ?bounds ()))
+      name
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* Ensure the family exists (with no children yet): lets a subsystem
+   declare its full metric surface at module init, so /metrics shows
+   every family a fresh server *can* emit, not just those that have
+   fired. *)
+let declare ?(registry = default) ?(help = "") ~kind name =
+  if not (valid_name name) then invalid_arg ("Registry: bad metric name " ^ name);
+  with_lock registry (fun () ->
+      match List.find_opt (fun f -> String.equal f.name name) registry.families with
+      | Some f ->
+          if f.kind <> kind then
+            invalid_arg ("Registry: " ^ name ^ " already registered with another type")
+      | None -> registry.families <- registry.families @ [ { name; help; kind; children = [] } ])
+
+let clear t = with_lock t (fun () -> t.families <- [])
+
+(* --- Prometheus text exposition (format version 0.0.4) --- *)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let labels_to_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> k ^ "=\"" ^ escape_label_value v ^ "\"") labels)
+      ^ "}"
+
+let float_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_family buf f =
+  if f.help <> "" then
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" f.name (escape_help f.help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" f.name (kind_to_string f.kind));
+  List.iter
+    (fun (labels, child) ->
+      match child with
+      | Counter a | Gauge a ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" f.name (labels_to_string labels) (Atomic.get a))
+      | Gauge_fn fn ->
+          let v = try fn () with _ -> Float.nan in
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" f.name (labels_to_string labels) (float_to_string v))
+      | Histogram h ->
+          let s = Histogram.snapshot h in
+          let n = Array.length s.Histogram.snap_bounds in
+          for i = 0 to n - 1 do
+            let le = ("le", float_to_string s.Histogram.snap_bounds.(i)) in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" f.name
+                 (labels_to_string (labels @ [ le ]))
+                 s.Histogram.cumulative.(i))
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" f.name
+               (labels_to_string (labels @ [ ("le", "+Inf") ]))
+               s.Histogram.cumulative.(n));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" f.name (labels_to_string labels)
+               (float_to_string s.Histogram.snap_sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" f.name (labels_to_string labels)
+               s.Histogram.snap_count))
+    f.children
+
+let render t =
+  let families = with_lock t (fun () -> t.families) in
+  let buf = Buffer.create 4096 in
+  List.iter (render_family buf) families;
+  Buffer.contents buf

@@ -1,0 +1,55 @@
+(** A named metric registry with Prometheus text exposition.
+
+    A metric {e family} is identified by name and holds one child per
+    label set.  Every accessor is lookup-or-create and idempotent, so
+    hot paths can re-request a handle by name.  Counters and settable
+    gauges are lock-free; the registry lock only guards the family
+    table.
+
+    Nothing here ever stores query content: by construction the only
+    values a family can carry are counts and durations — the
+    information-flow discipline (DESIGN.md §9) is enforced by what the
+    API can express, not by reviewer vigilance (label {e values} are
+    the one free-text channel; keep them to opcode/operator/reason
+    enumerations). *)
+
+type t
+type labels = (string * string) list
+type kind = K_counter | K_gauge | K_histogram
+
+val create : unit -> t
+
+val default : t
+(** The process-global registry: what [ssdb_server --metrics-port]
+    exposes. *)
+
+type counter
+
+val counter : ?registry:t -> ?help:string -> ?labels:labels -> string -> counter
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : ?registry:t -> ?help:string -> ?labels:labels -> string -> gauge
+val gauge_set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val gauge_fn : ?registry:t -> ?help:string -> ?labels:labels -> string -> (unit -> float) -> unit
+(** A gauge sampled at render time.  Re-registering the same
+    name/labels replaces the callback (the newest owner wins). *)
+
+val histogram :
+  ?registry:t -> ?help:string -> ?labels:labels -> ?bounds:float array -> string -> Histogram.t
+
+val declare : ?registry:t -> ?help:string -> kind:kind -> string -> unit
+(** Ensure the family exists even before any sample: subsystems call
+    this at module init so [/metrics] shows the full metric surface of
+    a fresh server. *)
+
+val clear : t -> unit
+(** Drop every family (tests). *)
+
+val render : t -> string
+(** Prometheus text exposition, format version 0.0.4. *)

@@ -1,0 +1,45 @@
+type kind = Client | Server | Internal
+
+type t = {
+  trace_id : int64;
+  span_id : int;
+  parent_id : int option;
+  name : string;
+  start : float;  (** unix epoch seconds *)
+  duration : float;  (** seconds *)
+  kind : kind;
+}
+
+let kind_to_string = function
+  | Client -> "client"
+  | Server -> "server"
+  | Internal -> "internal"
+
+let trace_id_to_hex id = Printf.sprintf "%016Lx" id
+
+let trace_id_of_hex s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some id -> Some id
+  | None -> None
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    "{\"trace\":\"%s\",\"span\":%d,\"parent\":%s,\"name\":\"%s\",\"kind\":\"%s\",\"start\":%.6f,\"duration_ms\":%.3f}"
+    (trace_id_to_hex t.trace_id) t.span_id
+    (match t.parent_id with None -> "null" | Some p -> string_of_int p)
+    (escape_json t.name) (kind_to_string t.kind) t.start (t.duration *. 1000.0)

@@ -1,0 +1,20 @@
+(** A finished span: one timed piece of work inside a trace. *)
+
+type kind = Client | Server | Internal
+
+type t = {
+  trace_id : int64;  (** never 0 — 0 is the "no trace" sentinel *)
+  span_id : int;  (** process-unique *)
+  parent_id : int option;
+  name : string;
+  start : float;  (** unix epoch seconds *)
+  duration : float;  (** seconds *)
+  kind : kind;
+}
+
+val kind_to_string : kind -> string
+val trace_id_to_hex : int64 -> string
+val trace_id_of_hex : string -> int64 option
+
+val to_json : t -> string
+(** One JSON object, no trailing newline (the JSONL sink adds it). *)

@@ -1,0 +1,159 @@
+(* Tracing core: per-query trace ids, an ambient per-thread context
+   (so RPC layers can pick the id up without threading it through
+   every signature), a bounded in-memory ring of recent spans, and an
+   optional JSONL sink.
+
+   A trace id of 0 means "not traced": [with_span] then runs its body
+   with no timing or recording, so untraced paths pay one thread-local
+   lookup and nothing else. *)
+
+(* --- id generation: splitmix64 over an atomic state, seeded from the
+   clock and pid so concurrent client processes do not collide --- *)
+
+let id_state =
+  let seed =
+    Int64.logxor
+      (Int64.of_float (Unix.gettimeofday () *. 1e6))
+      (Int64.mul (Int64.of_int (Unix.getpid ())) 0x9E3779B97F4A7C15L)
+  in
+  Atomic.make seed
+
+let splitmix64 state =
+  let z = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rec genid () =
+  let s = Atomic.get id_state in
+  if not (Atomic.compare_and_set id_state s (Int64.add s 1L)) then genid ()
+  else
+    let id = splitmix64 s in
+    if Int64.equal id 0L then genid () else id
+
+let span_counter = Atomic.make 1
+let next_span_id () = Atomic.fetch_and_add span_counter 1
+
+(* --- ambient per-thread context --- *)
+
+type context = { ctx_trace : int64; ctx_span : int option }
+
+let ambient : (int, context) Hashtbl.t = Hashtbl.create 16
+let ambient_lock = Mutex.create ()
+
+let get_context () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock ambient_lock;
+  let ctx = Hashtbl.find_opt ambient id in
+  Mutex.unlock ambient_lock;
+  ctx
+
+let set_context ctx =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.lock ambient_lock;
+  (match ctx with
+  | None -> Hashtbl.remove ambient id
+  | Some c -> Hashtbl.replace ambient id c);
+  Mutex.unlock ambient_lock
+
+let current_id () =
+  match get_context () with Some c -> c.ctx_trace | None -> 0L
+
+let current_span () =
+  match get_context () with Some c -> c.ctx_span | None -> None
+
+let with_ambient trace_id f =
+  if Int64.equal trace_id 0L then f ()
+  else begin
+    let saved = get_context () in
+    set_context (Some { ctx_trace = trace_id; ctx_span = None });
+    Fun.protect ~finally:(fun () -> set_context saved) f
+  end
+
+(* --- span ring buffer and JSONL sink --- *)
+
+let ring_capacity = 2048
+let ring : Span.t option array = Array.make ring_capacity None
+let ring_next = ref 0
+let ring_lock = Mutex.create ()
+
+let log_channel : out_channel option ref = ref None
+let log_lock = Mutex.create ()
+
+let set_log_file path =
+  Mutex.lock log_lock;
+  (match !log_channel with
+  | Some oc -> ( try close_out oc with Sys_error _ -> ())
+  | None -> ());
+  log_channel :=
+    (match path with
+    | None -> None
+    | Some p -> Some (open_out_gen [ Open_append; Open_creat ] 0o644 p));
+  Mutex.unlock log_lock
+
+let record span =
+  Mutex.lock ring_lock;
+  ring.(!ring_next mod ring_capacity) <- Some span;
+  incr ring_next;
+  Mutex.unlock ring_lock;
+  Mutex.lock log_lock;
+  (match !log_channel with
+  | Some oc ->
+      output_string oc (Span.to_json span);
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  Mutex.unlock log_lock
+
+let recent () =
+  Mutex.lock ring_lock;
+  let n = min !ring_next ring_capacity in
+  let start = !ring_next - n in
+  let spans =
+    List.filter_map
+      (fun i -> ring.((start + i) mod ring_capacity))
+      (List.init n (fun i -> i))
+  in
+  Mutex.unlock ring_lock;
+  spans
+
+let clear_recent () =
+  Mutex.lock ring_lock;
+  Array.fill ring 0 ring_capacity None;
+  ring_next := 0;
+  Mutex.unlock ring_lock
+
+let emit ?(kind = Span.Internal) ?parent ~trace_id ~name ~start ~duration () =
+  if not (Int64.equal trace_id 0L) then
+    record
+      {
+        Span.trace_id;
+        span_id = next_span_id ();
+        parent_id = parent;
+        name;
+        start;
+        duration;
+        kind;
+      }
+
+let with_span ?(kind = Span.Internal) name f =
+  match get_context () with
+  | None -> f ()
+  | Some ctx ->
+      let span_id = next_span_id () in
+      set_context (Some { ctx with ctx_span = Some span_id });
+      let start = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          set_context (Some ctx);
+          record
+            {
+              Span.trace_id = ctx.ctx_trace;
+              span_id;
+              parent_id = ctx.ctx_span;
+              name;
+              start;
+              duration = Unix.gettimeofday () -. start;
+              kind;
+            })
+        f

@@ -1,0 +1,50 @@
+(** Tracing: per-query trace ids, ambient per-thread context, a
+    bounded ring of recent spans, and an optional JSONL sink.
+
+    Trace ids are generated {e client-side}, one per query, and ride
+    the RPC frame header so server-side work joins the client's trace.
+    Id 0 is the "not traced" sentinel: {!with_span} then runs its body
+    untimed and unrecorded. *)
+
+val genid : unit -> int64
+(** A fresh nonzero trace id (splitmix64 over clock + pid). *)
+
+val next_span_id : unit -> int
+(** A fresh process-unique span id. *)
+
+val current_id : unit -> int64
+(** The calling thread's ambient trace id; 0 when none. *)
+
+val current_span : unit -> int option
+
+val with_ambient : int64 -> (unit -> 'a) -> 'a
+(** Run [f] with the given trace id as the thread's ambient context
+    (restored afterwards).  A 0 id just runs [f]. *)
+
+val with_span : ?kind:Span.kind -> string -> (unit -> 'a) -> 'a
+(** Time [f] and record a span under the ambient trace; a plain call
+    when there is no ambient trace.  The span is recorded even when
+    [f] raises. *)
+
+val emit :
+  ?kind:Span.kind ->
+  ?parent:int ->
+  trace_id:int64 ->
+  name:string ->
+  start:float ->
+  duration:float ->
+  unit ->
+  unit
+(** Record an already-timed span (ignored when [trace_id] is 0). *)
+
+val record : Span.t -> unit
+
+val recent : unit -> Span.t list
+(** The bounded in-memory ring of recently finished spans, oldest
+    first (capacity 2048). *)
+
+val clear_recent : unit -> unit
+
+val set_log_file : string option -> unit
+(** Append every finished span as one JSON line to this file (the
+    [--trace-log] sink); [None] closes the sink. *)

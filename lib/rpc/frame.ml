@@ -56,15 +56,26 @@ let read_exactly ?deadline fd len =
   go 0;
   buf
 
-let send ?deadline fd payload =
+(* Header layout (12 bytes): u32 big-endian payload length, then u64
+   big-endian trace id.  A trace id of 0 means the message is not part
+   of any trace; the id is observability metadata only — it never
+   influences request handling, so the information flow to the server
+   does not widen (DESIGN.md §9). *)
+let header_bytes = 12
+
+let send ?deadline ?(trace_id = 0L) fd payload =
   Lazy.force ignore_sigpipe;
-  let header = Bytes.create 4 in
+  let header = Bytes.create header_bytes in
   Bytes.set_int32_be header 0 (Int32.of_int (String.length payload));
+  Bytes.set_int64_be header 4 trace_id;
   write_all ?deadline fd header;
   write_all ?deadline fd (Bytes.of_string payload)
 
-let recv ?deadline fd =
-  let header = read_exactly ?deadline fd 4 in
+let recv_traced ?deadline fd =
+  let header = read_exactly ?deadline fd header_bytes in
   let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  let trace_id = Bytes.get_int64_be header 4 in
   if len < 0 || len > 1 lsl 28 then failwith "unreasonable frame length";
-  Bytes.to_string (read_exactly ?deadline fd len)
+  (trace_id, Bytes.to_string (read_exactly ?deadline fd len))
+
+let recv ?deadline fd = snd (recv_traced ?deadline fd)

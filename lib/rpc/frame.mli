@@ -1,5 +1,10 @@
-(** Length-prefixed message framing over a file descriptor (4-byte
-    big-endian length, then the payload).
+(** Length-prefixed message framing over a file descriptor.
+
+    The 12-byte header carries a 4-byte big-endian payload length and
+    an 8-byte big-endian trace id (0 = untraced).  The trace id is
+    observability metadata only: the receiver uses it to join its
+    spans to the sender's trace and must not let it influence request
+    handling.
 
     Both operations take an optional absolute [deadline] (on the
     [Unix.gettimeofday] clock).  I/O is then guarded by [Unix.select]:
@@ -10,10 +15,17 @@
 
 exception Timeout
 
-val send : ?deadline:float -> Unix.file_descr -> string -> unit
+val header_bytes : int
+(** Header size on the wire (12). *)
+
+val send : ?deadline:float -> ?trace_id:int64 -> Unix.file_descr -> string -> unit
 (** @raise Failure on a closed peer.
     @raise Timeout when [deadline] passes before the frame is written. *)
 
-val recv : ?deadline:float -> Unix.file_descr -> string
-(** @raise Failure on a closed peer or an implausible length.
+val recv_traced : ?deadline:float -> Unix.file_descr -> int64 * string
+(** The frame's trace id together with its payload.
+    @raise Failure on a closed peer or an implausible length.
     @raise Timeout when [deadline] passes before a full frame arrives. *)
+
+val recv : ?deadline:float -> Unix.file_descr -> string
+(** {!recv_traced} with the trace id dropped. *)

@@ -265,6 +265,24 @@ let decode_response s =
   Wire.expect_end r;
   resp
 
+(* Stable lowercase opcode names: these are metric label values and
+   slow-query-log tokens, so they must stay free of request payload. *)
+let request_name = function
+  | Ping -> "ping"
+  | Root -> "root"
+  | Children _ -> "children"
+  | Parent _ -> "parent"
+  | Descendants _ -> "descendants"
+  | Cursor_next _ -> "cursor_next"
+  | Cursor_close _ -> "cursor_close"
+  | Eval _ -> "eval"
+  | Eval_batch _ -> "eval_batch"
+  | Share _ -> "share"
+  | Shares _ -> "shares"
+  | Table_stats -> "table_stats"
+  | Scan_eval _ -> "scan_eval"
+  | Scan_next _ -> "scan_next"
+
 let pp_meta fmt m = Format.fprintf fmt "(pre=%d,post=%d,parent=%d)" m.pre m.post m.parent
 
 let pp_request fmt = function

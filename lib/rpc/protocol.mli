@@ -67,6 +67,11 @@ type response =
           rows remain. *)
   | Error_msg of string
 
+val request_name : request -> string
+(** Stable lowercase opcode name ("scan_eval", "cursor_next", …) —
+    safe as a metric label value: carries the opcode only, never the
+    request payload. *)
+
 val encode_request : request -> string
 val decode_request : string -> request
 (** @raise Wire.Decode_error on malformed input. *)

@@ -1,3 +1,37 @@
+module Obs = Secshare_obs
+
+(* Server-side registry families.  Declared (or created) at module
+   init so a fresh server's /metrics already shows the full surface.
+   Byte counters include the 12-byte frame headers: they measure what
+   crossed the wire, not what the codec produced. *)
+let () =
+  Obs.Registry.declare ~kind:Obs.Registry.K_counter
+    ~help:"Requests handled, by opcode." "ssdb_server_requests_total";
+  Obs.Registry.declare ~kind:Obs.Registry.K_histogram
+    ~help:"Request handling latency in seconds, by opcode."
+    "ssdb_server_request_seconds"
+
+let obs_frame_bytes_in =
+  Obs.Registry.counter ~help:"Bytes read from clients, frame headers included."
+    "ssdb_server_frame_bytes_in_total"
+
+let obs_frame_bytes_out =
+  Obs.Registry.counter ~help:"Bytes written to clients, frame headers included."
+    "ssdb_server_frame_bytes_out_total"
+
+let obs_connections_accepted =
+  Obs.Registry.counter ~help:"Client connections accepted."
+    "ssdb_server_connections_accepted_total"
+
+let obs_connections_active =
+  Obs.Registry.gauge ~help:"Client connections currently open."
+    "ssdb_server_connections_active"
+
+let obs_request_errors =
+  Obs.Registry.counter
+    ~help:"Requests answered with an error response (codec, handler or unknown cursor)."
+    "ssdb_server_request_errors_total"
+
 type session = {
   on_request : Protocol.request -> Protocol.response;
   on_close : unit -> unit;
@@ -27,25 +61,52 @@ type t = {
 let handle_connection t session fd =
   let finished = ref false in
   while (not !finished) && t.running do
-    match Frame.recv fd with
-    | request_payload ->
-        let reply =
+    match Frame.recv_traced fd with
+    | trace_id, request_payload ->
+        Obs.Registry.inc
+          ~by:(Frame.header_bytes + String.length request_payload)
+          obs_frame_bytes_in;
+        let started = Unix.gettimeofday () in
+        let op, reply =
           match Protocol.decode_request request_payload with
-          | request -> (
-              match session.on_request request with
-              | response -> response
-              | exception exn ->
-                  Protocol.Error_msg ("handler: " ^ Printexc.to_string exn))
-          | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg)
+          | request ->
+              let op = Protocol.request_name request in
+              let reply =
+                (* the frame's trace id becomes the thread's ambient
+                   trace, so handler-side spans and the slow-query log
+                   join the client's trace *)
+                Obs.Trace.with_ambient trace_id (fun () ->
+                    Obs.Trace.with_span ~kind:Obs.Span.Server ("serve:" ^ op)
+                      (fun () ->
+                        match session.on_request request with
+                        | response -> response
+                        | exception exn ->
+                            Protocol.Error_msg ("handler: " ^ Printexc.to_string exn)))
+              in
+              (op, reply)
+          | exception Wire.Decode_error msg ->
+              ("undecodable", Protocol.Error_msg ("codec: " ^ msg))
         in
+        Obs.Registry.inc
+          (Obs.Registry.counter ~labels:[ ("op", op) ] "ssdb_server_requests_total");
+        Obs.Histogram.observe
+          (Obs.Registry.histogram ~labels:[ ("op", op) ] "ssdb_server_request_seconds")
+          (Unix.gettimeofday () -. started);
+        (match reply with
+        | Protocol.Error_msg _ -> Obs.Registry.inc obs_request_errors
+        | _ -> ());
         Mutex.lock t.lock;
         t.requests_handled <- t.requests_handled + 1;
         Mutex.unlock t.lock;
         let deadline =
           Option.map (fun s -> Unix.gettimeofday () +. s) t.send_timeout
         in
-        (match Frame.send ?deadline fd (Protocol.encode_response reply) with
-        | () -> ()
+        let encoded_reply = Protocol.encode_response reply in
+        (match Frame.send ?deadline ~trace_id fd encoded_reply with
+        | () ->
+            Obs.Registry.inc
+              ~by:(Frame.header_bytes + String.length encoded_reply)
+              obs_frame_bytes_out
         | exception (Failure _ | Unix.Unix_error _ | Frame.Timeout) -> finished := true)
     | exception (Failure _ | Unix.Unix_error _) -> finished := true
   done;
@@ -60,6 +121,7 @@ let handle_connection t session fd =
   t.handler_threads <-
     List.filter (fun thread -> Thread.id thread <> self) t.handler_threads;
   Mutex.unlock t.lock;
+  Obs.Registry.gauge_add obs_connections_active (-1);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_loop t make_session =
@@ -74,7 +136,10 @@ let accept_loop t make_session =
         t.connections_accepted <- t.connections_accepted + 1;
         let thread = Thread.create (handle_connection t session) fd in
         t.handler_threads <- thread :: t.handler_threads;
-        Mutex.unlock t.lock
+        Mutex.unlock t.lock;
+        Obs.Registry.inc obs_connections_accepted;
+        Obs.Registry.gauge_add obs_connections_active 1;
+        Obs.Events.debug "server accept path=%s" t.socket_path
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error _ when not t.running ->
         () (* listening socket closed by stop *)
@@ -137,6 +202,8 @@ let stats t =
 let stop t =
   if t.running then begin
     t.running <- false;
+    Obs.Events.info "server drain path=%s active=%d" t.socket_path
+      (List.length t.client_fds);
     (* a thread blocked in [accept] is not woken by closing the
        listening socket on Linux; poke it with a throwaway connection *)
     (try

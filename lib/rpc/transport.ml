@@ -1,3 +1,37 @@
+module Obs = Secshare_obs
+
+(* Registry mirrors of the mutable [counters] record.  The record
+   stays (per-transport, cheap, the existing API); the registry gets
+   the process-wide aggregate that /metrics and tests scrape.  The
+   per-opcode families are declared here so they render before the
+   first call. *)
+let () =
+  Obs.Registry.declare ~kind:Obs.Registry.K_counter
+    ~help:"Client RPC round trips, by opcode." "ssdb_client_rpc_calls_total";
+  Obs.Registry.declare ~kind:Obs.Registry.K_histogram
+    ~help:"Client RPC round-trip latency in seconds, by opcode."
+    "ssdb_client_rpc_seconds"
+
+let obs_bytes_sent =
+  Obs.Registry.counter ~help:"Request payload bytes written by clients."
+    "ssdb_client_rpc_bytes_sent_total"
+
+let obs_bytes_received =
+  Obs.Registry.counter ~help:"Response payload bytes read by clients."
+    "ssdb_client_rpc_bytes_received_total"
+
+let obs_retries =
+  Obs.Registry.counter ~help:"Failed client RPC attempts that were retried."
+    "ssdb_client_rpc_retries_total"
+
+let obs_reconnects =
+  Obs.Registry.counter ~help:"Client sockets re-established after a drop."
+    "ssdb_client_rpc_reconnects_total"
+
+let obs_timeouts =
+  Obs.Registry.counter ~help:"Client RPC attempts that hit the per-call deadline."
+    "ssdb_client_rpc_timeouts_total"
+
 type counters = {
   mutable calls : int;
   mutable bytes_sent : int;
@@ -94,82 +128,106 @@ let drop_connection conn =
   conn.fd <- None
 
 let call t request =
+  let op = Protocol.request_name request in
   let encoded = Protocol.encode_request request in
   t.counters.calls <- t.counters.calls + 1;
   t.counters.bytes_sent <- t.counters.bytes_sent + String.length encoded;
-  match t.kind with
-  | Local handler -> (
-      (* Round-trip through the codec even locally so both transports
-         measure and exercise the same byte stream. *)
-      match
-        let decoded = Protocol.decode_request encoded in
-        Protocol.encode_response (handler decoded)
-      with
-      | reply ->
-          t.counters.bytes_received <- t.counters.bytes_received + String.length reply;
-          Protocol.decode_response reply
-      | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg))
-  | Socket conn ->
-      if conn.closed then Protocol.Error_msg "transport closed"
-      else begin
-        let retryable = idempotent request in
-        let rec attempt n =
-          let fail msg =
-            if retryable && n < conn.policy.max_retries then begin
-              t.counters.retries <- t.counters.retries + 1;
-              Thread.delay (backoff_delay conn.policy n);
-              attempt (n + 1)
-            end
-            else Protocol.Error_msg ("transport: " ^ msg)
-          in
-          match
-            match conn.fd with
-            | Some fd -> Ok fd
-            | None -> (
-                match connect_fd conn.path with
-                | fd ->
-                    conn.fd <- Some fd;
-                    t.counters.reconnects <- t.counters.reconnects + 1;
-                    Ok fd
+  Obs.Registry.inc
+    (Obs.Registry.counter ~labels:[ ("op", op) ] "ssdb_client_rpc_calls_total");
+  Obs.Registry.inc ~by:(String.length encoded) obs_bytes_sent;
+  let latency =
+    Obs.Registry.histogram ~labels:[ ("op", op) ] "ssdb_client_rpc_seconds"
+  in
+  let perform () =
+    match t.kind with
+    | Local handler -> (
+        (* Round-trip through the codec even locally so both transports
+           measure and exercise the same byte stream. *)
+        match
+          let decoded = Protocol.decode_request encoded in
+          Protocol.encode_response (handler decoded)
+        with
+        | reply ->
+            t.counters.bytes_received <- t.counters.bytes_received + String.length reply;
+            Obs.Registry.inc ~by:(String.length reply) obs_bytes_received;
+            Protocol.decode_response reply
+        | exception Wire.Decode_error msg -> Protocol.Error_msg ("codec: " ^ msg))
+    | Socket conn ->
+        if conn.closed then Protocol.Error_msg "transport closed"
+        else begin
+          let retryable = idempotent request in
+          let rec attempt n =
+            let fail msg =
+              if retryable && n < conn.policy.max_retries then begin
+                t.counters.retries <- t.counters.retries + 1;
+                Obs.Registry.inc obs_retries;
+                Obs.Events.debug "transport retry op=%s attempt=%d reason=%s" op (n + 1)
+                  msg;
+                Thread.delay (backoff_delay conn.policy n);
+                attempt (n + 1)
+              end
+              else Protocol.Error_msg ("transport: " ^ msg)
+            in
+            match
+              match conn.fd with
+              | Some fd -> Ok fd
+              | None -> (
+                  match connect_fd conn.path with
+                  | fd ->
+                      conn.fd <- Some fd;
+                      t.counters.reconnects <- t.counters.reconnects + 1;
+                      Obs.Registry.inc obs_reconnects;
+                      Obs.Events.debug "transport reconnect path=%s" conn.path;
+                      Ok fd
+                  | exception Unix.Unix_error (err, _, _) ->
+                      Error ("reconnect: " ^ Unix.error_message err))
+            with
+            | Error msg -> fail msg
+            | Ok fd -> (
+                let deadline =
+                  Option.map
+                    (fun seconds -> Unix.gettimeofday () +. seconds)
+                    conn.policy.call_timeout
+                in
+                match
+                  (* the frame header carries the ambient trace id so
+                     server-side spans join the client's trace *)
+                  Frame.send ?deadline ~trace_id:(Obs.Trace.current_id ()) fd encoded;
+                  Frame.recv ?deadline fd
+                with
+                | reply -> (
+                    t.counters.bytes_received <-
+                      t.counters.bytes_received + String.length reply;
+                    Obs.Registry.inc ~by:(String.length reply) obs_bytes_received;
+                    (* an undecodable reply is a protocol error, not a
+                       transport error: the peer answered, retrying the
+                       same request will not help *)
+                    match Protocol.decode_response reply with
+                    | response -> response
+                    | exception Wire.Decode_error msg ->
+                        Protocol.Error_msg ("codec: " ^ msg))
+                | exception Frame.Timeout ->
+                    t.counters.timeouts <- t.counters.timeouts + 1;
+                    Obs.Registry.inc obs_timeouts;
+                    (* the stream may hold a late reply for the timed-out
+                       request: unusable, drop the connection *)
+                    drop_connection conn;
+                    fail "timeout"
+                | exception Failure msg ->
+                    drop_connection conn;
+                    fail msg
                 | exception Unix.Unix_error (err, _, _) ->
-                    Error ("reconnect: " ^ Unix.error_message err))
-          with
-          | Error msg -> fail msg
-          | Ok fd -> (
-              let deadline =
-                Option.map
-                  (fun seconds -> Unix.gettimeofday () +. seconds)
-                  conn.policy.call_timeout
-              in
-              match
-                Frame.send ?deadline fd encoded;
-                Frame.recv ?deadline fd
-              with
-              | reply -> (
-                  t.counters.bytes_received <-
-                    t.counters.bytes_received + String.length reply;
-                  (* an undecodable reply is a protocol error, not a
-                     transport error: the peer answered, retrying the
-                     same request will not help *)
-                  match Protocol.decode_response reply with
-                  | response -> response
-                  | exception Wire.Decode_error msg ->
-                      Protocol.Error_msg ("codec: " ^ msg))
-              | exception Frame.Timeout ->
-                  t.counters.timeouts <- t.counters.timeouts + 1;
-                  (* the stream may hold a late reply for the timed-out
-                     request: unusable, drop the connection *)
-                  drop_connection conn;
-                  fail "timeout"
-              | exception Failure msg ->
-                  drop_connection conn;
-                  fail msg
-              | exception Unix.Unix_error (err, _, _) ->
-                  drop_connection conn;
-                  fail (Unix.error_message err))
-        in
-        attempt 0
-      end
+                    drop_connection conn;
+                    fail (Unix.error_message err))
+          in
+          attempt 0
+        end
+  in
+  Obs.Trace.with_span ~kind:Obs.Span.Client ("rpc:" ^ op) (fun () ->
+      let start = Unix.gettimeofday () in
+      let response = perform () in
+      Obs.Histogram.observe latency (Unix.gettimeofday () -. start);
+      response)
 
 let counters t = t.counters
 

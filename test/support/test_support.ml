@@ -87,14 +87,16 @@ module Flaky = struct
     listen_fd : Unix.file_descr;
     mutable running : bool;
     mutable calls : int;
+    mutable trace_ids : int64 list;  (** newest first; see {!trace_ids} *)
     lock : Mutex.t;
     mutable threads : Thread.t list;
     mutable client_fds : Unix.file_descr list;
   }
 
-  let next_call t =
+  let next_call t ~trace_id =
     Mutex.lock t.lock;
     t.calls <- t.calls + 1;
+    t.trace_ids <- trace_id :: t.trace_ids;
     let n = t.calls in
     Mutex.unlock t.lock;
     n
@@ -102,10 +104,10 @@ module Flaky = struct
   let serve_connection t ~handler ~plan fd =
     let finished = ref false in
     while (not !finished) && t.running do
-      match Frame.recv fd with
+      match Frame.recv_traced fd with
       | exception (Failure _ | Unix.Unix_error _) -> finished := true
-      | payload -> (
-          let n = next_call t in
+      | trace_id, payload -> (
+          let n = next_call t ~trace_id in
           match plan n with
           | None -> (
               let reply =
@@ -113,7 +115,7 @@ module Flaky = struct
                 | request -> handler request
                 | exception _ -> Protocol.Error_msg "undecodable request"
               in
-              match Frame.send fd (Protocol.encode_response reply) with
+              match Frame.send ~trace_id fd (Protocol.encode_response reply) with
               | () -> ()
               | exception (Failure _ | Unix.Unix_error _) -> finished := true)
           | Some (Stall seconds) ->
@@ -124,17 +126,18 @@ module Flaky = struct
               let reply =
                 Protocol.encode_response (Protocol.Error_msg "you will never read this")
               in
-              let header = Bytes.create 4 in
+              let header = Bytes.create Frame.header_bytes in
               Bytes.set_int32_be header 0 (Int32.of_int (String.length reply));
+              Bytes.set_int64_be header 4 trace_id;
               let partial = String.sub reply 0 (String.length reply / 2) in
               (try
-                 ignore (Unix.write fd header 0 4);
+                 ignore (Unix.write fd header 0 Frame.header_bytes);
                  ignore
                    (Unix.write fd (Bytes.of_string partial) 0 (String.length partial))
                with Failure _ | Unix.Unix_error _ -> ());
               finished := true
           | Some Garbage_reply -> (
-              match Frame.send fd "\xde\xad\xbe\xef" with
+              match Frame.send ~trace_id fd "\xde\xad\xbe\xef" with
               | () -> ()
               | exception (Failure _ | Unix.Unix_error _) -> finished := true))
     done;
@@ -154,6 +157,7 @@ module Flaky = struct
         listen_fd;
         running = true;
         calls = 0;
+        trace_ids = [];
         lock = Mutex.create ();
         threads = [];
         client_fds = [];
@@ -183,6 +187,15 @@ module Flaky = struct
     let n = t.calls in
     Mutex.unlock t.lock;
     n
+
+  (* Trace ids seen on received frames, in arrival order — lets tests
+     assert that a query's id survives the client's retry/reconnect
+     machinery (every attempt carries the same id). *)
+  let trace_ids t =
+    Mutex.lock t.lock;
+    let ids = List.rev t.trace_ids in
+    Mutex.unlock t.lock;
+    ids
 
   let stop t =
     if t.running then begin
