@@ -66,25 +66,24 @@ let run db_path socket_path map_path seed_path p e engine_name strictness_name t
                   queries;
                 `Ok (if !failures > 0 then 1 else 0)
               in
+              let client = { DB.default_client_config with timeout; max_retries } in
+              let with_db db =
+                Fun.protect
+                  ~finally:(fun () -> DB.close db)
+                  (fun () -> run_all (fun q -> DB.query ~engine ~strictness db q))
+              in
               match socket_path with
               | Some path -> (
-                  match DB.connect ?timeout ~max_retries ~p ~e ~mapping ~seed ~path () with
+                  match DB.connect ~client ~p ~e ~mapping ~seed ~path () with
                   | Error m -> err "connect: %s" m
-                  | Ok session ->
-                      Fun.protect
-                        ~finally:(fun () -> DB.session_close session)
-                        (fun () ->
-                          run_all (fun q -> DB.session_query ~engine ~strictness session q)))
+                  | Ok db -> with_db db)
               | None -> (
                   match Secshare_store.Node_table.open_file db_path with
                   | Error m -> err "database: %s" m
                   | Ok table -> (
-                      match DB.of_parts ~p ~e ~mapping ~seed ~table () with
+                      match DB.of_parts ~client ~p ~e ~mapping ~seed ~table () with
                       | Error m -> err "%s" m
-                      | Ok db ->
-                          Fun.protect
-                            ~finally:(fun () -> DB.close db)
-                            (fun () -> run_all (fun q -> DB.query ~engine ~strictness db q)))))))
+                      | Ok db -> with_db db)))))
 
 let db_path =
   Arg.(

@@ -13,8 +13,8 @@ module Obs = Secshare_obs
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let run db_path socket_path p e cursor_ttl max_cursors metrics_port slow_query_ms
-    log_level trace_log =
+let run db_path socket_path p e cursor_ttl max_cursors workers metrics_port
+    slow_query_ms log_level trace_log =
   match Obs.Events.level_of_string log_level with
   | Result.Error m -> err "%s" m
   | Result.Ok level -> (
@@ -30,7 +30,7 @@ let run db_path socket_path p e cursor_ttl max_cursors metrics_port slow_query_m
             let slow_query_ms = if slow_query_ms > 0.0 then Some slow_query_ms else None in
             let filter =
               Secshare_core.Server_filter.create ?cursor_ttl ~max_cursors ?slow_query_ms
-                ring table
+                ~workers ring table
             in
             let draining = ref false in
             let started = Unix.gettimeofday () in
@@ -84,6 +84,7 @@ let run db_path socket_path p e cursor_ttl max_cursors metrics_port slow_query_m
             Secshare_rpc.Server.stop server;
             let srv = Secshare_rpc.Server.stats server in
             let cur = Secshare_core.Server_filter.cursor_stats filter in
+            Secshare_core.Server_filter.close filter;
             Secshare_store.Node_table.close table;
             (* the metrics endpoint outlives the RPC drain so a final
                scrape can observe the drained state *)
@@ -125,6 +126,15 @@ let max_cursors_arg =
     & info [ "max-cursors" ] ~docv:"N"
         ~doc:"Cap on concurrently open scan cursors (LRU eviction past it).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Size of the share-evaluation worker pool: N domains evaluate each scan or \
+           eval batch in parallel.  1 (the default) evaluates inline on the handler \
+           thread.")
+
 let metrics_port_arg =
   Arg.(
     value & opt int (-1)
@@ -161,7 +171,7 @@ let cmd =
     Term.(
       ret
         (const run $ db_path $ socket_path $ p_arg $ e_arg $ cursor_ttl_arg
-       $ max_cursors_arg $ metrics_port_arg $ slow_query_ms_arg $ log_level_arg
-       $ trace_log_arg))
+       $ max_cursors_arg $ workers_arg $ metrics_port_arg $ slow_query_ms_arg
+       $ log_level_arg $ trace_log_arg))
 
 let () = exit (Cmd.eval' cmd)

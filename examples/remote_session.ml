@@ -22,15 +22,15 @@ let () =
     ~finally:(fun () -> Secshare_rpc.Server.stop server)
     (fun () ->
       (* --- client side: connect with the secrets --- *)
-      let session =
+      let remote =
         Result.get_ok (DB.connect ~p:83 ~e:1 ~mapping:(DB.mapping db) ~seed ~path ())
       in
       Fun.protect
-        ~finally:(fun () -> DB.session_close session)
+        ~finally:(fun () -> DB.close remote)
         (fun () ->
           List.iter
             (fun q ->
-              match DB.session_query ~engine:DB.Advanced ~strictness:QC.Strict session q with
+              match DB.query ~engine:DB.Advanced ~strictness:QC.Strict remote q with
               | Error e -> Printf.printf "%-32s error: %s\n" q e
               | Ok r ->
                   Printf.printf
@@ -45,9 +45,9 @@ let () =
              ~seed:(Secshare_prg.Seed.of_passphrase "guess") ~path ())
       in
       Fun.protect
-        ~finally:(fun () -> DB.session_close attacker)
+        ~finally:(fun () -> DB.close attacker)
         (fun () ->
-          match DB.session_query ~engine:DB.Simple ~strictness:QC.Non_strict attacker "/site" with
+          match DB.query ~engine:DB.Simple ~strictness:QC.Non_strict attacker "/site" with
           | Ok r ->
               Printf.printf
                 "\nattacker with a wrong seed: /site matched %d nodes (the shares are\n\

@@ -1,8 +1,23 @@
 module Protocol = Secshare_rpc.Protocol
 module Transport = Secshare_rpc.Transport
 module Cyclic = Secshare_poly.Cyclic
+module Obs = Secshare_obs
 
 exception Filter_error of string
+
+(* Share-cache observability: pure hit/miss/evict counts, no key or
+   polynomial material (DESIGN.md §9). *)
+let obs_cache_hits =
+  Obs.Registry.counter ~help:"Client share-regeneration cache hits."
+    "ssdb_client_share_cache_hits_total"
+
+let obs_cache_misses =
+  Obs.Registry.counter ~help:"Client share-regeneration cache misses (PRG runs)."
+    "ssdb_client_share_cache_misses_total"
+
+let obs_cache_evictions =
+  Obs.Registry.counter ~help:"Client share-regeneration cache LRU evictions."
+    "ssdb_client_share_cache_evictions_total"
 
 type t = {
   ring : Secshare_poly.Ring.t;
@@ -13,10 +28,16 @@ type t = {
   batch_eval : bool;
   fused_scan : bool;
   metrics : Metrics.t;
+  share_cache : (int, Cyclic.t) Lru.t option;
+      (* pre -> regenerated client polynomial; [Cyclic] ops are pure,
+         so cached polynomials can never be mutated through use *)
+  eval_cache : (int * int, int) Lru.t option;
+      (* (pre, point) -> client evaluation, so a repeated query skips
+         even the O(degree) Horner pass *)
 }
 
 let create ring ~seed ?(batch_size = 64) ?(scan_batch = 256) ?(batch_eval = true)
-    ?(fused_scan = true) transport =
+    ?(fused_scan = true) ?(share_cache = 4096) transport =
   {
     ring;
     seed;
@@ -26,15 +47,50 @@ let create ring ~seed ?(batch_size = 64) ?(scan_batch = 256) ?(batch_eval = true
     batch_eval;
     fused_scan;
     metrics = Metrics.create ();
+    share_cache = (if share_cache <= 0 then None else Some (Lru.create share_cache));
+    eval_cache = (if share_cache <= 0 then None else Some (Lru.create (4 * share_cache)));
   }
 
 let metrics t = t.metrics
-let reset_metrics t = Metrics.reset t.metrics
+
+let reset_metrics t =
+  Metrics.reset t.metrics;
+  (* the evaluation memo is per-workload state like the metrics; the
+     polynomial cache survives resets (entries stay exact forever) *)
+  Option.iter Lru.clear t.eval_cache
+
 let rpc_counters t = Transport.counters t.transport
 let batch_size t = t.batch_size
 let scan_batch t = t.scan_batch
 let batch_eval t = t.batch_eval
 let fused_scan t = t.fused_scan
+let share_cache_stats t = Option.map Lru.stats t.share_cache
+let share_cache_capacity t = Option.fold ~none:0 ~some:Lru.capacity t.share_cache
+
+(* Regenerate (or recall) the client polynomial for [pre]. *)
+let client_poly t ~pre =
+  match t.share_cache with
+  | None -> Share.client t.ring ~seed:t.seed ~pre
+  | Some cache -> (
+      match Lru.find cache pre with
+      | Some poly ->
+          Obs.Registry.inc obs_cache_hits;
+          poly
+      | None ->
+          Obs.Registry.inc obs_cache_misses;
+          let poly = Share.client t.ring ~seed:t.seed ~pre in
+          let before = (Lru.stats cache).Lru.evictions in
+          Lru.add cache ~key:pre ~value:poly;
+          Obs.Registry.inc ~by:((Lru.stats cache).Lru.evictions - before)
+            obs_cache_evictions;
+          poly)
+
+let client_eval t ~pre ~point =
+  match t.eval_cache with
+  | None -> Cyclic.eval t.ring (client_poly t ~pre) point
+  | Some cache ->
+      Lru.find_or_add cache (pre, point) ~compute:(fun _ ->
+          Cyclic.eval t.ring (client_poly t ~pre) point)
 
 let call t request =
   match Transport.call t.transport request with
@@ -105,19 +161,27 @@ let filter_scan_rows t rows ~points =
   | [] -> List.map fst rows
   | _ ->
       let n_points = List.length points in
-      List.filter_map
-        (fun ((meta : Protocol.node_meta), server_values) ->
-          if List.length server_values <> n_points then
-            raise (Filter_error "Scan_batch arity mismatch");
-          t.metrics.Metrics.nodes_examined <- t.metrics.Metrics.nodes_examined + 1;
-          t.metrics.Metrics.evaluations <- t.metrics.Metrics.evaluations + n_points;
-          let poly = Share.client t.ring ~seed:t.seed ~pre:meta.Protocol.pre in
-          let contains point server_value =
-            let client_value = Cyclic.eval t.ring poly point in
-            Share.combine_evaluations t.ring ~client:client_value ~server:server_value = 0
-          in
-          if List.for_all2 contains points server_values then Some meta else None)
-        rows
+      (* counters accumulate in a batch-local instance and merge once
+         at the end: [t.metrics] is only ever touched at batch
+         boundaries, on the thread that owns this filter *)
+      let batch = Metrics.create () in
+      let kept =
+        List.filter_map
+          (fun ((meta : Protocol.node_meta), server_values) ->
+            if List.length server_values <> n_points then
+              raise (Filter_error "Scan_batch arity mismatch");
+            batch.Metrics.nodes_examined <- batch.Metrics.nodes_examined + 1;
+            batch.Metrics.evaluations <- batch.Metrics.evaluations + n_points;
+            let contains point server_value =
+              let client_value = client_eval t ~pre:meta.Protocol.pre ~point in
+              Share.combine_evaluations t.ring ~client:client_value ~server:server_value
+              = 0
+            in
+            if List.for_all2 contains points server_values then Some meta else None)
+          rows
+      in
+      Metrics.add t.metrics batch;
+      kept
 
 let descendants t meta =
   let acc = ref [] in
@@ -128,10 +192,6 @@ let table_stats t =
   match call t Protocol.Table_stats with
   | Protocol.Stats stats -> stats
   | response -> protocol_error "Table_stats" response
-
-let client_eval t ~pre ~point =
-  let poly = Share.client t.ring ~seed:t.seed ~pre in
-  Cyclic.eval t.ring poly point
 
 let containment t (meta : Protocol.node_meta) ~point =
   let server_value =
@@ -157,10 +217,10 @@ let containment_batch t metas ~point =
       | Protocol.Values values ->
           if List.length values <> List.length metas then
             raise (Filter_error "Eval_batch arity mismatch");
-          t.metrics.Metrics.evaluations <-
-            t.metrics.Metrics.evaluations + List.length metas;
-          t.metrics.Metrics.nodes_examined <-
-            t.metrics.Metrics.nodes_examined + List.length metas;
+          let batch = Metrics.create () in
+          batch.Metrics.evaluations <- List.length metas;
+          batch.Metrics.nodes_examined <- List.length metas;
+          Metrics.add t.metrics batch;
           List.filter_map
             (fun ((meta : Protocol.node_meta), server_value) ->
               let client_value = client_eval t ~pre:meta.Protocol.pre ~point in
@@ -180,7 +240,8 @@ let fetch_shares t pres =
 
 let reconstruct t ~pre share_bytes =
   let server = Secshare_poly.Codec.unpack_cyclic t.ring share_bytes in
-  Share.reconstruct t.ring ~seed:t.seed ~pre ~server
+  (* client + server, with the client half served from the cache *)
+  Cyclic.add t.ring (client_poly t ~pre) server
 
 let tag_value t (meta : Protocol.node_meta) =
   let child_metas = children t ~pre:meta.Protocol.pre in

@@ -23,6 +23,7 @@ val create :
   ?scan_batch:int ->
   ?batch_eval:bool ->
   ?fused_scan:bool ->
+  ?share_cache:int ->
   Secshare_rpc.Transport.t ->
   t
 (** [batch_size] bounds cursor batches (default 64): the client holds
@@ -34,15 +35,32 @@ val create :
     [fused_scan] (default true) lets the execution pipeline use the
     fused [Scan_eval] request — axis scan and share evaluation in one
     message — instead of per-parent [Children] / [Descendants] calls
-    followed by a separate [Eval_batch]. *)
+    followed by a separate [Eval_batch].  [share_cache] (default 4096
+    polynomials, 0 = off) bounds the LRU cache of regenerated client
+    polynomials keyed by [pre]; regeneration is a pure function of the
+    seed and [pre], so a cached entry is exact forever and eviction
+    can only cost time, never correctness.  An evaluation memo keyed
+    by [(pre, point)] rides along at 4x that capacity and is dropped
+    by {!reset_metrics}. *)
 
 val metrics : t -> Metrics.t
+
 val reset_metrics : t -> unit
+(** Zero the metrics and drop the per-workload evaluation memo (the
+    polynomial cache itself survives: its entries stay exact). *)
+
 val rpc_counters : t -> Secshare_rpc.Transport.counters
 val batch_size : t -> int
 val scan_batch : t -> int
 val batch_eval : t -> bool
 val fused_scan : t -> bool
+
+val share_cache_stats : t -> Lru.stats option
+(** Hit/miss/eviction counts of the polynomial cache; [None] when the
+    cache is disabled. *)
+
+val share_cache_capacity : t -> int
+(** Configured capacity in polynomials (0 = disabled). *)
 
 (** {2 Structure navigation} *)
 

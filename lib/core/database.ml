@@ -4,6 +4,31 @@ module Transport = Secshare_rpc.Transport
 module Ast = Secshare_xpath.Ast
 module Obs = Secshare_obs
 
+type client_config = {
+  rpc_batching : bool;
+  rpc_fused_scan : bool;
+  share_cache : int;
+  timeout : float option;
+  max_retries : int;
+  cursor_ttl : float option;
+  max_cursors : int;
+  slow_query_ms : float option;
+  workers : int;
+}
+
+let default_client_config =
+  {
+    rpc_batching = true;
+    rpc_fused_scan = true;
+    share_cache = 4096;
+    timeout = None;
+    max_retries = 0;
+    cursor_ttl = None;
+    max_cursors = 1024;
+    slow_query_ms = None;
+    workers = 1;
+  }
+
 type config = {
   p : int;
   e : int;
@@ -11,11 +36,7 @@ type config = {
   seed : Secshare_prg.Seed.t option;
   mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
   page_size : int;
-  rpc_batching : bool;
-  rpc_fused_scan : bool;
-  cursor_ttl : float option;
-  max_cursors : int;
-  slow_query_ms : float option;
+  client : client_config;
 }
 
 let default_config =
@@ -26,11 +47,7 @@ let default_config =
     seed = None;
     mapping = `From_document;
     page_size = 8192;
-    rpc_batching = true;
-    rpc_fused_scan = true;
-    cursor_ttl = None;
-    max_cursors = 1024;
-    slow_query_ms = None;
+    client = default_client_config;
   }
 
 (* Process-wide client-side query families, mirroring the per-query
@@ -81,15 +98,24 @@ let mirror_query_metrics
 
 type engine = Simple | Advanced
 
+(* The server half a handle owns when it is local (in-process
+   transport or a bundle opened from disk).  A remote handle
+   ([connect]) has none: its server lives across the socket. *)
+type local = {
+  table : Node_table.t;
+  server : Server_filter.t;
+  encode_stats : Encode.stats;
+}
+
 type t = {
   ring : Ring.t;
   map : Mapping.t;
   seed : Secshare_prg.Seed.t;
-  table : Node_table.t;
-  server : Server_filter.t;
   filter : Client_filter.t;
-  encode_stats : Encode.stats;
+  local : local option;
 }
+
+type session = t
 
 type query_result = {
   nodes : Secshare_rpc.Protocol.node_meta list;
@@ -100,6 +126,13 @@ type query_result = {
   seconds : float;
   trace_id : int64;
 }
+
+let local_exn t what =
+  match t.local with
+  | Some l -> l
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Database.%s: remote handle (no local server half)" what)
 
 (* Field orders past this are useless for the scheme (a share stores
    q - 1 packed coefficients) and risk int overflow downstream; reject
@@ -130,6 +163,21 @@ let build_mapping config ~q tree =
   | (Ok _ as ok), None -> ok
   | Ok m, Some _ -> Mapping.with_trie_alphabet m
 
+(* Assemble the in-process client/server pair every local constructor
+   ends in: one server filter (with its evaluation pool) over the
+   table, a local transport, and a caching client filter on top. *)
+let assemble_local ~(client : client_config) ~ring ~map ~seed ~table ~encode_stats =
+  let server =
+    Server_filter.create ?cursor_ttl:client.cursor_ttl ~max_cursors:client.max_cursors
+      ?slow_query_ms:client.slow_query_ms ~workers:client.workers ring table
+  in
+  let transport = Transport.local ~handler:(Server_filter.handler server) in
+  let filter =
+    Client_filter.create ring ~seed ~batch_eval:client.rpc_batching
+      ~fused_scan:client.rpc_fused_scan ~share_cache:client.share_cache transport
+  in
+  { ring; map; seed; filter; local = Some { table; server; encode_stats } }
+
 let create_tree ?(config = default_config) tree =
   match
     if not (Secshare_field.Prime.is_prime config.p) then
@@ -154,17 +202,7 @@ let create_tree ?(config = default_config) tree =
           match Encode.encode_tree ring ~mapping:map ~seed ~table ?trie:config.trie tree with
           | Error e -> Error (Encode.error_to_string e)
           | Ok encode_stats ->
-              let server =
-                Server_filter.create ?cursor_ttl:config.cursor_ttl
-                  ~max_cursors:config.max_cursors ?slow_query_ms:config.slow_query_ms
-                  ring table
-              in
-              let transport = Transport.local ~handler:(Server_filter.handler server) in
-              let filter =
-                Client_filter.create ring ~seed ~batch_eval:config.rpc_batching
-                  ~fused_scan:config.rpc_fused_scan transport
-              in
-              Ok { ring; map; seed; table; server; filter; encode_stats }))
+              Ok (assemble_local ~client:config.client ~ring ~map ~seed ~table ~encode_stats)))
 
 let zero_encode_stats =
   {
@@ -175,8 +213,7 @@ let zero_encode_stats =
     duration_seconds = 0.0;
   }
 
-let of_parts ?(rpc_batching = true) ?(rpc_fused_scan = true) ?cursor_ttl ?max_cursors
-    ?slow_query_ms ~p ~e ~mapping:map ~seed ~table () =
+let of_parts ?(client = default_client_config) ~p ~e ~mapping:map ~seed ~table () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else if e < 1 then Error "e must be >= 1"
@@ -185,15 +222,9 @@ let of_parts ?(rpc_batching = true) ?(rpc_fused_scan = true) ?cursor_ttl ?max_cu
     | Error _ as err -> err
     | Ok _ ->
         let ring = Ring.of_prime_power ~p ~e in
-        let server =
-          Server_filter.create ?cursor_ttl ?max_cursors ?slow_query_ms ring table
-        in
-        let transport = Transport.local ~handler:(Server_filter.handler server) in
-        let filter =
-          Client_filter.create ring ~seed ~batch_eval:rpc_batching
-            ~fused_scan:rpc_fused_scan transport
-        in
-        Ok { ring; map; seed; table; server; filter; encode_stats = zero_encode_stats }
+        Ok
+          (assemble_local ~client ~ring ~map ~seed ~table
+             ~encode_stats:zero_encode_stats)
 
 let create ?config xml =
   match Secshare_xml.Tree.of_string xml with
@@ -276,36 +307,39 @@ type storage_stats = {
 }
 
 let storage_stats t =
+  let local = local_exn t "storage_stats" in
   {
-    rows = Node_table.row_count t.table;
-    data_bytes = Node_table.data_bytes t.table;
-    index_bytes = Node_table.index_bytes t.table;
-    encode_stats = t.encode_stats;
+    rows = Node_table.row_count local.table;
+    data_bytes = Node_table.data_bytes local.table;
+    index_bytes = Node_table.index_bytes local.table;
+    encode_stats = local.encode_stats;
   }
 
 let mapping t = t.map
 let ring t = t.ring
 let seed t = t.seed
 let client_filter t = t.filter
-let table t = t.table
+let table t = (local_exn t "table").table
+let is_remote t = t.local = None
+let rpc_counters t = Client_filter.rpc_counters t.filter
+let share_cache_stats t = Client_filter.share_cache_stats t.filter
+let workers t = Server_filter.workers (local_exn t "workers").server
 
 let serve ?send_timeout t ~path =
+  let local = local_exn t "serve" in
   (* session-scoped handlers so a dropped connection takes its open
      cursors with it *)
   Secshare_rpc.Server.start_sessions ?send_timeout ~path
     ~session:(fun () ->
-      let on_request, on_close = Server_filter.connection t.server in
+      let on_request, on_close = Server_filter.connection local.server in
       { Secshare_rpc.Server.on_request; on_close })
     ()
 
-let open_cursors t = Server_filter.open_cursors t.server
-let cursor_stats t = Server_filter.cursor_stats t.server
-let sweep_cursors t = Server_filter.sweep_cursors t.server
+let open_cursors t = Server_filter.open_cursors (local_exn t "open_cursors").server
+let cursor_stats t = Server_filter.cursor_stats (local_exn t "cursor_stats").server
+let sweep_cursors t = Server_filter.sweep_cursors (local_exn t "sweep_cursors").server
 
-type session = { s_filter : Client_filter.t; s_map : Mapping.t }
-
-let connect ?(rpc_batching = true) ?(rpc_fused_scan = true) ?timeout ?max_retries ~p ~e
-    ~mapping ~seed ~path () =
+let connect ?(client = default_client_config) ~p ~e ~mapping ~seed ~path () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else
@@ -315,30 +349,34 @@ let connect ?(rpc_batching = true) ?(rpc_fused_scan = true) ?timeout ?max_retrie
         let policy =
           {
             Transport.default_policy with
-            Transport.call_timeout = timeout;
-            max_retries = Option.value max_retries ~default:0;
+            Transport.call_timeout = client.timeout;
+            max_retries = client.max_retries;
           }
         in
         match Transport.socket ~policy path with
         | Error msg -> Error ("connect: " ^ msg)
         | Ok transport ->
             let ring = Ring.of_prime_power ~p ~e in
-            Ok
-              {
-                s_filter =
-                  Client_filter.create ring ~seed ~batch_eval:rpc_batching
-                    ~fused_scan:rpc_fused_scan transport;
-                s_map = mapping;
-              })
+            let filter =
+              Client_filter.create ring ~seed ~batch_eval:client.rpc_batching
+                ~fused_scan:client.rpc_fused_scan ~share_cache:client.share_cache
+                transport
+            in
+            Ok { ring; map = mapping; seed; filter; local = None })
 
-let session_query ?engine ?strictness session q =
-  match parse_query q with
-  | Error _ as e -> e
-  | Ok ast -> run_query_on session.s_filter ~map:session.s_map ?engine ?strictness ast
+let close t =
+  Client_filter.close t.filter;
+  match t.local with
+  | None -> ()
+  | Some local ->
+      Server_filter.close local.server;
+      Node_table.close local.table
 
-let session_rpc_counters session = Client_filter.rpc_counters session.s_filter
-let session_close session = Client_filter.close session.s_filter
-let close t = Node_table.close t.table
+(* Deprecated spellings from when local and remote handles were two
+   types; all thin aliases now. *)
+let session_query = query
+let session_rpc_counters = rpc_counters
+let session_close = close
 
 (* --- bundles: a complete database persisted to a directory --- *)
 
@@ -366,11 +404,12 @@ let parse_bundle_config contents =
   | _ -> Error "bundle config: missing p or e"
 
 let save_bundle t ~dir =
+  let local = local_exn t "save_bundle" in
   match
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
     (* copy the rows into a fresh page file *)
     let file_table = Node_table.create_file (Filename.concat dir "shares.db") in
-    Node_table.iter t.table ~f:(Node_table.insert file_table);
+    Node_table.iter local.table ~f:(Node_table.insert file_table);
     Node_table.close file_table;
     Mapping.save (Filename.concat dir "client.map") t.map;
     Secshare_prg.Seed.save (Filename.concat dir "client.seed") t.seed;
@@ -382,7 +421,7 @@ let save_bundle t ~dir =
   | exception Sys_error msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let open_bundle ?rpc_batching ?rpc_fused_scan ~dir () =
+let open_bundle ?client ~dir () =
   match In_channel.with_open_text (Filename.concat dir "config") In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | contents -> (
@@ -397,6 +436,4 @@ let open_bundle ?rpc_batching ?rpc_fused_scan ~dir () =
               | Ok seed -> (
                   match Node_table.open_file (Filename.concat dir "shares.db") with
                   | Error msg -> Error ("shares: " ^ msg)
-                  | Ok table ->
-                      of_parts ?rpc_batching ?rpc_fused_scan ~p ~e ~mapping ~seed ~table
-                        ()))))
+                  | Ok table -> of_parts ?client ~p ~e ~mapping ~seed ~table ()))))

@@ -1,23 +1,31 @@
 (** The public facade: build an encrypted database from an XML
     document, query it, measure it.
 
-    A [t] bundles the client's secret state (field, mapping, seed)
-    with a server (node table + filter).  The default transport is
-    in-process; {!serve} / {!connect} split the same parts across a
-    Unix-domain socket, reproducing the paper's client/server
-    deployment (figure 3). *)
+    A [t] is one client handle over either deployment: it always holds
+    the client's secret state (field, mapping, seed) and a caching
+    {!Client_filter}; a {e local} handle additionally owns the server
+    half (node table + filter, in-process transport), while a {e
+    remote} handle ({!connect}) talks to a {!serve}d database over a
+    Unix-domain socket — reproducing the paper's client/server
+    deployment (figure 3).  {!query} works identically on both;
+    server-side operations ({!serve}, {!storage_stats}, cursor
+    inspection, {!save_bundle}) raise [Invalid_argument] on a remote
+    handle.
+
+    Every client-side knob enters through one {!client_config} record
+    — transport batching, the share-regeneration cache, socket
+    deadlines and retries, server cursor policy and the evaluation
+    worker pool — so a configuration can be built once and reused
+    across {!create}, {!of_parts}, {!connect} and {!open_bundle}. *)
 
 type t
+(** A client handle, local or remote. *)
 
-type config = {
-  p : int;  (** field characteristic (a prime); default 83 *)
-  e : int;  (** extension degree; default 1 *)
-  trie : Secshare_trie.Expand.mode option;
-      (** expand text into tries (§4); default [None] — tags only,
-          the paper's experimental configuration *)
-  seed : Secshare_prg.Seed.t option;  (** default: fresh random seed *)
-  mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
-  page_size : int;  (** storage page size; default 8192 *)
+type session = t
+(** @deprecated [session] was the remote-only handle type; local and
+    remote handles are now the same {!t}. *)
+
+type client_config = {
   rpc_batching : bool;
       (** batch containment evaluations into one round trip (default
           true); disable to reproduce the per-node-call cost model of
@@ -27,6 +35,18 @@ type config = {
           — axis scan and share evaluation in one message — instead
           of per-parent [Children] / cursor calls followed by a
           separate evaluation round trip (default true) *)
+  share_cache : int;
+      (** capacity, in polynomials, of the client's LRU cache over
+          regenerated share polynomials (default 4096; 0 disables).
+          Regeneration is a pure function of seed and [pre], so cached
+          entries are exact forever — see {!Client_filter.create} *)
+  timeout : float option;
+      (** bound each RPC round trip to this many seconds (default
+          [None]; socket transports only) *)
+  max_retries : int;
+      (** retry failed idempotent calls with exponential backoff,
+          transparently reconnecting a dead socket (default 0; socket
+          transports only — see {!Secshare_rpc.Transport.policy}) *)
   cursor_ttl : float option;
       (** evict server-side scan cursors idle longer than this many
           seconds (default [None]: no TTL) *)
@@ -38,6 +58,27 @@ type config = {
           lifetime at least this slow (default [None]: off); the line
           carries trace id, opcode mix, batch/row/byte counts and
           duration only — see {!Server_filter.create} *)
+  workers : int;
+      (** size of the server's evaluation worker pool — the number of
+          domains batch share evaluation fans out over (default 1 =
+          inline, the single-threaded behaviour; [ssdb_server
+          --workers]) *)
+}
+
+val default_client_config : client_config
+(** The defaults spelled out above; build variations with record
+    update syntax: [{ default_client_config with workers = 4 }]. *)
+
+type config = {
+  p : int;  (** field characteristic (a prime); default 83 *)
+  e : int;  (** extension degree; default 1 *)
+  trie : Secshare_trie.Expand.mode option;
+      (** expand text into tries (§4); default [None] — tags only,
+          the paper's experimental configuration *)
+  seed : Secshare_prg.Seed.t option;  (** default: fresh random seed *)
+  mapping : [ `From_document | `From_dtd of Secshare_xml.Dtd.t | `Explicit of Mapping.t ];
+  page_size : int;  (** storage page size; default 8192 *)
+  client : client_config;  (** every client-side and serving knob *)
 }
 
 val default_config : config
@@ -63,11 +104,7 @@ val create : ?config:config -> string -> (t, string) result
 (** Encode an XML document given as a string. *)
 
 val of_parts :
-  ?rpc_batching:bool ->
-  ?rpc_fused_scan:bool ->
-  ?cursor_ttl:float ->
-  ?max_cursors:int ->
-  ?slow_query_ms:float ->
+  ?client:client_config ->
   p:int ->
   e:int ->
   mapping:Mapping.t ->
@@ -88,7 +125,8 @@ val query :
   string ->
   (query_result, string) result
 (** Parse and evaluate a query ([contains] predicates are rewritten
-    into trie steps first).  Defaults: [Advanced], [Strict]. *)
+    into trie steps first).  Defaults: [Advanced], [Strict].  Works
+    identically on local and remote handles. *)
 
 val query_ast :
   ?engine:engine ->
@@ -109,20 +147,39 @@ type storage_stats = {
 }
 
 val storage_stats : t -> storage_stats
+(** Local handles only. *)
 
 val mapping : t -> Mapping.t
 val ring : t -> Secshare_poly.Ring.t
 val seed : t -> Secshare_prg.Seed.t
 val client_filter : t -> Client_filter.t
+
 val table : t -> Secshare_store.Node_table.t
+(** Local handles only. *)
+
+val is_remote : t -> bool
+(** [true] for a handle from {!connect} (no local server half). *)
+
+val rpc_counters : t -> Secshare_rpc.Transport.counters
+(** Live transport counters (calls, bytes, retries, reconnects,
+    timeouts).  On a local handle the transport is in-process: calls
+    count, byte counters stay 0. *)
+
+val share_cache_stats : t -> Lru.stats option
+(** Hit/miss/eviction counts of the client share-regeneration cache;
+    [None] when [share_cache] is 0. *)
+
+val workers : t -> int
+(** The server evaluation-pool size (local handles only). *)
 
 (** {2 Remote deployment} *)
 
 val serve : ?send_timeout:float -> t -> path:string -> Secshare_rpc.Server.t
-(** Expose this database's server half on a Unix-domain socket.  Each
-    connection gets a session-scoped handler: cursors it opened are
-    evicted when it disconnects.  [send_timeout] bounds each response
-    write (see {!Secshare_rpc.Server.start_sessions}). *)
+(** Expose this database's server half on a Unix-domain socket (local
+    handles only).  Each connection gets a session-scoped handler:
+    cursors it opened are evicted when it disconnects.  [send_timeout]
+    bounds each response write (see
+    {!Secshare_rpc.Server.start_sessions}). *)
 
 val open_cursors : t -> int
 (** Server-side cursors currently open (for leak tests/monitoring). *)
@@ -131,39 +188,37 @@ val cursor_stats : t -> Server_filter.cursor_stats
 val sweep_cursors : t -> int
 (** Evict cursors idle past the configured TTL now; returns how many. *)
 
-type session
-(** A remote client: secret state plus a socket transport. *)
-
 val connect :
-  ?rpc_batching:bool ->
-  ?rpc_fused_scan:bool ->
-  ?timeout:float ->
-  ?max_retries:int ->
+  ?client:client_config ->
   p:int ->
   e:int ->
   mapping:Mapping.t ->
   seed:Secshare_prg.Seed.t ->
   path:string ->
   unit ->
-  (session, string) result
-(** [timeout] bounds each RPC round trip (seconds); [max_retries]
-    (default 0) retries failed idempotent calls with exponential
-    backoff, transparently reconnecting a dead socket (see
-    {!Secshare_rpc.Transport.policy}). *)
+  (t, string) result
+(** A remote handle: the client's secret state over a socket
+    transport.  [client.timeout], [client.max_retries] configure the
+    transport; the cursor and worker fields are server-side and
+    ignored here. *)
+
+val close : t -> unit
+(** Close the transport; on a local handle also stop the server's
+    evaluation pool and close the node table. *)
 
 val session_query :
   ?engine:engine ->
   ?strictness:Query_common.strictness ->
-  session ->
+  t ->
   string ->
   (query_result, string) result
+(** @deprecated Alias of {!query}. *)
 
-val session_rpc_counters : session -> Secshare_rpc.Transport.counters
-(** Live transport counters for the session (calls, bytes, retries,
-    reconnects, timeouts). *)
+val session_rpc_counters : t -> Secshare_rpc.Transport.counters
+(** @deprecated Alias of {!rpc_counters}. *)
 
-val session_close : session -> unit
-val close : t -> unit
+val session_close : t -> unit
+(** @deprecated Alias of {!close}. *)
 
 (** {2 Bundles}
 
@@ -175,7 +230,6 @@ val close : t -> unit
 
 val save_bundle : t -> dir:string -> (unit, string) result
 (** Write the bundle (creating [dir] if needed; existing files are
-    overwritten). *)
+    overwritten).  Local handles only. *)
 
-val open_bundle :
-  ?rpc_batching:bool -> ?rpc_fused_scan:bool -> dir:string -> unit -> (t, string) result
+val open_bundle : ?client:client_config -> dir:string -> unit -> (t, string) result

@@ -1,0 +1,36 @@
+(** A bounded polymorphic map with least-recently-used eviction.
+
+    Hash table over an intrusive recency list: [find], [add] and the
+    eviction they trigger are all O(1).  Not thread-safe — owned by one
+    thread, like the {!Client_filter} that embeds it. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create capacity] — room for [capacity] entries.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val size : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the entry most recently used and counts a hit/miss. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership without touching recency or hit/miss counters. *)
+
+val add : ('k, 'v) t -> key:'k -> value:'v -> unit
+(** Insert (or replace) an entry, evicting the least recently used one
+    when the cache is full. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> compute:('k -> 'v) -> 'v
+(** [find] then [add compute key] on a miss. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry (capacity and counters are kept). *)
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> key:'k -> value:'v -> 'a) -> 'a
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : ('k, 'v) t -> stats

@@ -3,7 +3,15 @@
     Figure 5 plots containment evaluations; §6.3 discusses the cost of
     equality tests, i.e. whole-polynomial reconstructions; figure 6
     measures wall-clock time.  One containment check is exactly one
-    evaluation pair (server share + regenerated client share). *)
+    evaluation pair (server share + regenerated client share).
+
+    {b Ownership}: a [t] (and an {!op_stats}) is plain mutable state
+    with no internal locking.  The discipline under concurrency is
+    single-owner: each instance is read and written by exactly one
+    thread; parallel work accumulates into per-worker or per-batch
+    instances which the owner merges at batch boundaries with {!add}.
+    [add] destructures every field, so adding a counter without
+    extending the merge is a compile error, not a silent drop. *)
 
 type t = {
   mutable evaluations : int;

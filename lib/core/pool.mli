@@ -1,0 +1,34 @@
+(** A bounded worker pool of OCaml domains for CPU-parallel share
+    evaluation (the server side of [ssdb_server --workers N]).
+
+    [create ~workers:n] with [n <= 1] spawns nothing: every map runs
+    inline on the caller, byte-for-byte the single-threaded behaviour.
+    With [n > 1], [n] evaluator domains pull chunked tasks from one
+    shared run queue; a caller blocked on its own map steals queued
+    chunks instead of sleeping, so a busy pool never makes a map
+    slower than running it inline.
+
+    Observability (content-free labels only): a queue-depth gauge
+    [ssdb_pool_queue_depth], a task counter [ssdb_pool_tasks_total]
+    and per-executor run-time histograms [ssdb_pool_task_seconds]
+    (["w0"], ["w1"], …, ["caller"]). *)
+
+type t
+
+val create : workers:int -> unit -> t
+(** [workers] is clamped to at least 1. *)
+
+val size : t -> int
+(** The configured worker count (1 = inline). *)
+
+val map_array : t -> 'a array -> f:('a -> 'b) -> 'b array
+(** Parallel [Array.map], preserving order.  [f] must be safe to run
+    on any domain (pure, or touching only thread-safe state).  The
+    first exception [f] raised is re-raised on the caller after every
+    chunk of the call has finished. *)
+
+val map_list : t -> 'a list -> f:('a -> 'b) -> 'b list
+
+val close : t -> unit
+(** Drain queued tasks, stop the evaluator domains and join them.
+    Idempotent; a closed inline pool still maps (inline). *)

@@ -80,11 +80,12 @@ type t = {
   mutable evicted_total : int;
   mutable expired_total : int;
   now : unit -> float;
-  lock : Mutex.t;
+  lock : Mutex.t;  (** guards the cursor table and its accounting only *)
+  pool : Pool.t;  (** share evaluation fans out here, outside [lock] *)
 }
 
 let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettimeofday)
-    ring table =
+    ?(workers = 1) ring table =
   {
     ring;
     table;
@@ -97,7 +98,11 @@ let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettime
     expired_total = 0;
     now;
     lock = Mutex.create ();
+    pool = Pool.create ~workers ();
   }
+
+let workers t = Pool.size t.pool
+let close t = Pool.close t.pool
 
 let meta_of_row (row : Page.row) =
   { Protocol.pre = row.Page.pre; post = row.Page.post; parent = row.Page.parent }
@@ -246,15 +251,29 @@ let dedup_ranges ranges =
   in
   keep min_int sorted
 
-let eval_row t (row : Page.row) points = List.map (eval_share t row) points
+(* Evaluate one row's share at every point of the scan, unpacking the
+   polynomial once.  Pure: reads only the immutable row payload, so it
+   is safe on any pool worker. *)
+let row_values t points (row : Page.row) =
+  match points with
+  | [] -> (meta_of_row row, [])
+  | _ ->
+      let poly = Secshare_poly.Codec.unpack_cyclic t.ring row.Page.share in
+      (meta_of_row row, List.map (Secshare_poly.Cyclic.eval t.ring poly) points)
+
+(* Fan a batch's share evaluations out across the worker pool.  Called
+   OUTSIDE the cursor lock: evaluation is the dominant cost of a scan
+   and must not serialise concurrent sessions. *)
+let eval_rows t points rows = Pool.map_list t.pool rows ~f:(row_values t points)
 
 (* Pull up to [max_items] rows out of a scan, advancing its resumable
-   position.  Returns the evaluated rows and whether the scan is done. *)
-let scan_step t (scan : scan_state) ~max_items =
+   position.  Returns the raw rows (unevaluated — see [eval_rows]) and
+   whether the scan is done. *)
+let scan_collect t (scan : scan_state) ~max_items =
   let taken = ref [] in
   let count = ref 0 in
   let emit row =
-    taken := (meta_of_row row, eval_row t row scan.points) :: !taken;
+    taken := row :: !taken;
     incr count
   in
   let exhausted = ref false in
@@ -291,12 +310,6 @@ let scan_step t (scan : scan_state) ~max_items =
        && scan.pending_ranges = [] && scan.pending_parents = [])
   in
   (List.rev !taken, done_)
-
-let scan_batch t scan ~max_items ~cursor_of_remainder =
-  let max_items = max 1 max_items in
-  let rows, done_ = scan_step t scan ~max_items in
-  let cursor = if done_ then None else Some (cursor_of_remainder ()) in
-  Protocol.Scan_batch { rows; cursor }
 
 let handle t (request : Protocol.request) : Protocol.response =
   match request with
@@ -372,54 +385,68 @@ let handle t (request : Protocol.request) : Protocol.response =
               pending_ranges = dedup_ranges ranges;
             }
       in
-      (* evaluation happens outside the lock would be nicer, but scans
-         hold only index positions and the table is append-only while
-         serving, so the critical section stays short in practice *)
-      with_lock t (fun () ->
-          let max_items = max 1 max_items in
-          let rows, done_ = scan_step t scan ~max_items in
-          let bytes = batch_bytes rows in
-          if done_ then begin
-            (* a one-shot scan never registers a cursor, so its
-               slow-query check happens inline *)
-            maybe_log_slow t
-              ~trace_id:(Obs.Trace.current_id ())
-              ~cursor:None ~opened_op:"scan_eval" ~next_op:"scan_next" ~next_calls:0
-              ~batches:1 ~rows:(List.length rows) ~resp_bytes:bytes
-              ~duration:(t.now () -. started)
-              ~reason:"drained";
-            Protocol.Scan_batch { rows; cursor = None }
-          end
-          else
+      (* The scan is still private (no cursor registered), and table
+         reads are latch-striped, so both the row collection and the
+         pool-parallel evaluation run without the cursor lock; only
+         cursor registration takes it. *)
+      let rows_raw, done_ = scan_collect t scan ~max_items:(max 1 max_items) in
+      let rows = eval_rows t scan.points rows_raw in
+      let bytes = batch_bytes rows in
+      if done_ then begin
+        (* a one-shot scan never registers a cursor, so its
+           slow-query check happens inline *)
+        maybe_log_slow t
+          ~trace_id:(Obs.Trace.current_id ())
+          ~cursor:None ~opened_op:"scan_eval" ~next_op:"scan_next" ~next_calls:0
+          ~batches:1 ~rows:(List.length rows) ~resp_bytes:bytes
+          ~duration:(t.now () -. started)
+          ~reason:"drained";
+        Protocol.Scan_batch { rows; cursor = None }
+      end
+      else
+        with_lock t (fun () ->
             let id =
               register_cursor_locked t (Scanning scan) ~opened_op:"scan_eval"
                 ~next_op:"scan_next" ~created:started ~batches:1
                 ~rows:(List.length rows) ~resp_bytes:bytes
             in
             Protocol.Scan_batch { rows; cursor = Some id })
-  | Protocol.Scan_next { cursor; max_items } ->
-      with_lock t (fun () ->
-          ignore (sweep_locked t);
-          match Hashtbl.find_opt t.cursors cursor with
-          | None -> Protocol.Error_msg (Printf.sprintf "unknown cursor %d" cursor)
-          | Some { state = Buffered _; _ } ->
-              Protocol.Error_msg
-                (Printf.sprintf "cursor %d is a batch cursor (use Cursor_next)" cursor)
-          | Some ({ state = Scanning scan; _ } as c) ->
-              c.last_used <- t.now ();
-              let response =
-                scan_batch t scan ~max_items ~cursor_of_remainder:(fun () -> cursor)
-              in
-              (match response with
-              | Protocol.Scan_batch { rows; cursor = continuation } ->
+  | Protocol.Scan_next { cursor; max_items } -> (
+      (* Phase 1 (locked): advance the scan position and collect raw
+         rows.  Cursor affinity — a cursor is only ever drained by the
+         connection that opened it — means no two drains race on one
+         scan state; the lock protects the cursor table itself. *)
+      let step =
+        with_lock t (fun () ->
+            ignore (sweep_locked t);
+            match Hashtbl.find_opt t.cursors cursor with
+            | None -> Error (Printf.sprintf "unknown cursor %d" cursor)
+            | Some { state = Buffered _; _ } ->
+                Error (Printf.sprintf "cursor %d is a batch cursor (use Cursor_next)" cursor)
+            | Some ({ state = Scanning scan; _ } as c) ->
+                c.last_used <- t.now ();
+                Ok (scan, scan_collect t scan ~max_items:(max 1 max_items)))
+      in
+      match step with
+      | Error msg -> Protocol.Error_msg msg
+      | Ok (scan, (rows_raw, done_)) ->
+          (* Phase 2 (unlocked): pool-parallel share evaluation. *)
+          let rows = eval_rows t scan.points rows_raw in
+          (* Phase 3 (locked): accounting, and the single removal path
+             when the scan drained.  The cursor may have been evicted
+             (TTL/cap/connection close) while we evaluated; eviction
+             already closed its accounting lifetime, so skip it here. *)
+          with_lock t (fun () ->
+              match Hashtbl.find_opt t.cursors cursor with
+              | Some ({ state = Scanning _; _ } as c) ->
                   c.next_calls <- c.next_calls + 1;
                   c.batches <- c.batches + 1;
                   c.rows <- c.rows + List.length rows;
                   c.resp_bytes <- c.resp_bytes + batch_bytes rows;
-                  if continuation = None then
-                    finish_cursor_locked t cursor c ~reason:Drained
-              | _ -> ());
-              response)
+                  if done_ then finish_cursor_locked t cursor c ~reason:Drained
+              | Some _ | None -> ());
+          Protocol.Scan_batch
+            { rows; cursor = (if done_ then None else Some cursor) })
   | Protocol.Cursor_close cursor ->
       with_lock t (fun () ->
           (match Hashtbl.find_opt t.cursors cursor with
@@ -431,15 +458,18 @@ let handle t (request : Protocol.request) : Protocol.response =
       | None -> Protocol.Error_msg (Printf.sprintf "unknown node pre=%d" pre)
       | Some row -> Protocol.Value (eval_share t row point))
   | Protocol.Eval_batch { pres; point } -> (
+      (* row lookups stay on the handler thread (cheap, latch-striped);
+         the evaluations fan out across the pool *)
       match
         List.map
           (fun pre ->
             match Node_table.find_by_pre t.table pre with
             | None -> failwith (Printf.sprintf "unknown node pre=%d" pre)
-            | Some row -> eval_share t row point)
+            | Some row -> row)
           pres
       with
-      | values -> Protocol.Values values
+      | rows ->
+          Protocol.Values (Pool.map_list t.pool rows ~f:(fun row -> eval_share t row point))
       | exception Failure msg -> Protocol.Error_msg msg)
   | Protocol.Share pre -> (
       match Node_table.find_by_pre t.table pre with

@@ -23,6 +23,7 @@ val create :
   ?max_cursors:int ->
   ?slow_query_ms:float ->
   ?now:(unit -> float) ->
+  ?workers:int ->
   Secshare_poly.Ring.t ->
   Secshare_store.Node_table.t ->
   t
@@ -34,7 +35,17 @@ val create :
     that took at least this many milliseconds: trace id, opcode mix,
     batch/row/byte counts and duration only, never evaluation points,
     node numbers or share values.  [now] is the clock, injectable for
-    tests. *)
+    tests.  [workers] (default 1 = inline) sizes the {!Pool} of
+    evaluator domains that batch share evaluation fans out over; the
+    cursor table stays behind its own lock, and evaluation happens
+    outside it. *)
+
+val workers : t -> int
+(** The configured evaluation-pool size (1 = inline). *)
+
+val close : t -> unit
+(** Stop and join the evaluation pool.  Idempotent; a closed filter
+    still answers requests (evaluating inline). *)
 
 val handler : t -> Secshare_rpc.Protocol.request -> Secshare_rpc.Protocol.response
 (** Total: errors come back as [Error_msg]. *)

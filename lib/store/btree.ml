@@ -1,3 +1,11 @@
+(* Concurrency: lookups and range folds ([mem], [seek],
+   [fold_range_while], …) are pure traversals — they read key arrays
+   and child pointers and mutate nothing, so a frozen tree (no inserts
+   or deletes in flight) supports any number of parallel readers with
+   no latching.  Structural mutation blits arrays in place; it must be
+   externally serialised and must not overlap reads (Node_table
+   enforces this with its writer lock + read-after-load discipline). *)
+
 type leaf = {
   mutable lkeys : int array; (* capacity order + 1; slots 0 .. ln-1 used *)
   mutable ln : int;

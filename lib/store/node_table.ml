@@ -6,6 +6,7 @@ type t = {
   parent_index : Index.t; (* parent -> pre *)
   mutable rows : int;
   mutable wal : Wal.t option; (* present in durable file mode *)
+  write_lock : Mutex.t; (* serialises inserts; reads take no lock *)
 }
 
 (* Row locator: page index and slot packed into one index value. *)
@@ -24,6 +25,7 @@ let make pager =
     parent_index = Index.create ();
     rows = 0;
     wal = None;
+    write_lock = Mutex.create ();
   }
 
 let create ?page_size () = make (Pager.in_memory ?page_size ())
@@ -105,9 +107,15 @@ and open_file ?cache_pages path =
                     t.wal <- Some wal;
                     Ok t)))
 
+(* Inserts are serialised by [write_lock]; index and page reads take
+   no lock at all (see the .mli for the read-after-load discipline). *)
 let insert t row =
-  insert_unlogged t row;
-  match t.wal with None -> () | Some wal -> Wal.append_insert wal row
+  Mutex.lock t.write_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.write_lock)
+    (fun () ->
+      insert_unlogged t row;
+      match t.wal with None -> () | Some wal -> Wal.append_insert wal row)
 
 let fetch t loc =
   let page = Pager.get t.pager (locator_page loc) in

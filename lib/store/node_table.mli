@@ -14,7 +14,18 @@
 
     Sequence numbering convention (as in the paper): [pre] counts open
     tags from 1, [post] counts close tags from 1, and the root's
-    [parent] is 0. *)
+    [parent] is 0.
+
+    {b Concurrency.}  The read paths ([find_by_pre], [children],
+    [scan_range], [fold_descendants], …) take no latches: B+tree
+    traversal is a pure walk over index nodes and row fetches go
+    through the pager's striped buffer-pool latches, so any number of
+    sessions can scan one table in parallel.  Writes are serialised by
+    an internal writer lock, but a B+tree being split is not safe to
+    traverse — the supported discipline is the serving lifecycle:
+    load/encode first (single writer, or [insert] calls from several
+    threads), then share the table with any number of lock-free
+    readers.  Mixed concurrent read/write is not supported. *)
 
 type t
 

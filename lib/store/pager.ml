@@ -6,19 +6,61 @@ let file_magic = "SSDBPAG1"
 
 type cache_entry = { page : Page.t; mutable dirty : bool; mutable last_used : int }
 
-type file_state = {
-  fd : Unix.file_descr;
-  mutable npages : int;
+(* One latch stripe of the buffer pool: its own hash table, LRU clock
+   and counters, guarded by its own mutex.  A page always hashes to
+   the same stripe, so two sessions faulting different pages contend
+   only when the pages share a stripe.  Eviction is per-stripe (each
+   stripe gets an equal slice of the [cache_pages] budget), which
+   keeps the latch hold time bounded by the stripe size. *)
+type stripe = {
   cache : (int, cache_entry) Hashtbl.t;
-  cache_pages : int;
+  latch : Mutex.t;
+  capacity : int;  (** max resident entries in this stripe *)
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
+type file_state = {
+  fd : Unix.file_descr;
+  io : Mutex.t;  (** serialises lseek+read/write pairs on the shared fd *)
+  meta : Mutex.t;  (** guards [npages] (the file-growth frontier) *)
+  mutable npages : int;
+  stripes : stripe array;
+}
+
 type backing = Memory of Page.t array ref * int ref | File of file_state
 type t = { psize : int; backing : backing }
+
+(* Lock order (never acquire upward): meta -> stripe latch -> io. *)
+
+(* Power-of-two stripe count scaled to the budget (at least 4 resident
+   pages per stripe, at most 8 stripes), so a tiny cache keeps the
+   configured total capacity instead of being rounded up per stripe. *)
+let stripe_count_for cache_pages =
+  let rec fit n = if n < 8 && n * 8 <= cache_pages then fit (n * 2) else n in
+  fit 1
+
+let make_stripes cache_pages =
+  let count = stripe_count_for cache_pages in
+  let capacity = max 1 (cache_pages / count) in
+  Array.init count (fun _ ->
+      {
+        cache = Hashtbl.create 16;
+        latch = Mutex.create ();
+        capacity;
+        clock = 0;
+        hits = 0;
+        misses = 0;
+        evictions = 0;
+      })
+
+let stripe_of st idx = st.stripes.(idx land (Array.length st.stripes - 1))
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let page_size t = t.psize
 
@@ -34,24 +76,19 @@ let write_header fd psize npages =
   let written = Unix.write fd hdr 0 header_size in
   if written <> header_size then failwith "Pager: short header write"
 
+let make_file_state fd npages cache_pages =
+  {
+    fd;
+    io = Mutex.create ();
+    meta = Mutex.create ();
+    npages;
+    stripes = make_stripes (max 4 cache_pages);
+  }
+
 let create_file ?(page_size = default_page_size) ?(cache_pages = 256) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   write_header fd page_size 0;
-  {
-    psize = page_size;
-    backing =
-      File
-        {
-          fd;
-          npages = 0;
-          cache = Hashtbl.create 64;
-          cache_pages = max 4 cache_pages;
-          clock = 0;
-          hits = 0;
-          misses = 0;
-          evictions = 0;
-        };
-  }
+  { psize = page_size; backing = File (make_file_state fd 0 cache_pages) }
 
 let open_file ?(cache_pages = 256) path =
   match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
@@ -75,66 +112,53 @@ let open_file ?(cache_pages = 256) path =
             (Printf.sprintf "torn page file: %d bytes, header promises %d" actual
                expected)
         end
-        else
-          Ok
-            {
-              psize;
-              backing =
-                File
-                  {
-                    fd;
-                    npages;
-                    cache = Hashtbl.create 64;
-                    cache_pages = max 4 cache_pages;
-                    clock = 0;
-                    hits = 0;
-                    misses = 0;
-                    evictions = 0;
-                  };
-            }
+        else Ok { psize; backing = File (make_file_state fd npages cache_pages) }
       end)
 
 let page_count t =
   match t.backing with
   | Memory (_, used) -> !used
-  | File st -> st.npages
+  | File st -> with_lock st.meta (fun () -> st.npages)
 
-let write_page_at fd psize idx page =
+let write_page_at st psize idx page =
   let image = Page.serialize page in
-  ignore (Unix.lseek fd (header_size + (idx * psize)) Unix.SEEK_SET);
-  let written = Unix.write fd image 0 psize in
-  if written <> psize then failwith "Pager: short page write"
+  with_lock st.io (fun () ->
+      ignore (Unix.lseek st.fd (header_size + (idx * psize)) Unix.SEEK_SET);
+      let written = Unix.write st.fd image 0 psize in
+      if written <> psize then failwith "Pager: short page write")
 
-let read_page_at fd psize idx =
+let read_page_at st psize idx =
   let image = Bytes.create psize in
-  ignore (Unix.lseek fd (header_size + (idx * psize)) Unix.SEEK_SET);
-  let rec fill off =
-    if off < psize then begin
-      let n = Unix.read fd image off (psize - off) in
-      if n = 0 then failwith "Pager: short page read";
-      fill (off + n)
-    end
-  in
-  fill 0;
+  with_lock st.io (fun () ->
+      ignore (Unix.lseek st.fd (header_size + (idx * psize)) Unix.SEEK_SET);
+      let rec fill off =
+        if off < psize then begin
+          let n = Unix.read st.fd image off (psize - off) in
+          if n = 0 then failwith "Pager: short page read";
+          fill (off + n)
+        end
+      in
+      fill 0);
   match Page.deserialize image with
   | Ok page -> page
   | Error msg -> failwith (Printf.sprintf "Pager: page %d corrupt: %s" idx msg)
 
-let evict_if_needed st psize =
-  while Hashtbl.length st.cache >= st.cache_pages do
+(* Called with the stripe latch held. *)
+let evict_if_needed st stripe psize =
+  while Hashtbl.length stripe.cache >= stripe.capacity do
     let victim = ref None in
     Hashtbl.iter
       (fun idx entry ->
         match !victim with
         | Some (_, best) when best.last_used <= entry.last_used -> ()
         | _ -> victim := Some (idx, entry))
-      st.cache;
+      stripe.cache;
     match !victim with
     | None -> failwith "Pager: cannot evict from an empty cache"
     | Some (idx, entry) ->
-        if entry.dirty then write_page_at st.fd psize idx entry.page;
-        Hashtbl.remove st.cache idx;
-        st.evictions <- st.evictions + 1
+        if entry.dirty then write_page_at st psize idx entry.page;
+        Hashtbl.remove stripe.cache idx;
+        stripe.evictions <- stripe.evictions + 1
   done
 
 let append t page =
@@ -150,11 +174,18 @@ let append t page =
       incr used;
       !used - 1
   | File st ->
-      let idx = st.npages in
-      st.npages <- st.npages + 1;
-      evict_if_needed st t.psize;
-      st.clock <- st.clock + 1;
-      Hashtbl.replace st.cache idx { page; dirty = true; last_used = st.clock };
+      let idx =
+        with_lock st.meta (fun () ->
+            let idx = st.npages in
+            st.npages <- st.npages + 1;
+            idx)
+      in
+      let stripe = stripe_of st idx in
+      with_lock stripe.latch (fun () ->
+          evict_if_needed st stripe t.psize;
+          stripe.clock <- stripe.clock + 1;
+          Hashtbl.replace stripe.cache idx
+            { page; dirty = true; last_used = stripe.clock });
       idx
 
 let get t idx =
@@ -162,40 +193,54 @@ let get t idx =
     invalid_arg (Printf.sprintf "Pager.get: page %d out of [0, %d)" idx (page_count t));
   match t.backing with
   | Memory (pages, _) -> !pages.(idx)
-  | File st -> (
-      st.clock <- st.clock + 1;
-      match Hashtbl.find_opt st.cache idx with
-      | Some entry ->
-          entry.last_used <- st.clock;
-          st.hits <- st.hits + 1;
-          entry.page
-      | None ->
-          st.misses <- st.misses + 1;
-          let page = read_page_at st.fd t.psize idx in
-          evict_if_needed st t.psize;
-          Hashtbl.replace st.cache idx { page; dirty = false; last_used = st.clock };
-          page)
+  | File st ->
+      let stripe = stripe_of st idx in
+      with_lock stripe.latch (fun () ->
+          stripe.clock <- stripe.clock + 1;
+          match Hashtbl.find_opt stripe.cache idx with
+          | Some entry ->
+              entry.last_used <- stripe.clock;
+              stripe.hits <- stripe.hits + 1;
+              entry.page
+          | None ->
+              (* The disk read happens under the stripe latch: it blocks
+                 only this stripe, and guarantees a page is faulted in
+                 exactly once even when several sessions miss on it
+                 simultaneously. *)
+              stripe.misses <- stripe.misses + 1;
+              let page = read_page_at st t.psize idx in
+              evict_if_needed st stripe t.psize;
+              Hashtbl.replace stripe.cache idx
+                { page; dirty = false; last_used = stripe.clock };
+              page)
 
 let mark_dirty t idx =
   match t.backing with
   | Memory _ -> ()
   | File st -> (
-      match Hashtbl.find_opt st.cache idx with
-      | Some entry -> entry.dirty <- true
-      | None -> ())
+      let stripe = stripe_of st idx in
+      with_lock stripe.latch (fun () ->
+          match Hashtbl.find_opt stripe.cache idx with
+          | Some entry -> entry.dirty <- true
+          | None -> ()))
 
 let flush t =
   match t.backing with
   | Memory _ -> ()
   | File st ->
-      Hashtbl.iter
-        (fun idx entry ->
-          if entry.dirty then begin
-            write_page_at st.fd t.psize idx entry.page;
-            entry.dirty <- false
-          end)
-        st.cache;
-      write_header st.fd t.psize st.npages
+      Array.iter
+        (fun stripe ->
+          with_lock stripe.latch (fun () ->
+              Hashtbl.iter
+                (fun idx entry ->
+                  if entry.dirty then begin
+                    write_page_at st t.psize idx entry.page;
+                    entry.dirty <- false
+                  end)
+                stripe.cache))
+        st.stripes;
+      with_lock st.meta (fun () ->
+          with_lock st.io (fun () -> write_header st.fd t.psize st.npages))
 
 let close t =
   match t.backing with
@@ -209,4 +254,14 @@ let data_bytes t = page_count t * t.psize
 let cache_stats t =
   match t.backing with
   | Memory _ -> { hits = 0; misses = 0; evictions = 0 }
-  | File st -> { hits = st.hits; misses = st.misses; evictions = st.evictions }
+  | File st ->
+      Array.fold_left
+        (fun (acc : cache_stats) stripe ->
+          with_lock stripe.latch (fun () : cache_stats ->
+              {
+                hits = acc.hits + stripe.hits;
+                misses = acc.misses + stripe.misses;
+                evictions = acc.evictions + stripe.evictions;
+              }))
+        { hits = 0; misses = 0; evictions = 0 }
+        st.stripes

@@ -3,7 +3,16 @@
     Backing stores: anonymous memory (the default for benchmarks) or a
     file of fixed-size page images.  File mode keeps a bounded LRU
     cache of deserialised pages and writes dirty pages back on
-    eviction and flush. *)
+    eviction and flush.
+
+    {b Concurrency.}  File mode is safe for concurrent use: the buffer
+    pool is split into latch stripes (a page always hashes to the same
+    stripe), so sessions faulting different pages rarely contend, and
+    the shared file descriptor's seek+read/write pairs are serialised
+    by a dedicated I/O lock below the stripe latches.  Memory mode has
+    no latches: it is written by the single-threaded encoder and is
+    safe for any number of readers once encoding has finished (the
+    append path must not run concurrently with readers). *)
 
 type t
 

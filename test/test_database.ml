@@ -89,7 +89,7 @@ let test_rpc_batching_equivalence () =
       {
         DB.default_config with
         seed = Some Test_support.test_seed;
-        rpc_batching = batching;
+        client = { DB.default_client_config with rpc_batching = batching };
       }
     in
     Result.get_ok (DB.create_tree ~config doc)

@@ -214,10 +214,10 @@ let test_trace_joins_client_and_server () =
         must (DB.connect ~p:83 ~e:1 ~mapping:(DB.mapping db) ~seed:(DB.seed db) ~path ())
       in
       Fun.protect
-        ~finally:(fun () -> DB.session_close session)
+        ~finally:(fun () -> DB.close session)
         (fun () ->
           Trace.clear_recent ();
-          let r = must (DB.session_query session "/alpha/beta") in
+          let r = must (DB.query session "/alpha/beta") in
           Alcotest.(check bool) "nonzero trace id" true (r.DB.trace_id <> 0L);
           let spans =
             List.filter
@@ -302,10 +302,10 @@ let test_metrics_endpoint_live () =
                    ~path ())
             in
             Fun.protect
-              ~finally:(fun () -> DB.session_close session)
+              ~finally:(fun () -> DB.close session)
               (fun () ->
                 while not !stop_queries do
-                  ignore (must (DB.session_query session "//beta"))
+                  ignore (must (DB.query session "//beta"))
                 done))
           ()
       in
@@ -355,7 +355,7 @@ let test_slow_query_redaction () =
           DB.default_config with
           seed = Some Test_support.test_seed;
           mapping = `From_document;
-          slow_query_ms = Some 0.0;
+          client = { DB.default_client_config with slow_query_ms = Some 0.0 };
         }
       in
       let db = must (DB.create_tree ~config small_tree) in

@@ -33,8 +33,8 @@ let db_with ~fused ~batching tree =
     {
       DB.default_config with
       seed = Some Test_support.test_seed;
-      rpc_fused_scan = fused;
-      rpc_batching = batching;
+      client =
+        { DB.default_client_config with rpc_fused_scan = fused; rpc_batching = batching };
     }
   in
   match DB.create_tree ~config tree with

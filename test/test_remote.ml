@@ -31,14 +31,14 @@ let test_remote_matches_local () =
   with_served_db (fun db path ->
       let session = connect db path in
       Fun.protect
-        ~finally:(fun () -> DB.session_close session)
+        ~finally:(fun () -> DB.close session)
         (fun () ->
           List.iter
             (fun q ->
               List.iter
                 (fun (engine, strictness) ->
                   let local = Test_support.must_query ~engine ~strictness db q in
-                  match DB.session_query ~engine ~strictness session q with
+                  match DB.query ~engine ~strictness session q with
                   | Error e -> Alcotest.failf "%s remote: %s" q e
                   | Ok remote ->
                       check
@@ -64,9 +64,9 @@ let test_remote_wrong_seed_finds_nothing () =
       | Error e -> Alcotest.fail e
       | Ok session ->
           Fun.protect
-            ~finally:(fun () -> DB.session_close session)
+            ~finally:(fun () -> DB.close session)
             (fun () ->
-              match DB.session_query ~engine:DB.Simple ~strictness:QC.Non_strict session "/site" with
+              match DB.query ~engine:DB.Simple ~strictness:QC.Non_strict session "/site" with
               | Error e -> Alcotest.fail e
               | Ok r ->
                   check Alcotest.(list int) "root does not even match /site" []
@@ -77,11 +77,11 @@ let test_remote_sessions_are_independent () =
       let s1 = connect db path and s2 = connect db path in
       Fun.protect
         ~finally:(fun () ->
-          DB.session_close s1;
-          DB.session_close s2)
+          DB.close s1;
+          DB.close s2)
         (fun () ->
-          let r1 = Result.get_ok (DB.session_query s1 "/site") in
-          let r2 = Result.get_ok (DB.session_query s2 "//bidder/date") in
+          let r1 = Result.get_ok (DB.query s1 "/site") in
+          let r2 = Result.get_ok (DB.query s2 "//bidder/date") in
           check Alcotest.bool "both answered" true
             (List.length r1.DB.nodes = 1 && r2.DB.nodes <> [])))
 
@@ -94,10 +94,10 @@ let test_session_after_server_stop () =
   let server = DB.serve db ~path in
   let session = connect db path in
   Secshare_rpc.Server.stop server;
-  (match DB.session_query session "/site" with
+  (match DB.query session "/site" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "query succeeded after server stop");
-  DB.session_close session
+  DB.close session
 
 (* --- resilience: cursor lifecycle across connection failures --- *)
 
@@ -245,8 +245,9 @@ let test_remote_recovers_across_server_restart () =
   let server = DB.serve db ~path in
   let session =
     match
-      DB.connect ~timeout:2.0 ~max_retries:5 ~p:83 ~e:1 ~mapping:(DB.mapping db)
-        ~seed:(DB.seed db) ~path ()
+      DB.connect
+        ~client:{ DB.default_client_config with timeout = Some 2.0; max_retries = 5 }
+        ~p:83 ~e:1 ~mapping:(DB.mapping db) ~seed:(DB.seed db) ~path ()
     with
     | Ok session -> session
     | Error e -> Alcotest.fail e
@@ -254,7 +255,7 @@ let test_remote_recovers_across_server_restart () =
   let expected =
     Test_support.pres_of_metas (Test_support.must_query db "/site").DB.nodes
   in
-  (match DB.session_query session "/site" with
+  (match DB.query session "/site" with
   | Ok r ->
       check Alcotest.(list int) "before restart" expected
         (Test_support.pres_of_metas r.DB.nodes)
@@ -264,15 +265,15 @@ let test_remote_recovers_across_server_restart () =
   Fun.protect
     ~finally:(fun () -> Secshare_rpc.Server.stop server)
     (fun () ->
-      (match DB.session_query session "/site" with
+      (match DB.query session "/site" with
       | Ok r ->
           check Alcotest.(list int) "after restart" expected
             (Test_support.pres_of_metas r.DB.nodes)
       | Error e -> Alcotest.failf "after restart: %s" e);
-      let counters = DB.session_rpc_counters session in
+      let counters = DB.rpc_counters session in
       check Alcotest.bool "recovery used reconnect" true
         (counters.Transport.reconnects >= 1);
-      DB.session_close session)
+      DB.close session)
 
 let () =
   Alcotest.run "remote"
