@@ -1,0 +1,60 @@
+(* ssdb_lint: the project's AST-level invariant checker.
+
+   Parses every .ml under the given paths and runs the pass registry:
+   secret-flow (no share/seed/poly/tag material into logs, error
+   strings or metric labels), lock-order (declared meta -> stripe ->
+   io partial order), banned-API (Stdlib.Random, Obj.magic,
+   polymorphic compare on polynomials, unguarded Hashtbl mutation in
+   concurrent modules) and accounting discipline (single cursor
+   removal path, Metrics merged only via Metrics.add).
+
+   Exit code 1 on any unsuppressed error-severity finding. *)
+
+module Lint = Secshare_lint
+
+let run format include_fixtures paths =
+  let paths = if paths = [] then [ "lib"; "bin"; "test"; "bench" ] else paths in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  match missing with
+  | p :: _ ->
+      Printf.eprintf "ssdb_lint: no such path: %s\n" p;
+      exit 2
+  | [] ->
+      let report = Lint.Driver.lint_paths ~include_fixtures paths in
+      (match format with
+      | `Text -> Lint.Driver.print_text stdout report
+      | `Json -> Lint.Driver.print_json stdout report);
+      exit (Lint.Driver.exit_code report)
+
+open Cmdliner
+
+let format =
+  let parse = function
+    | "text" -> Ok `Text
+    | "json" -> Ok `Json
+    | s -> Error (`Msg ("unknown format " ^ s))
+  in
+  let print fmt f = Format.pp_print_string fmt (match f with `Text -> "text" | `Json -> "json") in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Text
+    & info [ "format" ] ~docv:"text|json" ~doc:"Report format.")
+
+let include_fixtures =
+  Arg.(
+    value & flag
+    & info [ "include-fixtures" ]
+        ~doc:"Also lint test/lint_fixtures when recursing into directories.")
+
+let paths =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"PATH" ~doc:"Files or directories to lint (default: lib bin test bench).")
+
+let cmd =
+  let doc = "AST-level invariant checker for secret-flow, lock order and banned APIs" in
+  Cmd.v
+    (Cmd.info "ssdb_lint" ~doc)
+    Term.(const run $ format $ include_fixtures $ paths)
+
+let () = exit (Cmd.eval cmd)

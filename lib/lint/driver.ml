@@ -1,0 +1,134 @@
+(* The pass registry and the tree walker: collect .ml files, run every
+   pass, apply suppression comments, and render the report. *)
+
+type pass = { pass_name : string; run : Lint_source.t -> Finding.t list }
+
+let passes =
+  [
+    { pass_name = "secret-flow"; run = Pass_secret_flow.run };
+    { pass_name = "lock-order"; run = Pass_lock_order.run };
+    { pass_name = "banned-api"; run = Pass_banned.run };
+    { pass_name = "accounting"; run = Pass_accounting.run };
+  ]
+
+type suppressed = { finding : Finding.t; reason : string }
+
+type report = {
+  findings : Finding.t list;  (** unsuppressed, sorted *)
+  suppressed : suppressed list;
+  unused_allows : (string * int * string) list;  (** file, line, key *)
+  files_scanned : int;
+}
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec collect ~include_fixtures path acc =
+  if Sys.is_directory path then
+    let base = Filename.basename path in
+    if
+      String.equal base "_build"
+      || String.equal base ".git"
+      || ((not include_fixtures) && String.equal base "lint_fixtures")
+    then acc
+    else
+      Array.fold_left
+        (fun acc entry -> collect ~include_fixtures (Filename.concat path entry) acc)
+        acc
+        (let entries = Sys.readdir path in
+         Array.sort compare entries;
+         entries)
+  else if is_ml path then path :: acc
+  else acc
+
+let lint_files paths : report =
+  let files = List.rev paths in
+  let all_findings = ref [] in
+  let suppressed = ref [] in
+  let unused = ref [] in
+  let scanned = ref 0 in
+  List.iter
+    (fun file ->
+      incr scanned;
+      match Lint_source.load file with
+      | Error f -> all_findings := f :: !all_findings
+      | Ok source ->
+          let raw = List.concat_map (fun p -> p.run source) passes in
+          List.iter
+            (fun f ->
+              match Lint_source.suppress_for source f with
+              | Some reason -> suppressed := { finding = f; reason } :: !suppressed
+              | None -> all_findings := f :: !all_findings)
+            raw;
+          List.iter
+            (fun (s : Lint_source.suppression) ->
+              unused :=
+                (source.Lint_source.path, s.Lint_source.supp_line, s.Lint_source.key)
+                :: !unused)
+            (Lint_source.unused_suppressions source))
+    files;
+  {
+    findings = List.sort Finding.order !all_findings;
+    suppressed =
+      List.sort (fun a b -> Finding.order a.finding b.finding) !suppressed;
+    unused_allows = List.sort compare !unused;
+    files_scanned = !scanned;
+  }
+
+(* Lint files and/or directory trees.  Paths given explicitly are
+   always linted, even fixture files; directory recursion skips
+   [lint_fixtures] (and _build) unless [include_fixtures]. *)
+let lint_paths ?(include_fixtures = false) paths : report =
+  let files =
+    List.concat_map
+      (fun p ->
+        if Sys.file_exists p && Sys.is_directory p then
+          List.rev (collect ~include_fixtures p [])
+        else [ p ])
+      paths
+  in
+  lint_files files
+
+let error_count report =
+  List.length
+    (List.filter (fun (f : Finding.t) -> f.Finding.severity = Finding.Error)
+       report.findings)
+
+let exit_code report = if error_count report > 0 then 1 else 0
+
+let print_text out report =
+  List.iter (fun f -> Printf.fprintf out "%s\n" (Finding.to_text f)) report.findings;
+  if report.suppressed <> [] then begin
+    Printf.fprintf out "\nSuppressed findings (every allow- needs a reason):\n";
+    List.iter
+      (fun s ->
+        Printf.fprintf out "  %s\n    allowed: %s\n"
+          (Finding.to_text s.finding)
+          (if String.equal s.reason "" then "(no reason given!)" else s.reason))
+      report.suppressed
+  end;
+  List.iter
+    (fun (file, line, key) ->
+      Printf.fprintf out "%s:%d:0: [warning lint/unused-allow] allow-%s suppresses nothing\n"
+        file line key)
+    report.unused_allows;
+  Printf.fprintf out "%d file(s) scanned, %d error(s), %d warning(s), %d suppressed\n"
+    report.files_scanned (error_count report)
+    (List.length
+       (List.filter
+          (fun (f : Finding.t) -> f.Finding.severity = Finding.Warning)
+          report.findings))
+    (List.length report.suppressed)
+
+let print_json out report =
+  let fields = List.map Finding.to_json report.findings in
+  let supp =
+    List.map
+      (fun s ->
+        Printf.sprintf "{\"finding\":%s,\"reason\":\"%s\"}" (Finding.to_json s.finding)
+          (Finding.json_escape s.reason))
+      report.suppressed
+  in
+  Printf.fprintf out
+    "{\"files_scanned\":%d,\"errors\":%d,\"findings\":[%s],\"suppressed\":[%s]}\n"
+    report.files_scanned (error_count report) (String.concat "," fields)
+    (String.concat "," supp)

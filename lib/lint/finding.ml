@@ -1,0 +1,51 @@
+(* A structured lint finding: stable rule id, suppression key, source
+   position, severity and a human message.  Rule ids are
+   "<pass>/<check>"; the suppression key is the token a suppression
+   comment names after its "allow-" prefix. *)
+
+type severity = Error | Warning | Info
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type t = {
+  rule : string;
+  allow_key : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~allow_key ~severity ~file ~line ~col message =
+  { rule; allow_key; severity; file; line; col; message }
+
+let order a b =
+  compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
+
+let to_text f =
+  Printf.sprintf "%s:%d:%d: [%s %s] %s" f.file f.line f.col
+    (severity_name f.severity) f.rule f.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  Printf.sprintf
+    "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"rule\":\"%s\",\"message\":\"%s\"}"
+    (json_escape f.file) f.line f.col (severity_name f.severity) (json_escape f.rule)
+    (json_escape f.message)

@@ -1,0 +1,139 @@
+(* One parsed source file plus its lint directives.
+
+   Directives are ordinary comments (invisible to the compiler),
+   introduced by the word "lint" followed by a colon:
+
+     allow-<key> <reason>   suppress a finding with that key on this
+                            or the next line
+     pretend-path <path>    lint this file as if it lived at <path>
+                            (used by the fixture corpus)
+
+   The parser drops comments, so directives are recovered from the raw
+   text line by line. *)
+
+type suppression = {
+  supp_line : int;
+  key : string;
+  reason : string;
+  mutable used : bool;
+}
+
+type t = {
+  path : string;  (** where the file really is *)
+  effective_path : string;  (** what path-scoped rules should see *)
+  structure : Parsetree.structure;
+  suppressions : suppression list;
+}
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+(* First whitespace-separated token of [s], and the trimmed rest. *)
+let split_token s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* Recover directives from one line.  A directive comment is
+   single-line by convention; the reason runs to the closing "*)". *)
+let directive_of_line line =
+  match Str_find.find_sub line "lint:" with
+  | None -> None
+  | Some i ->
+      let after = String.sub line (i + 5) (String.length line - i - 5) in
+      let upto_close =
+        match Str_find.find_sub after "*)" with
+        | Some j -> String.sub after 0 j
+        | None -> after
+      in
+      let token, rest = split_token upto_close in
+      if starts_with ~prefix:"allow-" token then
+        let key = String.sub token 6 (String.length token - 6) in
+        Some (`Allow (key, rest))
+      else if String.equal token "pretend-path" then
+        let path, _ = split_token rest in
+        Some (`Pretend path)
+      else None
+
+let scan_directives text =
+  let suppressions = ref [] in
+  let pretend = ref None in
+  let line_no = ref 0 in
+  List.iter
+    (fun line ->
+      incr line_no;
+      match directive_of_line line with
+      | Some (`Allow (key, reason)) ->
+          suppressions := { supp_line = !line_no; key; reason; used = false }
+                          :: !suppressions
+      | Some (`Pretend path) -> pretend := Some path
+      | None -> ())
+    (String.split_on_char '\n' text);
+  (List.rev !suppressions, !pretend)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse [path]; a syntax error becomes a finding instead of an
+   exception so one broken file cannot hide the rest of the report. *)
+let load path =
+  let text = read_file path in
+  let suppressions, pretend = scan_directives text in
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure ->
+      Ok
+        {
+          path;
+          effective_path = Option.value pretend ~default:path;
+          structure;
+          suppressions;
+        }
+  | exception exn ->
+      let line =
+        match exn with
+        | Syntaxerr.Error err ->
+            let loc = Syntaxerr.location_of_error err in
+            loc.Location.loc_start.Lexing.pos_lnum
+        | _ -> lexbuf.Lexing.lex_curr_p.Lexing.pos_lnum
+      in
+      Error
+        (Finding.v ~rule:"parse/error" ~allow_key:"parse" ~severity:Finding.Error
+           ~file:path ~line ~col:0
+           (Printf.sprintf "does not parse: %s" (Printexc.to_string exn)))
+
+(* Mark-and-filter: a finding is suppressed by a matching-key directive
+   on its own line or the line above. *)
+let suppress_for source (f : Finding.t) =
+  match
+    List.find_opt
+      (fun s ->
+        (not s.used)
+        && String.equal s.key f.Finding.allow_key
+        && (s.supp_line = f.Finding.line || s.supp_line + 1 = f.Finding.line))
+      source.suppressions
+  with
+  | Some s ->
+      s.used <- true;
+      Some s.reason
+  | None -> (
+      (* a directive already used for one finding still covers others
+         on the same line(s) *)
+      match
+        List.find_opt
+          (fun s ->
+            String.equal s.key f.Finding.allow_key
+            && (s.supp_line = f.Finding.line || s.supp_line + 1 = f.Finding.line))
+          source.suppressions
+      with
+      | Some s -> Some s.reason
+      | None -> None)
+
+let unused_suppressions source = List.filter (fun s -> not s.used) source.suppressions

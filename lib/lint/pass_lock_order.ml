@@ -1,0 +1,165 @@
+(* Lock-order: within lib/store and lib/core, nested acquisitions must
+   follow the declared partial order (DESIGN.md §10: meta -> stripe ->
+   io, with the cursor table, table writer and pool queue as outer
+   classes), and every lock site must be declared in the table below.
+
+   The analysis is lexical: [with_lock m (fun () -> ...)] holds the
+   lock for the wrapped closure, [Mutex.lock m] holds it for the rest
+   of the enclosing sequence (or until a matching [Mutex.unlock m]).
+   Cross-function nesting (a callee that locks) is out of scope and is
+   covered by the SSDB_LOCK_CHECK runtime witness in the pager. *)
+
+open Parsetree
+
+type klass = { class_name : string; rank : int }
+
+(* The declared order table.  A lock is identified by the file that
+   owns it and the last identifier of the lock expression.  New lock
+   sites MUST be added here (and to DESIGN.md §11) or the pass reports
+   lock-order/undeclared. *)
+let classify ~file ~lock_name =
+  match (Ast_util.basename file, lock_name) with
+  | "node_table.ml", "write_lock" -> Some { class_name = "table-writer"; rank = 10 }
+  | "server_filter.ml", ("t" | "lock") -> Some { class_name = "cursor-table"; rank = 12 }
+  | "pool.ml", "lock" -> Some { class_name = "pool-queue"; rank = 15 }
+  | "pager.ml", "meta" -> Some { class_name = "pager-meta"; rank = 20 }
+  | "pager.ml", ("latch" | "stripe") -> Some { class_name = "pager-stripe"; rank = 30 }
+  | "pager.ml", "io" -> Some { class_name = "pager-io"; rank = 40 }
+  | "pager.ml", "witness_lock" -> Some { class_name = "lock-witness"; rank = 50 }
+  | _ -> None
+
+let in_scope path =
+  Ast_util.path_has_prefix path ~prefix:"lib/store/"
+  || Ast_util.path_has_prefix path ~prefix:"lib/core/"
+
+(* Last identifier of a lock expression: [st.meta] -> "meta",
+   [stripe.latch] -> "latch", [t] -> "t". *)
+let lock_name_of expr =
+  match expr.pexp_desc with
+  | Pexp_field (_, lid) -> Some (Ast_util.field_last lid)
+  | Pexp_ident { txt; _ } -> Some (Ast_util.last_of (Ast_util.flatten_longident txt))
+  | _ -> None
+
+let mutex_call expr which =
+  match expr.pexp_desc with
+  | Pexp_apply (fn, [ (Asttypes.Nolabel, arg) ]) -> (
+      match Ast_util.ident_path fn with
+      | Some [ "Mutex"; f ] when String.equal f which -> Some arg
+      | _ -> None)
+  | _ -> None
+
+let run (source : Lint_source.t) : Finding.t list =
+  if not (in_scope source.Lint_source.effective_path) then []
+  else begin
+    let file = source.Lint_source.effective_path in
+    let out_acc = ref [] in
+    let finding ~loc ~rule ~allow_key msg =
+      let line, col = Ast_util.line_col loc in
+      out_acc :=
+        Finding.v ~rule ~allow_key ~severity:Finding.Error
+          ~file:source.Lint_source.path ~line ~col msg
+        :: !out_acc
+    in
+    (* Stack of currently-held classes, innermost first; threaded
+       through the traversal as mutable state. *)
+    let held = ref [] in
+    let wrapper_depth = ref 0 in
+    let check_and_classify ~loc lock_expr =
+      match lock_name_of lock_expr with
+      | None ->
+          finding ~loc ~rule:"lock-order/undeclared" ~allow_key:"lock-undeclared"
+            "lock expression is not a declared lock site; add it to the order table";
+          None
+      | Some lock_name -> (
+          match classify ~file ~lock_name with
+          | None ->
+              finding ~loc ~rule:"lock-order/undeclared" ~allow_key:"lock-undeclared"
+                (Printf.sprintf
+                   "lock `%s' is not in the declared order table for %s; declare its \
+                    rank before taking it"
+                   lock_name (Ast_util.basename file));
+              None
+          | Some k ->
+              (match !held with
+              | top :: _ when top.rank >= k.rank ->
+                  finding ~loc ~rule:"lock-order/inversion" ~allow_key:"lock-order"
+                    (Printf.sprintf
+                       "acquires %s (rank %d) while holding %s (rank %d); declared \
+                        order is table-writer/cursor-table/pool-queue -> meta -> \
+                        stripe -> io"
+                       k.class_name k.rank top.class_name top.rank)
+              | _ -> ());
+              Some k)
+    in
+    let super = Ast_iterator.default_iterator in
+    let rec visit it e =
+      match e.pexp_desc with
+      (* with_lock [~rank] LOCK F : F runs with LOCK held *)
+      | Pexp_apply (fn, args)
+        when (match Ast_util.ident_last fn with
+             | Some "with_lock" -> true
+             | _ -> false)
+             && List.length (List.filter (fun (l, _) -> l = Asttypes.Nolabel) args) >= 2
+        ->
+          let positional = List.filter_map
+              (fun (l, a) -> if l = Asttypes.Nolabel then Some a else None)
+              args
+          in
+          let lock_expr = List.hd positional in
+          let body = List.nth positional 1 in
+          let k = check_and_classify ~loc:e.pexp_loc lock_expr in
+          (match k with
+          | Some k ->
+              held := k :: !held;
+              Fun.protect
+                ~finally:(fun () -> held := List.tl !held)
+                (fun () -> List.iter (fun b -> visit it b) (body :: List.tl (List.tl positional)))
+          | None -> List.iter (fun b -> visit it b) (List.tl positional));
+          visit it lock_expr
+      (* e1; e2 with e1 = Mutex.lock m : rest of sequence holds m *)
+      | Pexp_sequence (e1, e2) -> (
+          match mutex_call e1 "lock" with
+          | Some lock_expr when !wrapper_depth = 0 -> (
+              match check_and_classify ~loc:e1.pexp_loc lock_expr with
+              | Some k ->
+                  held := k :: !held;
+                  Fun.protect
+                    ~finally:(fun () ->
+                      held := List.filter (fun h -> h != k) !held)
+                    (fun () -> visit it e2)
+              | None -> visit it e2)
+          | _ -> (
+              (match mutex_call e1 "unlock" with
+              | Some lock_expr when !wrapper_depth = 0 -> (
+                  match lock_name_of lock_expr with
+                  | Some lock_name -> (
+                      match classify ~file ~lock_name with
+                      | Some k ->
+                          held := List.filter (fun h -> not (h.class_name = k.class_name)) !held
+                      | None -> ())
+                  | None -> ())
+              | _ -> visit it e1);
+              visit it e2))
+      | _ -> super.expr it e
+    in
+    let expr it e = visit it e in
+    let value_binding it vb =
+      (* The definitions of [with_lock] wrappers contain [Mutex.lock m]
+         on their parameter; the call sites are what get classified. *)
+      let is_wrapper =
+        match vb.pvb_pat.ppat_desc with
+        | Ppat_var { txt; _ } -> String.equal txt "with_lock"
+        | _ -> false
+      in
+      if is_wrapper then begin
+        incr wrapper_depth;
+        Fun.protect
+          ~finally:(fun () -> decr wrapper_depth)
+          (fun () -> super.value_binding it vb)
+      end
+      else super.value_binding it vb
+    in
+    let it = { super with expr; value_binding } in
+    it.structure it source.Lint_source.structure;
+    List.rev !out_acc
+  end

@@ -1,0 +1,15 @@
+(* Naive substring search — directive lines are short, so the
+   quadratic worst case never matters. *)
+
+let find_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then Some 0
+  else begin
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i <= nh - nn do
+      if String.equal (String.sub haystack !i nn) needle then found := Some !i;
+      incr i
+    done;
+    !found
+  end

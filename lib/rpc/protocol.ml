@@ -294,8 +294,13 @@ let pp_request fmt = function
   | Cursor_next { cursor; max_items } ->
       Format.fprintf fmt "Cursor_next(%d,max=%d)" cursor max_items
   | Cursor_close c -> Format.fprintf fmt "Cursor_close(%d)" c
+  (* pp_request runs on the trusted client only (protocol_error
+     diagnostics, tests); the server formats requests solely through
+     request_name, which carries no payload. *)
+  (* lint: allow-secret-sink client-side diagnostic printer; server uses request_name *)
   | Eval { pre; point } -> Format.fprintf fmt "Eval(pre=%d,point=%d)" pre point
   | Eval_batch { pres; point } ->
+      (* lint: allow-secret-sink same: client-side diagnostic printer *)
       Format.fprintf fmt "Eval_batch(%d nodes,point=%d)" (List.length pres) point
   | Share pre -> Format.fprintf fmt "Share(%d)" pre
   | Shares pres -> Format.fprintf fmt "Shares(%d nodes)" (List.length pres)

@@ -110,14 +110,23 @@ let idempotent = function
   | Protocol.Cursor_next _ | Protocol.Scan_next _ -> false
   | _ -> true
 
+(* Jitter noise comes from the project's seeded SplitMix64, not
+   Stdlib.Random: every random draw in the tree stays auditable
+   (ssdb_lint banned/random).  The state is process-global and
+   intentionally unsynchronised — a torn update can only repeat a
+   jitter value, which is harmless. *)
+let jitter_prg =
+  Secshare_prg.Splitmix64.create
+    (Int64.of_float (Unix.gettimeofday () *. 1e9) |> Int64.logxor 0x5DB5DB5DB5DB5DBL)
+
 let backoff_delay policy attempt =
   let d = policy.backoff_base *. (2.0 ** float_of_int attempt) in
   let d = Float.min d policy.backoff_max in
   let jitter =
     if policy.backoff_jitter <= 0.0 then 0.0
     else
-      let state = Random.State.make_self_init () in
-      policy.backoff_jitter *. ((Random.State.float state 2.0) -. 1.0)
+      policy.backoff_jitter
+      *. ((Secshare_prg.Splitmix64.next_float jitter_prg *. 2.0) -. 1.0)
   in
   Float.max 0.0 (d *. (1.0 +. jitter))
 

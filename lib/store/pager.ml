@@ -33,7 +33,68 @@ type file_state = {
 type backing = Memory of Page.t array ref * int ref | File of file_state
 type t = { psize : int; backing : backing }
 
-(* Lock order (never acquire upward): meta -> stripe latch -> io. *)
+(* Lock order (never acquire upward): meta -> stripe latch -> io.
+   ssdb_lint's lock-order pass checks this lexically at every
+   acquisition site; [Lock_check] below cross-validates it at runtime
+   (SSDB_LOCK_CHECK=1) by tracking held ranks per thread, including
+   across function boundaries the static pass cannot see. *)
+module Lock_check = struct
+  type rank = Meta | Stripe | Io
+
+  let level = function Meta -> 1 | Stripe -> 2 | Io -> 3
+  let rank_name = function Meta -> "meta" | Stripe -> "stripe" | Io -> "io"
+
+  let enabled =
+    ref (match Sys.getenv_opt "SSDB_LOCK_CHECK" with Some "1" -> true | _ -> false)
+
+  let set_enabled b = enabled := b
+
+  (* Held-rank stacks keyed by thread id.  The witness table is shared
+     across threads, so its own guard ranks below every pager lock
+     ("lock-witness" in the declared order table): it is only ever the
+     innermost acquisition. *)
+  let witness_lock = Mutex.create ()
+  let held : (int, rank list) Hashtbl.t = Hashtbl.create 8
+
+  let stack_of tid = Option.value ~default:[] (Hashtbl.find_opt held tid)
+
+  let acquired rank =
+    if !enabled then begin
+      Mutex.lock witness_lock;
+      let tid = Thread.id (Thread.self ()) in
+      let stack = stack_of tid in
+      let violation =
+        match stack with top :: _ when level top >= level rank -> Some top | _ -> None
+      in
+      (match violation with
+      | None -> Hashtbl.replace held tid (rank :: stack)
+      | Some _ -> ());
+      Mutex.unlock witness_lock;
+      match violation with
+      | Some top ->
+          failwith
+            (Printf.sprintf
+               "Pager: lock-order violation: acquiring %s while holding %s (declared \
+                order is meta -> stripe -> io)"
+               (rank_name rank) (rank_name top))
+      | None -> ()
+    end
+
+  let released rank =
+    if !enabled then begin
+      Mutex.lock witness_lock;
+      let tid = Thread.id (Thread.self ()) in
+      let rec drop = function
+        | [] -> []
+        | r :: rest when level r = level rank -> rest
+        | r :: rest -> r :: drop rest
+      in
+      (match drop (stack_of tid) with
+      | [] -> Hashtbl.remove held tid
+      | stack -> Hashtbl.replace held tid stack);
+      Mutex.unlock witness_lock
+    end
+end
 
 (* Power-of-two stripe count scaled to the budget (at least 4 resident
    pages per stripe, at most 8 stripes), so a tiny cache keeps the
@@ -58,9 +119,14 @@ let make_stripes cache_pages =
 
 let stripe_of st idx = st.stripes.(idx land (Array.length st.stripes - 1))
 
-let with_lock m f =
+let with_lock ~rank m f =
+  Lock_check.acquired rank;
   Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock m;
+      Lock_check.released rank)
+    f
 
 let page_size t = t.psize
 
@@ -118,18 +184,18 @@ let open_file ?(cache_pages = 256) path =
 let page_count t =
   match t.backing with
   | Memory (_, used) -> !used
-  | File st -> with_lock st.meta (fun () -> st.npages)
+  | File st -> with_lock ~rank:Lock_check.Meta st.meta (fun () -> st.npages)
 
 let write_page_at st psize idx page =
   let image = Page.serialize page in
-  with_lock st.io (fun () ->
+  with_lock ~rank:Lock_check.Io st.io (fun () ->
       ignore (Unix.lseek st.fd (header_size + (idx * psize)) Unix.SEEK_SET);
       let written = Unix.write st.fd image 0 psize in
       if written <> psize then failwith "Pager: short page write")
 
 let read_page_at st psize idx =
   let image = Bytes.create psize in
-  with_lock st.io (fun () ->
+  with_lock ~rank:Lock_check.Io st.io (fun () ->
       ignore (Unix.lseek st.fd (header_size + (idx * psize)) Unix.SEEK_SET);
       let rec fill off =
         if off < psize then begin
@@ -143,8 +209,9 @@ let read_page_at st psize idx =
   | Ok page -> page
   | Error msg -> failwith (Printf.sprintf "Pager: page %d corrupt: %s" idx msg)
 
-(* Called with the stripe latch held. *)
-let evict_if_needed st stripe psize =
+(* The _locked suffix is the called-with-lock-held convention ssdb_lint
+   enforces: the caller owns the stripe latch. *)
+let evict_locked st stripe psize =
   while Hashtbl.length stripe.cache >= stripe.capacity do
     let victim = ref None in
     Hashtbl.iter
@@ -175,14 +242,14 @@ let append t page =
       !used - 1
   | File st ->
       let idx =
-        with_lock st.meta (fun () ->
+        with_lock ~rank:Lock_check.Meta st.meta (fun () ->
             let idx = st.npages in
             st.npages <- st.npages + 1;
             idx)
       in
       let stripe = stripe_of st idx in
-      with_lock stripe.latch (fun () ->
-          evict_if_needed st stripe t.psize;
+      with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
+          evict_locked st stripe t.psize;
           stripe.clock <- stripe.clock + 1;
           Hashtbl.replace stripe.cache idx
             { page; dirty = true; last_used = stripe.clock });
@@ -195,7 +262,7 @@ let get t idx =
   | Memory (pages, _) -> !pages.(idx)
   | File st ->
       let stripe = stripe_of st idx in
-      with_lock stripe.latch (fun () ->
+      with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
           stripe.clock <- stripe.clock + 1;
           match Hashtbl.find_opt stripe.cache idx with
           | Some entry ->
@@ -209,7 +276,7 @@ let get t idx =
                  simultaneously. *)
               stripe.misses <- stripe.misses + 1;
               let page = read_page_at st t.psize idx in
-              evict_if_needed st stripe t.psize;
+              evict_locked st stripe t.psize;
               Hashtbl.replace stripe.cache idx
                 { page; dirty = false; last_used = stripe.clock };
               page)
@@ -219,7 +286,7 @@ let mark_dirty t idx =
   | Memory _ -> ()
   | File st -> (
       let stripe = stripe_of st idx in
-      with_lock stripe.latch (fun () ->
+      with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
           match Hashtbl.find_opt stripe.cache idx with
           | Some entry -> entry.dirty <- true
           | None -> ()))
@@ -230,7 +297,7 @@ let flush t =
   | File st ->
       Array.iter
         (fun stripe ->
-          with_lock stripe.latch (fun () ->
+          with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
               Hashtbl.iter
                 (fun idx entry ->
                   if entry.dirty then begin
@@ -239,8 +306,8 @@ let flush t =
                   end)
                 stripe.cache))
         st.stripes;
-      with_lock st.meta (fun () ->
-          with_lock st.io (fun () -> write_header st.fd t.psize st.npages))
+      with_lock ~rank:Lock_check.Meta st.meta (fun () ->
+          with_lock ~rank:Lock_check.Io st.io (fun () -> write_header st.fd t.psize st.npages))
 
 let close t =
   match t.backing with
@@ -257,7 +324,7 @@ let cache_stats t =
   | File st ->
       Array.fold_left
         (fun (acc : cache_stats) stripe ->
-          with_lock stripe.latch (fun () : cache_stats ->
+          with_lock ~rank:Lock_check.Stripe stripe.latch (fun () : cache_stats ->
               {
                 hits = acc.hits + stripe.hits;
                 misses = acc.misses + stripe.misses;

@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/core/fixture_accounting.ml *)
+(* Positive fixture: a side-door cursor removal and a manual merge. *)
+
+let sloppy_close t id = Hashtbl.remove t.cursors id
+
+let sloppy_merge acc batch =
+  acc.Metrics.evaluations <- acc.Metrics.evaluations + batch.Metrics.evaluations

@@ -1,0 +1,14 @@
+(* lint: pretend-path lib/store/pager.ml *)
+(* Positive fixture: two inversions and an undeclared lock site. *)
+
+let closure_inversion st =
+  with_lock st.io (fun () -> with_lock st.meta (fun () -> ()))
+
+let sequence_inversion st stripe =
+  Mutex.lock stripe.latch;
+  with_lock st.meta (fun () -> ());
+  Mutex.unlock stripe.latch
+
+let undeclared st =
+  Mutex.lock st.mystery_lock;
+  ()

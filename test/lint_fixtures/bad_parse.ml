@@ -1,0 +1,5 @@
+(* lint: pretend-path lib/core/fixture_parse.ml *)
+(* Positive fixture: a file that does not parse must surface as a
+   parse/error finding, not crash the whole run. *)
+
+let broken = (

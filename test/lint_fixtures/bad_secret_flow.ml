@@ -1,0 +1,9 @@
+(* lint: pretend-path lib/core/fixture_secret.ml *)
+(* Positive fixture: every definition below must trip secret-flow. *)
+
+let leak_ident share = Printf.printf "share=%d\n" share
+let leak_field t = Events.debug "poly degree %d" t.node_poly
+let leak_producer () = failwith (Seed.to_hex (Seed.generate ()))
+
+let leak_label tag_name =
+  Registry.counter ~labels:[ ("tag", tag_name) ] "ssdb_fixture_total"

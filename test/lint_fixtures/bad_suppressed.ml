@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/core/fixture_suppressed.ml *)
+(* A justified suppression: the finding moves to the suppressed summary
+   instead of counting as an error. *)
+
+let render share =
+  (* lint: allow-secret-sink fixture demonstrating a justified suppression *)
+  Printf.sprintf "share=%d" share

@@ -1,0 +1,4 @@
+(* lint: pretend-path lib/core/server_filter.ml *)
+(* Positive fixture: bare Hashtbl mutation in a concurrent module. *)
+
+let register t id state = Hashtbl.replace t.table id state

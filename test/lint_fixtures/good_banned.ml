@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/prg/fixture_prg.ml *)
+(* Negative fixture: lib/prg may touch Random for its seeding shim, and
+   the shallow poly check must not flag int results of Cyclic.eval. *)
+
+let seed_noise bound = Random.int bound
+let int_eq a b = a = b
+let eval_is_zero ring poly x = Cyclic.eval ring poly x = 0

@@ -1,0 +1,8 @@
+(* lint: pretend-path lib/core/fixture_secret_ok.ml *)
+(* Negative fixture: redacted or enumerated telemetry only. *)
+
+let log_size share = Printf.printf "share is %d bytes\n" (Bytes.length share)
+let log_count rows = Events.info "emitted %d rows" (List.length rows)
+
+let count_op req =
+  Registry.counter ~labels:[ ("op", request_name req) ] "ssdb_fixture_total"

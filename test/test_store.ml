@@ -296,6 +296,58 @@ let test_pager_rejects_garbage () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "garbage accepted")
 
+(* --- lock-order witness (SSDB_LOCK_CHECK) --- *)
+
+let with_lock_check f =
+  Pager.Lock_check.set_enabled true;
+  Fun.protect ~finally:(fun () -> Pager.Lock_check.set_enabled false) f
+
+let test_lock_witness_detects_inversion () =
+  with_lock_check (fun () ->
+      Pager.Lock_check.acquired Pager.Lock_check.Io;
+      let raised =
+        match Pager.Lock_check.acquired Pager.Lock_check.Meta with
+        | () -> false
+        | exception Failure msg ->
+            check Alcotest.bool "message names the ranks" true
+              (String.length msg > 0);
+            true
+      in
+      (* the failed acquisition must not stay on the held stack *)
+      Pager.Lock_check.released Pager.Lock_check.Io;
+      check Alcotest.bool "inversion raised" true raised;
+      (* with io released, meta -> io nests cleanly again *)
+      Pager.Lock_check.acquired Pager.Lock_check.Meta;
+      Pager.Lock_check.acquired Pager.Lock_check.Io;
+      Pager.Lock_check.released Pager.Lock_check.Io;
+      Pager.Lock_check.released Pager.Lock_check.Meta)
+
+let test_lock_witness_rejects_same_rank_reentry () =
+  with_lock_check (fun () ->
+      Pager.Lock_check.acquired Pager.Lock_check.Stripe;
+      (match Pager.Lock_check.acquired Pager.Lock_check.Stripe with
+      | () -> Alcotest.fail "re-entrant same-rank acquisition accepted"
+      | exception Failure _ -> ());
+      Pager.Lock_check.released Pager.Lock_check.Stripe)
+
+let test_lock_witness_passes_pager_traffic () =
+  (* The real pager hot paths (append faults pages in, get evicts,
+     flush nests meta -> io) must satisfy the declared order with the
+     witness armed. *)
+  with_lock_check (fun () ->
+      with_temp_file (fun path ->
+          let pager = Pager.create_file ~page_size:256 ~cache_pages:4 path in
+          for i = 0 to 9 do
+            let page = Page.create ~size:256 in
+            ignore (Page.add_row page (row (i + 1) (i + 2) 0 "w"));
+            ignore (Pager.append pager page)
+          done;
+          for i = 0 to 9 do
+            ignore (Pager.get pager i)
+          done;
+          Pager.flush pager;
+          Pager.close pager))
+
 (* --- node table --- *)
 
 (* A tiny tree:
@@ -549,6 +601,12 @@ let () =
         [
           Alcotest.test_case "file roundtrip with eviction" `Quick test_pager_file_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick test_pager_rejects_garbage;
+          Alcotest.test_case "lock witness detects inversion" `Quick
+            test_lock_witness_detects_inversion;
+          Alcotest.test_case "lock witness rejects same-rank re-entry" `Quick
+            test_lock_witness_rejects_same_rank_reentry;
+          Alcotest.test_case "lock witness passes pager traffic" `Quick
+            test_lock_witness_passes_pager_traffic;
         ] );
       ( "node table",
         [
