@@ -48,7 +48,7 @@ let load_or_create_mapping path ~p ~e ~trie xml_path =
                 Ok m))
   end
 
-let run xml_path map_path seed_path db_path p e trie_mode durable =
+let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_every =
   let trie =
     match trie_mode with
     | "none" -> Ok None
@@ -68,7 +68,10 @@ let run xml_path map_path seed_path db_path p e trie_mode durable =
             | Error m -> err "map: %s" m
             | Ok mapping -> (
                 let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
-                let table = Secshare_store.Node_table.create_file ~durable db_path in
+                let table =
+                  Secshare_store.Node_table.create_file ~durable ?checkpoint_every
+                    db_path
+                in
                 let result =
                   match open_in_bin xml_path with
                   | exception Sys_error m -> Error (Encode.Xml_error m)
@@ -126,12 +129,21 @@ let durable_arg =
     & info [ "durable" ]
         ~doc:"Write every row through a write-ahead log (crash-safe encoding).")
 
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "With $(b,--durable): checkpoint the write-ahead log every $(docv) inserts, \
+           bounding log growth and recovery time.")
+
 let cmd =
   let doc = "encode an XML document into an encrypted share database" in
   Cmd.v (Cmd.info "ssdb_encode" ~doc)
     Term.(
       ret
         (const run $ xml_path $ map_path $ seed_path $ db_path $ p_arg $ e_arg $ trie_arg
-       $ durable_arg))
+       $ durable_arg $ checkpoint_every_arg))
 
 let () = exit (Cmd.eval' cmd)

@@ -13,7 +13,7 @@ module Obs = Secshare_obs
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let run db_path socket_path p e cursor_ttl max_cursors workers metrics_port
+let run db_path socket_path p e durable cursor_ttl max_cursors workers metrics_port
     slow_query_ms log_level trace_log =
   match Obs.Events.level_of_string log_level with
   | Result.Error m -> err "%s" m
@@ -22,9 +22,24 @@ let run db_path socket_path p e cursor_ttl max_cursors workers metrics_port
       Obs.Trace.set_log_file trace_log;
       if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
       else
-        match Secshare_store.Node_table.open_file db_path with
+        match Secshare_store.Node_table.open_file ~durable db_path with
         | Error m -> err "database: %s" m
         | Ok table ->
+            (match Secshare_store.Node_table.recovery_stats table with
+            | None -> ()
+            | Some r ->
+                Obs.Events.info
+                  "wal recovery: %d page images and %d rows replayed (%d log records, \
+                   %d torn bytes discarded)"
+                  r.Secshare_store.Node_table.redo_pages
+                  r.Secshare_store.Node_table.redo_rows
+                  r.Secshare_store.Node_table.wal_records
+                  r.Secshare_store.Node_table.discarded_bytes;
+                Printf.printf
+                  "recovered %s: %d page images, %d rows replayed from the \
+                   write-ahead log\n%!"
+                  db_path r.Secshare_store.Node_table.redo_pages
+                  r.Secshare_store.Node_table.redo_rows);
             let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
             let cursor_ttl = if cursor_ttl > 0.0 then Some cursor_ttl else None in
             let slow_query_ms = if slow_query_ms > 0.0 then Some slow_query_ms else None in
@@ -114,6 +129,14 @@ let socket_path =
 let p_arg = Arg.(value & opt int 83 & info [ "p" ] ~docv:"P" ~doc:"Field characteristic.")
 let e_arg = Arg.(value & opt int 1 & info [ "e" ] ~docv:"E" ~doc:"Extension degree.")
 
+let durable_arg =
+  Arg.(
+    value & flag
+    & info [ "durable" ]
+        ~doc:
+          "Keep the database's write-ahead log attached after opening (crash \
+           recovery runs either way; this keeps future writes crash-safe too).")
+
 let cursor_ttl_arg =
   Arg.(
     value & opt float 300.0
@@ -170,8 +193,8 @@ let cmd =
   Cmd.v (Cmd.info "ssdb_server" ~doc)
     Term.(
       ret
-        (const run $ db_path $ socket_path $ p_arg $ e_arg $ cursor_ttl_arg
-       $ max_cursors_arg $ workers_arg $ metrics_port_arg $ slow_query_ms_arg
-       $ log_level_arg $ trace_log_arg))
+        (const run $ db_path $ socket_path $ p_arg $ e_arg $ durable_arg
+       $ cursor_ttl_arg $ max_cursors_arg $ workers_arg $ metrics_port_arg
+       $ slow_query_ms_arg $ log_level_arg $ trace_log_arg))
 
 let () = exit (Cmd.eval' cmd)

@@ -403,12 +403,14 @@ let parse_bundle_config contents =
       | _ -> Error "bundle config: p and e must be integers")
   | _ -> Error "bundle config: missing p or e"
 
-let save_bundle t ~dir =
+let save_bundle ?durable ?checkpoint_every t ~dir =
   let local = local_exn t "save_bundle" in
   match
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
     (* copy the rows into a fresh page file *)
-    let file_table = Node_table.create_file (Filename.concat dir "shares.db") in
+    let file_table =
+      Node_table.create_file ?durable ?checkpoint_every (Filename.concat dir "shares.db")
+    in
     Node_table.iter local.table ~f:(Node_table.insert file_table);
     Node_table.close file_table;
     Mapping.save (Filename.concat dir "client.map") t.map;
@@ -421,7 +423,7 @@ let save_bundle t ~dir =
   | exception Sys_error msg -> Error msg
   | exception Invalid_argument msg -> Error msg
 
-let open_bundle ?client ~dir () =
+let open_bundle ?client ?durable ?checkpoint_every ~dir () =
   match In_channel.with_open_text (Filename.concat dir "config") In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | contents -> (
@@ -434,6 +436,9 @@ let open_bundle ?client ~dir () =
               match Secshare_prg.Seed.load (Filename.concat dir "client.seed") with
               | Error msg -> Error ("seed: " ^ msg)
               | Ok seed -> (
-                  match Node_table.open_file (Filename.concat dir "shares.db") with
+                  match
+                    Node_table.open_file ?durable ?checkpoint_every
+                      (Filename.concat dir "shares.db")
+                  with
                   | Error msg -> Error ("shares: " ^ msg)
                   | Ok table -> of_parts ?client ~p ~e ~mapping ~seed ~table ()))))

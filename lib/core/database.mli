@@ -228,8 +228,24 @@ val session_close : t -> unit
     In a real deployment the two halves live on different machines;
     the bundle is the single-machine convenience form. *)
 
-val save_bundle : t -> dir:string -> (unit, string) result
+val save_bundle :
+  ?durable:bool -> ?checkpoint_every:int -> t -> dir:string -> (unit, string) result
 (** Write the bundle (creating [dir] if needed; existing files are
-    overwritten).  Local handles only. *)
+    overwritten).  Local handles only.  With [durable:true] the copy
+    into [shares.db] is written through a write-ahead log (each row
+    fsynced before the next is copied) — slower, but a crash
+    mid-bundle leaves a recoverable file instead of a torn one;
+    [checkpoint_every] bounds the log's growth during the copy. *)
 
-val open_bundle : ?client:client_config -> dir:string -> unit -> (t, string) result
+val open_bundle :
+  ?client:client_config ->
+  ?durable:bool ->
+  ?checkpoint_every:int ->
+  dir:string ->
+  unit ->
+  (t, string) result
+(** Reopen a saved bundle.  If [shares.db.wal] holds records from a
+    crashed writer, recovery replays them before the handle is
+    returned ({!Secshare_store.Node_table.recovery_stats} on {!table}
+    reports what was redone).  [durable]/[checkpoint_every] keep the
+    reopened table writing through its write-ahead log. *)

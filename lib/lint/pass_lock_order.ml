@@ -24,6 +24,7 @@ let classify ~file ~lock_name =
   | "pool.ml", "lock" -> Some { class_name = "pool-queue"; rank = 15 }
   | "pager.ml", "meta" -> Some { class_name = "pager-meta"; rank = 20 }
   | "pager.ml", ("latch" | "stripe") -> Some { class_name = "pager-stripe"; rank = 30 }
+  | "wal.ml", "lock" -> Some { class_name = "wal-append"; rank = 35 }
   | "pager.ml", "io" -> Some { class_name = "pager-io"; rank = 40 }
   | "pager.ml", "witness_lock" -> Some { class_name = "lock-witness"; rank = 50 }
   | _ -> None

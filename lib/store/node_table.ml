@@ -1,3 +1,12 @@
+module Obs = Secshare_obs
+
+type recovery_stats = {
+  redo_pages : int;
+  redo_rows : int;
+  wal_records : int;
+  discarded_bytes : int;
+}
+
 type t = {
   pager : Pager.t;
   mutable fill_page : int; (* index of the page currently accepting rows, -1 if none *)
@@ -6,8 +15,23 @@ type t = {
   parent_index : Index.t; (* parent -> pre *)
   mutable rows : int;
   mutable wal : Wal.t option; (* present in durable file mode *)
+  checkpoint_every : int option; (* auto-checkpoint after this many inserts *)
+  mutable since_checkpoint : int;
+  mutable recovery : recovery_stats option; (* set when open_file replayed a log *)
   write_lock : Mutex.t; (* serialises inserts; reads take no lock *)
 }
+
+let obs_redo_pages =
+  Obs.Registry.counter ~help:"Page images replayed from write-ahead logs on recovery."
+    "ssdb_store_recovery_redo_pages_total"
+
+let obs_redo_rows =
+  Obs.Registry.counter ~help:"Rows replayed from write-ahead logs on recovery."
+    "ssdb_store_recovery_redo_rows_total"
+
+let obs_recoveries =
+  Obs.Registry.counter ~help:"Table opens that replayed a write-ahead log."
+    "ssdb_store_recoveries_total"
 
 (* Row locator: page index and slot packed into one index value. *)
 let slot_bits = 12
@@ -16,7 +40,7 @@ let locator ~page ~slot = (page lsl slot_bits) lor slot
 let locator_page loc = loc lsr slot_bits
 let locator_slot loc = loc land (max_slots - 1)
 
-let make pager =
+let make ?checkpoint_every pager =
   {
     pager;
     fill_page = -1;
@@ -25,6 +49,9 @@ let make pager =
     parent_index = Index.create ();
     rows = 0;
     wal = None;
+    checkpoint_every;
+    since_checkpoint = 0;
+    recovery = None;
     write_lock = Mutex.create ();
   }
 
@@ -32,9 +59,22 @@ let create ?page_size () = make (Pager.in_memory ?page_size ())
 
 let wal_path path = path ^ ".wal"
 
-let create_file ?page_size ?cache_pages ?(durable = false) path =
-  let t = make (Pager.create_file ?page_size ?cache_pages path) in
-  if durable then t.wal <- Some (Wal.create (wal_path path));
+(* Log-before-write hook for the pager: the images about to overwrite
+   heap pages are appended to the WAL, sealed with a commit record and
+   fsynced — only then may the pager touch the heap file.  A crash
+   that tears any of those heap writes is repaired by page redo. *)
+let page_barrier wal images =
+  Wal.append_page_images wal images;
+  Wal.append_commit wal;
+  Wal.sync wal
+
+let attach_wal t wal =
+  t.wal <- Some wal;
+  Pager.set_write_barrier t.pager (Some (page_barrier wal))
+
+let create_file ?page_size ?cache_pages ?(durable = false) ?checkpoint_every path =
+  let t = make ?checkpoint_every (Pager.create_file ?page_size ?cache_pages path) in
+  if durable then attach_wal t (Wal.create (wal_path path));
   t
 
 let index_row t (row : Page.row) loc =
@@ -46,9 +86,13 @@ let index_row t (row : Page.row) loc =
 
 (* Insert into pages and indexes without touching the log (used both
    by the public insert and by WAL recovery). *)
-let rec insert_unlogged t row =
+let insert_unlogged t row =
   if Index.find_first t.pre_index ~key:row.Page.pre <> None then
     invalid_arg (Printf.sprintf "Node_table.insert: duplicate pre %d" row.Page.pre);
+  if Bytes.length row.Page.share > Wal.max_share_len then
+    invalid_arg
+      (Printf.sprintf "Node_table.insert: share of %d bytes exceeds the %d-byte limit"
+         (Bytes.length row.Page.share) Wal.max_share_len);
   let try_add page_idx =
     let page = Pager.get t.pager page_idx in
     match Page.add_row page row with
@@ -71,41 +115,25 @@ let rec insert_unlogged t row =
   in
   index_row t row loc
 
-and open_file ?cache_pages path =
-  match Pager.open_file ?cache_pages path with
-  | Error _ as e -> e
-  | Ok pager -> (
-      let t = make pager in
-      match
-        for pidx = 0 to Pager.page_count pager - 1 do
-          let page = Pager.get pager pidx in
-          Page.iter_rows page ~f:(fun slot row ->
-              index_row t row (locator ~page:pidx ~slot))
-        done
-      with
-      | exception Invalid_argument msg -> failwith msg
-      | () -> (
-          t.fill_page <- Pager.page_count pager - 1;
-          (* Crash recovery: replay any rows the log holds that never
-             made it into a checkpointed page. *)
-          if not (Sys.file_exists (wal_path path)) then Ok t
-          else
-            match Wal.replay (wal_path path) with
-            | Error msg -> Error ("wal: " ^ msg)
-            | Ok logged -> (
-                List.iter
-                  (fun row ->
-                    if Index.find_first t.pre_index ~key:row.Page.pre = None then
-                      insert_unlogged t row)
-                  logged;
-                (* checkpoint the recovered state *)
-                Pager.flush pager;
-                match Wal.open_existing (wal_path path) with
-                | Error msg -> Error ("wal: " ^ msg)
-                | Ok wal ->
-                    Wal.checkpoint wal;
-                    t.wal <- Some wal;
-                    Ok t)))
+(* Caller holds [write_lock].  Durability ordering — each step must be
+   complete before the next begins:
+     1. WAL: dirty page images + commit record, fsynced   (Pager.flush
+        runs the write barrier before any heap write)
+     2. heap: page images and the file header written
+     3. heap: fsync
+     4. WAL: checkpoint record, fsync, truncate
+   Step 4 after step 3 is the lost-write fix: the log may only forget
+   changes the heap has durably promised to keep.  Truncating before
+   the heap fsync would leave a crash window where neither file holds
+   the data. *)
+let flush_locked t =
+  Pager.flush t.pager;
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      Pager.sync t.pager;
+      Wal.checkpoint wal;
+      t.since_checkpoint <- 0
 
 (* Inserts are serialised by [write_lock]; index and page reads take
    no lock at all (see the .mli for the read-after-load discipline). *)
@@ -115,11 +143,152 @@ let insert t row =
     ~finally:(fun () -> Mutex.unlock t.write_lock)
     (fun () ->
       insert_unlogged t row;
-      match t.wal with None -> () | Some wal -> Wal.append_insert wal row)
+      match t.wal with
+      | None -> ()
+      | Some wal -> (
+          (match Wal.append_row wal row with
+          | Ok () -> ()
+          | Error (Wal.Share_too_large n) ->
+              (* unreachable: insert_unlogged bounds the share first *)
+              invalid_arg
+                (Printf.sprintf "Node_table.insert: share of %d bytes too large" n));
+          t.since_checkpoint <- t.since_checkpoint + 1;
+          match t.checkpoint_every with
+          | Some every when t.since_checkpoint >= every -> flush_locked t
+          | _ -> ()))
 
 let fetch t loc =
   let page = Pager.get t.pager (locator_page loc) in
   Page.get_row page (locator_slot loc)
+
+(* --- recovery ------------------------------------------------------ *)
+
+let rebuild_indexes t =
+  for pidx = 0 to Pager.page_count t.pager - 1 do
+    let page = Pager.get t.pager pidx in
+    Page.iter_rows page ~f:(fun slot row -> index_row t row (locator ~page:pidx ~slot))
+  done;
+  t.fill_page <- Pager.page_count t.pager - 1
+
+let empty_plan =
+  {
+    Wal.redo_pages = [];
+    redo_rows = [];
+    last_checkpoint = None;
+    max_lsn = 0L;
+    records = 0;
+    valid_bytes = 0;
+    discarded_bytes = 0;
+  }
+
+let open_file ?cache_pages ?(durable = false) ?checkpoint_every path =
+  (* Scan the log (if any) before opening the heap: its page images
+     determine whether a short/torn heap file is tolerable. *)
+  let plan_result =
+    if Sys.file_exists (wal_path path) then Wal.scan (wal_path path)
+    else Ok empty_plan
+  in
+  match plan_result with
+  | Error msg -> Error ("wal: " ^ msg)
+  | Ok plan -> (
+      let recovering = plan.Wal.records > 0 in
+      let pager_result =
+        match Pager.open_file ?cache_pages ~recovery:recovering path with
+        | Ok _ as ok -> ok
+        | Error _ as e when not recovering -> e
+        | Error _ -> (
+            (* The heap file is unreadable (missing, empty, or torn
+               header) while the log holds records.  A completed
+               checkpoint always leaves a durable valid heap header
+               behind (the heap is fsynced before the log truncates),
+               so an unreadable header proves no checkpoint ever
+               completed — the log still holds every change since the
+               table was created, and the heap is rebuilt from it. *)
+            let page_size =
+              match plan.Wal.redo_pages with
+              | (_, image) :: _ -> Some (Bytes.length image)
+              | [] -> None
+            in
+            match Pager.create_file ?page_size ?cache_pages path with
+            | pager -> Ok pager
+            | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+      in
+      match pager_result with
+      | Error _ as e -> e
+      | Ok pager -> (
+          let t = make ?checkpoint_every pager in
+          (* From here on the pager fd (and later the WAL fd) must not
+             leak: every early return closes what is open so repeated
+             failed opens do not exhaust descriptors. *)
+          match
+            (* Redo pass: lay logged post-images over the heap file.
+               Every CRC-valid image is applied (newest LSN per page)
+               — an image was only ever logged en route to a heap
+               write, so a page that differs is exactly a torn or lost
+               write. *)
+            List.iter
+              (fun (idx, image) -> Pager.install_page pager idx image)
+              plan.Wal.redo_pages;
+            rebuild_indexes t;
+            (* Row redo: re-insert logged rows the redone pages do not
+               already hold (rows acknowledged after the last page
+               flush). *)
+            List.iter
+              (fun row ->
+                if Index.find_first t.pre_index ~key:row.Page.pre = None then
+                  insert_unlogged t row)
+              plan.Wal.redo_rows
+          with
+          | exception Invalid_argument msg ->
+              Pager.abort pager;
+              Error msg
+          | exception Failure msg ->
+              Pager.abort pager;
+              Error msg
+          | () ->
+              if recovering then begin
+                t.recovery <-
+                  Some
+                    {
+                      redo_pages = List.length plan.Wal.redo_pages;
+                      redo_rows = List.length plan.Wal.redo_rows;
+                      wal_records = plan.Wal.records;
+                      discarded_bytes = plan.Wal.discarded_bytes;
+                    };
+                Obs.Registry.inc obs_recoveries;
+                Obs.Registry.inc ~by:(List.length plan.Wal.redo_pages) obs_redo_pages;
+                Obs.Registry.inc ~by:(List.length plan.Wal.redo_rows) obs_redo_rows
+              end;
+              if durable || recovering then begin
+                match Wal.open_existing (wal_path path) with
+                | Error msg ->
+                    Pager.abort pager;
+                    Error ("wal: " ^ msg)
+                | Ok wal -> (
+                    match
+                      attach_wal t wal;
+                      (* Checkpoint the recovered state so the next
+                         crash replays only new work.  Ordering as in
+                         [flush_locked]: heap flushed and fsynced
+                         before the log truncates. *)
+                      if recovering then flush_locked t;
+                      if not durable then begin
+                        (* the caller did not ask for a durable table:
+                           recovery is done, detach the log *)
+                        Pager.set_write_barrier pager None;
+                        t.wal <- None;
+                        Wal.close wal
+                      end
+                    with
+                    | exception Failure msg ->
+                        Wal.close wal;
+                        Pager.abort pager;
+                        Error msg
+                    | () -> Ok t)
+              end
+              else Ok t))
+
+let recovery_stats t = t.recovery
 
 let find_by_pre t pre =
   match Index.find_first t.pre_index ~key:pre with
@@ -184,8 +353,8 @@ let iter t ~f =
   done
 
 let flush t =
-  Pager.flush t.pager;
-  match t.wal with None -> () | Some wal -> Wal.checkpoint wal
+  Mutex.lock t.write_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_lock) (fun () -> flush_locked t)
 
 let close t =
   flush t;

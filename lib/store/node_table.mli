@@ -29,19 +29,57 @@
 
 type t
 
+(** What [open_file] replayed from the write-ahead log, when it did. *)
+type recovery_stats = {
+  redo_pages : int;  (** logged page images laid over the heap file *)
+  redo_rows : int;  (** logged rows re-inserted (not found in redone pages) *)
+  wal_records : int;  (** valid records in the scanned log *)
+  discarded_bytes : int;  (** torn/corrupt log tail bytes cut off *)
+}
+
 val create : ?page_size:int -> unit -> t
 (** In-memory table. *)
 
-val create_file : ?page_size:int -> ?cache_pages:int -> ?durable:bool -> string -> t
+val create_file :
+  ?page_size:int ->
+  ?cache_pages:int ->
+  ?durable:bool ->
+  ?checkpoint_every:int ->
+  string ->
+  t
 (** Table backed by a page file.  With [durable:true] every insert is
     written (and fsynced) to a write-ahead log at [path ^ ".wal"]
-    before being acknowledged; [flush]/[close] checkpoint the pages
-    and truncate the log. *)
+    before being acknowledged, and every dirty page image is logged
+    and fsynced before it overwrites the heap file (torn-write
+    protection); [flush]/[close] checkpoint — heap pages written, heap
+    fd fsynced, {e then} the log truncated.  [checkpoint_every:n]
+    additionally checkpoints automatically after every [n] inserts,
+    bounding log growth and recovery time. *)
 
-val open_file : ?cache_pages:int -> string -> (t, string) result
-(** Re-open a table; the heap is scanned once to rebuild the indexes.
-    If a write-ahead log is present, rows it holds beyond the last
-    checkpoint are recovered (a torn log tail is discarded). *)
+val open_file :
+  ?cache_pages:int ->
+  ?durable:bool ->
+  ?checkpoint_every:int ->
+  string ->
+  (t, string) result
+(** Re-open a table.  If a write-ahead log with records is present,
+    crash recovery runs first: every CRC-valid page image past the
+    last checkpoint is written back over the heap file (newest image
+    per page — this repairs torn heap writes, and is why a short heap
+    file is tolerated when the log covers it), the indexes are rebuilt
+    from the repaired heap, logged rows not yet present are
+    re-inserted, and the recovered state is checkpointed.  If the heap
+    file itself is unreadable while the log holds records (a crash
+    before the first checkpoint ever completed), the heap is rebuilt
+    from the log alone.  A torn or corrupt log tail is discarded.  [recovery_stats] reports what was
+    replayed.  [durable]/[checkpoint_every] select the same durable
+    write path as [create_file]; without [durable] the log is detached
+    again once recovery completes.  No file descriptor is leaked on
+    any error path. *)
+
+val recovery_stats : t -> recovery_stats option
+(** What the open replayed; [None] when the table opened clean (or was
+    just created). *)
 
 val insert : t -> Page.row -> unit
 (** Append a row.  @raise Invalid_argument on a duplicate [pre]. *)
@@ -89,4 +127,10 @@ val iter : t -> f:(Page.row -> unit) -> unit
 (** Visit all rows in insertion order. *)
 
 val flush : t -> unit
+(** Checkpoint the table: dirty page images logged to the WAL (with a
+    commit record, fsynced), written to the heap file, heap fd
+    fsynced, and only then the log truncated.  The ordering is the
+    durability contract — the log never forgets data the heap has not
+    durably accepted. *)
+
 val close : t -> unit

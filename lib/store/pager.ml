@@ -1,4 +1,14 @@
+module Obs = Secshare_obs
+
 type cache_stats = { hits : int; misses : int; evictions : int }
+
+let obs_page_writes =
+  Obs.Registry.counter ~help:"Page images written to heap files."
+    "ssdb_store_page_writes_total"
+
+let obs_fsyncs =
+  Obs.Registry.counter ~help:"fsync calls on heap-file fds."
+    "ssdb_store_fsyncs_total"
 
 let default_page_size = 8192
 let header_size = 64
@@ -28,6 +38,11 @@ type file_state = {
   meta : Mutex.t;  (** guards [npages] (the file-growth frontier) *)
   mutable npages : int;
   stripes : stripe array;
+  mutable barrier : ((int * bytes) list -> unit) option;
+      (** write-ahead hook: called with the exact serialized images
+          about to be written to the heap file, before any of them is.
+          The durable node table points this at the WAL so page
+          overwrites are redo-protected against torn writes. *)
 }
 
 type backing = Memory of Page.t array ref * int ref | File of file_state
@@ -133,14 +148,16 @@ let page_size t = t.psize
 let in_memory ?(page_size = default_page_size) () =
   { psize = page_size; backing = Memory (ref [||], ref 0) }
 
+(* The header is 64 bytes and assumed to land atomically (it never
+   straddles a sector); page images get no such assumption — their
+   overwrites are protected by the WAL's page-image redo records. *)
 let write_header fd psize npages =
   let hdr = Bytes.make header_size '\000' in
   Bytes.blit_string file_magic 0 hdr 0 8;
   Bytes.set_int32_le hdr 8 (Int32.of_int psize);
   Bytes.set_int32_le hdr 12 (Int32.of_int npages);
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  let written = Unix.write fd hdr 0 header_size in
-  if written <> header_size then failwith "Pager: short header write"
+  Store_io.write_all ~kind:Store_io.Header_write fd hdr
 
 let make_file_state fd npages cache_pages =
   {
@@ -149,6 +166,7 @@ let make_file_state fd npages cache_pages =
     meta = Mutex.create ();
     npages;
     stripes = make_stripes (max 4 cache_pages);
+    barrier = None;
   }
 
 let create_file ?(page_size = default_page_size) ?(cache_pages = 256) path =
@@ -156,7 +174,7 @@ let create_file ?(page_size = default_page_size) ?(cache_pages = 256) path =
   write_header fd page_size 0;
   { psize = page_size; backing = File (make_file_state fd 0 cache_pages) }
 
-let open_file ?(cache_pages = 256) path =
+let open_file ?(cache_pages = 256) ?(recovery = false) path =
   match Unix.openfile path [ Unix.O_RDWR ] 0o644 with
   | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
   | fd -> (
@@ -172,13 +190,16 @@ let open_file ?(cache_pages = 256) path =
         let npages = Int32.to_int (Bytes.get_int32_le hdr 12) in
         let expected = header_size + (npages * psize) in
         let actual = (Unix.fstat fd).Unix.st_size in
-        if actual < expected then begin
+        if actual < expected && not recovery then begin
           Unix.close fd;
           Error
             (Printf.sprintf "torn page file: %d bytes, header promises %d" actual
                expected)
         end
-        else Ok { psize; backing = File (make_file_state fd npages cache_pages) }
+        else
+          (* [recovery] tolerates a short file: the caller is about to
+             lay WAL page images over the damage before any read. *)
+          Ok { psize; backing = File (make_file_state fd npages cache_pages) }
       end)
 
 let page_count t =
@@ -186,25 +207,19 @@ let page_count t =
   | Memory (_, used) -> !used
   | File st -> with_lock ~rank:Lock_check.Meta st.meta (fun () -> st.npages)
 
-let write_page_at st psize idx page =
-  let image = Page.serialize page in
+let write_image_at st psize idx image =
   with_lock ~rank:Lock_check.Io st.io (fun () ->
       ignore (Unix.lseek st.fd (header_size + (idx * psize)) Unix.SEEK_SET);
-      let written = Unix.write st.fd image 0 psize in
-      if written <> psize then failwith "Pager: short page write")
+      Store_io.write_all ~kind:Store_io.Page_write st.fd image;
+      Obs.Registry.inc obs_page_writes)
 
 let read_page_at st psize idx =
   let image = Bytes.create psize in
   with_lock ~rank:Lock_check.Io st.io (fun () ->
       ignore (Unix.lseek st.fd (header_size + (idx * psize)) Unix.SEEK_SET);
-      let rec fill off =
-        if off < psize then begin
-          let n = Unix.read st.fd image off (psize - off) in
-          if n = 0 then failwith "Pager: short page read";
-          fill (off + n)
-        end
-      in
-      fill 0);
+      match Store_io.really_read st.fd image 0 psize with
+      | () -> ()
+      | exception Failure _ -> failwith (Printf.sprintf "Pager: page %d short read" idx));
   match Page.deserialize image with
   | Ok page -> page
   | Error msg -> failwith (Printf.sprintf "Pager: page %d corrupt: %s" idx msg)
@@ -223,7 +238,15 @@ let evict_locked st stripe psize =
     match !victim with
     | None -> failwith "Pager: cannot evict from an empty cache"
     | Some (idx, entry) ->
-        if entry.dirty then write_page_at st psize idx entry.page;
+        if entry.dirty then begin
+          (* log-before-write: the exact image about to overwrite the
+             heap page is WAL-logged and fsynced first (the barrier
+             does both), so a crash that tears this write is repaired
+             by redo on the next open *)
+          let image = Page.serialize entry.page in
+          (match st.barrier with Some log -> log [ (idx, image) ] | None -> ());
+          write_image_at st psize idx image
+        end;
         Hashtbl.remove stripe.cache idx;
         stripe.evictions <- stripe.evictions + 1
   done
@@ -291,30 +314,85 @@ let mark_dirty t idx =
           | Some entry -> entry.dirty <- true
           | None -> ()))
 
+(* Serialized snapshots of every dirty page, taken under the stripe
+   latches.  These exact images are what the barrier logs and what the
+   write phase puts on disk, so the logged redo image always matches
+   the heap write it protects. *)
+let dirty_images st =
+  Array.fold_left
+    (fun acc stripe ->
+      with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
+          Hashtbl.fold
+            (fun idx entry acc ->
+              if entry.dirty then (idx, Page.serialize entry.page) :: acc else acc)
+            stripe.cache acc))
+    [] st.stripes
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let flush t =
   match t.backing with
   | Memory _ -> ()
   | File st ->
-      Array.iter
-        (fun stripe ->
+      let images = dirty_images st in
+      (* the barrier runs with no latches held: it appends to the WAL
+         and fsyncs, which must not block other stripes *)
+      (match st.barrier with
+      | Some log when images <> [] -> log images
+      | _ -> ());
+      List.iter
+        (fun (idx, image) ->
+          let stripe = stripe_of st idx in
           with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
-              Hashtbl.iter
-                (fun idx entry ->
-                  if entry.dirty then begin
-                    write_page_at st t.psize idx entry.page;
-                    entry.dirty <- false
-                  end)
-                stripe.cache))
-        st.stripes;
+              write_image_at st t.psize idx image;
+              match Hashtbl.find_opt stripe.cache idx with
+              | Some entry -> entry.dirty <- false
+              | None -> ()))
+        images;
       with_lock ~rank:Lock_check.Meta st.meta (fun () ->
           with_lock ~rank:Lock_check.Io st.io (fun () -> write_header st.fd t.psize st.npages))
+
+let sync t =
+  match t.backing with
+  | Memory _ -> ()
+  | File st ->
+      with_lock ~rank:Lock_check.Io st.io (fun () ->
+          Store_io.fsync st.fd;
+          Obs.Registry.inc obs_fsyncs)
+
+let set_write_barrier t barrier =
+  match t.backing with
+  | Memory _ -> ()
+  | File st -> st.barrier <- barrier
+
+let install_page t idx image =
+  match t.backing with
+  | Memory _ -> invalid_arg "Pager.install_page: memory backing"
+  | File st ->
+      if Bytes.length image <> t.psize then
+        invalid_arg "Pager.install_page: image size mismatch";
+      (match Page.deserialize image with
+      | Ok _ -> ()
+      | Error msg ->
+          failwith (Printf.sprintf "Pager: redo image for page %d corrupt: %s" idx msg));
+      with_lock ~rank:Lock_check.Meta st.meta (fun () ->
+          if idx >= st.npages then st.npages <- idx + 1);
+      let stripe = stripe_of st idx in
+      with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
+          Hashtbl.remove stripe.cache idx;
+          write_image_at st t.psize idx image)
 
 let close t =
   match t.backing with
   | Memory _ -> ()
   | File st ->
       flush t;
+      sync t;
       Unix.close st.fd
+
+let abort t =
+  match t.backing with
+  | Memory _ -> ()
+  | File st -> ( try Unix.close st.fd with Unix.Unix_error _ -> ())
 
 let data_bytes t = page_count t * t.psize
 

@@ -40,9 +40,12 @@ val create_file : ?page_size:int -> ?cache_pages:int -> string -> t
 (** Create (truncate) a page file.  [cache_pages] bounds the buffer
     pool (default 256). *)
 
-val open_file : ?cache_pages:int -> string -> (t, string) result
+val open_file : ?cache_pages:int -> ?recovery:bool -> string -> (t, string) result
 (** Open an existing page file; the page size is recovered from the
-    file header.  Fails on a bad header or torn page file. *)
+    file header.  Fails on a bad header or torn page file.
+    [~recovery:true] tolerates a file shorter than its header promises
+    — the caller (WAL recovery) is about to [install_page] logged
+    images over the damage before anything reads it. *)
 
 val page_size : t -> int
 val page_count : t -> int
@@ -58,8 +61,37 @@ val get : t -> int -> Page.t
     out-of-range index; @raise Failure on a corrupt page image. *)
 
 val mark_dirty : t -> int -> unit
+
+val set_write_barrier : t -> ((int * bytes) list -> unit) option -> unit
+(** Install (or clear) the write-ahead hook.  Before any dirty page
+    image is written over the heap file — on [flush] or cache eviction
+    — the barrier is called with the exact serialized images about to
+    land, with no pager latches held.  The durable node table points
+    this at the WAL: it logs the images and fsyncs, so a torn heap
+    write is always repairable by redo.  No-op in memory mode. *)
+
 val flush : t -> unit
+(** Write every dirty cached page (through the barrier, if set) and
+    the file header.  Does {e not} fsync — call [sync]. *)
+
+val sync : t -> unit
+(** fsync the heap fd: everything flushed so far is durable.  No-op in
+    memory mode. *)
+
+val install_page : t -> int -> bytes -> unit
+(** Recovery-only: write a serialized page image directly at the given
+    index, bypassing and invalidating the cache, extending the file if
+    the index is past the current frontier.  The image is validated
+    ([Page.deserialize]) before anything is written.
+    @raise Invalid_argument on memory backing or a size mismatch;
+    @raise Failure if the image does not deserialize. *)
+
 val close : t -> unit
+(** [flush], [sync], then close the fd. *)
+
+val abort : t -> unit
+(** Close the fd {e without} flushing — for error paths where the
+    in-memory state is suspect and must not reach the disk. *)
 
 val data_bytes : t -> int
 (** Total bytes of page images (page_count * page_size). *)

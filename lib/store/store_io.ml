@@ -1,0 +1,70 @@
+type ops = {
+  write : Unix.file_descr -> bytes -> int -> int -> int;
+  fsync : Unix.file_descr -> unit;
+  ftruncate : Unix.file_descr -> int -> unit;
+}
+
+let real_ops =
+  { write = Unix.write; fsync = Unix.fsync; ftruncate = Unix.ftruncate }
+
+let current = ref real_ops
+let set_ops = function None -> current := real_ops | Some ops -> current := ops
+let fsync fd = !current.fsync fd
+let ftruncate fd len = !current.ftruncate fd len
+
+type write_kind = Page_write | Wal_write | Header_write
+
+type torn_action = Torn_raise | Torn_exit of int
+
+type failpoint = { fp_kind : write_kind; mutable remaining : int; action : torn_action }
+
+let failpoint : failpoint option ref = ref None
+
+let arm_torn_write ~kind ~after ~action =
+  if after < 1 then invalid_arg "Store_io.arm_torn_write: after must be >= 1";
+  failpoint := Some { fp_kind = kind; remaining = after; action }
+
+let disarm_torn_write () = failpoint := None
+let torn_write_armed () = !failpoint <> None
+
+(* Write [len] bytes from [off], retrying partial writes and EINTR.
+   Progress of 0 means the fd will never accept more — fail rather
+   than spin. *)
+let rec write_range fd buf off len =
+  if len > 0 then begin
+    match !current.write fd buf off len with
+    | 0 -> failwith "Store_io.write_all: write returned 0 bytes"
+    | n -> write_range fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_range fd buf off len
+  end
+
+let write_all ~kind fd buf =
+  let len = Bytes.length buf in
+  let tear =
+    match !failpoint with
+    | Some fp when fp.fp_kind = kind ->
+        fp.remaining <- fp.remaining - 1;
+        fp.remaining = 0
+    | _ -> false
+  in
+  if not tear then write_range fd buf 0 len
+  else begin
+    (* a torn write: half the buffer reaches the file, then the
+       process dies (or the injection site raises, for in-process
+       tests).  The failpoint disarms itself so recovery code running
+       in the same process is not re-torn. *)
+    let action = (Option.get !failpoint).action in
+    failpoint := None;
+    write_range fd buf 0 (len / 2);
+    match action with
+    | Torn_exit code -> Unix._exit code
+    | Torn_raise -> failwith "torn write injected"
+  end
+
+let rec really_read fd buf off len =
+  if len > 0 then begin
+    match Unix.read fd buf off len with
+    | 0 -> failwith "Store_io.really_read: unexpected end of file"
+    | n -> really_read fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> really_read fd buf off len
+  end

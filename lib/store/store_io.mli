@@ -1,0 +1,65 @@
+(** Low-level durable I/O for the storage engine.
+
+    Every byte the store writes to disk flows through this module, for
+    three reasons:
+
+    - {b Short writes are retried.}  [Unix.write] may write fewer
+      bytes than asked (signal interruption, pipe-capacity pressure);
+      the pager and the WAL used to [failwith] on that, crashing the
+      server and tearing the page mid-image.  [write_all] loops until
+      the buffer is on its way to the kernel, retrying [EINTR].
+    - {b Tests can substitute a fake fd layer.}  [set_ops] swaps the
+      write/fsync/ftruncate primitives process-wide, so the test suite
+      can model a kernel page cache that loses un-fsynced writes on
+      power loss and prove the checkpoint ordering (heap fsync
+      {e before} WAL truncation) rather than eyeball it.
+    - {b Crash points can be injected.}  The torn-write failpoint
+      makes the Nth matching write emit only half its buffer and then
+      die (or raise), reproducing a torn page under a crash exactly
+      where the WAL protocol must cover it. *)
+
+type ops = {
+  write : Unix.file_descr -> bytes -> int -> int -> int;
+      (** Same contract as [Unix.write]: may be partial. *)
+  fsync : Unix.file_descr -> unit;
+  ftruncate : Unix.file_descr -> int -> unit;
+}
+
+val real_ops : ops
+(** The genuine [Unix] primitives. *)
+
+val set_ops : ops option -> unit
+(** Install a substitute I/O layer ([None] restores [real_ops]).
+    Test-only seam; affects every store fd in the process. *)
+
+val fsync : Unix.file_descr -> unit
+val ftruncate : Unix.file_descr -> int -> unit
+
+(** What kind of write a call site is performing — the torn-write
+    failpoint is armed against a specific kind so a test can tear page
+    images without also tearing WAL appends (or vice versa). *)
+type write_kind = Page_write | Wal_write | Header_write
+
+val write_all : kind:write_kind -> Unix.file_descr -> bytes -> unit
+(** Write the whole buffer at the fd's current offset, retrying
+    partial and [EINTR]-interrupted writes.
+    @raise Failure if the fd accepts no further bytes. *)
+
+val really_read : Unix.file_descr -> bytes -> int -> int -> unit
+(** Read exactly [len] bytes, retrying partial and interrupted reads.
+    @raise Failure on end-of-file before [len] bytes arrived. *)
+
+(** {2 Torn-write failpoint} *)
+
+type torn_action =
+  | Torn_raise  (** raise [Failure "torn write injected"] (in-process tests) *)
+  | Torn_exit of int  (** [Unix._exit code] — die like a power loss (harness) *)
+
+val arm_torn_write : kind:write_kind -> after:int -> action:torn_action -> unit
+(** The [after]-th subsequent [write_all] of the given kind (1-based)
+    writes only the first half of its buffer and then performs
+    [action].  Only one failpoint is armed at a time. *)
+
+val disarm_torn_write : unit -> unit
+
+val torn_write_armed : unit -> bool

@@ -413,48 +413,163 @@ let test_node_table_file_roundtrip () =
 (* --- write-ahead log and crash recovery --- *)
 
 module Wal = Secshare_store.Wal
+module Store_io = Secshare_store.Store_io
 
-let test_wal_replay () =
+let wal_path_of path = path ^ ".wal"
+
+let must_append wal r =
+  match Wal.append_row wal r with
+  | Ok () -> ()
+  | Error (Wal.Share_too_large n) -> Alcotest.failf "share of %d rejected" n
+
+let scan_exn path =
+  match Wal.scan path with Ok plan -> plan | Error e -> Alcotest.fail e
+
+let test_wal_row_roundtrip () =
   with_temp_file (fun path ->
       let wal = Wal.create path in
       let rows = List.map (fun i -> row i (i + 1) 0 (Printf.sprintf "payload%d" i)) [ 1; 2; 3 ] in
-      List.iter (Wal.append_insert wal) rows;
+      List.iter (must_append wal) rows;
       check Alcotest.int "entries" 3 (Wal.entry_count wal);
       Wal.close wal;
-      match Wal.replay path with
+      let plan = scan_exn path in
+      check Alcotest.int "records" 3 plan.Wal.records;
+      check Alcotest.int "rows to redo" 3 (List.length plan.Wal.redo_rows);
+      check Alcotest.int "nothing discarded" 0 plan.Wal.discarded_bytes;
+      check Alcotest.bool "no checkpoint" true (plan.Wal.last_checkpoint = None);
+      List.iter2
+        (fun a b -> check Alcotest.bool "row" true (Page.row_equal a b))
+        rows plan.Wal.redo_rows)
+
+let test_wal_entry_count_on_reopen () =
+  with_temp_file (fun path ->
+      let wal = Wal.create path in
+      List.iter (fun i -> must_append wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
+      let lsn_before = Wal.next_lsn wal in
+      Wal.close wal;
+      (* the old implementation reported 0 entries on reopen *)
+      match Wal.open_existing path with
       | Error e -> Alcotest.fail e
-      | Ok replayed ->
-          check Alcotest.int "replayed" 3 (List.length replayed);
-          List.iter2
-            (fun a b -> check Alcotest.bool "row" true (Page.row_equal a b))
-            rows replayed)
+      | Ok wal' ->
+          check Alcotest.int "entry_count counts existing records" 3 (Wal.entry_count wal');
+          check Alcotest.bool "lsn continues past the log" true
+            (Int64.compare (Wal.next_lsn wal') lsn_before >= 0);
+          must_append wal' (row 4 5 0 "data");
+          check Alcotest.int "append extends the count" 4 (Wal.entry_count wal');
+          Wal.close wal';
+          check Alcotest.int "all records scan back" 4 (scan_exn path).Wal.records)
+
+let test_wal_rejects_oversized_share () =
+  with_temp_file (fun path ->
+      let wal = Wal.create path in
+      let huge = row 1 2 0 (String.make (Wal.max_share_len + 1) 'x') in
+      (match Wal.append_row wal huge with
+      | Error (Wal.Share_too_large n) ->
+          check Alcotest.int "reports the size" (Wal.max_share_len + 1) n
+      | Ok () -> Alcotest.fail "oversized share accepted");
+      check Alcotest.int "nothing was logged" 0 (Wal.entry_count wal);
+      must_append wal (row 1 2 0 "small");
+      Wal.close wal;
+      (* the rejected append left the log well-formed *)
+      check Alcotest.int "log intact" 1 (scan_exn path).Wal.records)
 
 let test_wal_torn_tail () =
   with_temp_file (fun path ->
       let wal = Wal.create path in
-      List.iter (fun i -> Wal.append_insert wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
+      List.iter (fun i -> must_append wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
       Wal.close wal;
       (* truncate mid-record: the valid prefix survives *)
       let full = In_channel.with_open_bin path In_channel.input_all in
       Out_channel.with_open_bin path (fun oc ->
           output_string oc (String.sub full 0 (String.length full - 5)));
-      match Wal.replay path with
+      let plan = scan_exn path in
+      check Alcotest.int "prefix recovered" 2 (List.length plan.Wal.redo_rows);
+      check Alcotest.bool "torn bytes counted" true (plan.Wal.discarded_bytes > 0);
+      (* reopening truncates the torn tail so appends extend the prefix *)
+      match Wal.open_existing path with
       | Error e -> Alcotest.fail e
-      | Ok replayed -> check Alcotest.int "prefix recovered" 2 (List.length replayed))
+      | Ok wal' ->
+          check Alcotest.int "entries after tail cut" 2 (Wal.entry_count wal');
+          must_append wal' (row 9 10 0 "after");
+          Wal.close wal';
+          let plan' = scan_exn path in
+          check Alcotest.int "append lands after the prefix" 3
+            (List.length plan'.Wal.redo_rows);
+          check Alcotest.int "no garbage left" 0 plan'.Wal.discarded_bytes)
 
 let test_wal_corrupt_record_stops_replay () =
   with_temp_file (fun path ->
       let wal = Wal.create path in
-      List.iter (fun i -> Wal.append_insert wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
+      List.iter (fun i -> must_append wal (row i (i + 1) 0 "data")) [ 1; 2; 3 ];
       Wal.close wal;
       let full = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
       (* flip a byte inside the second record's payload *)
-      let record_len = Bytes.length full / 3 in
-      Bytes.set_uint8 full (record_len + 10) (Bytes.get_uint8 full (record_len + 10) lxor 0xFF);
+      let record_len = (Bytes.length full - 8) / 3 in
+      Bytes.set_uint8 full (8 + record_len + 10)
+        (Bytes.get_uint8 full (8 + record_len + 10) lxor 0xFF);
       Out_channel.with_open_bin path (fun oc -> output_bytes oc full);
-      match Wal.replay path with
+      let plan = scan_exn path in
+      check Alcotest.int "stops at corruption" 1 (List.length plan.Wal.redo_rows);
+      check Alcotest.bool "corrupt suffix discarded" true (plan.Wal.discarded_bytes > 0))
+
+let page_image rows =
+  let page = Page.create ~size:256 in
+  List.iter (fun r -> ignore (Page.add_row page r)) rows;
+  Page.serialize page
+
+let test_wal_checkpoint_gates_redo () =
+  with_temp_file (fun path ->
+      let img_old = page_image [ row 1 2 0 "old" ] in
+      let img_mid = page_image [ row 1 2 0 "mid" ] in
+      let img_new = page_image [ row 1 2 0 "new" ] in
+      (* Suppress the checkpoint's truncation: this reproduces a crash
+         after the checkpoint record is durable but before the file is
+         cut back — recovery must honour the record alone. *)
+      Store_io.set_ops
+        (Some
+           {
+             Store_io.write = Unix.write;
+             fsync = Unix.fsync;
+             ftruncate = (fun _ _ -> ());
+           });
+      let survived_truncation =
+        Fun.protect
+          ~finally:(fun () -> Store_io.set_ops None)
+          (fun () ->
+            let wal = Wal.create path in
+            must_append wal (row 1 2 0 "before");
+            Wal.append_page_images wal [ (0, img_old) ];
+            Wal.checkpoint wal;
+            Wal.close wal;
+            (In_channel.with_open_bin path In_channel.input_all |> String.length) > 8)
+      in
+      check Alcotest.bool "truncation was suppressed" true survived_truncation;
+      (match Wal.open_existing path with
       | Error e -> Alcotest.fail e
-      | Ok replayed -> check Alcotest.int "stops at corruption" 1 (List.length replayed))
+      | Ok wal ->
+          must_append wal (row 7 8 0 "after");
+          Wal.append_page_images wal [ (0, img_mid); (0, img_new) ];
+          Wal.sync wal;
+          Wal.close wal);
+      let plan = scan_exn path in
+      check Alcotest.bool "checkpoint found" true (plan.Wal.last_checkpoint <> None);
+      (* rows and images logged before the checkpoint are not redone;
+         for the re-logged page only the newest image wins *)
+      check Alcotest.(list int) "only post-checkpoint rows" [ 7 ]
+        (pres plan.Wal.redo_rows);
+      match plan.Wal.redo_pages with
+      | [ (0, image) ] ->
+          check Alcotest.bool "newest image wins" true (Bytes.equal image img_new)
+      | other -> Alcotest.failf "expected one page image, got %d" (List.length other))
+
+let test_node_table_share_too_large () =
+  let t = Node_table.create ~page_size:4096 () in
+  let n = Wal.max_share_len + 1 in
+  Alcotest.check_raises "oversized share"
+    (Invalid_argument
+       (Printf.sprintf "Node_table.insert: share of %d bytes exceeds the %d-byte limit"
+          n Wal.max_share_len))
+    (fun () -> Node_table.insert t (row 1 2 0 (String.make n 'x')))
 
 let test_crash_recovery () =
   with_temp_file (fun path ->
@@ -509,7 +624,220 @@ let test_durable_without_crash () =
       | Error e -> Alcotest.fail e
       | Ok t' ->
           check Alcotest.int "rows" 5 (Node_table.row_count t');
+          check Alcotest.bool "clean open replays nothing" true
+            (Node_table.recovery_stats t' = None);
           Node_table.close t')
+
+(* --- fake fd layer ------------------------------------------------- *)
+
+(* A model of the kernel page cache under power loss: writes and
+   truncations are buffered per fd and reach the real file only on
+   fsync; [crash] drops everything still buffered.  The [ftruncate]
+   hook additionally asserts the checkpoint ordering — the WAL may
+   only truncate itself while no other store fd has un-fsynced writes,
+   i.e. the heap must have been fsynced first. *)
+module Fake_disk = struct
+  type op = Buf_write of int * bytes | Buf_trunc of int
+
+  let buffered : (Unix.file_descr, op list ref) Hashtbl.t = Hashtbl.create 8
+  let truncate_violations = ref 0
+
+  let buffered_of fd =
+    match Hashtbl.find_opt buffered fd with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace buffered fd l;
+        l
+
+  let write fd buf off len =
+    let file_off = Unix.lseek fd 0 Unix.SEEK_CUR in
+    let l = buffered_of fd in
+    l := Buf_write (file_off, Bytes.sub buf off len) :: !l;
+    (* buffered: only the fd offset moves *)
+    ignore (Unix.lseek fd (file_off + len) Unix.SEEK_SET);
+    len
+
+  let fsync fd =
+    let l = buffered_of fd in
+    let restore = Unix.lseek fd 0 Unix.SEEK_CUR in
+    List.iter
+      (function
+        | Buf_write (off, data) ->
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            let rec put o n =
+              if n > 0 then begin
+                let w = Unix.write fd data o n in
+                put (o + w) (n - w)
+              end
+            in
+            put 0 (Bytes.length data)
+        | Buf_trunc len -> Unix.ftruncate fd len)
+      (List.rev !l);
+    l := [];
+    ignore (Unix.lseek fd restore Unix.SEEK_SET)
+
+  let ftruncate fd len =
+    Hashtbl.iter
+      (fun other l -> if other <> fd && !l <> [] then incr truncate_violations)
+      buffered;
+    let l = buffered_of fd in
+    l := Buf_trunc len :: !l
+
+  let ops = { Store_io.write; fsync; ftruncate }
+
+  (* power loss: everything still buffered vanishes *)
+  let crash () = Hashtbl.reset buffered
+
+  let with_fake_disk f =
+    Hashtbl.reset buffered;
+    truncate_violations := 0;
+    Store_io.set_ops (Some ops);
+    Fun.protect ~finally:(fun () -> Store_io.set_ops None) f
+end
+
+let test_checkpoint_waits_for_heap_fsync () =
+  with_temp_file (fun path ->
+      Fake_disk.with_fake_disk (fun () ->
+          let t = Node_table.create_file ~page_size:512 ~durable:true path in
+          List.iter (Node_table.insert t) sample_rows;
+          Node_table.flush t;
+          Node_table.close t;
+          (* the regression this guards: flush used to truncate the WAL
+             while the heap's writes were still un-fsynced, so a power
+             cut at that instant lost them from both files *)
+          check Alcotest.int "no truncation while heap writes are volatile" 0
+            !Fake_disk.truncate_violations;
+          (* power loss after the clean close: the durable state alone
+             must reproduce every row *)
+          Fake_disk.crash ();
+          match Node_table.open_file path with
+          | Error e -> Alcotest.fail e
+          | Ok t' ->
+              check Alcotest.int "rows survive power loss" 5 (Node_table.row_count t');
+              check Alcotest.(list int) "axes intact" [ 2; 4; 5 ]
+                (pres (Node_table.children t' ~parent:1));
+              Node_table.close t'))
+
+let test_acked_inserts_survive_power_loss () =
+  with_temp_file (fun path ->
+      Fake_disk.with_fake_disk (fun () ->
+          let t = Node_table.create_file ~page_size:512 ~durable:true path in
+          List.iter (Node_table.insert t) sample_rows;
+          (* no flush: the heap (even its header) is entirely volatile,
+             only the WAL's per-insert fsyncs are durable *)
+          Fake_disk.crash ();
+          match Node_table.open_file path with
+          | Error e -> Alcotest.fail e
+          | Ok t' ->
+              check Alcotest.int "every acked insert recovered" 5
+                (Node_table.row_count t');
+              check Alcotest.(list int) "axes intact" [ 2; 4; 5 ]
+                (pres (Node_table.children t' ~parent:1));
+              (match Node_table.recovery_stats t' with
+              | Some r -> check Alcotest.int "rows replayed" 5 r.Node_table.redo_rows
+              | None -> Alcotest.fail "expected a recovery");
+              Node_table.close t'))
+
+let test_torn_page_write_repaired_by_redo () =
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:512 ~durable:true path in
+      (* first batch checkpointed: the fill page now lives on disk *)
+      Node_table.insert t (row 1 9 0 "r");
+      Node_table.insert t (row 2 1 1 "a");
+      Node_table.flush t;
+      (* second batch lands in the same fill page, whose flush will
+         rewrite it in place — tear that heap write *)
+      Node_table.insert t (row 3 2 1 "b");
+      Node_table.insert t (row 4 3 1 "c");
+      Store_io.arm_torn_write ~kind:Store_io.Page_write ~after:1
+        ~action:Store_io.Torn_raise;
+      (match Node_table.flush t with
+      | () -> Alcotest.fail "torn write did not fire"
+      | exception Failure _ -> ());
+      check Alcotest.bool "failpoint disarmed itself" false (Store_io.torn_write_armed ());
+      (* abandon [t] as a crashed process would; the torn page on disk
+         fails its CRC, so only page redo can bring the table back *)
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          check Alcotest.int "all rows back" 4 (Node_table.row_count t');
+          check Alcotest.(list int) "children" [ 2; 3; 4 ]
+            (pres (Node_table.children t' ~parent:1));
+          (match Node_table.recovery_stats t' with
+          | Some r -> check Alcotest.bool "page images replayed" true (r.Node_table.redo_pages > 0)
+          | None -> Alcotest.fail "expected a recovery");
+          Node_table.close t')
+
+let test_heap_rebuilt_from_wal_alone () =
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:512 ~durable:true path in
+      List.iter (Node_table.insert t) sample_rows;
+      (* the heap file is destroyed outright (crash before its first
+         fsync: nothing of it was ever durable) *)
+      Out_channel.with_open_bin path (fun _ -> ());
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          check Alcotest.int "rebuilt from the log" 5 (Node_table.row_count t');
+          check Alcotest.(list int) "axes intact" [ 2; 4; 5 ]
+            (pres (Node_table.children t' ~parent:1));
+          Node_table.close t')
+
+let test_recovery_is_idempotent () =
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:512 ~durable:true path in
+      List.iter (Node_table.insert t) sample_rows;
+      (* crash; recover; crash again without any new writes; recover *)
+      (match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t1 ->
+          check Alcotest.bool "first open recovers" true
+            (Node_table.recovery_stats t1 <> None);
+          Node_table.close t1);
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t2 ->
+          check Alcotest.bool "second open is clean" true
+            (Node_table.recovery_stats t2 = None);
+          check Alcotest.int "same rows" 5 (Node_table.row_count t2);
+          check Alcotest.(list int) "same axes" [ 2; 4; 5 ]
+            (pres (Node_table.children t2 ~parent:1));
+          Node_table.close t2)
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_no_fd_leak_on_failed_opens () =
+  with_temp_file (fun path ->
+      (* a valid heap whose WAL prescribes an impossible redo: the
+         page image is larger than the table's pages, so recovery
+         fails after the pager is already open *)
+      let t = Node_table.create_file ~page_size:256 path in
+      Node_table.insert t (row 1 2 0 "x");
+      Node_table.close t;
+      let wal = Wal.create (wal_path_of path) in
+      let big = Page.create ~size:512 in
+      ignore (Page.add_row big (row 5 6 0 "big"));
+      Wal.append_page_images wal [ (0, Page.serialize big) ];
+      Wal.sync wal;
+      Wal.close wal;
+      let before = open_fds () in
+      for _ = 1 to 20 do
+        match Node_table.open_file path with
+        | Ok _ -> Alcotest.fail "impossible redo accepted"
+        | Error _ -> ()
+      done;
+      check Alcotest.int "fds after failed recoveries" before (open_fds ());
+      (* garbage heap file, no wal: the open fails before recovery *)
+      Sys.remove (wal_path_of path);
+      Out_channel.with_open_bin path (fun oc -> output_string oc "garbage");
+      let before = open_fds () in
+      for _ = 1 to 20 do
+        match Node_table.open_file path with
+        | Ok _ -> Alcotest.fail "garbage accepted"
+        | Error _ -> ()
+      done;
+      check Alcotest.int "fds after failed opens" before (open_fds ()))
 
 (* Build a random forest shape and compare axes against naive scans. *)
 let gen_tree_rows =
@@ -618,12 +946,32 @@ let () =
         @ node_table_model_suite );
       ( "write-ahead log",
         [
-          Alcotest.test_case "replay" `Quick test_wal_replay;
+          Alcotest.test_case "row roundtrip" `Quick test_wal_row_roundtrip;
+          Alcotest.test_case "entry count on reopen" `Quick test_wal_entry_count_on_reopen;
+          Alcotest.test_case "oversized share rejected" `Quick
+            test_wal_rejects_oversized_share;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
           Alcotest.test_case "corrupt record stops replay" `Quick
             test_wal_corrupt_record_stops_replay;
+          Alcotest.test_case "checkpoint gates redo" `Quick test_wal_checkpoint_gates_redo;
+          Alcotest.test_case "node table rejects oversized share" `Quick
+            test_node_table_share_too_large;
           Alcotest.test_case "crash recovery" `Quick test_crash_recovery;
           Alcotest.test_case "partial checkpoint" `Quick test_crash_recovery_partial_checkpoint;
           Alcotest.test_case "durable clean shutdown" `Quick test_durable_without_crash;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "checkpoint waits for heap fsync" `Quick
+            test_checkpoint_waits_for_heap_fsync;
+          Alcotest.test_case "acked inserts survive power loss" `Quick
+            test_acked_inserts_survive_power_loss;
+          Alcotest.test_case "torn page write repaired by redo" `Quick
+            test_torn_page_write_repaired_by_redo;
+          Alcotest.test_case "heap rebuilt from wal alone" `Quick
+            test_heap_rebuilt_from_wal_alone;
+          Alcotest.test_case "recovery is idempotent" `Quick test_recovery_is_idempotent;
+          Alcotest.test_case "no fd leak on failed opens" `Quick
+            test_no_fd_leak_on_failed_opens;
         ] );
     ]
