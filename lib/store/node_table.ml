@@ -33,6 +33,11 @@ let obs_recoveries =
   Obs.Registry.counter ~help:"Table opens that replayed a write-ahead log."
     "ssdb_store_recoveries_total"
 
+let obs_backfilled_pages =
+  Obs.Registry.counter
+    ~help:"Unreadable hole pages backfilled with empty images on recovery."
+    "ssdb_store_recovery_backfilled_pages_total"
+
 (* Row locator: page index and slot packed into one index value. *)
 let slot_bits = 12
 let max_slots = 1 lsl slot_bits
@@ -163,9 +168,28 @@ let fetch t loc =
 
 (* --- recovery ------------------------------------------------------ *)
 
-let rebuild_indexes t =
+(* During recovery [tolerate_holes] repairs hole pages: a page below
+   the heap frontier that never reached the disk, because it was still
+   dirty in the cache when the process died while a higher-index page
+   was evicted (logged and heap-written) past it.  Such a page reads
+   back as zeros (or a torn fragment) and fails [Page.deserialize].
+   Every row it held was inserted after the last checkpoint — a
+   checkpoint heap-writes every dirty page — so the log's row records
+   re-create them all; the hole itself is backfilled with a valid
+   empty page image so the heap is self-consistent again.  The redo
+   pass runs first, so any page with a logged image is already valid
+   here: what still fails to read is exactly a hole. *)
+let rebuild_indexes ?(tolerate_holes = false) t =
   for pidx = 0 to Pager.page_count t.pager - 1 do
-    let page = Pager.get t.pager pidx in
+    let page =
+      match Pager.get t.pager pidx with
+      | page -> page
+      | exception Failure _ when tolerate_holes ->
+          let empty = Page.create ~size:(Pager.page_size t.pager) in
+          Pager.install_page t.pager pidx (Page.serialize empty);
+          Obs.Registry.inc obs_backfilled_pages;
+          Pager.get t.pager pidx
+    in
     Page.iter_rows page ~f:(fun slot row -> index_row t row (locator ~page:pidx ~slot))
   done;
   t.fill_page <- Pager.page_count t.pager - 1
@@ -229,7 +253,7 @@ let open_file ?cache_pages ?(durable = false) ?checkpoint_every path =
             List.iter
               (fun (idx, image) -> Pager.install_page pager idx image)
               plan.Wal.redo_pages;
-            rebuild_indexes t;
+            rebuild_indexes ~tolerate_holes:recovering t;
             (* Row redo: re-insert logged rows the redone pages do not
                already hold (rows acknowledged after the last page
                flush). *)
@@ -245,6 +269,11 @@ let open_file ?cache_pages ?(durable = false) ?checkpoint_every path =
           | exception Failure msg ->
               Pager.abort pager;
               Error msg
+          | exception Unix.Unix_error (err, _, _) ->
+              (* ENOSPC/EIO from the redo writes: fail the open without
+                 leaking the pager fd *)
+              Pager.abort pager;
+              Error (Unix.error_message err)
           | () ->
               if recovering then begin
                 t.recovery <-
@@ -284,6 +313,12 @@ let open_file ?cache_pages ?(durable = false) ?checkpoint_every path =
                         Wal.close wal;
                         Pager.abort pager;
                         Error msg
+                    | exception Unix.Unix_error (err, _, _) ->
+                        (* e.g. the post-recovery checkpoint's fsync
+                           failing: close both fds, report an Error *)
+                        Wal.close wal;
+                        Pager.abort pager;
+                        Error (Unix.error_message err)
                     | () -> Ok t)
               end
               else Ok t))

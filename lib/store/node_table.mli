@@ -71,11 +71,16 @@ val open_file :
     re-inserted, and the recovered state is checkpointed.  If the heap
     file itself is unreadable while the log holds records (a crash
     before the first checkpoint ever completed), the heap is rebuilt
-    from the log alone.  A torn or corrupt log tail is discarded.  [recovery_stats] reports what was
+    from the log alone.  A hole page — one below the heap frontier
+    that never reached the disk because it was still dirty in the
+    cache when a later page was evicted past it — is backfilled as an
+    empty page and its rows are re-inserted from the log.  A torn or
+    corrupt log tail is discarded.  [recovery_stats] reports what was
     replayed.  [durable]/[checkpoint_every] select the same durable
-    write path as [create_file]; without [durable] the log is detached
-    again once recovery completes.  No file descriptor is leaked on
-    any error path. *)
+    write path as [create_file] (a table created without [durable] is
+    adopted: a fresh log is started for it); without [durable] the log
+    is detached again once recovery completes.  No file descriptor is
+    leaked on any error path. *)
 
 val recovery_stats : t -> recovery_stats option
 (** What the open replayed; [None] when the table opened clean (or was

@@ -242,7 +242,14 @@ let evict_locked st stripe psize =
           (* log-before-write: the exact image about to overwrite the
              heap page is WAL-logged and fsynced first (the barrier
              does both), so a crash that tears this write is repaired
-             by redo on the next open *)
+             by redo on the next open.  The barrier runs under this
+             stripe's latch — unlike flush, which batches images and
+             runs it latch-free — so a dirty eviction stalls same-
+             stripe cache misses behind the log fsync; acceptable
+             because dirty evictions are rare under a sane cache
+             budget, and the alternative (dropping the latch around
+             the write) would let a concurrent mark_dirty on the
+             victim be lost. *)
           let image = Page.serialize entry.page in
           (match st.barrier with Some log -> log [ (idx, image) ] | None -> ());
           write_image_at st psize idx image

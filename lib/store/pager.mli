@@ -66,9 +66,13 @@ val set_write_barrier : t -> ((int * bytes) list -> unit) option -> unit
 (** Install (or clear) the write-ahead hook.  Before any dirty page
     image is written over the heap file — on [flush] or cache eviction
     — the barrier is called with the exact serialized images about to
-    land, with no pager latches held.  The durable node table points
-    this at the WAL: it logs the images and fsyncs, so a torn heap
-    write is always repairable by redo.  No-op in memory mode. *)
+    land.  The durable node table points this at the WAL: it logs the
+    images and fsyncs, so a torn heap write is always repairable by
+    redo.  Latency caveat: [flush] runs the barrier with no latches
+    held, but evicting a {e dirty} victim runs it under that stripe's
+    latch, so a cache-miss read on the same stripe stalls behind the
+    log append + fsync — size [cache_pages] so dirty evictions are
+    rare under read-heavy load.  No-op in memory mode. *)
 
 val flush : t -> unit
 (** Write every dirty cached page (through the barrier, if set) and

@@ -277,6 +277,14 @@ let scan path =
       end
 
 let open_existing path =
+  if not (Sys.file_exists path) then
+    (* A table created without [durable] has no log at all; a durable
+       open adopts it by starting a fresh one, exactly as [create]
+       would have. *)
+    match create path with
+    | wal -> Ok wal
+    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  else
   match scan path with
   | Error _ as e -> e
   | Ok plan -> (

@@ -41,7 +41,9 @@ val open_existing : string -> (t, string) result
 (** Open an existing log for appending.  The file is scanned first:
     [entry_count] reflects the records actually present, the next LSN
     continues past the largest logged LSN, and a torn tail is
-    truncated away so later appends extend the valid prefix. *)
+    truncated away so later appends extend the valid prefix.  A
+    missing file is created fresh ([create] semantics), so a table
+    encoded without durability can later be opened durable. *)
 
 val append_row : t -> Page.row -> (unit, append_error) result
 (** Append one committed-row record and fsync the log. *)

@@ -784,6 +784,127 @@ let test_heap_rebuilt_from_wal_alone () =
             (pres (Node_table.children t' ~parent:1));
           Node_table.close t')
 
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_recovery_tolerates_hole_pages () =
+  with_temp_file (fun path ->
+      (* The hole-page crash: with a tiny cache, keeping page 0 hot
+         makes the LRU evict *later* pages, so a high-index dirty page
+         is WAL-logged and heap-written while page 0 (dirty, never
+         written) is left as a hole below the heap frontier.  After
+         the crash, page 0 reads back as zeros; recovery must treat it
+         as empty and re-insert its rows from the log instead of
+         failing the open forever on "bad page magic". *)
+      let n = 40 in
+      let root = row 1 n 0 (String.make 60 'r') in
+      let t = Node_table.create_file ~page_size:256 ~cache_pages:4 ~durable:true path in
+      Node_table.insert t root;
+      for i = 2 to n do
+        Node_table.insert t (row i (i - 1) 1 (String.make 60 'x'));
+        (* keep the root's page MRU so eviction always picks a later page *)
+        ignore (Node_table.find_by_pre t 1)
+      done;
+      (* crash: abandon [t] with page 0 still dirty in the cache and
+         evicted page images in the log *)
+      (match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          check Alcotest.int "all rows recovered" n (Node_table.row_count t');
+          check Alcotest.(list int) "children intact"
+            (List.init (n - 1) (fun i -> i + 2))
+            (pres (Node_table.children t' ~parent:1));
+          check Alcotest.bool "hole-page row payload intact" true
+            (Page.row_equal root (Option.get (Node_table.find_by_pre t' 1)));
+          (match Node_table.recovery_stats t' with
+          | Some r ->
+              check Alcotest.bool "evicted page images were replayed" true
+                (r.Node_table.redo_pages > 0)
+          | None -> Alcotest.fail "expected a recovery");
+          Node_table.close t');
+      (* the backfilled heap must reopen cleanly (no lingering holes) *)
+      match Node_table.open_file path with
+      | Error e -> Alcotest.fail e
+      | Ok t2 ->
+          check Alcotest.int "clean reopen keeps every row" n (Node_table.row_count t2);
+          check Alcotest.bool "second open replays nothing" true
+            (Node_table.recovery_stats t2 = None);
+          Node_table.close t2)
+
+let test_durable_open_adopts_undurable_table () =
+  with_temp_file (fun path ->
+      (* a table created without [durable] has no .wal at all *)
+      let t = Node_table.create_file ~page_size:512 path in
+      List.iter (Node_table.insert t) sample_rows;
+      Node_table.close t;
+      check Alcotest.bool "no wal yet" false (Sys.file_exists (wal_path_of path));
+      match Node_table.open_file ~durable:true path with
+      | Error e -> Alcotest.fail e
+      | Ok t' ->
+          check Alcotest.bool "adoption starts a log" true
+            (Sys.file_exists (wal_path_of path));
+          check Alcotest.int "rows" 5 (Node_table.row_count t');
+          Node_table.insert t' (row 6 6 1 "e");
+          (* crash: the new insert lives only in the adopted log *)
+          (match Node_table.open_file path with
+          | Error e -> Alcotest.fail e
+          | Ok t2 ->
+              check Alcotest.int "acked insert recovered" 6 (Node_table.row_count t2);
+              check Alcotest.(list int) "children include it" [ 2; 4; 5; 6 ]
+                (pres (Node_table.children t2 ~parent:1));
+              Node_table.close t2))
+
+let test_recovery_unix_errors_do_not_leak_fds () =
+  let with_ops ops f =
+    Store_io.set_ops (Some ops);
+    Fun.protect ~finally:(fun () -> Store_io.set_ops None) f
+  in
+  let enospc name = raise (Unix.Unix_error (Unix.ENOSPC, name, "")) in
+  (* the redo pass's heap write fails: open_file must return Error
+     (not raise) and close the pager fd *)
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:256 path in
+      Node_table.insert t (row 1 2 0 "x");
+      Node_table.close t;
+      let wal = Wal.create (wal_path_of path) in
+      Wal.append_page_images wal [ (0, page_image [ row 1 2 0 "y" ]) ];
+      Wal.sync wal;
+      Wal.close wal;
+      let before = open_fds () in
+      with_ops
+        {
+          Store_io.write = (fun _ _ _ _ -> enospc "write");
+          fsync = Unix.fsync;
+          ftruncate = Unix.ftruncate;
+        }
+        (fun () ->
+          for _ = 1 to 10 do
+            match Node_table.open_file path with
+            | Ok _ -> Alcotest.fail "redo with a failing disk accepted"
+            | Error _ -> ()
+          done);
+      check Alcotest.int "fds after failing redo" before (open_fds ()));
+  (* the post-recovery checkpoint's fsync fails: both the pager and
+     the wal fd must be closed *)
+  with_temp_file (fun path ->
+      let t = Node_table.create_file ~page_size:256 ~durable:true path in
+      Node_table.insert t (row 1 2 0 "x");
+      (* crash: the row lives only in the log *)
+      ignore t;
+      let before = open_fds () in
+      with_ops
+        {
+          Store_io.write = Unix.write;
+          fsync = (fun _ -> enospc "fsync");
+          ftruncate = Unix.ftruncate;
+        }
+        (fun () ->
+          for _ = 1 to 10 do
+            match Node_table.open_file path with
+            | Ok _ -> Alcotest.fail "checkpoint with a failing fsync accepted"
+            | Error _ -> ()
+          done);
+      check Alcotest.int "fds after failing checkpoint fsync" before (open_fds ()))
+
 let test_recovery_is_idempotent () =
   with_temp_file (fun path ->
       let t = Node_table.create_file ~page_size:512 ~durable:true path in
@@ -804,8 +925,6 @@ let test_recovery_is_idempotent () =
           check Alcotest.(list int) "same axes" [ 2; 4; 5 ]
             (pres (Node_table.children t2 ~parent:1));
           Node_table.close t2)
-
-let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
 
 let test_no_fd_leak_on_failed_opens () =
   with_temp_file (fun path ->
@@ -971,6 +1090,12 @@ let () =
           Alcotest.test_case "heap rebuilt from wal alone" `Quick
             test_heap_rebuilt_from_wal_alone;
           Alcotest.test_case "recovery is idempotent" `Quick test_recovery_is_idempotent;
+          Alcotest.test_case "hole pages backfilled on recovery" `Quick
+            test_recovery_tolerates_hole_pages;
+          Alcotest.test_case "durable open adopts undurable table" `Quick
+            test_durable_open_adopts_undurable_table;
+          Alcotest.test_case "disk errors during recovery return Error" `Quick
+            test_recovery_unix_errors_do_not_leak_fds;
           Alcotest.test_case "no fd leak on failed opens" `Quick
             test_no_fd_leak_on_failed_opens;
         ] );
