@@ -815,6 +815,179 @@ let micro () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Kernel micro bench: flat byte-table kernels vs the reference path  *)
+(* ------------------------------------------------------------------ *)
+
+(* The regression gate: CI compares the speedup columns of this
+   experiment's --json rows against bench/kernel_baseline.json.  The
+   gate is on the *ratio* kernel-vs-reference (machine-independent),
+   never on absolute nanoseconds. *)
+let kernel () =
+  heading "Flat field kernels vs reference (containment + equality)";
+  let db = xmark_db 100_000 in
+  let ring = DB.ring db in
+  let table = DB.table db in
+  let tab =
+    match ring.Secshare_poly.Ring.table with
+    | Some tab -> tab
+    | None -> failwith "kernel bench: ring has no byte tables"
+  in
+  let n = ring.Secshare_poly.Ring.n in
+  let module Cyclic = Secshare_poly.Cyclic in
+  let module Codec = Secshare_poly.Codec in
+  let module Flat = Secshare_poly.Flat in
+  let module Table = Secshare_store.Node_table in
+  (* a scan batch of real shares, as the server sees them *)
+  let shares =
+    let root = Option.get (Table.root table) in
+    let acc = ref [] in
+    let count = ref 0 in
+    ignore
+      (Table.fold_descendants table ~pre:root.Secshare_store.Page.pre
+         ~post:root.Secshare_store.Page.post ~init:() ~f:(fun () row ->
+           if !count < 2048 then begin
+             acc := row.Secshare_store.Page.share :: !acc;
+             incr count
+           end));
+    Array.of_list (List.rev !acc)
+  in
+  let batch = Array.length shares in
+  let point = 5 in
+  let mul_row = Flat.point_row tab ~point in
+  let out = Array.make batch 0 in
+  let reps = if !quick then 20 else 100 in
+  (* containment: whole batch evaluated at one point per pass *)
+  let (), ref_s =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          for i = 0 to batch - 1 do
+            let poly = Codec.unpack_cyclic ring (Array.unsafe_get shares i) in
+            out.(i) <- Cyclic.eval ring poly point
+          done
+        done)
+  in
+  let expect = Array.copy out in
+  Array.fill out 0 batch (-1);
+  let (), ker_s =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          Flat.eval_share_batch tab ~mul_row ~n shares ~out
+        done)
+  in
+  if out <> expect then failwith "kernel bench: containment results differ";
+  let evals = float_of_int (reps * batch) in
+  let ref_ns = ref_s /. evals *. 1e9 and ker_ns = ker_s /. evals *. 1e9 in
+  let c_speedup = ref_ns /. ker_ns in
+  printf "%-24s %12s %12s %9s\n" "op" "ref(ns)" "kernel(ns)" "speedup";
+  printf "%-24s %12.1f %12.1f %8.2fx  (batch=%d, identical results)\n"
+    "containment-eval" ref_ns ker_ns c_speedup batch;
+  record "kernel"
+    [
+      ("op", J_str "containment");
+      ("batch", J_int batch);
+      ("ref_ns_per_eval", J_float ref_ns);
+      ("kernel_ns_per_eval", J_float ker_ns);
+      ("speedup", J_float c_speedup);
+      ("identical", J_int 1);
+    ];
+  (* equality: the client-side product of child polynomials *)
+  let rng = Secshare_prg.Xoshiro.create 83L in
+  let random_poly () =
+    Cyclic.random ring ~gen:(fun () -> Secshare_prg.Xoshiro.next_int rng ~bound:83)
+  in
+  let children = Array.init 8 (fun _ -> random_poly ()) in
+  let child_list = Array.to_list children in
+  let prods = if !quick then 200 else 1000 in
+  let reference = ref (Cyclic.one ring) in
+  let (), ref_s =
+    time_it (fun () ->
+        for _ = 1 to prods do
+          reference := List.fold_left (Cyclic.mul ring) (Cyclic.one ring) child_list
+        done)
+  in
+  let kernel_result = ref (Cyclic.one ring) in
+  let (), ker_s =
+    time_it (fun () ->
+        let acc = Array.make n 0 in
+        let scratch = Array.make n 0 in
+        for _ = 1 to prods do
+          Array.blit (Cyclic.view children.(0)) 0 acc 0 n;
+          let a = ref acc and b = ref scratch in
+          for i = 1 to Array.length children - 1 do
+            Flat.mul_into tab ~n ~a:!a ~b:(Cyclic.view children.(i)) ~out:!b;
+            let t0 = !a in
+            a := !b;
+            b := t0
+          done;
+          kernel_result := Cyclic.of_int_array ring !a
+        done)
+  in
+  if not (Cyclic.equal !reference !kernel_result) then
+    failwith "kernel bench: equality products differ";
+  let ref_us = ref_s /. float_of_int prods *. 1e6 in
+  let ker_us = ker_s /. float_of_int prods *. 1e6 in
+  let e_speedup = ref_us /. ker_us in
+  printf "%-24s %12.1f %12.1f %8.2fx  (8 children, identical products)\n"
+    "equality-product(us)" ref_us ker_us e_speedup;
+  record "kernel"
+    [
+      ("op", J_str "equality");
+      ("children", J_int 8);
+      ("ref_us_per_product", J_float ref_us);
+      ("kernel_us_per_product", J_float ker_us);
+      ("speedup", J_float e_speedup);
+      ("identical", J_int 1);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop load generator against the event-loop server             *)
+(* ------------------------------------------------------------------ *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try int_of_string s with Failure _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( try float_of_string s with Failure _ -> default)
+  | None -> default
+
+let loadgen () =
+  heading "Open-loop load generation (event-loop server, forked)";
+  let db = xmark_db 100_000 in
+  let sessions = env_int "SSDB_LOADGEN_SESSIONS" (if !quick then 500 else 10_000) in
+  let rate = env_float "SSDB_LOADGEN_RATE" (if !quick then 1000.0 else 4000.0) in
+  let duration = env_float "SSDB_LOADGEN_DURATION" (if !quick then 3.0 else 10.0) in
+  printf "target: %d sessions, %.0f req/s over %.0fs (Eval_batch, golden-checked)\n"
+    sessions rate duration;
+  let r = Loadgen.run ~sessions ~rate ~duration db () in
+  printf "sessions connected:   %d / %d\n" r.Loadgen.sessions r.Loadgen.requested_sessions;
+  printf "sent / received:      %d / %d (%d send errors)\n" r.Loadgen.sent
+    r.Loadgen.received r.Loadgen.send_errors;
+  printf "golden mismatches:    %d\n" r.Loadgen.golden_mismatches;
+  printf "achieved rate:        %.0f resp/s\n" r.Loadgen.achieved_rate;
+  printf "latency p50/p99/max:  %.2f / %.2f / %.2f ms (from scheduled send)\n"
+    r.Loadgen.p50_ms r.Loadgen.p99_ms r.Loadgen.max_ms;
+  if r.Loadgen.golden_mismatches > 0 then failwith "loadgen: golden mismatch";
+  if r.Loadgen.received = 0 then failwith "loadgen: no responses";
+  record "loadgen"
+    [
+      ("sessions", J_int r.Loadgen.sessions);
+      ("requested_sessions", J_int r.Loadgen.requested_sessions);
+      ("target_rate", J_float r.Loadgen.target_rate);
+      ("duration_s", J_float r.Loadgen.duration);
+      ("sent", J_int r.Loadgen.sent);
+      ("received", J_int r.Loadgen.received);
+      ("send_errors", J_int r.Loadgen.send_errors);
+      ("golden_mismatches", J_int r.Loadgen.golden_mismatches);
+      ("achieved_rate", J_float r.Loadgen.achieved_rate);
+      ("p50_ms", J_float r.Loadgen.p50_ms);
+      ("p99_ms", J_float r.Loadgen.p99_ms);
+      ("max_ms", J_float r.Loadgen.max_ms);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -831,6 +1004,8 @@ let experiments =
     ("btree", btree_ablation);
     ("durability", durability_ablation);
     ("micro", micro);
+    ("kernel", kernel);
+    ("loadgen", loadgen);
   ]
 
 let () =

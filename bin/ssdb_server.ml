@@ -13,8 +13,8 @@ module Obs = Secshare_obs
 
 let err fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
-let run db_path socket_path p e durable cursor_ttl max_cursors workers metrics_port
-    slow_query_ms log_level trace_log =
+let run db_path socket_path p e durable cursor_ttl max_cursors workers send_timeout
+    metrics_port slow_query_ms log_level trace_log =
   match Obs.Events.level_of_string log_level with
   | Result.Error m -> err "%s" m
   | Result.Ok level -> (
@@ -72,8 +72,11 @@ let run db_path socket_path p e durable cursor_ttl max_cursors workers metrics_p
                       (Unix.error_message errno);
                     None
             in
+            let send_timeout =
+              if send_timeout > 0.0 then Some send_timeout else None
+            in
             let server =
-              Secshare_rpc.Server.start_sessions ~path:socket_path
+              Secshare_rpc.Server.start_sessions ?send_timeout ~path:socket_path
                 ~session:(fun () ->
                   let on_request, on_close =
                     Secshare_core.Server_filter.connection filter
@@ -158,6 +161,15 @@ let workers_arg =
            eval batch in parallel.  1 (the default) evaluates inline on the handler \
            thread.")
 
+let send_timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "send-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Disconnect a client whose response has been stuck part-written in the \
+           connection's output buffer for this long (a reader that stopped \
+           reading).  0 (the default) never disconnects on write stalls.")
+
 let metrics_port_arg =
   Arg.(
     value & opt int (-1)
@@ -194,7 +206,7 @@ let cmd =
     Term.(
       ret
         (const run $ db_path $ socket_path $ p_arg $ e_arg $ durable_arg
-       $ cursor_ttl_arg $ max_cursors_arg $ workers_arg $ metrics_port_arg
-       $ slow_query_ms_arg $ log_level_arg $ trace_log_arg))
+       $ cursor_ttl_arg $ max_cursors_arg $ workers_arg $ send_timeout_arg
+       $ metrics_port_arg $ slow_query_ms_arg $ log_level_arg $ trace_log_arg))
 
 let () = exit (Cmd.eval' cmd)

@@ -85,12 +85,27 @@ let client_poly t ~pre =
             obs_cache_evictions;
           poly)
 
+(* Evaluate a regenerated client polynomial.  With ring byte tables
+   (any q <= 256) this is the flat Horner kernel over the cached
+   coefficient buffer — no unpacking, no closure calls; the zero
+   point defers to [Cyclic.eval] so its error is unchanged. *)
+let eval_poly t poly point =
+  match t.ring.Secshare_poly.Ring.table with
+  | None -> Cyclic.eval t.ring poly point
+  | Some tab ->
+      let p = t.ring.Secshare_poly.Ring.normalize point in
+      if p = 0 then Cyclic.eval t.ring poly point
+      else
+        Secshare_poly.Flat.eval_coeffs tab
+          ~mul_row:(Secshare_poly.Flat.point_row tab ~point:p)
+          (Cyclic.view poly)
+
 let client_eval t ~pre ~point =
   match t.eval_cache with
-  | None -> Cyclic.eval t.ring (client_poly t ~pre) point
+  | None -> eval_poly t (client_poly t ~pre) point
   | Some cache ->
       Lru.find_or_add cache (pre, point) ~compute:(fun _ ->
-          Cyclic.eval t.ring (client_poly t ~pre) point)
+          eval_poly t (client_poly t ~pre) point)
 
 let call t request =
   match Transport.call t.transport request with
@@ -238,6 +253,30 @@ let fetch_shares t pres =
       shares
   | response -> protocol_error "Shares" response
 
+(* The equality test's product of child polynomials.  The reference
+   fold allocates a fresh n-vector per child ([Cyclic.mul]); the
+   kernel path ping-pongs two scratch buffers through
+   [Flat.mul_into], so an arbitrarily wide node costs exactly two
+   allocations.  Same fold order, same field ops (the tables are
+   built from them) — bit-identical product. *)
+let product_of_children t child_polys =
+  match (t.ring.Secshare_poly.Ring.table, child_polys) with
+  | None, _ | _, [] ->
+      List.fold_left (Cyclic.mul t.ring) (Cyclic.one t.ring) child_polys
+  | Some tab, first :: rest ->
+      let n = t.ring.Secshare_poly.Ring.n in
+      let acc = ref (Array.copy (Cyclic.view first)) in
+      let scratch = ref (Array.make n 0) in
+      List.iter
+        (fun p ->
+          Secshare_poly.Flat.mul_into tab ~n ~a:!acc ~b:(Cyclic.view p)
+            ~out:!scratch;
+          let swap = !acc in
+          acc := !scratch;
+          scratch := swap)
+        rest;
+      Cyclic.of_int_array t.ring !acc
+
 let reconstruct t ~pre share_bytes =
   let server = Secshare_poly.Codec.unpack_cyclic t.ring share_bytes in
   (* client + server, with the client half served from the cache *)
@@ -257,9 +296,7 @@ let tag_value t (meta : Protocol.node_meta) =
   match polys with
   | [] -> assert false
   | node_poly :: child_polys -> (
-      let product =
-        List.fold_left (Cyclic.mul t.ring) (Cyclic.one t.ring) child_polys
-      in
+      let product = product_of_children t child_polys in
       match Cyclic.recover_linear_factor t.ring ~product ~node:node_poly with
       | Ok value -> Some value
       | Error `Degenerate ->

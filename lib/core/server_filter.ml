@@ -37,11 +37,24 @@ let obs_slow_queries =
    so an abandoned scan pins no row memory. *)
 type scan_state = {
   points : int list;
+  point_tabs : point_tabs;
+      (** per-query evaluation tables, precomputed once per scan *)
   mutable pending_parents : int list;  (** Children_of mode *)
   mutable buffered_rows : Page.row list;  (** children fetched but not yet sent *)
   mutable current_range : (int * int) option;  (** (next_pre, below_post) *)
   mutable pending_ranges : (int * int) list;
 }
+
+(* The flat-kernel plumbing (DESIGN.md §13): when the ring carries
+   byte op-tables (always true for the paper's F_83; any q <= 256), a
+   scan precomputes one multiplication-table row per query point and
+   every row evaluation becomes an allocation-free Horner pass
+   straight over the packed share bytes.  [None] per point marks the
+   zero point, which must keep raising exactly like the reference
+   path ([Cyclic.eval]) — we defer to it on first use. *)
+and point_tabs =
+  | Reference  (** no tables: closure-based unpack + eval *)
+  | Kernel of Secshare_field.Table.t * Bytes.t option list
 
 type cursor_state =
   | Buffered of Protocol.node_meta list  (** legacy [Descendants] buffer *)
@@ -107,9 +120,39 @@ let close t = Pool.close t.pool
 let meta_of_row (row : Page.row) =
   { Protocol.pre = row.Page.pre; post = row.Page.post; parent = row.Page.parent }
 
-let eval_share t (row : Page.row) point =
+let kernel t = t.ring.Secshare_poly.Ring.table
+
+(* Reference path: per-row unpack into an int array, then Horner over
+   the ring's closure-cached field operations.  Kept as the fallback
+   for rings without byte tables (q > 256) and for the zero point,
+   whose [Invalid_argument] the kernels must reproduce exactly. *)
+let eval_share_ref t (row : Page.row) point =
   let poly = Secshare_poly.Codec.unpack_cyclic t.ring row.Page.share in
   Secshare_poly.Cyclic.eval t.ring poly point
+
+let point_tabs t points =
+  match kernel t with
+  | None -> Reference
+  | Some tab ->
+      Kernel
+        ( tab,
+          List.map
+            (fun point ->
+              let p = t.ring.Secshare_poly.Ring.normalize point in
+              if p = 0 then None
+              else Some (Secshare_poly.Flat.point_row tab ~point:p))
+            points )
+
+let eval_share t (row : Page.row) point =
+  match kernel t with
+  | None -> eval_share_ref t row point
+  | Some tab ->
+      let p = t.ring.Secshare_poly.Ring.normalize point in
+      if p = 0 then eval_share_ref t row point
+      else
+        Secshare_poly.Flat.eval_share tab
+          ~mul_row:(Secshare_poly.Flat.point_row tab ~point:p)
+          ~n:t.ring.Secshare_poly.Ring.n row.Page.share
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -251,20 +294,32 @@ let dedup_ranges ranges =
   in
   keep min_int sorted
 
-(* Evaluate one row's share at every point of the scan, unpacking the
-   polynomial once.  Pure: reads only the immutable row payload, so it
-   is safe on any pool worker. *)
-let row_values t points (row : Page.row) =
-  match points with
-  | [] -> (meta_of_row row, [])
-  | _ ->
+(* Evaluate one row's share at every point of the scan.  With kernel
+   tables the share is never unpacked: each point's precomputed table
+   row drives a Horner pass directly over the packed bytes.  Pure:
+   reads only the immutable row payload, so it is safe on any pool
+   worker. *)
+let row_values t (scan : scan_state) (row : Page.row) =
+  match (scan.points, scan.point_tabs) with
+  | [], _ -> (meta_of_row row, [])
+  | points, Kernel (tab, rows_tabs) ->
+      let n = t.ring.Secshare_poly.Ring.n in
+      ( meta_of_row row,
+        List.map2
+          (fun point mul_row ->
+            match mul_row with
+            | Some mul_row ->
+                Secshare_poly.Flat.eval_share tab ~mul_row ~n row.Page.share
+            | None -> eval_share_ref t row point)
+          points rows_tabs )
+  | points, Reference ->
       let poly = Secshare_poly.Codec.unpack_cyclic t.ring row.Page.share in
       (meta_of_row row, List.map (Secshare_poly.Cyclic.eval t.ring poly) points)
 
 (* Fan a batch's share evaluations out across the worker pool.  Called
    OUTSIDE the cursor lock: evaluation is the dominant cost of a scan
    and must not serialise concurrent sessions. *)
-let eval_rows t points rows = Pool.map_list t.pool rows ~f:(row_values t points)
+let eval_rows t scan rows = Pool.map_list t.pool rows ~f:(row_values t scan)
 
 (* Pull up to [max_items] rows out of a scan, advancing its resumable
    position.  Returns the raw rows (unevaluated — see [eval_rows]) and
@@ -371,6 +426,7 @@ let handle t (request : Protocol.request) : Protocol.response =
         | Protocol.Children_of parents ->
             {
               points;
+              point_tabs = point_tabs t points;
               pending_parents = List.sort_uniq compare parents;
               buffered_rows = [];
               current_range = None;
@@ -379,6 +435,7 @@ let handle t (request : Protocol.request) : Protocol.response =
         | Protocol.Pre_ranges ranges ->
             {
               points;
+              point_tabs = point_tabs t points;
               pending_parents = [];
               buffered_rows = [];
               current_range = None;
@@ -390,7 +447,7 @@ let handle t (request : Protocol.request) : Protocol.response =
          pool-parallel evaluation run without the cursor lock; only
          cursor registration takes it. *)
       let rows_raw, done_ = scan_collect t scan ~max_items:(max 1 max_items) in
-      let rows = eval_rows t scan.points rows_raw in
+      let rows = eval_rows t scan rows_raw in
       let bytes = batch_bytes rows in
       if done_ then begin
         (* a one-shot scan never registers a cursor, so its
@@ -431,7 +488,7 @@ let handle t (request : Protocol.request) : Protocol.response =
       | Error msg -> Protocol.Error_msg msg
       | Ok (scan, (rows_raw, done_)) ->
           (* Phase 2 (unlocked): pool-parallel share evaluation. *)
-          let rows = eval_rows t scan.points rows_raw in
+          let rows = eval_rows t scan rows_raw in
           (* Phase 3 (locked): accounting, and the single removal path
              when the scan drained.  The cursor may have been evicted
              (TTL/cap/connection close) while we evaluated; eviction
@@ -469,7 +526,20 @@ let handle t (request : Protocol.request) : Protocol.response =
           pres
       with
       | rows ->
-          Protocol.Values (Pool.map_list t.pool rows ~f:(fun row -> eval_share t row point))
+          (* one evaluation table for the whole batch; each pool task
+             is then a single allocation-free Horner pass *)
+          let eval_one =
+            match kernel t with
+            | Some tab
+              when t.ring.Secshare_poly.Ring.normalize point <> 0 ->
+                let p = t.ring.Secshare_poly.Ring.normalize point in
+                let mul_row = Secshare_poly.Flat.point_row tab ~point:p in
+                let n = t.ring.Secshare_poly.Ring.n in
+                fun (row : Page.row) ->
+                  Secshare_poly.Flat.eval_share tab ~mul_row ~n row.Page.share
+            | Some _ | None -> fun row -> eval_share_ref t row point
+          in
+          Protocol.Values (Pool.map_list t.pool rows ~f:eval_one)
       | exception Failure msg -> Protocol.Error_msg msg)
   | Protocol.Share pre -> (
       match Node_table.find_by_pre t.table pre with

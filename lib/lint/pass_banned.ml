@@ -11,7 +11,15 @@
    - Unguarded [Hashtbl] mutation in server-side concurrent modules:
      mutation must sit under [with_lock], a [Mutex.lock] region, or a
      function whose name ends in [_locked] (the called-with-lock-held
-     convention). *)
+     convention).
+   - [Thread.create] anywhere under lib/rpc: the RPC layer is
+     event-driven (one loop domain + the eval pool); spawning ad-hoc
+     threads there reintroduces the per-connection-thread model the
+     event loop replaced.
+   - Allocating combinators ([Array.map], [List.map], ...) inside the
+     designated kernel modules: those inner loops are the product's
+     hot path and must stay allocation-free — every temporary
+     array/list per call shows up as GC pressure at scan rates. *)
 
 open Parsetree
 
@@ -19,7 +27,11 @@ let random_allowed path =
   Ast_util.path_has_prefix path ~prefix:"lib/prg/"
   || Ast_util.path_has_prefix path ~prefix:"test/"
 
-(* Modules whose hash tables are reached from more than one thread. *)
+(* Modules whose hash tables are reached from more than one thread.
+   lib/rpc/server.ml is deliberately absent since the event-loop
+   rewrite: its only hash tables ([t.conns] and the Evloop index) are
+   confined to the loop domain, and everything shared across domains
+   there is a plain counter under [with_lock]. *)
 let concurrent_files =
   [
     "lib/core/server_filter.ml";
@@ -28,7 +40,39 @@ let concurrent_files =
     "lib/obs/trace.ml";
     "lib/obs/registry.ml";
     "lib/obs/metrics_http.ml";
-    "lib/rpc/server.ml";
+  ]
+
+(* Kernel modules: allocation-free by contract.  See the header of
+   each listed file. *)
+let kernel_files = [ "lib/poly/flat.ml" ]
+
+(* Combinators that allocate a fresh array/list per call.  Mutating /
+   folding combinators ([Array.fill], [Array.iter], [fold_left], ...)
+   stay legal in kernels. *)
+let allocating_combinators =
+  [
+    ("Array", "make");
+    ("Array", "make_matrix");
+    ("Array", "map");
+    ("Array", "mapi");
+    ("Array", "map2");
+    ("Array", "init");
+    ("Array", "append");
+    ("Array", "concat");
+    ("Array", "to_list");
+    ("Array", "of_list");
+    ("Array", "copy");
+    ("Array", "sub");
+    ("List", "map");
+    ("List", "mapi");
+    ("List", "map2");
+    ("List", "rev_map");
+    ("List", "concat_map");
+    ("List", "filter_map");
+    ("List", "filter");
+    ("List", "init");
+    ("List", "append");
+    ("List", "concat");
   ]
 
 let hashtbl_mutators = [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
@@ -83,6 +127,10 @@ let run (source : Lint_source.t) : Finding.t list =
   let concurrent =
     List.exists (fun f -> String.equal (Ast_util.normalize_path path) f) concurrent_files
   in
+  let kernel =
+    List.exists (fun f -> String.equal (Ast_util.normalize_path path) f) kernel_files
+  in
+  let in_rpc = Ast_util.path_has_prefix path ~prefix:"lib/rpc/" in
   (* Guard depth for the unguarded-hashtbl check: >0 while lexically
      under with_lock, a Mutex.lock region, or a *_locked function. *)
   let guard_depth = ref 0 in
@@ -100,6 +148,21 @@ let run (source : Lint_source.t) : Finding.t list =
         | [ "Obj"; "magic" ] | [ "Stdlib"; "Obj"; "magic" ] ->
             finding ~loc:e.pexp_loc ~severity:Finding.Error ~rule:"banned/obj-magic"
               ~allow_key:"banned-obj-magic" "Obj.magic is banned"
+        | ([ "Thread"; "create" ] | [ "Stdlib"; "Thread"; "create" ]) when in_rpc ->
+            finding ~loc:e.pexp_loc ~severity:Finding.Error ~rule:"banned/thread-in-rpc"
+              ~allow_key:"thread-in-rpc"
+              "Thread.create inside lib/rpc: the RPC layer is event-driven; put \
+               the work on the event loop or the eval pool instead of spawning a \
+               thread per connection"
+        | ([ m; f ] | [ "Stdlib"; m; f ])
+          when kernel && List.mem (m, f) allocating_combinators ->
+            finding ~loc:e.pexp_loc ~severity:Finding.Error ~rule:"banned/kernel-alloc"
+              ~allow_key:"kernel-alloc"
+              (Printf.sprintf
+                 "%s.%s allocates per call and this module is a designated \
+                  allocation-free kernel; write the loop over caller-provided \
+                  scratch instead"
+                 m f)
         | _ -> ())
     | _ -> ());
     match e.pexp_desc with

@@ -101,6 +101,21 @@ let handle_connection ~registry ~healthy fd =
       | None -> ()));
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* Run the handler, then drop ourselves from [t.threads].  Without the
+   self-removal the list grows by one [Thread.t] per scrape for the
+   lifetime of the endpoint (joined only at [stop]) — a slow leak under
+   a 15s-interval scraper.  The accept loop creates this thread while
+   holding [t.lock], so the removal here cannot run before the add. *)
+let handle_and_reap t ~registry ~healthy fd =
+  Fun.protect
+    ~finally:(fun () ->
+      let self = Thread.self () in
+      Mutex.lock t.lock;
+      t.threads <-
+        List.filter (fun th -> Thread.id th <> Thread.id self) t.threads;
+      Mutex.unlock t.lock)
+    (fun () -> handle_connection ~registry ~healthy fd)
+
 let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
     ?(healthy = fun () -> true) () =
   let inet_addr = Unix.inet_addr_of_string addr in
@@ -137,7 +152,7 @@ let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
              | fd, _ when t.running ->
                  Mutex.lock t.lock;
                  t.threads <-
-                   Thread.create (handle_connection ~registry ~healthy) fd :: t.threads;
+                   Thread.create (handle_and_reap t ~registry ~healthy) fd :: t.threads;
                  Mutex.unlock t.lock
              | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -148,6 +163,12 @@ let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
   t
 
 let port t = t.port
+
+let pending_handlers t =
+  Mutex.lock t.lock;
+  let n = List.length t.threads in
+  Mutex.unlock t.lock;
+  n
 
 let stop t =
   if t.running then begin

@@ -22,5 +22,11 @@ val start :
 
 val port : t -> int
 
+val pending_handlers : t -> int
+(** Number of connection-handler threads currently tracked.  Handlers
+    remove themselves on completion, so under no load this returns to
+    0 between scrapes rather than growing by one per served request —
+    tests use it to pin down the reaping behaviour. *)
+
 val stop : t -> unit
-(** Stop accepting, join every connection thread. *)
+(** Stop accepting, join every connection thread still in flight. *)

@@ -28,6 +28,7 @@ let of_int_array (r : Ring.t) a =
   Array.map r.Ring.normalize a
 
 let to_int_array v = Array.copy v
+let view (v : t) = v
 let coeff v i = v.(i)
 let linear r ~root = of_dense r (Dense.linear r ~root)
 

@@ -34,6 +34,10 @@ val of_int_array : Ring.t -> int array -> t
 val to_int_array : t -> int array
 (** Fresh coefficient vector of length [dim r]. *)
 
+val view : t -> int array
+(** The underlying coefficient buffer, NOT a copy: zero-allocation
+    access for the {!Flat} kernels.  Callers must not mutate it. *)
+
 val coeff : t -> int -> int
 
 val linear : Ring.t -> root:int -> t

@@ -19,6 +19,9 @@ type t = {
   inv : int -> int;
   div : int -> int -> int;
   normalize : int -> int;
+  table : Secshare_field.Table.t option;
+      (** Flat byte op-tables when [order <= 256]; the packed kernels in
+          {!Flat} require them, closure-based paths ignore them. *)
 }
 
 let make field =
@@ -38,6 +41,7 @@ let make field =
     inv = lift1 F.inv;
     div = lift2 F.div;
     normalize = (fun k -> F.to_int (F.of_int k));
+    table = Secshare_field.Table.create field;
   }
 
 let of_prime_power ~p ~e = make (Secshare_field.Gf.create ~p ~e)

@@ -1,0 +1,114 @@
+external fd_int : Unix.file_descr -> int = "ssdb_fd_int" [@@noalloc]
+
+external poll_arrays : int array -> int array -> int array -> int -> int -> int
+  = "ssdb_poll"
+
+type t = {
+  mutable fds : int array;  (* parallel arrays; slots [0, count) live *)
+  mutable events : int array;
+  mutable revents : int array;
+  mutable count : int;
+  index : (int, int) Hashtbl.t;  (* fd number -> live slot *)
+  (* scratch for [wait]: ready (fd, revents) pairs are snapshotted
+     before any callback runs, because callbacks mutate the slots *)
+  mutable ready_fds : int array;
+  mutable ready_evs : int array;
+}
+
+let create () =
+  {
+    fds = Array.make 64 (-1);
+    events = Array.make 64 0;
+    revents = Array.make 64 0;
+    count = 0;
+    index = Hashtbl.create 64;
+    ready_fds = Array.make 64 (-1);
+    ready_evs = Array.make 64 0;
+  }
+
+let interest ~read ~write = (if read then 1 else 0) lor (if write then 2 else 0)
+
+let grow t =
+  let cap = Array.length t.fds in
+  if t.count = cap then begin
+    let fds = Array.make (2 * cap) (-1) in
+    let events = Array.make (2 * cap) 0 in
+    let revents = Array.make (2 * cap) 0 in
+    Array.blit t.fds 0 fds 0 cap;
+    Array.blit t.events 0 events 0 cap;
+    t.fds <- fds;
+    t.events <- events;
+    t.revents <- revents
+  end
+
+let add t fd ~read ~write =
+  let n = fd_int fd in
+  if Hashtbl.mem t.index n then
+    invalid_arg (Printf.sprintf "Evloop.add: fd %d already registered" n);
+  grow t;
+  t.fds.(t.count) <- n;
+  t.events.(t.count) <- interest ~read ~write;
+  t.revents.(t.count) <- 0;
+  Hashtbl.replace t.index n t.count;
+  t.count <- t.count + 1
+
+let modify t fd ~read ~write =
+  let n = fd_int fd in
+  match Hashtbl.find_opt t.index n with
+  | None -> invalid_arg (Printf.sprintf "Evloop.modify: fd %d not registered" n)
+  | Some slot -> t.events.(slot) <- interest ~read ~write
+
+let remove t fd =
+  let n = fd_int fd in
+  match Hashtbl.find_opt t.index n with
+  | None -> ()
+  | Some slot ->
+      let last = t.count - 1 in
+      if slot <> last then begin
+        (* swap the last live slot in to keep the arrays dense *)
+        t.fds.(slot) <- t.fds.(last);
+        t.events.(slot) <- t.events.(last);
+        t.revents.(slot) <- t.revents.(last);
+        Hashtbl.replace t.index t.fds.(slot) slot
+      end;
+      t.fds.(last) <- -1;
+      t.count <- last;
+      Hashtbl.remove t.index n
+
+let mem t fd = Hashtbl.mem t.index (fd_int fd)
+let size t = t.count
+
+(* Unix.file_descr is abstract; C gives us int -> fd for free via the
+   same identity trick in reverse.  Kept private to this module. *)
+external fd_of_int : int -> Unix.file_descr = "ssdb_fd_int" [@@noalloc]
+
+let wait t ~timeout_ms ~f =
+  let n_ready = poll_arrays t.fds t.events t.revents t.count timeout_ms in
+  if n_ready > 0 then begin
+    if Array.length t.ready_fds < n_ready then begin
+      t.ready_fds <- Array.make (2 * n_ready) (-1);
+      t.ready_evs <- Array.make (2 * n_ready) 0
+    end;
+    let found = ref 0 in
+    let i = ref 0 in
+    while !found < n_ready && !i < t.count do
+      let re = t.revents.(!i) in
+      if re <> 0 then begin
+        t.ready_fds.(!found) <- t.fds.(!i);
+        t.ready_evs.(!found) <- re;
+        incr found
+      end;
+      incr i
+    done;
+    for j = 0 to !found - 1 do
+      let fd = t.ready_fds.(j) in
+      (* a callback earlier in this round may have removed (even
+         closed) this descriptor; its stale events must not fire *)
+      if Hashtbl.mem t.index fd then begin
+        let re = t.ready_evs.(j) in
+        f (fd_of_int fd) ~readable:(re land 1 <> 0) ~writable:(re land 2 <> 0)
+          ~error:(re land 4 <> 0)
+      end
+    done
+  end;
+  n_ready

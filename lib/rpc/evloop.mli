@@ -1,0 +1,40 @@
+(** A poll(2)-backed readiness multiplexer: the flat interest set under
+    the event-loop server.
+
+    [Unix.select] tops out at 1024 descriptors; this keeps parallel
+    fd/interest arrays (compacted with swap-removal) and hands them to
+    a C stub around [poll], so one loop domain can watch tens of
+    thousands of sockets.  Not thread-safe: a [t] belongs to the one
+    domain that runs its loop. *)
+
+type t
+
+val create : unit -> t
+
+val fd_int : Unix.file_descr -> int
+(** The descriptor's integer value (an identity function in C — the
+    portable alternative to [Obj.magic]); used as the key for
+    per-connection tables. *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register interest.  @raise Invalid_argument if already present. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change interest.  @raise Invalid_argument if absent. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Forget the descriptor; a no-op if absent. *)
+
+val mem : t -> Unix.file_descr -> bool
+val size : t -> int
+
+val wait :
+  t ->
+  timeout_ms:int ->
+  f:(Unix.file_descr -> readable:bool -> writable:bool -> error:bool -> unit) ->
+  int
+(** One poll round: block up to [timeout_ms] (-1 = forever), then call
+    [f] once per ready descriptor.  [f] may add or remove descriptors
+    (including its own); events for a descriptor removed by an earlier
+    callback in the same round are dropped.  Returns the number of
+    ready descriptors (0 on timeout or EINTR). *)

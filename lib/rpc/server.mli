@@ -1,37 +1,41 @@
-(** A threaded Unix-domain-socket server for the filter protocol — the
-    "big server" side of the paper's architecture (figure 3).
+(** An event-driven Unix-domain-socket server for the filter protocol —
+    the "big server" side of the paper's architecture (figure 3).
 
-    Each accepted connection runs on its own handler thread.  The
+    One loop domain multiplexes every connection over [poll(2)]
+    ({!Evloop}); request handlers run inline on the loop and fan
+    evaluation work out through the server filter's pool, so
+    connection count is bounded by descriptors, not threads.  The
     server keeps per-connection accounting, backs off instead of
     spinning when [accept] fails persistently (e.g. EMFILE), and
-    {!stop} performs a graceful drain: stop accepting, let in-flight
-    requests finish, join every handler thread, then unlink the
-    socket. *)
+    {!stop} performs a graceful drain: stop accepting, flush in-flight
+    responses, run close hooks, then unlink the socket. *)
 
 type t
 
 type session = {
   on_request : Protocol.request -> Protocol.response;
-      (** Must be safe for concurrent calls across connections (each
-          connection issues one request at a time). *)
+      (** Called from the loop domain, one outstanding request per
+          connection at a time; distinct connections' handlers never
+          overlap (they share the loop), so per-session state needs no
+          locking of its own. *)
   on_close : unit -> unit;
       (** Runs exactly once when the connection ends — client
-          disconnect, handler I/O failure, or server drain — before
-          the descriptor is closed.  Use it to release per-connection
+          disconnect, write deadline, or server drain — before the
+          descriptor is closed.  Use it to release per-connection
           server state (e.g. evict the connection's cursors). *)
 }
 
 val start : path:string -> handler:(Protocol.request -> Protocol.response) -> t
-(** Bind [path] (unlinking any stale socket), then accept connections
-    on a background thread; each connection gets its own handler
-    thread.  @raise Unix.Unix_error if binding fails. *)
+(** Bind [path] (unlinking any stale socket), then serve connections
+    from the event loop.  @raise Unix.Unix_error if binding fails. *)
 
 val start_sessions :
   ?send_timeout:float -> path:string -> session:(unit -> session) -> unit -> t
 (** Like {!start}, but a fresh [session] is created per connection,
     giving the handler connection identity and a close hook.
-    [send_timeout] bounds each response write so a client that stops
-    reading cannot wedge a handler thread forever. *)
+    [send_timeout] bounds how long a response may sit part-written in
+    the connection's output buffer, so a client that stops reading is
+    disconnected instead of holding memory forever. *)
 
 val path : t -> string
 
@@ -44,9 +48,15 @@ type stats = {
 
 val stats : t -> stats
 
+val backoff_delay : consecutive_failures:int -> float
+(** The accept-failure backoff schedule (seconds before re-arming the
+    listener), pure in the failure count (counted from 1).  Doubles
+    from 10 ms and saturates at 1 s — exposed so the resilience
+    tests can pin the schedule rather than timing real EMFILE
+    storms. *)
+
 val stop : t -> unit
 (** Graceful drain: stop accepting, close the listening socket, shut
-    down the read side of live connections (in-flight responses still
-    go out), join all handler threads — running their [on_close]
-    hooks — and unlink the path.  Returns once every handler has
-    exited. *)
+    down the read side of live connections, flush responses still in
+    output buffers (bounded by the send timeout), run every
+    [on_close] hook, join the loop domain, and unlink the path. *)

@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/poly/flat.ml *)
+(* Positive fixture: allocating combinators inside a designated
+   allocation-free kernel module. *)
+
+let eval_batch tab ~mul_row shares = Array.map (eval_share tab ~mul_row) shares
+let rows_of points = List.map (fun p -> point_row tab ~point:p) points
+let scratch n = Array.make n 0

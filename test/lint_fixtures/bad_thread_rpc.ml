@@ -1,0 +1,5 @@
+(* lint: pretend-path lib/rpc/handler.ml *)
+(* Positive fixture: spawning a thread inside the event-driven RPC
+   layer (the per-connection-thread model the event loop replaced). *)
+
+let serve_conn t fd = Thread.create (fun () -> handle t fd) ()

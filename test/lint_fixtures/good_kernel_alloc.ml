@@ -1,0 +1,11 @@
+(* lint: pretend-path lib/poly/flat.ml *)
+(* Negative fixture: kernel-style loops over caller-provided scratch;
+   non-allocating combinators (fill, iteri, unsafe accessors) are
+   legal in kernels. *)
+
+let eval_batch tab ~mul_row ~n shares ~out =
+  for i = 0 to Array.length shares - 1 do
+    Array.unsafe_set out i (eval_share tab ~mul_row ~n (Array.unsafe_get shares i))
+  done
+
+let clear out n = Array.fill out 0 n 0

@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/rpc/handler.ml *)
+(* Negative fixture: lib/rpc code that stays on the event loop (and a
+   Thread.create OUTSIDE lib/rpc is legal -- covered by the
+   pretend-path on the bad twin, not here). *)
+
+let serve_conn t fd = Evloop.add t.loop fd ~read:true ~write:false
+let wake t = ignore (Unix.write t.wake_w t.one 0 1)

@@ -1,0 +1,197 @@
+(* Equivalence of the flat byte-table kernels (Secshare_poly.Flat /
+   Secshare_field.Table) against the closure-based reference path
+   (Dense.eval / Cyclic.eval / Cyclic.mul / Codec.unpack).  The
+   kernels must be BIT-IDENTICAL to the reference — the server swaps
+   them in underneath Scan_eval/Eval_batch without renegotiating
+   anything with the client, so any divergence is silent data
+   corruption.  Exercised over the paper field F_83 and the extension
+   field GF(3^4), whose canonical encodings are not integer arithmetic
+   mod q and therefore catch any table built from the wrong ops. *)
+
+module Ring = Secshare_poly.Ring
+module Dense = Secshare_poly.Dense
+module Cyclic = Secshare_poly.Cyclic
+module Codec = Secshare_poly.Codec
+module Flat = Secshare_poly.Flat
+module Table = Secshare_field.Table
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let r83 = Ring.of_prime ~p:83
+let r81 = Ring.of_prime_power ~p:3 ~e:4
+
+let table_of ring =
+  match ring.Ring.table with
+  | Some tab -> tab
+  | None -> Alcotest.failf "expected an op table for order %d" ring.Ring.order
+
+let gen_cyclic ring =
+  let open QCheck2.Gen in
+  let* coeffs = array_repeat ring.Ring.n (int_range 0 (ring.Ring.order - 1)) in
+  return (Cyclic.of_int_array ring coeffs)
+
+let gen_point ring = QCheck2.Gen.int_range 1 (ring.Ring.order - 1)
+
+(* --- the tables themselves ----------------------------------------- *)
+
+(* Exhaustive, not sampled: both tables are only q * q entries. *)
+let test_table_matches_field ring name () =
+  let tab = table_of ring in
+  let q = ring.Ring.order in
+  Alcotest.(check int) (name ^ ": order") q (Table.order tab);
+  Alcotest.(check int) (name ^ ": bits") (Codec.bits_per_coeff q) (Table.bits tab);
+  for a = 0 to q - 1 do
+    for b = 0 to q - 1 do
+      if Table.add tab a b <> ring.Ring.add a b then
+        Alcotest.failf "%s: add table wrong at (%d, %d)" name a b;
+      if Table.mul tab a b <> ring.Ring.mul a b then
+        Alcotest.failf "%s: mul table wrong at (%d, %d)" name a b
+    done
+  done
+
+let test_no_table_above_256 () =
+  let ring = Ring.of_prime ~p:257 in
+  Alcotest.(check bool) "order 257 has no byte table" true (ring.Ring.table = None)
+
+let test_point_row_rejects_zero () =
+  let tab = table_of r83 in
+  Alcotest.check_raises "zero point"
+    (Invalid_argument
+       "Flat.point_row: evaluation at 0 is not preserved by reduction")
+    (fun () -> ignore (Flat.point_row tab ~point:0))
+
+(* --- evaluation kernels vs Dense/Cyclic reference ------------------ *)
+
+let eval_suite ring name =
+  let tab = table_of ring in
+  let n = ring.Ring.n in
+  let gc = gen_cyclic ring and gpt = gen_point ring in
+  [
+    qtest
+      (name ^ ": eval_coeffs = Cyclic.eval = Dense.eval")
+      (QCheck2.Gen.pair gc gpt)
+      (fun (c, point) ->
+        let mul_row = Flat.point_row tab ~point in
+        let kernel = Flat.eval_coeffs tab ~mul_row (Cyclic.view c) in
+        kernel = Cyclic.eval ring c point
+        && kernel = Dense.eval ring (Cyclic.to_dense ring c) point);
+    qtest
+      (name ^ ": eval_share = unpack + Cyclic.eval")
+      (QCheck2.Gen.pair gc gpt)
+      (fun (c, point) ->
+        let buf = Codec.pack_cyclic ring c in
+        let mul_row = Flat.point_row tab ~point in
+        Flat.eval_share tab ~mul_row ~n buf
+        = Cyclic.eval ring (Codec.unpack_cyclic ring buf) point);
+    qtest
+      (name ^ ": eval_share_batch elementwise, any batch size")
+      QCheck2.Gen.(
+        let* batch = int_range 0 40 in
+        let* polys = list_repeat batch gc in
+        let* point = gpt in
+        return (polys, point))
+      (fun (polys, point) ->
+        let shares = Array.of_list (List.map (Codec.pack_cyclic ring) polys) in
+        let out = Array.make (Array.length shares) (-1) in
+        let mul_row = Flat.point_row tab ~point in
+        Flat.eval_share_batch tab ~mul_row ~n shares ~out;
+        List.for_all2
+          (fun c v -> v = Cyclic.eval ring c point)
+          polys
+          (Array.to_list out));
+    (* degree edges: a constant share evaluates to its constant
+       everywhere, and a share with every coefficient live (max degree
+       in the quotient) still matches the reference *)
+    qtest
+      (name ^ ": degree-0 share is constant")
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 (ring.Ring.order - 1)) gpt)
+      (fun (const, point) ->
+        let coeffs = Array.make n 0 in
+        coeffs.(0) <- const;
+        let buf = Codec.pack_cyclic ring (Cyclic.of_int_array ring coeffs) in
+        let mul_row = Flat.point_row tab ~point in
+        Flat.eval_share tab ~mul_row ~n buf = const);
+    qtest
+      (name ^ ": max-degree share matches reference")
+      (QCheck2.Gen.pair gc gpt)
+      (fun (c, point) ->
+        let coeffs = Cyclic.to_int_array c in
+        (* force the top coefficient live so degree is exactly n-1 *)
+        if coeffs.(n - 1) = 0 then coeffs.(n - 1) <- 1;
+        let full = Cyclic.of_int_array ring coeffs in
+        let buf = Codec.pack_cyclic ring full in
+        let mul_row = Flat.point_row tab ~point in
+        Flat.eval_share tab ~mul_row ~n buf = Cyclic.eval ring full point);
+  ]
+
+let test_eval_share_rejects_bad_coeff () =
+  (* an all-ones buffer decodes coefficients of 2^bits - 1 = 127,
+     outside F_83 — the kernel must validate exactly like
+     Codec.unpack rather than index off the table *)
+  let tab = table_of r83 in
+  let n = r83.Ring.n in
+  let buf = Bytes.make (Codec.byte_length ~q:83 ~n) '\xff' in
+  let mul_row = Flat.point_row tab ~point:2 in
+  match Flat.eval_share tab ~mul_row ~n buf with
+  | (_ : int) -> Alcotest.fail "expected Invalid_argument on coefficient >= q"
+  | exception Invalid_argument _ -> ()
+
+(* --- product kernel vs Cyclic.mul ---------------------------------- *)
+
+let mul_suite ring name =
+  let tab = table_of ring in
+  let n = ring.Ring.n in
+  let gc = gen_cyclic ring in
+  [
+    qtest (name ^ ": mul_into = Cyclic.mul") (QCheck2.Gen.pair gc gc)
+      (fun (a, b) ->
+        let out = Array.make n (-1) in
+        Flat.mul_into tab ~n ~a:(Cyclic.view a) ~b:(Cyclic.view b) ~out;
+        Cyclic.equal (Cyclic.of_int_array ring out) (Cyclic.mul ring a b));
+    qtest ~count:50
+      (name ^ ": ping-pong product fold = Cyclic.mul fold")
+      QCheck2.Gen.(
+        let* k = int_range 0 6 in
+        list_repeat k gc)
+      (fun children ->
+        let reference =
+          List.fold_left (Cyclic.mul ring) (Cyclic.one ring) children
+        in
+        let acc = ref (Cyclic.to_int_array (Cyclic.one ring)) in
+        let scratch = ref (Array.make n 0) in
+        List.iter
+          (fun child ->
+            Flat.mul_into tab ~n ~a:!acc ~b:(Cyclic.view child) ~out:!scratch;
+            let t = !acc in
+            acc := !scratch;
+            scratch := t)
+          children;
+        Cyclic.equal (Cyclic.of_int_array ring !acc) reference);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "F_83 table = field ops" `Quick
+            (test_table_matches_field r83 "F83");
+          Alcotest.test_case "GF(3^4) table = field ops" `Quick
+            (test_table_matches_field r81 "GF81");
+          Alcotest.test_case "no table above 256" `Quick test_no_table_above_256;
+          Alcotest.test_case "point_row rejects zero" `Quick
+            test_point_row_rejects_zero;
+        ] );
+      ("eval F83", eval_suite r83 "F83");
+      ("eval GF81", eval_suite r81 "GF81");
+      ( "validation",
+        [
+          Alcotest.test_case "eval_share rejects coeff >= q" `Quick
+            test_eval_share_rejects_bad_coeff;
+        ] );
+      ("mul F83", mul_suite r83 "F83");
+      ("mul GF81", mul_suite r81 "GF81");
+    ]

@@ -48,6 +48,8 @@ let all_rules =
     "banned/poly-compare";
     "banned/hashtbl-hash";
     "banned/unguarded-hashtbl";
+    "banned/thread-in-rpc";
+    "banned/kernel-alloc";
     "accounting/cursor-removal";
     "accounting/metrics-merge";
     "parse/error";
@@ -100,6 +102,8 @@ let positive_cases =
     ("bad_banned.ml", "banned/poly-compare", 2);
     ("bad_banned.ml", "banned/hashtbl-hash", 2);
     ("bad_unguarded.ml", "banned/unguarded-hashtbl", 1);
+    ("bad_thread_rpc.ml", "banned/thread-in-rpc", 1);
+    ("bad_kernel_alloc.ml", "banned/kernel-alloc", 3);
     ("bad_accounting.ml", "accounting/cursor-removal", 1);
     ("bad_accounting.ml", "accounting/metrics-merge", 1);
     ("bad_parse.ml", "parse/error", 1);
@@ -111,6 +115,8 @@ let negative_cases =
     "good_lock_order.ml";
     "good_banned.ml";
     "good_unguarded.ml";
+    "good_thread_rpc.ml";
+    "good_kernel_alloc.ml";
     "good_accounting.ml";
   ]
 

@@ -335,6 +335,38 @@ let test_metrics_endpoint_live () =
           Alcotest.(check bool) "503 while draining" true (contains drained "503");
           Alcotest.(check bool) "draining body" true (contains drained "draining")))
 
+let test_metrics_handler_reaping () =
+  (* a long-lived endpoint must not accumulate one dead Thread.t per
+     scrape: handlers self-remove on completion, so after a burst of
+     scrapes the tracked-handler count settles back to zero *)
+  let http = Obs.Metrics_http.start ~port:0 () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Metrics_http.stop http)
+    (fun () ->
+      let port = Obs.Metrics_http.port http in
+      let scrapes = 50 in
+      for _ = 1 to scrapes do
+        let body = http_get port "/metrics" in
+        Alcotest.(check bool) "scrape ok" true (contains body "200")
+      done;
+      (* each handler reaps itself just after writing its response; give
+         the last few a moment to get there *)
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      let rec settle () =
+        let pending = Obs.Metrics_http.pending_handlers http in
+        if pending = 0 then 0
+        else if Unix.gettimeofday () > deadline then pending
+        else begin
+          Thread.yield ();
+          Unix.sleepf 0.01;
+          settle ()
+        end
+      in
+      let remaining = settle () in
+      Alcotest.(check int)
+        (Printf.sprintf "handlers reaped after %d scrapes" scrapes)
+        0 remaining)
+
 (* --- slow-query log redaction ------------------------------------- *)
 
 let test_slow_query_redaction () =
@@ -405,7 +437,11 @@ let () =
           Alcotest.test_case "JSONL sink" `Quick test_trace_log_jsonl;
         ] );
       ( "endpoint",
-        [ Alcotest.test_case "scrape while serving" `Quick test_metrics_endpoint_live ] );
+        [
+          Alcotest.test_case "scrape while serving" `Quick test_metrics_endpoint_live;
+          Alcotest.test_case "handler threads are reaped" `Quick
+            test_metrics_handler_reaping;
+        ] );
       ( "slow-query",
         [ Alcotest.test_case "redaction" `Quick test_slow_query_redaction ] );
     ]

@@ -445,6 +445,59 @@ let test_server_stats () =
       check Alcotest.int "handled" 5 stats.Server.requests_handled;
       check Alcotest.int "drained" 0 stats.Server.connections_active)
 
+let test_accept_backoff_schedule () =
+  (* the EMFILE accept backoff carried over from the threaded server:
+     doubles from 10ms, saturates at 1s.  Pinned as a pure function so
+     a schedule regression (e.g. losing the cap and sleeping for
+     minutes under descriptor exhaustion) fails here instead of in
+     production *)
+  let expect =
+    [ (1, 0.01); (2, 0.02); (3, 0.04); (4, 0.08); (5, 0.16); (6, 0.32);
+      (7, 0.64); (8, 1.0); (9, 1.0); (100, 1.0) ]
+  in
+  List.iter
+    (fun (failures, delay) ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "delay after %d failures" failures)
+        delay
+        (Server.backoff_delay ~consecutive_failures:failures))
+    expect;
+  (* monotone non-decreasing: more failures never back off LESS *)
+  for n = 1 to 63 do
+    check Alcotest.bool "monotone" true
+      (Server.backoff_delay ~consecutive_failures:(n + 1)
+      >= Server.backoff_delay ~consecutive_failures:n)
+  done
+
+let test_many_concurrent_connections () =
+  (* the event loop must hold well over the old thread-per-connection
+     comfort zone on one poll set: open 128 connections at once, issue
+     interleaved requests on all of them, and drain cleanly *)
+  let path = Filename.temp_file "ssdb" ".sock" in
+  Sys.remove path;
+  let server = Server.start ~path ~handler:toy_handler in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let conns = Array.init 128 (fun _ -> must_connect path) in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Transport.close conns)
+        (fun () ->
+          for round = 1 to 3 do
+            Array.iteri
+              (fun i t ->
+                match Transport.call t (Protocol.Eval { pre = 40 + i; point = round }) with
+                | Protocol.Value v ->
+                    check Alcotest.int
+                      (Printf.sprintf "conn %d round %d" i round)
+                      (40 + i + round) v
+                | r -> Alcotest.failf "unexpected response: %a" Protocol.pp_response r)
+              conns
+          done;
+          let stats = Server.stats server in
+          check Alcotest.int "accepted all" 128 stats.Server.connections_accepted;
+          check Alcotest.int "handled all" (128 * 3) stats.Server.requests_handled))
+
 let () =
   Alcotest.run "rpc"
     [
@@ -481,5 +534,9 @@ let () =
             test_stopped_server_fails_fast;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
           Alcotest.test_case "server stats" `Quick test_server_stats;
+          Alcotest.test_case "accept backoff schedule" `Quick
+            test_accept_backoff_schedule;
+          Alcotest.test_case "128 concurrent connections" `Quick
+            test_many_concurrent_connections;
         ] );
     ]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Micro-bench regression gate for the flat field kernels.
+
+Usage: check_kernel_gate.py RESULTS.json BASELINE.json
+
+RESULTS.json is the output of `bench/main.exe --json RESULTS.json kernel`;
+BASELINE.json is the committed bench/kernel_baseline.json.  The gate
+compares kernel-vs-reference speedup ratios (machine-independent)
+within a tolerance band, plus a hard floor, and requires the bench's
+own bit-identical-results assertion to have passed.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"kernel gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    with open(sys.argv[1]) as f:
+        rows = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    tolerance = float(baseline["tolerance"])
+    hard_floor = float(baseline["hard_floor"])
+    kernel_rows = {
+        row["op"]: row for row in rows if row.get("experiment") == "kernel"
+    }
+    if not kernel_rows:
+        fail("no kernel rows in results (did the kernel experiment run?)")
+
+    ok = True
+    for op, spec in baseline["ops"].items():
+        row = kernel_rows.get(op)
+        if row is None:
+            fail(f"op {op!r} missing from results")
+        speedup = float(row["speedup"])
+        floor = max(hard_floor, float(spec["baseline_speedup"]) * (1.0 - tolerance))
+        identical = int(row.get("identical", 0))
+        status = "ok" if speedup >= floor and identical == 1 else "FAIL"
+        print(
+            f"kernel gate: {op}: speedup {speedup:.2f}x "
+            f"(floor {floor:.2f}x, identical={identical}) {status}"
+        )
+        if identical != 1:
+            print(
+                f"kernel gate: {op}: results were not bit-identical",
+                file=sys.stderr,
+            )
+            ok = False
+        if speedup < floor:
+            ok = False
+
+    if not ok:
+        fail("speedup regression or result mismatch (see rows above)")
+    print("kernel gate: PASS")
+
+
+if __name__ == "__main__":
+    main()
