@@ -26,11 +26,12 @@ val bits : t -> int
     [ceil (log2 q)]. *)
 
 val add : t -> int -> int -> int
-(** Table lookup [a + b].  Both operands must be canonical encodings in
-    [0, q); unchecked. *)
+(** Table lookup [a + b].  Validates both operands and raises
+    [Invalid_argument] unless they are canonical encodings in
+    [0, q). *)
 
 val mul : t -> int -> int -> int
-(** Table lookup [a * b]; operands as for {!add}. *)
+(** Table lookup [a * b]; operands validated as for {!add}. *)
 
 val unsafe_add : t -> int -> int -> int
 (** As {!add} with no bounds checks at all — the caller guarantees

@@ -3,11 +3,16 @@ exception Timeout
 (* A peer that vanishes between frames turns the next write into
    SIGPIPE, which kills the whole process by default; the RPC layer
    needs the EPIPE exception instead so the retry policy can classify
-   it.  Ignored lazily, once, on first frame I/O. *)
-let ignore_sigpipe =
-  lazy
-    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-     with Invalid_argument _ -> () (* no SIGPIPE on this platform *))
+   it.  Exposed as a plain function because every process that writes
+   to sockets outside [send] (the event-loop server uses raw
+   [Unix.write]) must install the ignore itself at startup — it cannot
+   rely on some client having forced the lazy below. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> () (* no SIGPIPE on this platform *)
+
+(* Frame I/O itself installs the ignore lazily, once, on first send. *)
+let sigpipe_ignored = lazy (ignore_sigpipe ())
 
 (* Wait until [fd] is ready for the given direction or [deadline]
    (absolute, [Unix.gettimeofday] clock) passes.  [select] can return
@@ -64,7 +69,7 @@ let read_exactly ?deadline fd len =
 let header_bytes = 12
 
 let send ?deadline ?(trace_id = 0L) fd payload =
-  Lazy.force ignore_sigpipe;
+  Lazy.force sigpipe_ignored;
   let header = Bytes.create header_bytes in
   Bytes.set_int32_be header 0 (Int32.of_int (String.length payload));
   Bytes.set_int64_be header 4 trace_id;

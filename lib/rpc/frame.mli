@@ -15,6 +15,15 @@
 
 exception Timeout
 
+val ignore_sigpipe : unit -> unit
+(** Set the process-wide SIGPIPE disposition to ignore (a no-op on
+    platforms without it), so writes to a vanished peer raise
+    [Unix.Unix_error (EPIPE, _, _)] instead of killing the process.
+    {!send} installs this on first use, but any component that writes
+    to sockets directly — the event-loop server in particular — must
+    call it at startup rather than rely on a client having sent a
+    frame first. *)
+
 val header_bytes : int
 (** Header size on the wire (12). *)
 

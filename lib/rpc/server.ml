@@ -231,7 +231,11 @@ let ensure_in_capacity conn =
 let on_readable t conn =
   let closed = ref false in
   let progress = ref true in
-  while !progress && not !closed do
+  (* the [conn.wlen = 0] guard mirrors the one-outstanding-request
+     discipline on the input side: once a reply is blocked we stop
+     pulling socket data, so a fast pipelining client backs up in the
+     kernel buffer instead of ballooning [rbuf] *)
+  while !progress && not !closed && conn.wlen = 0 do
     progress := false;
     ensure_in_capacity conn;
     (match
@@ -361,6 +365,11 @@ let drain_wake t =
 let drain t =
   Evloop.remove t.evloop t.listen_fd;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* the wake byte [stop] wrote has done its job; deregister the pipe
+     so the flush loop below actually blocks in poll instead of
+     busy-spinning on a permanently-readable descriptor *)
+  drain_wake t;
+  Evloop.remove t.evloop t.wake_r;
   let pending = ref [] in
   Hashtbl.iter
     (fun _ conn ->
@@ -432,6 +441,11 @@ let run_loop t =
 (* --- public surface ---------------------------------------------- *)
 
 let start_sessions ?send_timeout ~path ~session () =
+  (* the loop writes with raw Unix.write; without this a standalone
+     server dies of SIGPIPE on the first write to a vanished client
+     (in-process tests mask it because the client's Frame.send installs
+     the same process-wide ignore) *)
+  Frame.ignore_sigpipe ();
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
