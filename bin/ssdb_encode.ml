@@ -48,7 +48,56 @@ let load_or_create_mapping path ~p ~e ~trie xml_path =
                 Ok m))
   end
 
-let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_every =
+(* Sharded output: encode into a scratch in-memory table, then deal
+   every server share into n Shamir shard tables (threshold t) with a
+   fresh dealer seed that is deliberately NOT persisted — holding it
+   would let anyone collapse the t-of-n masking back to the
+   single-server share. *)
+let encode_sharded ~ring ~mapping ~seed ~trie ~db_path ~durable ~checkpoint_every
+    ~shards ~threshold xml_path =
+  let module Node_table = Secshare_store.Node_table in
+  let module Manifest = Secshare_shard.Manifest in
+  let source = Node_table.create () in
+  let result =
+    match open_in_bin xml_path with
+    | exception Sys_error m -> Error (Encode.Xml_error m)
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Encode.encode_channel ring ~mapping ~seed ~table:source ?trie ic)
+  in
+  match result with
+  | Error e -> err "encoding failed: %s" (Encode.error_to_string e)
+  | Ok stats -> (
+      let sinks =
+        Array.init shards (fun i ->
+            Node_table.create_file ~durable ?checkpoint_every
+              (Manifest.shard_db_path db_path (i + 1)))
+      in
+      match
+        Secshare_shard.Split.split_table ring ~threshold ~shards
+          ~dealer_seed:(Seed.generate ()) ~source ~sinks
+      with
+      | exception Invalid_argument m ->
+          Array.iter Node_table.close sinks;
+          err "sharding failed: %s" m
+      | manifests ->
+          Array.iteri
+            (fun i manifest ->
+              let shard_db = Manifest.shard_db_path db_path (i + 1) in
+              Manifest.save (Manifest.manifest_path shard_db) manifest;
+              Node_table.close sinks.(i))
+            manifests;
+          Printf.printf
+            "encoded %d nodes (%d elements, %d trie nodes) in %.2f s\n\
+             sharded %d-of-%d: %s.shard1..%d (+ .manifest each), %d partitions\n"
+            stats.Encode.nodes stats.Encode.elements stats.Encode.trie_nodes
+            stats.Encode.duration_seconds threshold shards db_path shards
+            (Manifest.partitions manifests.(0));
+          `Ok 0)
+
+let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_every
+    shards threshold =
   let trie =
     match trie_mode with
     | "none" -> Ok None
@@ -60,6 +109,9 @@ let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_eve
   | Error other -> err "unknown --trie mode %S (none|compressed|uncompressed)" other
   | Ok trie -> (
       if not (Secshare_field.Prime.is_prime p) then err "p = %d is not prime" p
+      else if shards < 1 then err "--shards must be >= 1"
+      else if threshold < 1 || threshold > shards then
+        err "--threshold %d outside [1, %d]" threshold shards
       else
         match load_or_create_seed seed_path with
         | Error m -> err "seed: %s" m
@@ -68,6 +120,10 @@ let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_eve
             | Error m -> err "map: %s" m
             | Ok mapping -> (
                 let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
+                if shards > 1 then
+                  encode_sharded ~ring ~mapping ~seed ~trie ~db_path ~durable
+                    ~checkpoint_every ~shards ~threshold xml_path
+                else
                 let table =
                   Secshare_store.Node_table.create_file ~durable ?checkpoint_every
                     db_path
@@ -138,12 +194,31 @@ let checkpoint_every_arg =
           "With $(b,--durable): checkpoint the write-ahead log every $(docv) inserts, \
            bounding log growth and recovery time.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Split the output into $(docv) Shamir shard databases \
+           ($(b,FILE.shard1)..$(b,FILE.shardN), each with a $(b,.manifest)) instead \
+           of one file.  Serve each with ssdb_server and front them with \
+           ssdb_router.")
+
+let threshold_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "t"; "threshold" ] ~docv:"T"
+        ~doc:
+          "With $(b,--shards): any $(docv) shards reconstruct every share (and \
+           $(docv)-1 learn nothing); up to N-$(docv) shards may be down without \
+           losing answers.")
+
 let cmd =
   let doc = "encode an XML document into an encrypted share database" in
   Cmd.v (Cmd.info "ssdb_encode" ~doc)
     Term.(
       ret
         (const run $ xml_path $ map_path $ seed_path $ db_path $ p_arg $ e_arg $ trie_arg
-       $ durable_arg $ checkpoint_every_arg))
+       $ durable_arg $ checkpoint_every_arg $ shards_arg $ threshold_arg))
 
 let () = exit (Cmd.eval' cmd)

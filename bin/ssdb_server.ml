@@ -43,9 +43,34 @@ let run db_path socket_path p e durable cursor_ttl max_cursors workers send_time
             let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
             let cursor_ttl = if cursor_ttl > 0.0 then Some cursor_ttl else None in
             let slow_query_ms = if slow_query_ms > 0.0 then Some slow_query_ms else None in
+            (* a shard table written by ssdb_encode --shards carries a
+               manifest next to it; serve it so the router's handshake
+               sees this server's place in the deployment *)
+            let manifest =
+              let path = Secshare_shard.Manifest.manifest_path db_path in
+              if not (Sys.file_exists path) then None
+              else
+                match Secshare_shard.Manifest.load path with
+                | Ok m
+                  when m.Secshare_shard.Manifest.p <> p
+                       || m.Secshare_shard.Manifest.e <> e ->
+                    Printf.eprintf
+                      "ignoring %s: field %d^%d disagrees with --p %d --e %d\n%!" path
+                      m.Secshare_shard.Manifest.p m.Secshare_shard.Manifest.e p e;
+                    None
+                | Ok m ->
+                    Printf.printf "shard %d of %d (threshold %d) per %s\n%!"
+                      m.Secshare_shard.Manifest.shard_id
+                      m.Secshare_shard.Manifest.shards
+                      m.Secshare_shard.Manifest.threshold path;
+                    Some (Secshare_shard.Manifest.to_info m)
+                | Error msg ->
+                    Printf.eprintf "ignoring %s: %s\n%!" path msg;
+                    None
+            in
             let filter =
               Secshare_core.Server_filter.create ?cursor_ttl ~max_cursors ?slow_query_ms
-                ~workers ring table
+                ~workers ?manifest ring table
             in
             let draining = ref false in
             let started = Unix.gettimeofday () in

@@ -339,30 +339,32 @@ let open_cursors t = Server_filter.open_cursors (local_exn t "open_cursors").ser
 let cursor_stats t = Server_filter.cursor_stats (local_exn t "cursor_stats").server
 let sweep_cursors t = Server_filter.sweep_cursors (local_exn t "sweep_cursors").server
 
-let connect ?(client = default_client_config) ~p ~e ~mapping ~seed ~path () =
+let of_transport ?(client = default_client_config) ~p ~e ~mapping ~seed transport =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else
     match checked_field_order ~p ~e with
     | Error _ as err -> err
-    | Ok _ -> (
-        let policy =
-          {
-            Transport.default_policy with
-            Transport.call_timeout = client.timeout;
-            max_retries = client.max_retries;
-          }
+    | Ok _ ->
+        let ring = Ring.of_prime_power ~p ~e in
+        let filter =
+          Client_filter.create ring ~seed ~batch_eval:client.rpc_batching
+            ~fused_scan:client.rpc_fused_scan ~share_cache:client.share_cache
+            transport
         in
-        match Transport.socket ~policy path with
-        | Error msg -> Error ("connect: " ^ msg)
-        | Ok transport ->
-            let ring = Ring.of_prime_power ~p ~e in
-            let filter =
-              Client_filter.create ring ~seed ~batch_eval:client.rpc_batching
-                ~fused_scan:client.rpc_fused_scan ~share_cache:client.share_cache
-                transport
-            in
-            Ok { ring; map = mapping; seed; filter; local = None })
+        Ok { ring; map = mapping; seed; filter; local = None }
+
+let connect ?(client = default_client_config) ~p ~e ~mapping ~seed ~path () =
+  let policy =
+    {
+      Transport.default_policy with
+      Transport.call_timeout = client.timeout;
+      max_retries = client.max_retries;
+    }
+  in
+  match Transport.socket ~policy path with
+  | Error msg -> Error ("connect: " ^ msg)
+  | Ok transport -> of_transport ~client ~p ~e ~mapping ~seed transport
 
 let close t =
   Client_filter.close t.filter;

@@ -188,6 +188,19 @@ val cursor_stats : t -> Server_filter.cursor_stats
 val sweep_cursors : t -> int
 (** Evict cursors idle past the configured TTL now; returns how many. *)
 
+val of_transport :
+  ?client:client_config ->
+  p:int ->
+  e:int ->
+  mapping:Mapping.t ->
+  seed:Secshare_prg.Seed.t ->
+  Secshare_rpc.Transport.t ->
+  (t, string) result
+(** A remote handle over an already-built transport — any endpoint
+    speaking the filter protocol: a socket to one server, an
+    in-process handler, or a shard router.  The handle owns the
+    transport and closes it with {!close}. *)
+
 val connect :
   ?client:client_config ->
   p:int ->
@@ -197,10 +210,10 @@ val connect :
   path:string ->
   unit ->
   (t, string) result
-(** A remote handle: the client's secret state over a socket
-    transport.  [client.timeout], [client.max_retries] configure the
-    transport; the cursor and worker fields are server-side and
-    ignored here. *)
+(** {!of_transport} over a socket: the client's secret state across a
+    Unix-domain-socket transport.  [client.timeout],
+    [client.max_retries] configure the transport; the cursor and
+    worker fields are server-side and ignored here. *)
 
 val close : t -> unit
 (** Close the transport; on a local handle also stop the server's

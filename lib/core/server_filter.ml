@@ -41,8 +41,10 @@ type scan_state = {
       (** per-query evaluation tables, precomputed once per scan *)
   mutable pending_parents : int list;  (** Children_of mode *)
   mutable buffered_rows : Page.row list;  (** children fetched but not yet sent *)
-  mutable current_range : (int * int) option;  (** (next_pre, below_post) *)
-  mutable pending_ranges : (int * int) list;
+  mutable current_range : (int * int * int) option;
+      (** (next_pre, until_pre, below_post); [until_pre = max_int]
+          for an unbounded range *)
+  mutable pending_ranges : (int * int * int) list;
 }
 
 (* The flat-kernel plumbing (DESIGN.md §13): when the ring carries
@@ -95,10 +97,13 @@ type t = {
   now : unit -> float;
   lock : Mutex.t;  (** guards the cursor table and its accounting only *)
   pool : Pool.t;  (** share evaluation fans out here, outside [lock] *)
+  manifest : Protocol.manifest_info option;
+      (** this server's place in a sharded deployment; [None] answers
+          the handshake with the trivial 1-of-1 manifest *)
 }
 
 let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettimeofday)
-    ?(workers = 1) ring table =
+    ?(workers = 1) ?manifest ring table =
   {
     ring;
     table;
@@ -112,6 +117,7 @@ let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettime
     now;
     lock = Mutex.create ();
     pool = Pool.create ~workers ();
+    manifest;
   }
 
 let workers t = Pool.size t.pool
@@ -339,16 +345,26 @@ let scan_collect t (scan : scan_state) ~max_items =
         emit row
     | [] -> (
         match scan.current_range with
-        | Some (from_pre, below_post) ->
+        | Some (from_pre, until_pre, below_post) ->
             let rows, resume =
               Node_table.scan_range t.table ~from_pre ~below_post
                 ~max_rows:(max_items - !count)
             in
-            List.iter emit rows;
+            (* Enforce the pre upper bound: subtree ranges are
+               pre-contiguous, so the first row at or past [until_pre]
+               ends this piece (the rest belongs to another bounded
+               piece, served elsewhere). *)
+            let truncated = ref false in
+            List.iter
+              (fun (row : Page.row) ->
+                if row.Page.pre >= until_pre then truncated := true
+                else if not !truncated then emit row)
+              rows;
             scan.current_range <-
               (match resume with
-              | Some pre -> Some (pre, below_post)
-              | None -> None)
+              | Some pre when (not !truncated) && pre < until_pre ->
+                  Some (pre, until_pre, below_post)
+              | Some _ | None -> None)
         | None -> (
             match (scan.pending_ranges, scan.pending_parents) with
             | range :: rest, _ ->
@@ -439,7 +455,23 @@ let handle t (request : Protocol.request) : Protocol.response =
               pending_parents = [];
               buffered_rows = [];
               current_range = None;
-              pending_ranges = dedup_ranges ranges;
+              pending_ranges =
+                List.map (fun (a, b) -> (a, max_int, b)) (dedup_ranges ranges);
+            }
+        | Protocol.Bounded_pre_ranges ranges ->
+            (* Router-issued pieces: already disjoint, just ordered;
+               empty windows are dropped rather than scanned. *)
+            {
+              points;
+              point_tabs = point_tabs t points;
+              pending_parents = [];
+              buffered_rows = [];
+              current_range = None;
+              pending_ranges =
+                List.filter
+                  (fun (a, u, _) -> a < u)
+                  (List.sort compare
+                     (List.map (fun (a, u, b) -> (a, u, b)) ranges));
             }
       in
       (* The scan is still private (no cursor registered), and table
@@ -563,6 +595,19 @@ let handle t (request : Protocol.request) : Protocol.response =
           data_bytes = Node_table.data_bytes t.table;
           index_bytes = Node_table.index_bytes t.table;
         }
+  | Protocol.Manifest ->
+      Protocol.Manifest_data
+        (match t.manifest with
+        | Some m -> m
+        | None ->
+            (* unsharded: one shard holding everything, one partition *)
+            {
+              Protocol.shard_id = 1;
+              shards = 1;
+              threshold = 1;
+              total_rows = Node_table.row_count t.table;
+              bounds = [ 1 ];
+            })
 
 let handler t request =
   match handle t request with

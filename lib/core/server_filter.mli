@@ -24,6 +24,7 @@ val create :
   ?slow_query_ms:float ->
   ?now:(unit -> float) ->
   ?workers:int ->
+  ?manifest:Secshare_rpc.Protocol.manifest_info ->
   Secshare_poly.Ring.t ->
   Secshare_store.Node_table.t ->
   t
@@ -38,10 +39,19 @@ val create :
     tests.  [workers] (default 1 = inline) sizes the {!Pool} of
     evaluator domains that batch share evaluation fans out over; the
     cursor table stays behind its own lock, and evaluation happens
-    outside it. *)
+    outside it.  [manifest] (default: the trivial 1-of-1 topology over
+    the table's rows) is what the [Manifest] handshake reports — set it
+    when this server is one shard of a threshold deployment. *)
 
 val workers : t -> int
 (** The configured evaluation-pool size (1 = inline). *)
+
+val dedup_ranges : (int * int) list -> (int * int) list
+(** The server's [Pre_ranges] normalisation — sort by [from_pre] and
+    drop ranges nested inside an earlier one.  Exposed for the
+    sharding router, which must replicate it exactly before splitting
+    a scan at partition boundaries so the merged shard streams emit
+    rows in the single server's order. *)
 
 val close : t -> unit
 (** Stop and join the evaluation pool.  Idempotent; a closed filter

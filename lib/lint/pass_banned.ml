@@ -16,6 +16,10 @@
      event-driven (one loop domain + the eval pool); spawning ad-hoc
      threads there reintroduces the per-connection-thread model the
      event loop replaced.
+   - [Thread.create] anywhere under lib/shard: the router serves
+     every connection from the RPC event loop and fans shard calls
+     out synchronously per request; spawning threads there would
+     smuggle unsynchronised concurrency past the cursor-table lock.
    - Allocating combinators ([Array.map], [List.map], ...) inside the
      designated kernel modules: those inner loops are the product's
      hot path and must stay allocation-free — every temporary
@@ -40,6 +44,7 @@ let concurrent_files =
     "lib/obs/trace.ml";
     "lib/obs/registry.ml";
     "lib/obs/metrics_http.ml";
+    "lib/shard/router.ml";
   ]
 
 (* Kernel modules: allocation-free by contract.  See the header of
@@ -131,6 +136,7 @@ let run (source : Lint_source.t) : Finding.t list =
     List.exists (fun f -> String.equal (Ast_util.normalize_path path) f) kernel_files
   in
   let in_rpc = Ast_util.path_has_prefix path ~prefix:"lib/rpc/" in
+  let in_shard = Ast_util.path_has_prefix path ~prefix:"lib/shard/" in
   (* Guard depth for the unguarded-hashtbl check: >0 while lexically
      under with_lock, a Mutex.lock region, or a *_locked function. *)
   let guard_depth = ref 0 in
@@ -154,6 +160,12 @@ let run (source : Lint_source.t) : Finding.t list =
               "Thread.create inside lib/rpc: the RPC layer is event-driven; put \
                the work on the event loop or the eval pool instead of spawning a \
                thread per connection"
+        | ([ "Thread"; "create" ] | [ "Stdlib"; "Thread"; "create" ]) when in_shard ->
+            finding ~loc:e.pexp_loc ~severity:Finding.Error
+              ~rule:"banned/thread-in-shard" ~allow_key:"thread-in-shard"
+              "Thread.create inside lib/shard: the router runs on the RPC event \
+               loop and keeps its cursor table behind one lock; fan shard calls \
+               out synchronously instead of spawning threads"
         | ([ m; f ] | [ "Stdlib"; m; f ])
           when kernel && List.mem (m, f) allocating_combinators ->
             finding ~loc:e.pexp_loc ~severity:Finding.Error ~rule:"banned/kernel-alloc"

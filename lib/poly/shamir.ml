@@ -1,0 +1,92 @@
+(* Shamir threshold sharing over the encoding field (see shamir.mli).
+
+   Everything here is plain field arithmetic through the ring's cached
+   closures; nothing touches the cyclic quotient.  The share and
+   reconstruction paths are deliberately deterministic in the order of
+   [xs] and the draws of [gen] so callers can reproduce a dealer run
+   exactly (the table splitter keys its PRG by row). *)
+
+let check_xs (r : Ring.t) ~what xs =
+  if xs = [] then invalid_arg (what ^ ": no x-coordinates");
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      let x = r.Ring.normalize x in
+      if x = 0 then invalid_arg (what ^ ": zero x-coordinate (g(0) is the secret)");
+      if Hashtbl.mem seen x then
+        invalid_arg (Printf.sprintf "%s: duplicate x-coordinate %d" what x);
+      Hashtbl.replace seen x ())
+    xs
+
+(* Evaluate g(x) = s + a_1 x + ... + a_{t-1} x^{t-1} by Horner, with
+   the random coefficients in [coeffs] (degree 1 first). *)
+let eval_at (r : Ring.t) ~secret coeffs x =
+  let high =
+    List.fold_left (fun v a -> r.Ring.add (r.Ring.mul v x) a) 0 (List.rev coeffs)
+  in
+  r.Ring.add (r.Ring.mul high x) secret
+
+let share (r : Ring.t) ~threshold ~xs ~gen secret =
+  if threshold < 1 then invalid_arg "Shamir.share: threshold < 1";
+  if List.length xs < threshold then
+    invalid_arg "Shamir.share: fewer x-coordinates than the threshold";
+  check_xs r ~what:"Shamir.share" xs;
+  let secret = r.Ring.normalize secret in
+  let coeffs = List.init (threshold - 1) (fun _ -> r.Ring.normalize (gen ())) in
+  List.map (fun x -> eval_at r ~secret coeffs (r.Ring.normalize x)) xs
+
+let lambdas_at_zero (r : Ring.t) ~xs =
+  check_xs r ~what:"Shamir.lambdas_at_zero" xs;
+  let xs = List.map r.Ring.normalize xs in
+  List.map
+    (fun xi ->
+      List.fold_left
+        (fun acc xj ->
+          if xj = xi then acc else r.Ring.mul acc (r.Ring.div xj (r.Ring.sub xj xi)))
+        1 xs)
+    xs
+
+let combine (r : Ring.t) ~lambdas vs =
+  if List.length lambdas <> List.length vs then
+    invalid_arg "Shamir.combine: lambda/value length mismatch";
+  List.fold_left2 (fun acc l v -> r.Ring.add acc (r.Ring.mul l v)) 0 lambdas vs
+
+let reconstruct r shares =
+  let lambdas = lambdas_at_zero r ~xs:(List.map fst shares) in
+  combine r ~lambdas (List.map snd shares)
+
+let share_vector (r : Ring.t) ~threshold ~xs ~gen secrets =
+  if threshold < 1 then invalid_arg "Shamir.share_vector: threshold < 1";
+  if List.length xs < threshold then
+    invalid_arg "Shamir.share_vector: fewer x-coordinates than the threshold";
+  check_xs r ~what:"Shamir.share_vector" xs;
+  let xs = List.map r.Ring.normalize xs in
+  let len = Array.length secrets in
+  let outs = List.map (fun _ -> Array.make len 0) xs in
+  for j = 0 to len - 1 do
+    let coeffs = List.init (threshold - 1) (fun _ -> r.Ring.normalize (gen ())) in
+    let secret = r.Ring.normalize secrets.(j) in
+    List.iter2 (fun x out -> out.(j) <- eval_at r ~secret coeffs x) xs outs
+  done;
+  outs
+
+let combine_vectors (r : Ring.t) ~lambdas vectors =
+  if List.length lambdas <> List.length vectors then
+    invalid_arg "Shamir.combine_vectors: lambda/vector count mismatch";
+  match vectors with
+  | [] -> invalid_arg "Shamir.combine_vectors: no vectors"
+  | first :: rest ->
+      let len = Array.length first in
+      List.iter
+        (fun v ->
+          if Array.length v <> len then
+            invalid_arg "Shamir.combine_vectors: vector length mismatch")
+        rest;
+      let out = Array.make len 0 in
+      for j = 0 to len - 1 do
+        out.(j) <-
+          List.fold_left2
+            (fun acc l v -> r.Ring.add acc (r.Ring.mul l v.(j)))
+            0 lambdas vectors
+      done;
+      out

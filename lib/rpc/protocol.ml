@@ -7,6 +7,18 @@ type node_meta = { pre : int; post : int; parent : int }
 type scan_target =
   | Children_of of int list
   | Pre_ranges of (int * int) list
+  | Bounded_pre_ranges of (int * int * int) list
+
+(* A shard server's place in a sharded deployment (or the whole
+   deployment, summarised by a router).  Carries topology only —
+   shard/partition geometry, never key material or share bytes. *)
+type manifest_info = {
+  shard_id : int;  (** 1-based Shamir x-coordinate; 0 identifies a router *)
+  shards : int;  (** n: how many shard servers exist *)
+  threshold : int;  (** t: how many must answer to reconstruct *)
+  total_rows : int;
+  bounds : int list;  (** ascending partition start [pre]s, one per partition *)
+}
 
 type request =
   | Ping
@@ -27,6 +39,10 @@ type request =
           every point, one batch per round trip. *)
   | Scan_next of { cursor : int; max_items : int }
       (** Continue a [Scan_eval] whose reply carried a cursor. *)
+  | Manifest
+      (** Handshake: which shard is this, out of what topology?  A
+          single-server deployment answers with the trivial 1-of-1
+          manifest. *)
 
 type stats = { rows : int; data_bytes : int; index_bytes : int }
 
@@ -46,6 +62,7 @@ type response =
           evaluations at the request's points, in order.  [cursor] is
           present when more batches remain (drain with [Scan_next] or
           abandon with [Cursor_close]). *)
+  | Manifest_data of manifest_info
   | Error_msg of string
 
 let write_meta w (m : node_meta) =
@@ -108,13 +125,22 @@ let encode_request req =
             (fun (from_pre, below_post) ->
               Wire.write_u32 w from_pre;
               Wire.write_u32 w below_post)
+            ranges
+      | Bounded_pre_ranges ranges ->
+          Wire.write_u8 w 2;
+          Wire.write_list w
+            (fun (from_pre, until_pre, below_post) ->
+              Wire.write_u32 w from_pre;
+              Wire.write_u32 w until_pre;
+              Wire.write_u32 w below_post)
             ranges);
       Wire.write_list w (Wire.write_u32 w) points;
       Wire.write_u32 w max_items
   | Scan_next { cursor; max_items } ->
       Wire.write_u8 w 13;
       Wire.write_u32 w cursor;
-      Wire.write_u32 w max_items);
+      Wire.write_u32 w max_items
+  | Manifest -> Wire.write_u8 w 14);
   Wire.contents w
 
 let decode_request s =
@@ -155,6 +181,13 @@ let decode_request s =
                      let from_pre = Wire.read_u32 r in
                      let below_post = Wire.read_u32 r in
                      (from_pre, below_post)))
+          | 2 ->
+              Bounded_pre_ranges
+                (Wire.read_list r (fun () ->
+                     let from_pre = Wire.read_u32 r in
+                     let until_pre = Wire.read_u32 r in
+                     let below_post = Wire.read_u32 r in
+                     (from_pre, until_pre, below_post)))
           | tag ->
               raise (Wire.Decode_error (Printf.sprintf "unknown scan target tag %d" tag))
         in
@@ -165,6 +198,7 @@ let decode_request s =
         let cursor = Wire.read_u32 r in
         let max_items = Wire.read_u32 r in
         Scan_next { cursor; max_items }
+    | 14 -> Manifest
     | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown request tag %d" tag))
   in
   Wire.expect_end r;
@@ -219,7 +253,14 @@ let encode_response resp =
       | None -> Wire.write_u8 w 0
       | Some c ->
           Wire.write_u8 w 1;
-          Wire.write_u32 w c));
+          Wire.write_u32 w c)
+  | Manifest_data { shard_id; shards; threshold; total_rows; bounds } ->
+      Wire.write_u8 w 13;
+      Wire.write_u32 w shard_id;
+      Wire.write_u32 w shards;
+      Wire.write_u32 w threshold;
+      Wire.write_u32 w total_rows;
+      Wire.write_list w (Wire.write_u32 w) bounds);
   Wire.contents w
 
 let decode_response s =
@@ -260,6 +301,13 @@ let decode_response s =
               raise (Wire.Decode_error (Printf.sprintf "unknown cursor flag %d" tag))
         in
         Scan_batch { rows; cursor }
+    | 13 ->
+        let shard_id = Wire.read_u32 r in
+        let shards = Wire.read_u32 r in
+        let threshold = Wire.read_u32 r in
+        let total_rows = Wire.read_u32 r in
+        let bounds = Wire.read_list r (fun () -> Wire.read_u32 r) in
+        Manifest_data { shard_id; shards; threshold; total_rows; bounds }
     | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown response tag %d" tag))
   in
   Wire.expect_end r;
@@ -282,6 +330,7 @@ let request_name = function
   | Table_stats -> "table_stats"
   | Scan_eval _ -> "scan_eval"
   | Scan_next _ -> "scan_next"
+  | Manifest -> "manifest"
 
 let pp_meta fmt m = Format.fprintf fmt "(pre=%d,post=%d,parent=%d)" m.pre m.post m.parent
 
@@ -310,11 +359,14 @@ let pp_request fmt = function
         match target with
         | Children_of parents -> Printf.sprintf "children-of %d" (List.length parents)
         | Pre_ranges ranges -> Printf.sprintf "%d ranges" (List.length ranges)
+        | Bounded_pre_ranges ranges ->
+            Printf.sprintf "%d bounded ranges" (List.length ranges)
       in
       Format.fprintf fmt "Scan_eval(%s,%d points,max=%d)" target_s (List.length points)
         max_items
   | Scan_next { cursor; max_items } ->
       Format.fprintf fmt "Scan_next(%d,max=%d)" cursor max_items
+  | Manifest -> Format.pp_print_string fmt "Manifest"
 
 let pp_response fmt = function
   | Pong -> Format.pp_print_string fmt "Pong"
@@ -335,4 +387,7 @@ let pp_response fmt = function
   | Scan_batch { rows; cursor } ->
       Format.fprintf fmt "Scan_batch(%d,%s)" (List.length rows)
         (match cursor with None -> "exhausted" | Some c -> Printf.sprintf "cursor=%d" c)
+  | Manifest_data { shard_id; shards; threshold; total_rows; bounds } ->
+      Format.fprintf fmt "Manifest_data(shard=%d/%d,t=%d,rows=%d,%d partitions)"
+        shard_id shards threshold total_rows (List.length bounds)
   | Error_msg msg -> Format.fprintf fmt "Error(%s)" msg

@@ -22,6 +22,27 @@ type scan_target =
           [post >= below_post].  A node's strict descendants are
           [(pre + 1, post)]; its whole subtree is [(pre, post + 1)].
           Nested ranges are deduplicated server-side. *)
+  | Bounded_pre_ranges of (int * int * int) list
+      (** [(from_pre, until_pre, below_post)]: like [Pre_ranges] but
+          also stopping before any row with [pre >= until_pre].  The
+          sharding router splits a range at partition boundaries with
+          these; because subtree ranges are pre-contiguous, the
+          concatenation of the bounded pieces equals the original
+          range exactly.  Pieces are taken as given (sorted by
+          [from_pre]), not deduplicated. *)
+
+type manifest_info = {
+  shard_id : int;
+      (** this server's 1-based shard id — its Shamir x-coordinate;
+          0 identifies a router answering for the whole group *)
+  shards : int;  (** n: shard servers in the deployment *)
+  threshold : int;  (** t: shards needed to reconstruct (1 = plain) *)
+  total_rows : int;  (** rows of the full table (every shard holds all rows) *)
+  bounds : int list;
+      (** ascending partition start [pre]s — the pre-range routing
+          overlay; partition [k] spans [bounds(k)] up to [bounds(k+1)]
+          (the last one is unbounded) *)
+}
 
 type request =
   | Ping
@@ -48,6 +69,10 @@ type request =
   | Scan_next of { cursor : int; max_items : int }
       (** Next batch of a [Scan_eval] (not idempotent, like
           [Cursor_next]). *)
+  | Manifest
+      (** Topology handshake: answered with [Manifest_data].  A
+          non-sharded server reports the trivial 1-of-1 manifest, so
+          clients can probe any deployment uniformly. *)
 
 type stats = { rows : int; data_bytes : int; index_bytes : int }
 
@@ -65,6 +90,7 @@ type response =
   | Scan_batch of { rows : (node_meta * int list) list; cursor : int option }
       (** One batch of a fused scan; [cursor] is present when more
           rows remain. *)
+  | Manifest_data of manifest_info
   | Error_msg of string
 
 val request_name : request -> string

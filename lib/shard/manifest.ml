@@ -1,0 +1,156 @@
+(* Deployment descriptor for sharded serving (see manifest.mli). *)
+
+module Protocol = Secshare_rpc.Protocol
+
+type t = {
+  shard_id : int;
+  shards : int;
+  threshold : int;
+  p : int;
+  e : int;
+  rows : int;
+  bounds : int array;
+}
+
+let validate m =
+  if m.shards < 1 then Error (Printf.sprintf "manifest: shards = %d < 1" m.shards)
+  else if m.threshold < 1 || m.threshold > m.shards then
+    Error
+      (Printf.sprintf "manifest: threshold %d outside [1, %d]" m.threshold m.shards)
+  else if m.shard_id < 0 || m.shard_id > m.shards then
+    Error
+      (Printf.sprintf "manifest: shard_id %d outside [0, %d]" m.shard_id m.shards)
+  else if m.rows < 0 then Error (Printf.sprintf "manifest: rows = %d < 0" m.rows)
+  else if Array.length m.bounds = 0 then Error "manifest: empty bounds"
+  else begin
+    let ascending = ref true in
+    Array.iteri
+      (fun i b -> if i > 0 && b <= m.bounds.(i - 1) then ascending := false)
+      m.bounds;
+    if not !ascending then Error "manifest: bounds not strictly ascending"
+    else Ok ()
+  end
+
+let same_deployment a b =
+  a.shards = b.shards && a.threshold = b.threshold && a.p = b.p && a.e = b.e
+  && a.rows = b.rows && a.bounds = b.bounds
+
+let group_consistent = function
+  | [] -> Error "manifest group: no shards"
+  | first :: _ as all -> (
+      let rec check seen = function
+        | [] -> Ok { first with shard_id = 0 }
+        | m :: rest -> (
+            match validate m with
+            | Error _ as e -> e
+            | Ok () ->
+                if not (same_deployment first m) then
+                  Error
+                    (Printf.sprintf
+                       "manifest group: shard %d disagrees with shard %d on the \
+                        deployment"
+                       m.shard_id first.shard_id)
+                else if m.shard_id < 1 then
+                  Error "manifest group: member with router shard_id 0"
+                else if List.mem m.shard_id seen then
+                  Error
+                    (Printf.sprintf "manifest group: duplicate shard_id %d" m.shard_id)
+                else check (m.shard_id :: seen) rest)
+      in
+      check [] all)
+
+let partitions m = Array.length m.bounds
+
+let partition_of m ~pre =
+  (* bounds is tiny (one entry per partition); a linear walk reads
+     better than a binary search here *)
+  let k = ref 0 in
+  Array.iteri (fun i b -> if b <= pre then k := i) m.bounds;
+  !k
+
+let to_info m =
+  {
+    Protocol.shard_id = m.shard_id;
+    shards = m.shards;
+    threshold = m.threshold;
+    total_rows = m.rows;
+    bounds = Array.to_list m.bounds;
+  }
+
+let of_info ~p ~e (i : Protocol.manifest_info) =
+  {
+    shard_id = i.Protocol.shard_id;
+    shards = i.Protocol.shards;
+    threshold = i.Protocol.threshold;
+    p;
+    e;
+    rows = i.Protocol.total_rows;
+    bounds = Array.of_list i.Protocol.bounds;
+  }
+
+let shard_db_path base i = Printf.sprintf "%s.shard%d" base i
+let manifest_path db = db ^ ".manifest"
+
+let save path m =
+  let bounds =
+    String.concat "," (List.map string_of_int (Array.to_list m.bounds))
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "# secshare shard manifest\n\
+         shard_id = %d\n\
+         shards = %d\n\
+         threshold = %d\n\
+         p = %d\n\
+         e = %d\n\
+         rows = %d\n\
+         bounds = %s\n"
+        m.shard_id m.shards m.threshold m.p m.e m.rows bounds)
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      let table = Hashtbl.create 8 in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line <> "" && line.[0] <> '#' then
+            match String.index_opt line '=' with
+            | Some i ->
+                let key = String.trim (String.sub line 0 i) in
+                let value =
+                  String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                Hashtbl.replace table key value
+            | None -> ())
+        (String.split_on_char '\n' contents);
+      let int_field key =
+        match Hashtbl.find_opt table key with
+        | None -> Error (Printf.sprintf "manifest %s: missing %s" path key)
+        | Some v -> (
+            match int_of_string_opt v with
+            | Some n -> Ok n
+            | None -> Error (Printf.sprintf "manifest %s: %s is not an integer" path key))
+      in
+      let ( let* ) r f = Result.bind r f in
+      let* shard_id = int_field "shard_id" in
+      let* shards = int_field "shards" in
+      let* threshold = int_field "threshold" in
+      let* p = int_field "p" in
+      let* e = int_field "e" in
+      let* rows = int_field "rows" in
+      let* bounds =
+        match Hashtbl.find_opt table "bounds" with
+        | None -> Error (Printf.sprintf "manifest %s: missing bounds" path)
+        | Some v -> (
+            let parts = String.split_on_char ',' v in
+            match
+              List.map (fun s -> int_of_string_opt (String.trim s)) parts
+            with
+            | ints when List.for_all Option.is_some ints ->
+                Ok (Array.of_list (List.map Option.get ints))
+            | _ -> Error (Printf.sprintf "manifest %s: malformed bounds" path))
+      in
+      let m = { shard_id; shards; threshold; p; e; rows; bounds } in
+      match validate m with Error msg -> Error msg | Ok () -> Ok m)

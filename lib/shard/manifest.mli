@@ -1,0 +1,63 @@
+(** The deployment descriptor of a sharded database.
+
+    [ssdb_encode --shards n --threshold t] writes one table file per
+    shard plus one manifest next to each; servers load theirs and
+    answer the [Manifest] handshake with it; the router collects the
+    manifests from every shard, checks that they describe one
+    deployment, and derives its routing table from the [bounds].
+
+    Two facts the manifest records:
+
+    - the {e threshold geometry} ([shards], [threshold], [shard_id]):
+      every shard stores {e all} rows, each row carrying that shard's
+      Shamir share of the server polynomial (x-coordinate =
+      [shard_id]), so any [threshold] shards serve any row and up to
+      [shards - threshold] may be down;
+    - the {e pre-range partition overlay} ([bounds]): ascending
+      partition start [pre]s used purely for routing — partition [k]
+      spans [bounds.(k)] up to [bounds.(k+1)] (the last unbounded) and
+      is served by a rotating group of [threshold] shards, spreading
+      scan load across the deployment. *)
+
+type t = {
+  shard_id : int;  (** 1-based Shamir x-coordinate; 0 names a router *)
+  shards : int;  (** n: shard servers in the deployment *)
+  threshold : int;  (** t: shards needed to reconstruct *)
+  p : int;  (** field characteristic of the encoded shares *)
+  e : int;  (** field extension degree *)
+  rows : int;  (** rows of the full table (each shard holds all of them) *)
+  bounds : int array;  (** ascending partition start [pre]s, non-empty *)
+}
+
+val validate : t -> (unit, string) result
+(** Structural sanity: [1 <= threshold <= shards], [shard_id] in
+    [0, shards], non-negative [rows], and strictly ascending non-empty
+    [bounds]. *)
+
+val group_consistent : t list -> (t, string) result
+(** Check that a list of shard manifests describes one deployment —
+    identical geometry, field, rows and bounds; distinct in-range
+    shard ids — and return the group summary (the first manifest with
+    [shard_id = 0]). *)
+
+val partitions : t -> int
+val partition_of : t -> pre:int -> int
+(** The partition index whose [pre] window contains [pre] (pres below
+    [bounds.(0)] fall into partition 0). *)
+
+val to_info : t -> Secshare_rpc.Protocol.manifest_info
+val of_info : p:int -> e:int -> Secshare_rpc.Protocol.manifest_info -> t
+(** Convert to/from the wire handshake, which does not carry the field
+    parameters (those are deployment config the client already has). *)
+
+val shard_db_path : string -> int -> string
+(** [shard_db_path base i] is the table file of shard [i]:
+    ["base.shard<i>"]. *)
+
+val manifest_path : string -> string
+(** The manifest written next to a table file: ["<db>.manifest"]. *)
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+(** Key-value text format, one [key = value] per line ([bounds]
+    comma-separated); [load] reports missing or malformed fields. *)

@@ -1,0 +1,9 @@
+(* lint: pretend-path lib/shard/router.ml *)
+(* Positive fixture: the router spawning a thread per shard call, and
+   mutating its cursor table outside the lock (router.ml is registered
+   as a concurrent module). *)
+
+let fan_out t request =
+  List.map (fun shard -> Thread.create (fun () -> call shard request) ()) t.shards
+
+let register t cursor state = Hashtbl.replace t.cursors cursor state

@@ -1,0 +1,8 @@
+(* lint: pretend-path lib/shard/router.ml *)
+(* Negative fixture: router code that fans calls out synchronously and
+   keeps every cursor-table mutation under the lock. *)
+
+let fan_out t request = List.map (fun shard -> call shard request) t.shards
+
+let register t cursor state =
+  with_lock t (fun () -> Hashtbl.replace t.cursors cursor state)

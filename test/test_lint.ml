@@ -49,6 +49,7 @@ let all_rules =
     "banned/hashtbl-hash";
     "banned/unguarded-hashtbl";
     "banned/thread-in-rpc";
+    "banned/thread-in-shard";
     "banned/kernel-alloc";
     "accounting/cursor-removal";
     "accounting/metrics-merge";
@@ -103,6 +104,8 @@ let positive_cases =
     ("bad_banned.ml", "banned/hashtbl-hash", 2);
     ("bad_unguarded.ml", "banned/unguarded-hashtbl", 1);
     ("bad_thread_rpc.ml", "banned/thread-in-rpc", 1);
+    ("bad_thread_shard.ml", "banned/thread-in-shard", 1);
+    ("bad_thread_shard.ml", "banned/unguarded-hashtbl", 1);
     ("bad_kernel_alloc.ml", "banned/kernel-alloc", 3);
     ("bad_accounting.ml", "accounting/cursor-removal", 1);
     ("bad_accounting.ml", "accounting/metrics-merge", 1);
@@ -116,6 +119,7 @@ let negative_cases =
     "good_banned.ml";
     "good_unguarded.ml";
     "good_thread_rpc.ml";
+    "good_thread_shard.ml";
     "good_kernel_alloc.ml";
     "good_accounting.ml";
   ]

@@ -73,6 +73,31 @@ let gen_request =
         map (fun p -> Protocol.Share p) (int_range 0 100000);
         map (fun ps -> Protocol.Shares ps) (list_size (int_range 0 20) (int_range 0 100000));
         return Protocol.Table_stats;
+        map
+          (fun (ps, (xs, m)) ->
+            Protocol.Scan_eval
+              { target = Protocol.Children_of ps; points = xs; max_items = m })
+          (pair
+             (list_size (int_range 0 10) (int_range 0 100000))
+             (pair (list_size (int_range 0 5) (int_range 1 82)) (int_range 1 100)));
+        map
+          (fun (rs, (xs, m)) ->
+            Protocol.Scan_eval
+              { target = Protocol.Pre_ranges rs; points = xs; max_items = m })
+          (pair
+             (list_size (int_range 0 10) (pair (int_range 0 100000) (int_range 0 100000)))
+             (pair (list_size (int_range 0 5) (int_range 1 82)) (int_range 1 100)));
+        map
+          (fun (rs, (xs, m)) ->
+            Protocol.Scan_eval
+              { target = Protocol.Bounded_pre_ranges rs; points = xs; max_items = m })
+          (pair
+             (list_size (int_range 0 10)
+                (triple (int_range 0 100000) (int_range 0 100000) (int_range 0 100000)))
+             (pair (list_size (int_range 0 5) (int_range 1 82)) (int_range 1 100)));
+        map (fun (c, m) -> Protocol.Scan_next { cursor = c; max_items = m })
+          (pair (int_range 0 1000) (int_range 1 100));
+        return Protocol.Manifest;
       ])
 
 let gen_bytes = QCheck2.Gen.(map Bytes.of_string (string_size (int_range 0 50)))
@@ -96,6 +121,19 @@ let gen_response =
           (fun (r, d, i) -> Protocol.Stats { rows = r; data_bytes = d; index_bytes = i })
           (triple (int_range 0 100000) (int_range 0 10000000) (int_range 0 10000000));
         map (fun s -> Protocol.Error_msg s) (string_size (int_range 0 40));
+        map
+          (fun (rows, c) -> Protocol.Scan_batch { rows; cursor = c })
+          (pair
+             (list_size (int_range 0 10)
+                (pair gen_meta (list_size (int_range 0 5) (int_range 0 100000))))
+          @@ map (fun c -> if c = 0 then None else Some c) (int_range 0 1000));
+        map
+          (fun ((id, (n, t)), (rows, bounds)) ->
+            Protocol.Manifest_data
+              { shard_id = id; shards = n; threshold = t; total_rows = rows; bounds })
+          (pair
+             (pair (int_range 0 8) (pair (int_range 1 8) (int_range 1 8)))
+             (pair (int_range 0 100000) (list_size (int_range 1 8) (int_range 1 100000))));
       ])
 
 let protocol_codec_suite =

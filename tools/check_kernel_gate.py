@@ -2,12 +2,19 @@
 """Micro-bench regression gate for the flat field kernels.
 
 Usage: check_kernel_gate.py RESULTS.json BASELINE.json
+       check_kernel_gate.py --validate-shard RESULTS.json
 
 RESULTS.json is the output of `bench/main.exe --json RESULTS.json kernel`;
 BASELINE.json is the committed bench/kernel_baseline.json.  The gate
 compares kernel-vs-reference speedup ratios (machine-independent)
 within a tolerance band, plus a hard floor, and requires the bench's
 own bit-identical-results assertion to have passed.
+
+With --validate-shard, RESULTS.json is the output of
+`bench/main.exe --json RESULTS.json shard`: the gate checks the shard
+ablation's schema — a 1-shard baseline row plus multi-shard rows, each
+with sane threshold geometry, a positive throughput, and the bench's
+golden-equality assertion recorded as passed.
 """
 
 import json
@@ -19,7 +26,52 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def validate_shard(path: str) -> None:
+    with open(path) as f:
+        rows = json.load(f)
+    shard_rows = [row for row in rows if row.get("experiment") == "shard"]
+    if not shard_rows:
+        fail("no shard rows in results (did the shard experiment run?)")
+
+    ok = True
+    seen_baseline = False
+    for i, row in enumerate(shard_rows):
+        problems = []
+        shards = row.get("shards")
+        threshold = row.get("threshold")
+        if not isinstance(shards, int) or shards < 1:
+            problems.append(f"shards={shards!r}")
+        if not isinstance(threshold, int) or not (
+            isinstance(shards, int) and 1 <= threshold <= shards
+        ):
+            problems.append(f"threshold={threshold!r}")
+        qps = row.get("queries_per_second")
+        if not isinstance(qps, (int, float)) or qps <= 0:
+            problems.append(f"queries_per_second={qps!r}")
+        if row.get("golden_identical") != 1:
+            problems.append(f"golden_identical={row.get('golden_identical')!r}")
+        if shards == 1:
+            seen_baseline = True
+        status = "ok" if not problems else "FAIL (" + ", ".join(problems) + ")"
+        print(
+            f"shard gate: row {i}: {shards}-shard t={threshold} "
+            f"qps={qps if isinstance(qps, (int, float)) else '?'} {status}"
+        )
+        if problems:
+            ok = False
+
+    if not seen_baseline:
+        print("shard gate: no shards=1 baseline row", file=sys.stderr)
+        ok = False
+    if not ok:
+        fail("shard ablation rows malformed (see rows above)")
+    print("shard gate: PASS")
+
+
 def main() -> None:
+    if len(sys.argv) == 3 and sys.argv[1] == "--validate-shard":
+        validate_shard(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         sys.exit(2)

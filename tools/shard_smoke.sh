@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sharded serving path with real processes:
+#
+#   1. generate an XMark document, encode it twice — one single-server
+#      database and one 2-of-3 Shamir shard deployment;
+#   2. boot three shard servers and the router over Unix sockets;
+#   3. run the golden queries through the router and diff the full
+#      ssdb_query output (matches, metrics, rpc/byte counts; the
+#      time line excluded) against the single server's;
+#   4. SIGKILL one shard server and re-run: answers must still be
+#      byte-identical through the surviving 2-of-3;
+#   5. SIGKILL a second shard: the router must refuse with a clean
+#      "unavailable" error, never a wrong answer.
+#
+# Exits non-zero on the first divergence.  Run from the repo root:
+#   tools/shard_smoke.sh
+set -u
+
+B="$PWD/_build/default/bin"
+WORK=$(mktemp -d /tmp/ssdb-shard-smoke.XXXXXX)
+PIDS=()
+
+log() { printf 'shard smoke: %s\n' "$*"; }
+
+cleanup() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do
+    kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+  log "FAIL: $*"
+  exit 1
+}
+
+dune build bin/ssdb_gen.exe bin/ssdb_encode.exe bin/ssdb_server.exe \
+  bin/ssdb_router.exe bin/ssdb_query.exe || die "build failed"
+
+cd "$WORK" || die "no workdir"
+
+log "generating document"
+"$B/ssdb_gen.exe" --size-kb 60 --factor 0.1 --seed 7 -o doc.xml >/dev/null || die "ssdb_gen"
+
+log "encoding single-server and 2-of-3 sharded databases"
+"$B/ssdb_encode.exe" doc.xml --map c.map --seed c.seed -o single.db >/dev/null 2>&1 \
+  || die "encode single"
+"$B/ssdb_encode.exe" doc.xml --map c.map --seed c.seed -o sharded.db --shards 3 -t 2 \
+  >/dev/null 2>&1 || die "encode sharded"
+
+for i in 1 2 3; do
+  "$B/ssdb_server.exe" --db "sharded.db.shard$i" --socket "s$i.sock" \
+    >"server$i.log" 2>&1 &
+  PIDS+=($!)
+  eval "SERVER${i}_PID=$!"
+  disown $!
+done
+for _ in $(seq 50); do
+  [ -S s1.sock ] && [ -S s2.sock ] && [ -S s3.sock ] && break
+  sleep 0.1
+done
+[ -S s1.sock ] || die "shard servers did not come up ($(cat server1.log))"
+
+"$B/ssdb_router.exe" --shard s1.sock --shard s2.sock --shard s3.sock \
+  --socket r.sock >router.log 2>&1 &
+PIDS+=($!)
+disown $!
+
+for _ in $(seq 50); do
+  [ -S r.sock ] && break
+  sleep 0.1
+done
+[ -S r.sock ] || die "router did not come up (router.log: $(cat router.log))"
+
+QUERIES=('/site' '/site/regions' '//item' '/site/people/person' '//keyword')
+
+run_golden() {
+  local note=$1 q
+  for q in "${QUERIES[@]}"; do
+    "$B/ssdb_query.exe" --db single.db --map c.map --seed c.seed "$q" 2>&1 \
+      | grep -v '^time' >single.out
+    "$B/ssdb_query.exe" --connect r.sock --map c.map --seed c.seed "$q" 2>&1 \
+      | grep -v '^time' >routed.out
+    if ! diff -u single.out routed.out >diff.out; then
+      die "$note: '$q' diverged: $(head -5 diff.out)"
+    fi
+    log "$note: '$q' identical"
+  done
+}
+
+run_golden "3 shards live"
+
+log "SIGKILL shard 2 (pid $SERVER2_PID)"
+kill -9 "$SERVER2_PID" || die "could not kill shard 2"
+sleep 0.3
+
+run_golden "shard 2 dead, 2-of-3 serving"
+
+log "SIGKILL shard 3 (pid $SERVER3_PID)"
+kill -9 "$SERVER3_PID" || die "could not kill shard 3"
+sleep 0.3
+
+out=$("$B/ssdb_query.exe" --connect r.sock --map c.map --seed c.seed '//item' 2>&1)
+if [ $? -eq 0 ]; then
+  die "query succeeded below the threshold: $out"
+fi
+case $out in
+  *unavailable*) log "below threshold: clean refusal ($out)" ;;
+  *) die "expected an 'unavailable' error, got: $out" ;;
+esac
+
+log "PASS"
