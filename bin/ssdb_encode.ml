@@ -48,56 +48,78 @@ let load_or_create_mapping path ~p ~e ~trie xml_path =
                 Ok m))
   end
 
+let nums_path db_path = db_path ^ ".nums"
+
 (* Sharded output: encode into a scratch in-memory table, then deal
    every server share into n Shamir shard tables (threshold t) with a
    fresh dealer seed that is deliberately NOT persisted — holding it
    would let anyone collapse the t-of-n masking back to the
-   single-server share. *)
-let encode_sharded ~ring ~mapping ~seed ~trie ~db_path ~durable ~checkpoint_every
-    ~shards ~threshold xml_path =
+   single-server share.  The numeric column is dealt with the same
+   (discarded) seed into one X.shardI.nums file per shard. *)
+let encode_sharded ~ring ~mapping ~seed ~trie ~agg_scale ~db_path ~durable
+    ~checkpoint_every ~shards ~threshold xml_path =
   let module Node_table = Secshare_store.Node_table in
   let module Manifest = Secshare_shard.Manifest in
   let source = Node_table.create () in
+  let num_source = Node_table.create () in
   let result =
     match open_in_bin xml_path with
     | exception Sys_error m -> Error (Encode.Xml_error m)
     | ic ->
         Fun.protect
           ~finally:(fun () -> close_in ic)
-          (fun () -> Encode.encode_channel ring ~mapping ~seed ~table:source ?trie ic)
+          (fun () ->
+            Encode.encode_channel ring ~mapping ~seed ~table:source
+              ~numbers:num_source ~agg_scale ?trie ic)
   in
   match result with
   | Error e -> err "encoding failed: %s" (Encode.error_to_string e)
   | Ok stats -> (
+      let dealer_seed = Seed.generate () in
       let sinks =
         Array.init shards (fun i ->
             Node_table.create_file ~durable ?checkpoint_every
               (Manifest.shard_db_path db_path (i + 1)))
       in
+      let num_sinks =
+        Array.init shards (fun i ->
+            Node_table.create_file ~durable ?checkpoint_every
+              (nums_path (Manifest.shard_db_path db_path (i + 1))))
+      in
+      let close_all () =
+        Array.iter Node_table.close sinks;
+        Array.iter Node_table.close num_sinks
+      in
       match
-        Secshare_shard.Split.split_table ring ~threshold ~shards
-          ~dealer_seed:(Seed.generate ()) ~source ~sinks
+        let manifests =
+          Secshare_shard.Split.split_table ring ~threshold ~shards ~dealer_seed
+            ~source ~sinks
+        in
+        Secshare_shard.Split.split_numbers ~threshold ~shards ~dealer_seed
+          ~source:num_source ~sinks:num_sinks;
+        manifests
       with
       | exception Invalid_argument m ->
-          Array.iter Node_table.close sinks;
+          close_all ();
           err "sharding failed: %s" m
       | manifests ->
           Array.iteri
             (fun i manifest ->
               let shard_db = Manifest.shard_db_path db_path (i + 1) in
-              Manifest.save (Manifest.manifest_path shard_db) manifest;
-              Node_table.close sinks.(i))
+              Manifest.save (Manifest.manifest_path shard_db) manifest)
             manifests;
+          close_all ();
           Printf.printf
-            "encoded %d nodes (%d elements, %d trie nodes) in %.2f s\n\
-             sharded %d-of-%d: %s.shard1..%d (+ .manifest each), %d partitions\n"
+            "encoded %d nodes (%d elements, %d trie nodes, %d numeric) in %.2f s\n\
+             sharded %d-of-%d: %s.shard1..%d (+ .manifest, .nums each), %d partitions\n"
             stats.Encode.nodes stats.Encode.elements stats.Encode.trie_nodes
-            stats.Encode.duration_seconds threshold shards db_path shards
+            stats.Encode.numeric_nodes stats.Encode.duration_seconds threshold shards
+            db_path shards
             (Manifest.partitions manifests.(0));
           `Ok 0)
 
 let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_every
-    shards threshold =
+    shards threshold agg_scale =
   let trie =
     match trie_mode with
     | "none" -> Ok None
@@ -113,6 +135,9 @@ let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_eve
       else if threshold < 1 || threshold > shards then
         err "--threshold %d outside [1, %d]" threshold shards
       else
+        if agg_scale < 0 || agg_scale > Mapping.max_agg_scale then
+          err "--agg-scale %d outside [0, %d]" agg_scale Mapping.max_agg_scale
+        else
         match load_or_create_seed seed_path with
         | Error m -> err "seed: %s" m
         | Ok seed -> (
@@ -120,35 +145,53 @@ let run xml_path map_path seed_path db_path p e trie_mode durable checkpoint_eve
             | Error m -> err "map: %s" m
             | Ok mapping -> (
                 let ring = Secshare_poly.Ring.of_prime_power ~p ~e in
-                if shards > 1 then
-                  encode_sharded ~ring ~mapping ~seed ~trie ~db_path ~durable
-                    ~checkpoint_every ~shards ~threshold xml_path
-                else
-                let table =
-                  Secshare_store.Node_table.create_file ~durable ?checkpoint_every
-                    db_path
+                let status =
+                  if shards > 1 then
+                    encode_sharded ~ring ~mapping ~seed ~trie ~agg_scale ~db_path
+                      ~durable ~checkpoint_every ~shards ~threshold xml_path
+                  else
+                  let table =
+                    Secshare_store.Node_table.create_file ~durable ?checkpoint_every
+                      db_path
+                  in
+                  let numbers =
+                    Secshare_store.Node_table.create_file ~durable ?checkpoint_every
+                      (nums_path db_path)
+                  in
+                  let result =
+                    match open_in_bin xml_path with
+                    | exception Sys_error m -> Error (Encode.Xml_error m)
+                    | ic ->
+                        Fun.protect
+                          ~finally:(fun () -> close_in ic)
+                          (fun () ->
+                            Encode.encode_channel ring ~mapping ~seed ~table ~numbers
+                              ~agg_scale ?trie ic)
+                  in
+                  match result with
+                  | Error e ->
+                      Secshare_store.Node_table.close table;
+                      Secshare_store.Node_table.close numbers;
+                      err "encoding failed: %s" (Encode.error_to_string e)
+                  | Ok stats ->
+                      let data_bytes = Secshare_store.Node_table.data_bytes table in
+                      Secshare_store.Node_table.close table;
+                      Secshare_store.Node_table.close numbers;
+                      Printf.printf
+                        "encoded %d nodes (%d elements, %d trie nodes, %d numeric) \
+                         in %.2f s\n\
+                         database: %s (%d data bytes), numeric column: %s\n"
+                        stats.Encode.nodes stats.Encode.elements stats.Encode.trie_nodes
+                        stats.Encode.numeric_nodes stats.Encode.duration_seconds db_path
+                        data_bytes (nums_path db_path);
+                      `Ok 0
                 in
-                let result =
-                  match open_in_bin xml_path with
-                  | exception Sys_error m -> Error (Encode.Xml_error m)
-                  | ic ->
-                      Fun.protect
-                        ~finally:(fun () -> close_in ic)
-                        (fun () -> Encode.encode_channel ring ~mapping ~seed ~table ?trie ic)
-                in
-                match result with
-                | Error e ->
-                    Secshare_store.Node_table.close table;
-                    err "encoding failed: %s" (Encode.error_to_string e)
-                | Ok stats ->
-                    Secshare_store.Node_table.close table;
-                    Printf.printf
-                      "encoded %d nodes (%d elements, %d trie nodes) in %.2f s\n\
-                       database: %s (%d data bytes)\n"
-                      stats.Encode.nodes stats.Encode.elements stats.Encode.trie_nodes
-                      stats.Encode.duration_seconds db_path
-                      (Secshare_store.Node_table.data_bytes table);
-                    `Ok 0)))
+                (* the encoder learned which tags are aggregatable; the
+                   client needs those flags, so re-save the map *)
+                (match status with
+                | `Ok 0 -> Mapping.save map_path mapping
+                | _ -> ());
+                status)))
 
 let xml_path =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"XML" ~doc:"Input XML document.")
@@ -213,12 +256,23 @@ let threshold_arg =
            $(docv)-1 learn nothing); up to N-$(docv) shards may be down without \
            losing answers.")
 
+let agg_scale_arg =
+  Arg.(
+    value
+    & opt int Secshare_core.Numeric.default_scale
+    & info [ "agg-scale" ] ~docv:"DIGITS"
+        ~doc:
+          "Fixed-point fractional digits for the numeric share column backing \
+           $(b,sum())/$(b,avg()) queries.  Tags whose every occurrence is a numeric \
+           leaf are flagged aggregatable in the map file.")
+
 let cmd =
   let doc = "encode an XML document into an encrypted share database" in
   Cmd.v (Cmd.info "ssdb_encode" ~doc)
     Term.(
       ret
         (const run $ xml_path $ map_path $ seed_path $ db_path $ p_arg $ e_arg $ trie_arg
-       $ durable_arg $ checkpoint_every_arg $ shards_arg $ threshold_arg))
+       $ durable_arg $ checkpoint_every_arg $ shards_arg $ threshold_arg
+       $ agg_scale_arg))
 
 let () = exit (Cmd.eval' cmd)

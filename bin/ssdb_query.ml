@@ -14,11 +14,17 @@ let report ~explain ~trace query result =
   let r : DB.query_result = result in
   Printf.printf "query: %s\n" query;
   if trace then Printf.printf "trace: %s\n" (Obs.Span.trace_id_to_hex r.DB.trace_id);
-  Printf.printf "matches (%d): %s\n" (List.length r.DB.nodes)
-    (String.concat ", "
-       (List.map
-          (fun (m : Secshare_rpc.Protocol.node_meta) -> string_of_int m.Secshare_rpc.Protocol.pre)
-          r.DB.nodes));
+  (match r.DB.value with
+  | QC.Nodes nodes ->
+      Printf.printf "matches (%d): %s\n" (List.length nodes)
+        (String.concat ", "
+           (List.map
+              (fun (m : Secshare_rpc.Protocol.node_meta) ->
+                string_of_int m.Secshare_rpc.Protocol.pre)
+              nodes))
+  | QC.Count n -> Printf.printf "count: %d\n" n
+  | QC.Sum v -> Printf.printf "sum: %s\n" (Secshare_core.Qnum.to_string v)
+  | QC.Avg v -> Printf.printf "avg: %s\n" (Secshare_core.Qnum.to_string v));
   Printf.printf
     "time: %.3f s | evaluations: %d | equality tests: %d | reconstructions: %d | rpc: %d calls, %d bytes\n"
     r.DB.seconds r.DB.metrics.Metrics.evaluations r.DB.metrics.Metrics.equality_tests
@@ -81,9 +87,22 @@ let run db_path socket_path map_path seed_path p e engine_name strictness_name t
                   match Secshare_store.Node_table.open_file db_path with
                   | Error m -> err "database: %s" m
                   | Ok table -> (
-                      match DB.of_parts ~client ~p ~e ~mapping ~seed ~table () with
-                      | Error m -> err "%s" m
-                      | Ok db -> with_db db)))))
+                      let nums_path = db_path ^ ".nums" in
+                      let numbers =
+                        if not (Sys.file_exists nums_path) then Ok None
+                        else
+                          match Secshare_store.Node_table.open_file nums_path with
+                          | Ok t -> Ok (Some t)
+                          | Error m -> Error m
+                      in
+                      match numbers with
+                      | Error m -> err "numeric column: %s" m
+                      | Ok numbers -> (
+                          match
+                            DB.of_parts ~client ~p ~e ~mapping ~seed ~table ?numbers ()
+                          with
+                          | Error m -> err "%s" m
+                          | Ok db -> with_db db))))))
 
 let db_path =
   Arg.(
@@ -155,7 +174,12 @@ let trace_log_arg =
            JSON lines.")
 
 let queries =
-  Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY" ~doc:"XPath queries.")
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "XPath queries: location paths ($(b,/site//item)) or aggregates over one \
+           ($(b,count(//item)), $(b,sum(//price)), $(b,avg(//price))).")
 
 let cmd =
   let doc = "query an encrypted share database" in

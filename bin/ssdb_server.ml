@@ -68,9 +68,25 @@ let run db_path socket_path p e durable cursor_ttl max_cursors workers send_time
                     Printf.eprintf "ignoring %s: %s\n%!" path msg;
                     None
             in
+            (* the numeric share column lives next to the polynomial
+               table; without it sum()/avg() queries fail server-side
+               with a clear message, count() still works *)
+            let numbers =
+              let path = db_path ^ ".nums" in
+              if not (Sys.file_exists path) then None
+              else
+                match Secshare_store.Node_table.open_file ~durable path with
+                | Ok t ->
+                    Printf.printf "numeric column %s (%d rows)\n%!" path
+                      (Secshare_store.Node_table.row_count t);
+                    Some t
+                | Error msg ->
+                    Printf.eprintf "ignoring %s: %s\n%!" path msg;
+                    None
+            in
             let filter =
               Secshare_core.Server_filter.create ?cursor_ttl ~max_cursors ?slow_query_ms
-                ~workers ?manifest ring table
+                ~workers ?manifest ?numbers ring table
             in
             let draining = ref false in
             let started = Unix.gettimeofday () in
@@ -129,6 +145,7 @@ let run db_path socket_path p e durable cursor_ttl max_cursors workers send_time
             let cur = Secshare_core.Server_filter.cursor_stats filter in
             Secshare_core.Server_filter.close filter;
             Secshare_store.Node_table.close table;
+            Option.iter Secshare_store.Node_table.close numbers;
             (* the metrics endpoint outlives the RPC drain so a final
                scrape can observe the drained state *)
             Option.iter Obs.Metrics_http.stop http;

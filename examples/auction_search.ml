@@ -42,7 +42,7 @@ let () =
       let strict = Result.get_ok (DB.query ~engine:DB.Advanced ~strictness:QC.Strict db q) in
       let accuracy = Result.get_ok (DB.accuracy db q) in
       ignore advanced;
-      Printf.printf "%-32s %10d %12d %12d %9.0f%%\n" q (List.length strict.DB.nodes)
+      Printf.printf "%-32s %10d %12d %12d %9.0f%%\n" q (List.length (DB.result_nodes strict))
         simple.DB.metrics.Metrics.evaluations advanced.DB.metrics.Metrics.evaluations
         (100.0 *. accuracy))
     queries;

@@ -65,7 +65,7 @@ let () =
              (List.map
                 (fun (m : Secshare_rpc.Protocol.node_meta) ->
                   string_of_int m.Secshare_rpc.Protocol.pre)
-                r.DB.nodes))
+                (DB.result_nodes r)))
           r.DB.metrics.Secshare_core.Metrics.evaluations
   in
   show "/a" DB.Advanced QC.Strict "advanced+equality";

@@ -35,7 +35,7 @@ let () =
               | Ok r ->
                   Printf.printf
                     "%-32s -> %3d matches | %4d round trips | %6d bytes | %.3f s\n" q
-                    (List.length r.DB.nodes) r.DB.rpc_calls r.DB.rpc_bytes r.DB.seconds)
+                    (List.length (DB.result_nodes r)) r.DB.rpc_calls r.DB.rpc_bytes r.DB.seconds)
             [ "/site"; "/site/regions/europe/item"; "//bidder/date" ]);
 
       (* --- an attacker connecting without the seed learns nothing --- *)
@@ -52,6 +52,6 @@ let () =
               Printf.printf
                 "\nattacker with a wrong seed: /site matched %d nodes (the shares are\n\
                  uniformly random without the right PRG key)\n"
-                (List.length r.DB.nodes)
+                (List.length (DB.result_nodes r))
           | Error e -> Printf.printf "attacker query failed: %s\n" e));
   DB.close db

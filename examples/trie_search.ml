@@ -43,12 +43,12 @@ let () =
     match DB.query ~engine:DB.Advanced ~strictness:QC.Strict db q with
     | Error e -> Printf.printf "%-44s error: %s\n" q e
     | Ok r ->
-        Printf.printf "%-44s -> %d match(es) at pre %s\n" q (List.length r.DB.nodes)
+        Printf.printf "%-44s -> %d match(es) at pre %s\n" q (List.length (DB.result_nodes r))
           (String.concat ","
              (List.map
                 (fun (m : Secshare_rpc.Protocol.node_meta) ->
                   string_of_int m.Secshare_rpc.Protocol.pre)
-                r.DB.nodes))
+                (DB.result_nodes r)))
   in
   print_endline "\nqueries over the encrypted trie:";
   show "//name[contains(text(), \"joan\")]";

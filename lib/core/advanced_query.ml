@@ -14,7 +14,7 @@ open Query_common
    round at a time, so the evaluation counts (one pair per surviving
    node per point) match the unfused lowering — only the round-trip
    count shrinks. *)
-let lower ~fused ~mapping ~strictness query =
+let lower ?agg ~fused ~mapping ~strictness query =
   if query = [] then raise (Query_error "empty query");
   let look_names = Ast.names_after query in
   let step_ops ~first index (step : Ast.step) =
@@ -60,14 +60,18 @@ let lower ~fused ~mapping ~strictness query =
     | [] -> []
     | step :: rest -> step_ops ~first index step @ go ~first:false (index + 1) rest
   in
-  go ~first:true 0 query
+  let path_ops = go ~first:true 0 query in
+  match agg with
+  | None -> path_ops
+  | Some func ->
+      path_ops @ [ Plan.Aggregate { func; scale = agg_scale mapping ~func query } ]
+
+let all_names_mapped ~mapping query =
+  List.for_all (fun n -> Mapping.value mapping n <> None) (Ast.name_tests query)
 
 let run_explained filter ~mapping ~strictness query =
   if query = [] then raise (Query_error "empty query");
-  let all_names_mapped =
-    List.for_all (fun n -> Mapping.value mapping n <> None) (Ast.name_tests query)
-  in
-  if not all_names_mapped then ([], [])
+  if not (all_names_mapped ~mapping query) then ([], [])
   else begin
     let plan =
       lower ~fused:(Client_filter.fused_scan filter) ~mapping ~strictness query
@@ -79,3 +83,20 @@ let run_explained filter ~mapping ~strictness query =
 
 let run filter ~mapping ~strictness query =
   fst (run_explained filter ~mapping ~strictness query)
+
+let run_value filter ~mapping ~strictness ~agg query =
+  if query = [] then raise (Query_error "empty query");
+  if not (all_names_mapped ~mapping query) then (empty_agg_value agg, [])
+  else begin
+    let plan =
+      lower ~agg ~fused:(Client_filter.fused_scan filter) ~mapping ~strictness query
+    in
+    let ops = Operator.build filter plan in
+    ignore (Operator.drain ops : _ list);
+    match List.rev ops with
+    | sink :: _ -> (
+        match Operator.agg_value sink with
+        | Some value -> (value, Operator.stats_list ops)
+        | None -> raise (Query_error "aggregate sink produced no value"))
+    | [] -> raise (Query_error "empty plan")
+  end

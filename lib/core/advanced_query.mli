@@ -17,6 +17,7 @@
     names out. *)
 
 val lower :
+  ?agg:Secshare_xpath.Ast.agg_func ->
   fused:bool ->
   mapping:Mapping.t ->
   strictness:Query_common.strictness ->
@@ -26,9 +27,10 @@ val lower :
     step carries the look-ahead points of the remaining query, child
     steps apply them as a containment sieve (first point fused into
     the scan when [fused]), descendant steps become the pruned
-    look-ahead walk.
-    @raise Query_common.Query_error on an empty query or a name with
-    no map entry. *)
+    look-ahead walk.  With [agg] the plan ends in the terminal
+    [Aggregate] sink.
+    @raise Query_common.Query_error on an empty query, a name with
+    no map entry, or a [sum]/[avg] over a non-aggregatable tag. *)
 
 val run :
   Client_filter.t ->
@@ -45,3 +47,12 @@ val run_explained :
   Secshare_xpath.Ast.t ->
   Secshare_rpc.Protocol.node_meta list * Metrics.op_stats list
 (** Same contract as {!Simple_query.run_explained}. *)
+
+val run_value :
+  Client_filter.t ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  agg:Secshare_xpath.Ast.agg_func ->
+  Secshare_xpath.Ast.t ->
+  Query_common.value * Metrics.op_stats list
+(** Same contract as {!Simple_query.run_value}. *)

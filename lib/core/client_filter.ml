@@ -245,6 +245,20 @@ let containment_batch t metas ~point =
             (List.combine metas values)
       | response -> protocol_error "Eval_batch" response)
 
+(* --- aggregation (Agg_eval) --- *)
+
+let agg_eval t pres =
+  match call t (Protocol.Agg_eval { pres }) with
+  | Protocol.Agg_partial { count; sum } -> (count, sum)
+  | response -> protocol_error "Agg_eval" response
+
+(* The client's half of an aggregate: the sum of the PRG blinding
+   values the encoder subtracted from each matched leaf. *)
+let blind_sum t pres =
+  List.fold_left
+    (fun acc pre -> Numeric.add acc (Numeric.blind ~seed:t.seed ~pre))
+    0 pres
+
 let fetch_shares t pres =
   match call t (Protocol.Shares pres) with
   | Protocol.Shares_data shares ->

@@ -124,6 +124,18 @@ val filter_scan_rows :
 
 val table_stats : t -> Secshare_rpc.Protocol.stats
 
+(** {2 Oblivious aggregation} *)
+
+val agg_eval : t -> int list -> int * int
+(** One [Agg_eval] round trip: [(count, sum)] where [sum] is the
+    server's blinded partial sum over the listed [pre]s — constant
+    reply bytes whatever the list length. *)
+
+val blind_sum : t -> int list -> int
+(** The client's half: the {!Numeric} sum of the PRG blinding values
+    for the listed [pre]s.  [server sum + blind_sum] (mod the numeric
+    field) is the scaled plaintext total. *)
+
 (** {2 The two tests of §5.2 / §6.3} *)
 
 val containment : t -> Secshare_rpc.Protocol.node_meta -> point:int -> bool

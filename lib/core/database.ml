@@ -103,6 +103,7 @@ type engine = Simple | Advanced
    ([connect]) has none: its server lives across the socket. *)
 type local = {
   table : Node_table.t;
+  numbers : Node_table.t option;  (** numeric share column (aggregation) *)
   server : Server_filter.t;
   encode_stats : Encode.stats;
 }
@@ -115,10 +116,8 @@ type t = {
   local : local option;
 }
 
-type session = t
-
 type query_result = {
-  nodes : Secshare_rpc.Protocol.node_meta list;
+  value : Query_common.value;
   metrics : Metrics.t;
   operators : Metrics.op_stats list;
   rpc_calls : int;
@@ -126,6 +125,9 @@ type query_result = {
   seconds : float;
   trace_id : int64;
 }
+
+let result_nodes r =
+  match r.value with Query_common.Nodes nodes -> nodes | _ -> []
 
 let local_exn t what =
   match t.local with
@@ -166,17 +168,18 @@ let build_mapping config ~q tree =
 (* Assemble the in-process client/server pair every local constructor
    ends in: one server filter (with its evaluation pool) over the
    table, a local transport, and a caching client filter on top. *)
-let assemble_local ~(client : client_config) ~ring ~map ~seed ~table ~encode_stats =
+let assemble_local ~(client : client_config) ~ring ~map ~seed ~table ?numbers
+    ~encode_stats () =
   let server =
     Server_filter.create ?cursor_ttl:client.cursor_ttl ~max_cursors:client.max_cursors
-      ?slow_query_ms:client.slow_query_ms ~workers:client.workers ring table
+      ?slow_query_ms:client.slow_query_ms ~workers:client.workers ?numbers ring table
   in
   let transport = Transport.local ~handler:(Server_filter.handler server) in
   let filter =
     Client_filter.create ring ~seed ~batch_eval:client.rpc_batching
       ~fused_scan:client.rpc_fused_scan ~share_cache:client.share_cache transport
   in
-  { ring; map; seed; filter; local = Some { table; server; encode_stats } }
+  { ring; map; seed; filter; local = Some { table; numbers; server; encode_stats } }
 
 let create_tree ?(config = default_config) tree =
   match
@@ -199,21 +202,29 @@ let create_tree ?(config = default_config) tree =
             | None -> Secshare_prg.Seed.generate ()
           in
           let table = Node_table.create ~page_size:config.page_size () in
-          match Encode.encode_tree ring ~mapping:map ~seed ~table ?trie:config.trie tree with
+          let numbers = Node_table.create ~page_size:config.page_size () in
+          match
+            Encode.encode_tree ring ~mapping:map ~seed ~table ~numbers
+              ?trie:config.trie tree
+          with
           | Error e -> Error (Encode.error_to_string e)
           | Ok encode_stats ->
-              Ok (assemble_local ~client:config.client ~ring ~map ~seed ~table ~encode_stats)))
+              Ok
+                (assemble_local ~client:config.client ~ring ~map ~seed ~table ~numbers
+                   ~encode_stats ())))
 
 let zero_encode_stats =
   {
     Encode.nodes = 0;
     elements = 0;
     trie_nodes = 0;
+    numeric_nodes = 0;
     max_depth = 0;
     duration_seconds = 0.0;
   }
 
-let of_parts ?(client = default_client_config) ~p ~e ~mapping:map ~seed ~table () =
+let of_parts ?(client = default_client_config) ~p ~e ~mapping:map ~seed ~table ?numbers
+    () =
   if not (Secshare_field.Prime.is_prime p) then
     Error (Printf.sprintf "p = %d is not prime" p)
   else if e < 1 then Error "e must be >= 1"
@@ -223,8 +234,8 @@ let of_parts ?(client = default_client_config) ~p ~e ~mapping:map ~seed ~table (
     | Ok _ ->
         let ring = Ring.of_prime_power ~p ~e in
         Ok
-          (assemble_local ~client ~ring ~map ~seed ~table
-             ~encode_stats:zero_encode_stats)
+          (assemble_local ~client ~ring ~map ~seed ~table ?numbers
+             ~encode_stats:zero_encode_stats ())
 
 let create ?config xml =
   match Secshare_xml.Tree.of_string xml with
@@ -236,7 +247,8 @@ let create_file ?config path =
   | contents -> create ?config contents
   | exception Sys_error msg -> Error msg
 
-let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.Strict) ast =
+let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.Strict)
+    ?agg ast =
   Client_filter.reset_metrics filter;
   let counters = Client_filter.rpc_counters filter in
   let calls0 = counters.Transport.calls in
@@ -248,11 +260,23 @@ let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.St
   match
     Obs.Trace.with_ambient trace_id (fun () ->
         Obs.Trace.with_span ~kind:Obs.Span.Client "query" (fun () ->
-            match engine with
-            | Simple -> Simple_query.run_explained filter ~mapping:map ~strictness ast
-            | Advanced -> Advanced_query.run_explained filter ~mapping:map ~strictness ast))
+            match (agg, engine) with
+            | None, Simple ->
+                let nodes, operators =
+                  Simple_query.run_explained filter ~mapping:map ~strictness ast
+                in
+                (Query_common.Nodes nodes, operators)
+            | None, Advanced ->
+                let nodes, operators =
+                  Advanced_query.run_explained filter ~mapping:map ~strictness ast
+                in
+                (Query_common.Nodes nodes, operators)
+            | Some func, Simple ->
+                Simple_query.run_value filter ~mapping:map ~strictness ~agg:func ast
+            | Some func, Advanced ->
+                Advanced_query.run_value filter ~mapping:map ~strictness ~agg:func ast))
   with
-  | nodes, operators ->
+  | value, operators ->
       let seconds = Unix.gettimeofday () -. t0 in
       let counters = Client_filter.rpc_counters filter in
       let metrics = Metrics.copy (Client_filter.metrics filter) in
@@ -261,7 +285,7 @@ let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.St
       mirror_query_metrics metrics;
       Ok
         {
-          nodes;
+          value;
           operators;
           metrics;
           rpc_calls = counters.Transport.calls - calls0;
@@ -273,20 +297,58 @@ let run_query_on filter ~map ?(engine = Advanced) ?(strictness = Query_common.St
   | exception Query_common.Query_error msg -> Error msg
   | exception Client_filter.Filter_error msg -> Error ("filter: " ^ msg)
 
-let parse_query q =
-  match Secshare_xpath.Parser.parse q with
-  | Error msg -> Error ("query parse error: " ^ msg)
-  | Ok ast -> (
-      match Ast.rewrite_contains ast with
-      | rewritten -> Ok rewritten
-      | exception Invalid_argument msg -> Error msg)
+(* Client-side aggregate admission: a [sum]/[avg] is refused before any
+   RPC unless the path ends in a plain tag name whose every occurrence
+   the encoder proved to be a numeric leaf.  An *unmapped* final name
+   is fine — the engine short-circuits it to the empty-set value, the
+   same semantics plaintext XPath gives a name the document cannot
+   contain. *)
+let validate_agg map func (q : Ast.query) =
+  match func with
+  | Ast.Count -> Ok ()
+  | Ast.Sum | Ast.Avg -> (
+      match List.rev q.Ast.path with
+      | { Ast.test = Ast.Name _; contains = Some _; _ } :: _ ->
+          Error
+            (Printf.sprintf
+               "%s() cannot aggregate over a contains() predicate step"
+               (Ast.func_to_string func))
+      | { Ast.test = Ast.Name name; _ } :: _ ->
+          if Mapping.value map name = None then Ok ()
+          else if Mapping.aggregatable_scale map name = None then
+            Error
+              (Printf.sprintf
+                 "tag %S is not aggregatable (not every occurrence is a numeric leaf)"
+                 name)
+          else Ok ()
+      | _ ->
+          Error
+            (Printf.sprintf "%s() needs a path ending in a tag name"
+               (Ast.func_to_string func)))
 
-let query_ast ?engine ?strictness t ast = run_query_on t.filter ~map:t.map ?engine ?strictness ast
+let rewrite_parsed (q : Ast.query) =
+  match Ast.rewrite_contains q.Ast.path with
+  | rewritten -> Ok { q with Ast.path = rewritten }
+  | exception Invalid_argument msg -> Error msg
+
+let query_ast ?engine ?strictness ?agg t ast =
+  run_query_on t.filter ~map:t.map ?engine ?strictness ?agg ast
 
 let query ?engine ?strictness t q =
-  match parse_query q with
-  | Error _ as e -> e
-  | Ok ast -> query_ast ?engine ?strictness t ast
+  match Secshare_xpath.Parser.parse_query q with
+  | Error msg -> Error ("query parse error: " ^ msg)
+  | Ok parsed -> (
+      let admitted =
+        match parsed.Ast.func with
+        | None -> Ok ()
+        | Some func -> validate_agg t.map func parsed
+      in
+      match admitted with
+      | Error _ as e -> e
+      | Ok () -> (
+          match rewrite_parsed parsed with
+          | Error _ as e -> e
+          | Ok { Ast.func; path } -> query_ast ?engine ?strictness ?agg:func t path))
 
 let accuracy ?engine t q =
   match query ?engine ~strictness:Query_common.Strict t q with
@@ -295,7 +357,8 @@ let accuracy ?engine t q =
       match query ?engine ~strictness:Query_common.Non_strict t q with
       | Error _ as e -> e
       | Ok loose ->
-          let e_size = List.length strict.nodes and c_size = List.length loose.nodes in
+          let e_size = List.length (result_nodes strict)
+          and c_size = List.length (result_nodes loose) in
           if c_size = 0 then Ok 1.0
           else Ok (float_of_int e_size /. float_of_int c_size))
 
@@ -320,6 +383,7 @@ let ring t = t.ring
 let seed t = t.seed
 let client_filter t = t.filter
 let table t = (local_exn t "table").table
+let numbers_table t = (local_exn t "numbers_table").numbers
 let is_remote t = t.local = None
 let rpc_counters t = Client_filter.rpc_counters t.filter
 let share_cache_stats t = Client_filter.share_cache_stats t.filter
@@ -372,13 +436,8 @@ let close t =
   | None -> ()
   | Some local ->
       Server_filter.close local.server;
-      Node_table.close local.table
-
-(* Deprecated spellings from when local and remote handles were two
-   types; all thin aliases now. *)
-let session_query = query
-let session_rpc_counters = rpc_counters
-let session_close = close
+      Node_table.close local.table;
+      Option.iter Node_table.close local.numbers
 
 (* --- bundles: a complete database persisted to a directory --- *)
 
@@ -415,6 +474,15 @@ let save_bundle ?durable ?checkpoint_every t ~dir =
     in
     Node_table.iter local.table ~f:(Node_table.insert file_table);
     Node_table.close file_table;
+    Option.iter
+      (fun numbers ->
+        let file_nums =
+          Node_table.create_file ?durable ?checkpoint_every
+            (Filename.concat dir "nums.db")
+        in
+        Node_table.iter numbers ~f:(Node_table.insert file_nums);
+        Node_table.close file_nums)
+      local.numbers;
     Mapping.save (Filename.concat dir "client.map") t.map;
     Secshare_prg.Seed.save (Filename.concat dir "client.seed") t.seed;
     Out_channel.with_open_text (Filename.concat dir "config") (fun oc ->
@@ -443,4 +511,14 @@ let open_bundle ?client ?durable ?checkpoint_every ~dir () =
                       (Filename.concat dir "shares.db")
                   with
                   | Error msg -> Error ("shares: " ^ msg)
-                  | Ok table -> of_parts ?client ~p ~e ~mapping ~seed ~table ()))))
+                  | Ok table -> (
+                      let nums_path = Filename.concat dir "nums.db" in
+                      if not (Sys.file_exists nums_path) then
+                        of_parts ?client ~p ~e ~mapping ~seed ~table ()
+                      else
+                        match
+                          Node_table.open_file ?durable ?checkpoint_every nums_path
+                        with
+                        | Error msg -> Error ("nums: " ^ msg)
+                        | Ok numbers ->
+                            of_parts ?client ~p ~e ~mapping ~seed ~table ~numbers ())))))

@@ -21,10 +21,6 @@
 type t
 (** A client handle, local or remote. *)
 
-type session = t
-(** @deprecated [session] was the remote-only handle type; local and
-    remote handles are now the same {!t}. *)
-
 type client_config = {
   rpc_batching : bool;
       (** batch containment evaluations into one round trip (default
@@ -86,7 +82,10 @@ val default_config : config
 type engine = Simple | Advanced
 
 type query_result = {
-  nodes : Secshare_rpc.Protocol.node_meta list;  (** document order *)
+  value : Query_common.value;
+      (** what the query produced: the node set of a location path
+          ([Nodes], document order) or the scalar of an aggregate
+          ([Count]/[Sum]/[Avg]) *)
   metrics : Metrics.t;
   operators : Metrics.op_stats list;
       (** per-operator execution counters, in plan order (the data
@@ -100,6 +99,9 @@ type query_result = {
           (see {!Secshare_obs.Trace}) *)
 }
 
+val result_nodes : query_result -> Secshare_rpc.Protocol.node_meta list
+(** The node set of a [Nodes] result; [[]] for an aggregate result. *)
+
 val create : ?config:config -> string -> (t, string) result
 (** Encode an XML document given as a string. *)
 
@@ -110,10 +112,13 @@ val of_parts :
   mapping:Mapping.t ->
   seed:Secshare_prg.Seed.t ->
   table:Secshare_store.Node_table.t ->
+  ?numbers:Secshare_store.Node_table.t ->
   unit ->
   (t, string) result
 (** Assemble a database from an already-encoded node table (e.g. one
-    re-opened from a page file) plus the client's secret state. *)
+    re-opened from a page file) plus the client's secret state.
+    [numbers] is the numeric share column; without it [sum]/[avg]
+    queries fail server-side. *)
 
 val create_tree : ?config:config -> Secshare_xml.Tree.t -> (t, string) result
 val create_file : ?config:config -> string -> (t, string) result
@@ -126,11 +131,19 @@ val query :
   (query_result, string) result
 (** Parse and evaluate a query ([contains] predicates are rewritten
     into trie steps first).  Defaults: [Advanced], [Strict].  Works
-    identically on local and remote handles. *)
+    identically on local and remote handles.
+
+    Aggregates — [count(path)], [sum(path)], [avg(path)] — return the
+    matching scalar {!Query_common.value}.  A [sum]/[avg] whose final
+    tag is mapped but not flagged aggregatable (not every occurrence a
+    numeric leaf) fails here, client-side, with no server round trip;
+    an unmapped final tag returns the empty-set value (0), mirroring
+    plaintext XPath over a document that cannot contain the name. *)
 
 val query_ast :
   ?engine:engine ->
   ?strictness:Query_common.strictness ->
+  ?agg:Secshare_xpath.Ast.agg_func ->
   t ->
   Secshare_xpath.Ast.t ->
   (query_result, string) result
@@ -156,6 +169,10 @@ val client_filter : t -> Client_filter.t
 
 val table : t -> Secshare_store.Node_table.t
 (** Local handles only. *)
+
+val numbers_table : t -> Secshare_store.Node_table.t option
+(** The numeric share column, when this database has one (local
+    handles only). *)
 
 val is_remote : t -> bool
 (** [true] for a handle from {!connect} (no local server half). *)
@@ -217,26 +234,13 @@ val connect :
 
 val close : t -> unit
 (** Close the transport; on a local handle also stop the server's
-    evaluation pool and close the node table. *)
-
-val session_query :
-  ?engine:engine ->
-  ?strictness:Query_common.strictness ->
-  t ->
-  string ->
-  (query_result, string) result
-(** @deprecated Alias of {!query}. *)
-
-val session_rpc_counters : t -> Secshare_rpc.Transport.counters
-(** @deprecated Alias of {!rpc_counters}. *)
-
-val session_close : t -> unit
-(** @deprecated Alias of {!close}. *)
+    evaluation pool and close the node table(s). *)
 
 (** {2 Bundles}
 
     A bundle is a directory holding everything needed to reopen a
-    database: the server's page file ([shares.db] — safe to publish)
+    database: the server's page files ([shares.db] and, when the
+    database has a numeric column, [nums.db] — both safe to publish)
     and the client's secrets ([client.map], [client.seed], [config]).
     In a real deployment the two halves live on different machines;
     the bundle is the single-machine convenience form. *)

@@ -26,6 +26,7 @@ type stats = {
   nodes : int;  (** rows written (elements + trie nodes) *)
   elements : int;  (** original element nodes *)
   trie_nodes : int;  (** synthesised character/marker nodes *)
+  numeric_nodes : int;  (** numeric-column rows written *)
   max_depth : int;
   duration_seconds : float;
 }
@@ -38,8 +39,18 @@ val create :
   seed:Secshare_prg.Seed.t ->
   table:Secshare_store.Node_table.t ->
   ?trie:Secshare_trie.Expand.mode ->
+  ?numbers:Secshare_store.Node_table.t ->
+  ?agg_scale:int ->
   unit ->
   encoder
+(** With [numbers], every real leaf whose direct text parses as a
+    decimal (at fixed-point [agg_scale], default
+    {!Numeric.default_scale}) also writes an additively blinded row to
+    the numeric column, and [finish] re-derives the mapping's
+    aggregatable flags: a tag is flagged iff all of its occurrences
+    were numeric leaves.  Trie-synthesised children never disqualify a
+    leaf.  @raise Invalid_argument when [agg_scale] is outside
+    [\[0, Mapping.max_agg_scale\]]. *)
 
 val feed : encoder -> Secshare_xml.Sax.event -> unit
 (** @raise Encode_error on an unmapped name. *)
@@ -53,6 +64,8 @@ val encode_string :
   seed:Secshare_prg.Seed.t ->
   table:Secshare_store.Node_table.t ->
   ?trie:Secshare_trie.Expand.mode ->
+  ?numbers:Secshare_store.Node_table.t ->
+  ?agg_scale:int ->
   string ->
   (stats, error) result
 
@@ -62,6 +75,8 @@ val encode_channel :
   seed:Secshare_prg.Seed.t ->
   table:Secshare_store.Node_table.t ->
   ?trie:Secshare_trie.Expand.mode ->
+  ?numbers:Secshare_store.Node_table.t ->
+  ?agg_scale:int ->
   in_channel ->
   (stats, error) result
 
@@ -71,5 +86,7 @@ val encode_tree :
   seed:Secshare_prg.Seed.t ->
   table:Secshare_store.Node_table.t ->
   ?trie:Secshare_trie.Expand.mode ->
+  ?numbers:Secshare_store.Node_table.t ->
+  ?agg_scale:int ->
   Secshare_xml.Tree.t ->
   (stats, error) result

@@ -3,13 +3,21 @@ type t = {
   by_name : (string, int) Hashtbl.t;
   by_value : (int, string) Hashtbl.t;
   mutable order : string list; (* reversed assignment order *)
+  agg : (string, int) Hashtbl.t; (* aggregatable tag -> fixed-point scale *)
 }
 
 let field_order t = t.q
 let size t = Hashtbl.length t.by_name
 let names t = List.rev t.order
 
-let create q = { q; by_name = Hashtbl.create 97; by_value = Hashtbl.create 97; order = [] }
+let create q =
+  {
+    q;
+    by_name = Hashtbl.create 97;
+    by_value = Hashtbl.create 97;
+    order = [];
+    agg = Hashtbl.create 7;
+  }
 
 let assign t name v =
   Hashtbl.replace t.by_name name v;
@@ -65,6 +73,29 @@ let value t name = Hashtbl.find_opt t.by_name name
 let value_exn t name = match value t name with Some v -> v | None -> raise Not_found
 let name_of t v = Hashtbl.find_opt t.by_value v
 
+(* --- aggregatable tags (numeric column flags) --- *)
+
+let max_agg_scale = 18
+
+let set_aggregatable t name ~scale =
+  if not (Hashtbl.mem t.by_name name) then
+    invalid_arg (Printf.sprintf "Mapping.set_aggregatable: unmapped name %S" name);
+  if scale < 0 || scale > max_agg_scale then
+    invalid_arg
+      (Printf.sprintf "Mapping.set_aggregatable: scale %d outside [0, %d]" scale
+         max_agg_scale);
+  Hashtbl.replace t.agg name scale
+
+let clear_aggregatable t = Hashtbl.reset t.agg
+let aggregatable_scale t name = Hashtbl.find_opt t.agg name
+
+let aggregatable_names t =
+  List.filter (fun name -> Hashtbl.mem t.agg name) (names t)
+
+(* Flag lines use a '%' prefix, which can never start an XML tag name,
+   so old map files and new flag lines share one namespace safely. *)
+let agg_prefix = "%agg."
+
 let to_file_string t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "q = %d\n" t.q);
@@ -72,6 +103,11 @@ let to_file_string t =
     (fun name ->
       Buffer.add_string buf (Printf.sprintf "%s = %d\n" name (value_exn t name)))
     (names t);
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s = %d\n" agg_prefix name (Hashtbl.find t.agg name)))
+    (aggregatable_names t);
   Buffer.contents buf
 
 let of_file_string contents =
@@ -104,6 +140,23 @@ let of_file_string contents =
                   if String.equal name "q" then
                     if v < 2 then Error "q must be at least 2" else go (Some (create v)) rest
                   else Error "map file must start with a 'q = ...' header"
+              | Some t when String.length name > String.length agg_prefix
+                            && String.sub name 0 (String.length agg_prefix) = agg_prefix ->
+                  let tag =
+                    String.sub name (String.length agg_prefix)
+                      (String.length name - String.length agg_prefix)
+                  in
+                  if not (Hashtbl.mem t.by_name tag) then
+                    Error
+                      (Printf.sprintf "aggregatable flag for undeclared name %S" tag)
+                  else if v < 0 || v > max_agg_scale then
+                    Error
+                      (Printf.sprintf "aggregatable scale %d for %s outside [0, %d]" v
+                         tag max_agg_scale)
+                  else begin
+                    Hashtbl.replace t.agg tag v;
+                    go (Some t) rest
+                  end
               | Some t ->
                   if v < 1 || v >= field_order t then
                     Error (Printf.sprintf "value %d for %s outside [1, %d]" v name (field_order t - 1))
@@ -130,5 +183,9 @@ let equal a b =
   a.q = b.q
   && size a = size b
   && List.for_all (fun name -> value a name = value b name) (names a)
+  && Hashtbl.length a.agg = Hashtbl.length b.agg
+  && Hashtbl.fold
+       (fun name scale acc -> acc && Hashtbl.find_opt b.agg name = Some scale)
+       a.agg true
 
 let pp fmt t = Format.fprintf fmt "mapping(q=%d, %d names)" t.q (size t)

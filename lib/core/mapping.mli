@@ -39,13 +39,40 @@ val names : t -> string list
 
 val size : t -> int
 
+(** {2 Aggregatable tags}
+
+    A tag is flagged aggregatable when every one of its occurrences is
+    a numeric leaf, so [sum()] / [avg()] queries over it can be pushed
+    to the server's numeric share column.  The flag carries the
+    fixed-point scale (digits after the decimal point) the encoder
+    used for that tag's values. *)
+
+val max_agg_scale : int
+(** Largest supported fixed-point scale (18 — the widest decimal that
+    still fits the numeric field). *)
+
+val set_aggregatable : t -> string -> scale:int -> unit
+(** @raise Invalid_argument on unmapped names or scales outside
+    [\[0, max_agg_scale\]]. *)
+
+val clear_aggregatable : t -> unit
+(** Drop every flag (the encoder re-derives them at [finish]). *)
+
+val aggregatable_scale : t -> string -> int option
+(** [Some scale] when the tag is flagged, [None] otherwise. *)
+
+val aggregatable_names : t -> string list
+(** Flagged tags, in assignment order. *)
+
 val to_file_string : t -> string
 (** The paper's map-file syntax: one [name = value] property per
-    line, preceded by a [q = ...] header line. *)
+    line, preceded by a [q = ...] header line.  Aggregatable tags add
+    trailing [%agg.name = scale] lines ('%' can never start an XML tag
+    name, so old files parse unchanged). *)
 
 val of_file_string : string -> (t, string) result
-(** Parse a map file; validates the header, value ranges, and
-    duplicate names/values. *)
+(** Parse a map file; validates the header, value ranges, duplicate
+    names/values, and aggregatable-flag lines. *)
 
 val save : string -> t -> unit
 val load : string -> (t, string) result

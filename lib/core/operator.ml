@@ -41,6 +41,9 @@ type t = {
   mutable closed : bool;
   mutable op_trace : int64;  (** ambient trace captured at the first pull *)
   mutable op_started : float;  (** wall clock of the first pull; 0 = never pulled *)
+  agg_ref : Query_common.value option ref;
+      (** an {!aggregate} sink deposits its result here; every other
+          operator leaves it [None] *)
 }
 
 let stats t = t.stats
@@ -81,8 +84,18 @@ let next t =
   | None -> ());
   result
 
-let make ?(close = fun () -> ()) stats next_fn =
-  { stats; next_fn; close_fn = close; closed = false; op_trace = 0L; op_started = 0.0 }
+let make ?(close = fun () -> ()) ?(agg_ref = ref None) stats next_fn =
+  {
+    stats;
+    next_fn;
+    close_fn = close;
+    closed = false;
+    op_trace = 0L;
+    op_started = 0.0;
+    agg_ref;
+  }
+
+let agg_value t = !(t.agg_ref)
 
 (* Pull one batch from upstream, counting it as this operator's input.
    Goes through [next] (not [next_fn]) so the upstream operator's own
@@ -516,6 +529,63 @@ let limit name n ~upstream input =
   in
   make stats next_batch
 
+(* The aggregate sink: drain the whole pipeline, then fold the matched
+   set into one number.  Count never talks to the server beyond what
+   the pipeline already did; Sum/Avg make exactly one [Agg_eval] round
+   trip — a constant-size reply however many rows matched — and strip
+   the client's blinding sum to recover the scaled total. *)
+let aggregate name filter ~func ~scale input =
+  let stats = Metrics.op_stats name in
+  let agg_ref = ref None in
+  let next_batch () =
+    if !agg_ref <> None then None
+    else begin
+      let acc = ref [] in
+      let rec drain_upstream () =
+        match pull stats input with
+        | Some batch ->
+            Array.iter (fun m -> acc := m :: !acc) batch;
+            drain_upstream ()
+        | None -> ()
+      in
+      drain_upstream ();
+      let metas = Query_common.sort_dedup !acc in
+      let count = List.length metas in
+      let value =
+        match (func : Secshare_xpath.Ast.agg_func) with
+        | Count -> Query_common.Count count
+        | (Sum | Avg) as f ->
+            let total =
+              if count = 0 then 0
+              else begin
+                let pres = pres_of metas in
+                let server_count, server_sum =
+                  with_rpc filter stats (fun () ->
+                      Client_filter.agg_eval filter pres)
+                in
+                if server_count <> count then
+                  raise
+                    (Query_common.Query_error
+                       (Printf.sprintf "Agg_eval folded %d rows, expected %d"
+                          server_count count));
+                Numeric.lift
+                  (Numeric.add server_sum (Client_filter.blind_sum filter pres))
+              end
+            in
+            let sum = Qnum.make total (Qnum.pow10 scale) in
+            if f = Sum then Query_common.Sum sum
+            else if count = 0 then Query_common.Avg Qnum.zero
+            else
+              (* divide the already-reduced sum so the denominator
+                 stays as small as the fraction allows *)
+              Query_common.Avg (Qnum.make sum.Qnum.num (sum.Qnum.den * count))
+      in
+      agg_ref := Some value;
+      None
+    end
+  in
+  make ~agg_ref stats next_batch
+
 (* --- plan execution -------------------------------------------------- *)
 
 let build filter plan =
@@ -540,6 +610,7 @@ let build filter plan =
     | Plan.Filter_equality { point } -> filter_equality name filter ~point (input ())
     | Plan.Dedup -> dedup name (input ())
     | Plan.Limit n -> limit name n ~upstream:[] (input ())
+    | Plan.Aggregate { func; scale } -> aggregate name filter ~func ~scale (input ())
   in
   let rec go prev built = function
     | [] -> List.rev built

@@ -34,6 +34,10 @@ val close : t -> unit
 
 val stats : t -> Metrics.op_stats
 
+val agg_value : t -> Query_common.value option
+(** The result deposited by an [Aggregate] sink once it has been
+    drained; [None] on every other operator (and before draining). *)
+
 val drain : t list -> Secshare_rpc.Protocol.node_meta list
 (** Pull every batch from the sink, then close every operator (also on
     exception).  Row order is arrival order — callers sort. *)

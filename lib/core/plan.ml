@@ -39,6 +39,11 @@ type op =
           reconstruction + child-product division) *)
   | Dedup  (** drop nodes already emitted (pre-keyed hash buffer) *)
   | Limit of int  (** stop the pipeline after this many rows *)
+  | Aggregate of { func : Ast.agg_func; scale : int }
+      (** terminal sink: drain the pipeline, then fold the matched set
+          into one number — [Count] client-side, [Sum]/[Avg] with a
+          single constant-size [Agg_eval] round trip over the numeric
+          share column ([scale] is the column's fixed-point scale) *)
 
 type t = op list
 
@@ -65,6 +70,9 @@ let op_to_string = function
   | Filter_equality { point } -> Printf.sprintf "filter-equality@%d" point
   | Dedup -> "dedup"
   | Limit n -> Printf.sprintf "limit(%d)" n
+  | Aggregate { func; scale } ->
+      if scale = 0 then Printf.sprintf "aggregate(%s)" (Ast.func_to_string func)
+      else Printf.sprintf "aggregate(%s,scale=%d)" (Ast.func_to_string func) scale
 
 let to_string plan = String.concat " -> " (List.map op_to_string plan)
 let pp fmt plan = Format.pp_print_string fmt (to_string plan)

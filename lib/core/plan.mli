@@ -27,6 +27,10 @@ type op =
   | Filter_equality of { point : int }
   | Dedup
   | Limit of int
+  | Aggregate of { func : Secshare_xpath.Ast.agg_func; scale : int }
+      (** terminal sink: fold the matched set into one number —
+          [Count] locally, [Sum]/[Avg] via a single constant-size
+          [Agg_eval] over the numeric share column *)
 
 type t = op list
 

@@ -2,6 +2,16 @@ module Protocol = Secshare_rpc.Protocol
 
 type strictness = Strict | Non_strict
 
+(* What a query evaluates to.  Node queries stream metadata; aggregate
+   queries fold server partials and client blinds into one number.
+   Sum/Avg are exact rationals ([Qnum]) so fixed-point scales and the
+   Avg division never round. *)
+type value =
+  | Nodes of Protocol.node_meta list
+  | Count of int
+  | Sum of Qnum.t
+  | Avg of Qnum.t
+
 exception Query_error of string
 
 let map_point mapping name =
@@ -20,6 +30,36 @@ let sort_dedup metas =
       Int_map.empty metas
   in
   List.map snd (Int_map.bindings by_pre)
+
+let empty_agg_value = function
+  | Secshare_xpath.Ast.Count -> Count 0
+  | Secshare_xpath.Ast.Sum -> Sum Qnum.zero
+  | Secshare_xpath.Ast.Avg -> Avg Qnum.zero
+
+(* The fixed-point scale an aggregate plan needs: Count has none;
+   Sum/Avg read the aggregatable flag of the path's final tag.  Runs
+   on the rewritten path, but trie expansion never touches a final
+   step without a contains() predicate — which Sum/Avg require. *)
+let agg_scale mapping ~func query =
+  match (func : Secshare_xpath.Ast.agg_func) with
+  | Count -> 0
+  | Sum | Avg -> (
+      match List.rev query with
+      | { Secshare_xpath.Ast.test = Name name; _ } :: _ -> (
+          match Mapping.aggregatable_scale mapping name with
+          | Some scale -> scale
+          | None ->
+              raise
+                (Query_error
+                   (Printf.sprintf
+                      "tag %S is not aggregatable (not every occurrence is a numeric \
+                       leaf)"
+                      name)))
+      | _ ->
+          raise
+            (Query_error
+               (Printf.sprintf "%s() needs a path ending in a tag name"
+                  (Secshare_xpath.Ast.func_to_string func))))
 
 let parents_of filter metas =
   sort_dedup

@@ -11,6 +11,7 @@ type node = {
   parent : int; (* 0 for the root *)
   name : string;
   children : int list; (* indices into the node array, i.e. pre - 1 *)
+  text : string; (* direct text children, concatenated in order *)
   subtree_names : (string, unit) Hashtbl.t;
 }
 
@@ -27,6 +28,12 @@ let flatten tree =
         incr post_counter;
         let subtree_names = Hashtbl.create 8 in
         Hashtbl.replace subtree_names name ();
+        let text =
+          String.concat ""
+            (List.filter_map
+               (function Tree.Text s -> Some s | Tree.Element _ -> None)
+               children)
+        in
         let node =
           {
             pre;
@@ -34,6 +41,7 @@ let flatten tree =
             parent;
             name;
             children = child_indices;
+            text;
             subtree_names;
           }
         in
@@ -124,6 +132,37 @@ let run_meta ?semantics tree query =
   List.map
     (fun n -> { Protocol.pre = n.pre; post = n.post; parent = n.parent })
     (run_nodes ?semantics tree query)
+
+(* Plaintext aggregation oracle: the same matched set [run_nodes]
+   produces, folded in the clear.  A numeric leaf is an element with
+   no element children whose direct text parses as a scaled decimal —
+   exactly what the encoder requires before flagging a tag. *)
+let run_agg ?semantics ?(scale = Numeric.default_scale) ~func tree query =
+  let matched = run_nodes ?semantics tree query in
+  match (func : Ast.agg_func) with
+  | Ast.Count -> Query_common.Count (List.length matched)
+  | Ast.Sum | Ast.Avg ->
+      let value_of node =
+        if node.children <> [] then
+          invalid_arg
+            (Printf.sprintf "Reference.run_agg: node pre=%d has element children"
+               node.pre)
+        else
+          match Numeric.parse_decimal ~scale node.text with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Reference.run_agg: node pre=%d is not numeric"
+                   node.pre)
+      in
+      let total = List.fold_left (fun acc n -> acc + value_of n) 0 matched in
+      let sum = Qnum.make total (Qnum.pow10 scale) in
+      if func = Ast.Sum then Query_common.Sum sum
+      else
+        Query_common.Avg
+          (match matched with
+          | [] -> Qnum.zero
+          | _ -> Qnum.make sum.Qnum.num (sum.Qnum.den * List.length matched))
 
 let pre_of_path tree path =
   let arr = flatten tree in

@@ -29,6 +29,20 @@ val run_meta :
   Secshare_rpc.Protocol.node_meta list
 (** Same, with full pre/post/parent metadata. *)
 
+val run_agg :
+  ?semantics:semantics ->
+  ?scale:int ->
+  func:Secshare_xpath.Ast.agg_func ->
+  Secshare_xml.Tree.t ->
+  Secshare_xpath.Ast.t ->
+  Query_common.value
+(** Plaintext aggregation over the same matched set {!run} produces:
+    [Count] of the set, or the [Sum]/[Avg] of the matched elements'
+    direct text parsed as decimals scaled by 10^[scale] (default
+    {!Numeric.default_scale}) — the encrypted engines' ground truth.
+    @raise Invalid_argument if a matched element has element children
+    or non-numeric text (for [sum]/[avg]). *)
+
 val pre_of_path : Secshare_xml.Tree.t -> int list -> int option
 (** Document-order [pre] of the element reached by a child-index path
     (0-based, [[]] is the root); useful in tests. *)

@@ -100,10 +100,13 @@ type t = {
   manifest : Protocol.manifest_info option;
       (** this server's place in a sharded deployment; [None] answers
           the handshake with the trivial 1-of-1 manifest *)
+  numbers : Node_table.t option;
+      (** numeric share column (one row per aggregatable leaf); [None]
+          rejects [Agg_eval] *)
 }
 
 let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettimeofday)
-    ?(workers = 1) ?manifest ring table =
+    ?(workers = 1) ?manifest ?numbers ring table =
   {
     ring;
     table;
@@ -118,6 +121,7 @@ let create ?cursor_ttl ?(max_cursors = 1024) ?slow_query_ms ?(now = Unix.gettime
     lock = Mutex.create ();
     pool = Pool.create ~workers ();
     manifest;
+    numbers;
   }
 
 let workers t = Pool.size t.pool
@@ -608,6 +612,28 @@ let handle t (request : Protocol.request) : Protocol.response =
               total_rows = Node_table.row_count t.table;
               bounds = [ 1 ];
             })
+  | Protocol.Agg_eval { pres } -> (
+      (* Fold numeric shares into one field element.  The sum is an
+         additive share, uniformly random on its own — but it must
+         still never reach logs or error text, only the wire. *)
+      match t.numbers with
+      | None -> Protocol.Error_msg "this server has no numeric share column"
+      | Some numbers ->
+          let rec fold acc count = function
+            | [] -> Protocol.Agg_partial { count; sum = acc }
+            | pre :: rest -> (
+                match Node_table.find_by_pre numbers pre with
+                | None ->
+                    Protocol.Error_msg
+                      (Printf.sprintf "no numeric share for node pre=%d" pre)
+                | Some row -> (
+                    match Numeric.of_bytes row.Page.share with
+                    | v -> fold (Numeric.add acc v) (count + 1) rest
+                    | exception Invalid_argument _ ->
+                        Protocol.Error_msg
+                          (Printf.sprintf "corrupt numeric share at pre=%d" pre)))
+          in
+          fold 0 0 pres)
 
 let handler t request =
   match handle t request with

@@ -25,10 +25,15 @@ val create :
   ?now:(unit -> float) ->
   ?workers:int ->
   ?manifest:Secshare_rpc.Protocol.manifest_info ->
+  ?numbers:Secshare_store.Node_table.t ->
   Secshare_poly.Ring.t ->
   Secshare_store.Node_table.t ->
   t
-(** [cursor_ttl] (seconds, default: none) evicts cursors idle longer
+(** [numbers] (default: none) is the numeric share column backing
+    [Agg_eval]: one row per aggregatable leaf, its share bytes an
+    8-byte little-endian {!Numeric} field element.  Without it,
+    [Agg_eval] answers [Error_msg].
+    [cursor_ttl] (seconds, default: none) evicts cursors idle longer
     than that; [max_cursors] (default 1024) bounds concurrently open
     cursors, evicting the least recently used past the cap.
     [slow_query_ms] (default: off) logs one structured info-level line

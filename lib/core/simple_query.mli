@@ -15,6 +15,7 @@
     (the equality test). *)
 
 val lower :
+  ?agg:Secshare_xpath.Ast.agg_func ->
   fused:bool ->
   mapping:Mapping.t ->
   strictness:Query_common.strictness ->
@@ -23,9 +24,10 @@ val lower :
 (** Lower a query to the streaming plan this engine executes.  With
     [fused:true] each non-strict name test rides inside its axis scan
     ([Scan_eval]); otherwise it lowers to a separate containment
-    filter after the step's dedup.
-    @raise Query_common.Query_error on an empty query or a name with
-    no map entry. *)
+    filter after the step's dedup.  With [agg] the plan ends in the
+    terminal [Aggregate] sink.
+    @raise Query_common.Query_error on an empty query, a name with
+    no map entry, or a [sum]/[avg] over a non-aggregatable tag. *)
 
 val run :
   Client_filter.t ->
@@ -47,3 +49,18 @@ val run_explained :
   Secshare_rpc.Protocol.node_meta list * Metrics.op_stats list
 (** Like {!run}, also returning each plan operator's execution
     counters in plan order (empty for an unmapped name). *)
+
+val run_value :
+  Client_filter.t ->
+  mapping:Mapping.t ->
+  strictness:Query_common.strictness ->
+  agg:Secshare_xpath.Ast.agg_func ->
+  Secshare_xpath.Ast.t ->
+  Query_common.value * Metrics.op_stats list
+(** Evaluate an aggregate query: the path runs through this engine's
+    usual pipeline, then the [Aggregate] sink folds the matched set —
+    one constant-size [Agg_eval] round trip for [sum]/[avg], none for
+    [count].  An unmapped name short-circuits to the aggregate's
+    empty-set value with no server traffic.
+    @raise Query_common.Query_error on a [sum]/[avg] over a
+    non-aggregatable tag. *)

@@ -54,6 +54,29 @@ let secret_producers =
     ("Node_prg", "generate");
   ]
 
+(* Partial-aggregate vocabulary: server-side code folds numeric shares
+   into a blinded partial sum ([Agg_partial]).  The sum is uniformly
+   random on its own, but a log line per query turns the server into a
+   tape of its own replies — correlate two epochs (or subtract a known
+   query) and the blinding cancels.  So the partial-sum names must
+   never reach a sink in server code; log the row count or the reply
+   size instead (DESIGN.md §15). *)
+let agg_secret_names = [ "sum"; "partial_sum"; "agg_sum"; "total_sum"; "partial" ]
+
+(* (module, function) calls whose result carries partial-aggregate
+   material on the server side. *)
+let agg_secret_producers = [ ("Numeric", "add"); ("Numeric", "of_bytes") ]
+
+(* Server-side scope for the aggregate rule: the RPC layer, the shard
+   router, the server-side filter, and the server binary. *)
+let agg_server_scope path =
+  Ast_util.path_has_prefix path ~prefix:"lib/rpc/"
+  || Ast_util.path_has_prefix path ~prefix:"lib/shard/"
+  ||
+  match Ast_util.normalize_path path with
+  | "lib/core/server_filter.ml" | "bin/ssdb_server.ml" -> true
+  | _ -> false
+
 let printf_like =
   [ "printf"; "eprintf"; "sprintf"; "fprintf"; "ksprintf"; "kfprintf"; "kprintf" ]
 
@@ -94,8 +117,9 @@ let safe_label_fns = [ "reason_label"; "request_name"; "level_to_string"; "op_ba
    how pp_row redacts the share bytes). *)
 let declassifiers = [ "length" ]
 
-(* Find tainted subexpressions of [e]; call [report] for each. *)
-let scan_taint ~report e =
+(* Find subexpressions of [e] tainted by [names]/[producers]; call
+   [report] for each. *)
+let scan_vocab ~names ~producers ~producer_word ~report e =
   let super = Ast_iterator.default_iterator in
   let rec expr it e =
     match e.pexp_desc with
@@ -109,23 +133,31 @@ let scan_taint ~report e =
     (match e.pexp_desc with
     | Pexp_ident { txt; _ } ->
         let name = String.lowercase_ascii (Ast_util.last_of (Ast_util.flatten_longident txt)) in
-        if List.mem name secret_names then report e.pexp_loc ("identifier `" ^ name ^ "'")
+        if List.mem name names then report e.pexp_loc ("identifier `" ^ name ^ "'")
     | Pexp_field (_, lid) ->
         let name = String.lowercase_ascii (Ast_util.field_last lid) in
-        if List.mem name secret_names then report e.pexp_loc ("field `" ^ name ^ "'")
+        if List.mem name names then report e.pexp_loc ("field `" ^ name ^ "'")
     | Pexp_apply (fn, _) -> (
         match Ast_util.ident_path fn with
         | Some path when List.length path >= 2 ->
             let m = List.nth path (List.length path - 2) in
             let f = Ast_util.last_of path in
-            if List.mem (m, f) secret_producers then
-              report e.pexp_loc (Printf.sprintf "call to secret producer %s.%s" m f)
+            if List.mem (m, f) producers then
+              report e.pexp_loc (Printf.sprintf "call to %s %s.%s" producer_word m f)
         | _ -> ())
     | _ -> ());
     super.expr it e
   in
   let it = { super with expr } in
   it.expr it e
+
+let scan_taint ~report e =
+  scan_vocab ~names:secret_names ~producers:secret_producers
+    ~producer_word:"secret producer" ~report e
+
+let scan_agg_taint ~report e =
+  scan_vocab ~names:agg_secret_names ~producers:agg_secret_producers
+    ~producer_word:"partial-aggregate producer" ~report e
 
 let finding source ~loc ~rule ~allow_key msg =
   let line, col = Ast_util.line_col loc in
@@ -165,6 +197,7 @@ let check_labels source ~sink_loc labels_expr out =
 let run (source : Lint_source.t) : Finding.t list =
   let out_acc = ref [] in
   let out f = out_acc := f :: !out_acc in
+  let server_side = agg_server_scope source.Lint_source.effective_path in
   Ast_util.iter_expressions source.Lint_source.structure (fun e ->
       match e.pexp_desc with
       | Pexp_apply (fn, args) -> (
@@ -178,7 +211,18 @@ let run (source : Lint_source.t) : Finding.t list =
                           out
                             (finding source ~loc ~rule:"secret-flow/sink"
                                ~allow_key:"secret-sink"
-                               (Printf.sprintf "%s reaches sink %s" what sink_name))))
+                               (Printf.sprintf "%s reaches sink %s" what sink_name)));
+                      if server_side then
+                        scan_agg_taint arg ~report:(fun loc what ->
+                            out
+                              (finding source ~loc ~rule:"secret-flow/agg-sink"
+                                 ~allow_key:"agg-sink"
+                                 (Printf.sprintf
+                                    "%s reaches sink %s in server code - partial \
+                                     aggregate values must never be logged; report \
+                                     the row count or reply size instead (DESIGN.md \
+                                     \u{00a7}15)"
+                                    what sink_name))))
                     args
               | None -> ());
               if is_registry_family path then

@@ -43,6 +43,10 @@ type request =
       (** Handshake: which shard is this, out of what topology?  A
           single-server deployment answers with the trivial 1-of-1
           manifest. *)
+  | Agg_eval of { pres : int list }
+      (** Fold the numeric shares of the listed rows into one blinded
+          partial sum — the constant-size aggregation reply
+          ([Agg_partial]), however many rows matched. *)
 
 type stats = { rows : int; data_bytes : int; index_bytes : int }
 
@@ -63,6 +67,10 @@ type response =
           present when more batches remain (drain with [Scan_next] or
           abandon with [Cursor_close]). *)
   | Manifest_data of manifest_info
+  | Agg_partial of { count : int; sum : int }
+      (** Blinded partial aggregate: [sum] is the server-share sum in
+          the numeric field — meaningless without the client's
+          blinding shares.  Always the same size on the wire. *)
   | Error_msg of string
 
 let write_meta w (m : node_meta) =
@@ -140,7 +148,10 @@ let encode_request req =
       Wire.write_u8 w 13;
       Wire.write_u32 w cursor;
       Wire.write_u32 w max_items
-  | Manifest -> Wire.write_u8 w 14);
+  | Manifest -> Wire.write_u8 w 14
+  | Agg_eval { pres } ->
+      Wire.write_u8 w 15;
+      Wire.write_list w (Wire.write_u32 w) pres);
   Wire.contents w
 
 let decode_request s =
@@ -199,6 +210,7 @@ let decode_request s =
         let max_items = Wire.read_u32 r in
         Scan_next { cursor; max_items }
     | 14 -> Manifest
+    | 15 -> Agg_eval { pres = Wire.read_list r (fun () -> Wire.read_u32 r) }
     | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown request tag %d" tag))
   in
   Wire.expect_end r;
@@ -260,7 +272,11 @@ let encode_response resp =
       Wire.write_u32 w shards;
       Wire.write_u32 w threshold;
       Wire.write_u32 w total_rows;
-      Wire.write_list w (Wire.write_u32 w) bounds);
+      Wire.write_list w (Wire.write_u32 w) bounds
+  | Agg_partial { count; sum } ->
+      Wire.write_u8 w 14;
+      Wire.write_u32 w count;
+      Wire.write_i64 w sum);
   Wire.contents w
 
 let decode_response s =
@@ -308,6 +324,13 @@ let decode_response s =
         let total_rows = Wire.read_u32 r in
         let bounds = Wire.read_list r (fun () -> Wire.read_u32 r) in
         Manifest_data { shard_id; shards; threshold; total_rows; bounds }
+    | 14 ->
+        let count = Wire.read_u32 r in
+        let sum = Wire.read_i64 r in
+        (* the offending value stays out of the error text: partial
+           sums never reach logs, even malformed ones *)
+        if sum < 0 then raise (Wire.Decode_error "negative aggregate sum");
+        Agg_partial { count; sum }
     | tag -> raise (Wire.Decode_error (Printf.sprintf "unknown response tag %d" tag))
   in
   Wire.expect_end r;
@@ -331,6 +354,7 @@ let request_name = function
   | Scan_eval _ -> "scan_eval"
   | Scan_next _ -> "scan_next"
   | Manifest -> "manifest"
+  | Agg_eval _ -> "agg_eval"
 
 let pp_meta fmt m = Format.fprintf fmt "(pre=%d,post=%d,parent=%d)" m.pre m.post m.parent
 
@@ -367,6 +391,7 @@ let pp_request fmt = function
   | Scan_next { cursor; max_items } ->
       Format.fprintf fmt "Scan_next(%d,max=%d)" cursor max_items
   | Manifest -> Format.pp_print_string fmt "Manifest"
+  | Agg_eval { pres } -> Format.fprintf fmt "Agg_eval(%d nodes)" (List.length pres)
 
 let pp_response fmt = function
   | Pong -> Format.pp_print_string fmt "Pong"
@@ -390,4 +415,7 @@ let pp_response fmt = function
   | Manifest_data { shard_id; shards; threshold; total_rows; bounds } ->
       Format.fprintf fmt "Manifest_data(shard=%d/%d,t=%d,rows=%d,%d partitions)"
         shard_id shards threshold total_rows (List.length bounds)
+  (* Only the count: the share sum is key-dependent material and must
+     never reach logs (lint rule secret-flow/agg-sink). *)
+  | Agg_partial { count; sum = _ } -> Format.fprintf fmt "Agg_partial(count=%d)" count
   | Error_msg msg -> Format.fprintf fmt "Error(%s)" msg

@@ -73,6 +73,12 @@ type request =
       (** Topology handshake: answered with [Manifest_data].  A
           non-sharded server reports the trivial 1-of-1 manifest, so
           clients can probe any deployment uniformly. *)
+  | Agg_eval of { pres : int list }
+      (** Fold the numeric-column shares of the listed rows into one
+          blinded partial sum (answered with [Agg_partial]).  The
+          client sends the matched [pre]s — the same access pattern a
+          node-set fetch reveals — and receives a constant-size reply
+          whatever the selectivity. *)
 
 type stats = { rows : int; data_bytes : int; index_bytes : int }
 
@@ -91,6 +97,12 @@ type response =
       (** One batch of a fused scan; [cursor] is present when more
           rows remain. *)
   | Manifest_data of manifest_info
+  | Agg_partial of { count : int; sum : int }
+      (** Reply to [Agg_eval]: [count] rows folded, [sum] their
+          server-share total in the numeric field.  [sum] is one
+          additive share — uniformly random without the client's
+          blinding shares — and the reply is the same size on the wire
+          for every selectivity. *)
   | Error_msg of string
 
 val request_name : request -> string

@@ -19,6 +19,7 @@ module Protocol = Secshare_rpc.Protocol
 module Transport = Secshare_rpc.Transport
 module Ring = Secshare_poly.Ring
 module Share = Secshare_core.Share
+module Numeric = Secshare_core.Numeric
 module Obs = Secshare_obs
 
 exception Unavailable of string
@@ -595,6 +596,46 @@ let shares_batch t pres =
     chunks;
   Protocol.Shares_data (Array.to_list results)
 
+(* --- aggregation --- *)
+
+(* Numeric shares are Shamir-dealt in F_M, not the polynomial ring, so
+   per-shard partial sums recombine with F_M Lagrange-at-zero weights.
+   The fold is linear: any [threshold] live shards can answer a
+   partition — including a group formed by mid-flight failover — and
+   partitions then add up in F_M. *)
+let agg_eval t pres =
+  let chunks = runs pres ~key:(fun pre -> partition_of t pre) in
+  let total_count = ref 0 and total_sum = ref 0 in
+  List.iter
+    (fun (partition, sub_pres) ->
+      let count, sum =
+        on_group t ~partition (fun group _poly_lambdas ->
+            let lambdas = Numeric.lambdas_at_zero (List.map (fun s -> s.id) group) in
+            let per_member =
+              List.map
+                (fun s ->
+                  match call_shard t s (Protocol.Agg_eval { pres = sub_pres }) with
+                  | Protocol.Agg_partial { count; sum } -> (count, sum)
+                  | response ->
+                      raise
+                        (Diverged
+                           (Format.asprintf "unexpected aggregate reply from shard %d: %a"
+                              s.id Protocol.pp_response response)))
+                group
+            in
+            let expected = List.length sub_pres in
+            List.iter
+              (fun (count, _) ->
+                if count <> expected then
+                  raise (Diverged "aggregate partials diverged (row counts differ)"))
+              per_member;
+            (expected, Numeric.combine ~lambdas (List.map snd per_member)))
+      in
+      total_count := !total_count + count;
+      total_sum := Numeric.add !total_sum sum)
+    chunks;
+  Protocol.Agg_partial { count = !total_count; sum = !total_sum }
+
 (* --- dispatch --- *)
 
 let forward_one t ~partition request = on_one t ~partition (fun s -> call_shard t s request)
@@ -610,6 +651,7 @@ let dispatch t request =
   | Protocol.Eval_batch { pres; point } -> eval_batch t ~pres ~point
   | Protocol.Share pre -> share_one t pre
   | Protocol.Shares pres -> shares_batch t pres
+  | Protocol.Agg_eval { pres } -> agg_eval t pres
   | Protocol.Descendants { pre; post } ->
       let st = open_legacy t ~pre ~post in
       Protocol.Cursor (register_cursor t (Legacy st))

@@ -60,3 +60,30 @@ let split_table (ring : Ring.t) ~threshold ~shards ~dealer_seed ~source ~sinks =
         rows;
         bounds;
       })
+
+let split_numbers ~threshold ~shards ~dealer_seed ~source ~sinks =
+  if Array.length sinks <> shards then
+    invalid_arg
+      (Printf.sprintf "Split.split_numbers: %d sinks for %d shards"
+         (Array.length sinks) shards);
+  let module Numeric = Secshare_core.Numeric in
+  let xs = List.init shards (fun i -> i + 1) in
+  Node_table.iter source ~f:(fun row ->
+      (* one dealer stream per row, domain-separated from the
+         polynomial dealer's draws *)
+      let draws =
+        Numeric.dealer_draws ~seed:dealer_seed ~pre:row.Page.pre
+          ~count:(threshold - 1)
+      in
+      let next = ref 0 in
+      let gen () =
+        let v = draws.(!next) in
+        incr next;
+        v
+      in
+      let value = Numeric.of_bytes row.Page.share in
+      let shares = Numeric.shard_value ~threshold ~gen ~xs value in
+      List.iteri
+        (fun i v ->
+          Node_table.insert sinks.(i) { row with Page.share = Numeric.to_bytes v })
+        shares)

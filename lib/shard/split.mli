@@ -31,3 +31,21 @@ val split_table :
     the single-server table does.
     @raise Invalid_argument if [sinks] has the wrong length or the
     threshold geometry is invalid for the ring. *)
+
+val split_numbers :
+  threshold:int ->
+  shards:int ->
+  dealer_seed:Secshare_prg.Seed.t ->
+  source:Secshare_store.Node_table.t ->
+  sinks:Secshare_store.Node_table.t array ->
+  unit
+(** Shamir-share the numeric column: every 8-byte F_M cell of [source]
+    becomes [shards] evaluations of a degree-[threshold - 1]
+    polynomial over {!Secshare_core.Numeric}'s field (shard [i]
+    receives x = [i + 1]), so any [threshold] shards recombine per-row
+    values — and, by linearity, per-shard partial {e sums} — with
+    {!Secshare_core.Numeric.lambdas_at_zero}.  Use the same
+    (discarded) dealer seed as {!split_table}: the numeric dealer
+    draws are domain-separated from the polynomial ones.
+    @raise Invalid_argument if [sinks] has the wrong length or a cell
+    is not a normalized field element. *)

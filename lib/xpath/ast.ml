@@ -3,7 +3,14 @@ type test = Name of string | Any | Parent
 type step = { axis : axis; test : test; contains : string option }
 type t = step list
 
+(* Aggregate wrappers around a location path: count(path), sum(path),
+   avg(path).  [query] is the full query surface; a bare path is
+   [{ func = None; path }]. *)
+type agg_func = Count | Sum | Avg
+type query = { func : agg_func option; path : t }
+
 let step ?contains axis test = { axis; test; contains }
+let func_to_string = function Count -> "count" | Sum -> "sum" | Avg -> "avg"
 
 let test_to_string = function Name n -> n | Any -> "*" | Parent -> ".."
 
@@ -17,6 +24,11 @@ let step_to_string s =
   sep ^ test_to_string s.test ^ predicate
 
 let to_string steps = String.concat "" (List.map step_to_string steps)
+
+let query_to_string { func; path } =
+  match func with
+  | None -> to_string path
+  | Some f -> Printf.sprintf "%s(%s)" (func_to_string f) (to_string path)
 
 let add_unique name names = if List.mem name names then names else names @ [ name ]
 

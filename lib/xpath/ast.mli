@@ -19,10 +19,23 @@ type t = step list
 (** Non-empty; queries are absolute (they start at the document
     root). *)
 
+type agg_func =
+  | Count  (** size of the result set *)
+  | Sum  (** sum of the matched nodes' numeric values *)
+  | Avg  (** [Sum] divided by [Count] *)
+
+type query = { func : agg_func option; path : t }
+(** The full query surface: a location path, optionally wrapped in an
+    aggregate function ([sum(//price)]). *)
+
 val step : ?contains:string -> axis -> test -> step
+
+val func_to_string : agg_func -> string
 
 val to_string : t -> string
 (** Canonical concrete syntax ([/a//b[contains(text(), "w")]]). *)
+
+val query_to_string : query -> string
 
 val name_tests : t -> string list
 (** Distinct tag names tested anywhere in the query, in first-use

@@ -104,32 +104,85 @@ let read_predicate cur =
       Some (String.lowercase_ascii word)
   | Some _ | None -> None
 
-let parse input =
+(* One location path: steps until something that is not a '/'. *)
+let read_steps cur =
+  let rec steps acc =
+    match peek cur with
+    | Some '/' ->
+        let axis = read_axis cur in
+        let test = read_test cur in
+        let contains = read_predicate cur in
+        (match (test, contains) with
+        | (Ast.Any | Ast.Parent), Some _ ->
+            fail cur "contains() predicates require a named step"
+        | (Ast.Parent, _) when axis = Ast.Descendant ->
+            fail cur "'//..' is not supported"
+        | _ -> ());
+        steps ({ Ast.axis; test; contains } :: acc)
+    | Some _ | None ->
+        if acc = [] then fail cur "query has no steps";
+        List.rev acc
+  in
+  steps []
+
+let expect_end cur =
+  match peek cur with
+  | Some c -> fail cur "unexpected '%c' (steps start with '/')" c
+  | None -> ()
+
+(* An aggregate wrapper is a lowercase keyword directly followed by a
+   parenthesised path; anything else starting with a letter is an
+   unknown function. *)
+let read_func cur =
+  let start = cur.pos in
+  while
+    cur.pos < String.length cur.src
+    && (let c = cur.src.[cur.pos] in c >= 'a' && c <= 'z')
+  do
+    cur.pos <- cur.pos + 1
+  done;
+  match String.sub cur.src start (cur.pos - start) with
+  | "count" -> Ast.Count
+  | "sum" -> Ast.Sum
+  | "avg" -> Ast.Avg
+  | "" -> fail cur "queries start with '/' or an aggregate function"
+  | other ->
+      cur.pos <- start;
+      fail cur "unknown aggregate function %S (count, sum or avg)" other
+
+let parse_query input =
   let cur = { src = String.trim input; pos = 0 } in
   match
     if String.length cur.src = 0 then fail cur "empty query";
-    let rec steps acc =
-      match peek cur with
-      | Some '/' ->
-          let axis = read_axis cur in
-          let test = read_test cur in
-          let contains = read_predicate cur in
-          (match (test, contains) with
-          | (Ast.Any | Ast.Parent), Some _ ->
-              fail cur "contains() predicates require a named step"
-          | (Ast.Parent, _) when axis = Ast.Descendant ->
-              fail cur "'//..' is not supported"
-          | _ -> ());
-          steps ({ Ast.axis; test; contains } :: acc)
-      | Some c -> fail cur "unexpected '%c' (steps start with '/')" c
-      | None ->
-          if acc = [] then fail cur "query has no steps";
-          List.rev acc
-    in
-    steps []
+    match peek cur with
+    | Some '/' ->
+        let path = read_steps cur in
+        expect_end cur;
+        { Ast.func = None; path }
+    | Some _ ->
+        let func = read_func cur in
+        skip_ws cur;
+        eat cur '(';
+        skip_ws cur;
+        let path = read_steps cur in
+        skip_ws cur;
+        eat cur ')';
+        skip_ws cur;
+        expect_end cur;
+        { Ast.func = Some func; path }
+    | None -> fail cur "empty query"
   with
-  | steps -> Ok steps
+  | query -> Ok query
   | exception Error (pos, msg) -> Error (Printf.sprintf "at position %d: %s" pos msg)
+
+let parse input =
+  match parse_query input with
+  | Ok { Ast.func = None; path } -> Ok path
+  | Ok { Ast.func = Some f; _ } ->
+      Error
+        (Printf.sprintf "at position 0: aggregate %s() is not a location path"
+           (Ast.func_to_string f))
+  | Error _ as e -> e
 
 let parse_exn input =
   match parse input with

@@ -2,15 +2,22 @@
 
     Grammar:
     {v
-    query     ::= step+
+    query     ::= path | func "(" path ")"
+    func      ::= "count" | "sum" | "avg"
+    path      ::= step+
     step      ::= ("/" | "//") test predicate?
     test      ::= name | "*" | ".."
     predicate ::= "[" "contains" "(" "text" "(" ")" "," string ")" "]"
     string    ::= '"' chars '"' | "'" chars "'"
     v} *)
 
+val parse_query : string -> (Ast.query, string) result
+(** The full surface: a location path, optionally wrapped in one
+    aggregate function.  Errors carry a character position and
+    description. *)
+
 val parse : string -> (Ast.t, string) result
-(** Errors carry a character position and description. *)
+(** Location paths only; an aggregate query is an error here. *)
 
 val parse_exn : string -> Ast.t
 (** @raise Invalid_argument on a malformed query. *)

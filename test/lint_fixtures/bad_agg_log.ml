@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/core/server_filter.ml *)
+(* Positive fixture: partial-aggregate values reaching sinks in server
+   code.  Every definition below must trip secret-flow/agg-sink. *)
+
+let leak_ident sum = Printf.printf "partial sum=%d\n" sum
+let leak_field reply = Events.debug "aggregate was %d" reply.partial_sum
+let leak_producer acc v = failwith (string_of_int (Numeric.add acc v))

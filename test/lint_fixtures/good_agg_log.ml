@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/core/server_filter.ml *)
+(* Negative fixture: server aggregate code that logs only counts and
+   sizes.  Building the wire reply is fine - only sinks are banned. *)
+
+let log_count count = Printf.printf "aggregate folded %d rows\n" count
+let answer acc count = Agg_partial { count; sum = acc }
+let log_reply_size reply = Events.info "reply is %d bytes" (String.length reply)

@@ -207,7 +207,7 @@ let golden_queries ~ctx table =
                 Alcotest.(list int)
                 (Printf.sprintf "%s: query %s = reference" ctx q)
                 want
-                (Test_support.pres_of_metas r.DB.nodes))
+                (Test_support.pres_of_metas (DB.result_nodes r)))
         queries
       (* DB.close would close [table] for the caller — leave that to them *)
 

@@ -45,7 +45,7 @@ let test_bundle_roundtrip () =
                 | Ok r -> r
                 | Error e -> Alcotest.failf "%s: %s" q e
               in
-              check Alcotest.(list int) q (pres original.DB.nodes) (pres roundtrip.DB.nodes))
+              check Alcotest.(list int) q (pres (DB.result_nodes original)) (pres (DB.result_nodes roundtrip)))
             queries;
           DB.close reopened)
 
@@ -79,7 +79,7 @@ let test_bundle_shares_public () =
             Result.get_ok (DB.query ~strictness:QC.Non_strict hijacked "/site")
           in
           check Alcotest.(list int) "no matches without the real seed" []
-            (pres r.DB.nodes);
+            (pres (DB.result_nodes r));
           DB.close hijacked)
 
 let test_rpc_batching_equivalence () =
@@ -103,11 +103,11 @@ let test_rpc_batching_equivalence () =
       let ru =
         Result.get_ok (DB.query ~engine:DB.Simple ~strictness:QC.Non_strict unbatched q)
       in
-      check Alcotest.(list int) ("results " ^ q) (pres rb.DB.nodes) (pres ru.DB.nodes);
+      check Alcotest.(list int) ("results " ^ q) (pres (DB.result_nodes rb)) (pres (DB.result_nodes ru));
       check Alcotest.int ("same evaluations " ^ q)
         rb.DB.metrics.Secshare_core.Metrics.evaluations
         ru.DB.metrics.Secshare_core.Metrics.evaluations;
-      if List.length rb.DB.nodes > 0 then
+      if List.length (DB.result_nodes rb) > 0 then
         check Alcotest.bool ("unbatched needs more round trips " ^ q) true
           (ru.DB.rpc_calls >= rb.DB.rpc_calls))
     queries;
@@ -125,7 +125,7 @@ let regex_db () =
   Test_support.db_of_tree ~trie:Secshare_trie.Expand.Compressed doc
 
 let count_matches db q =
-  List.length (Test_support.must_query ~strictness:QC.Strict db q).DB.nodes
+  List.length (DB.result_nodes (Test_support.must_query ~strictness:QC.Strict db q))
 
 let test_contains_dot () =
   let db = regex_db () in

@@ -13,7 +13,7 @@ let qtest ?(count = 40) name gen prop =
 let pres = Test_support.pres_of_metas
 
 let query_pres db ~engine ~strictness q =
-  (Test_support.must_query ~engine ~strictness db q).DB.nodes |> pres
+  DB.result_nodes (Test_support.must_query ~engine ~strictness db q) |> pres
 
 (* --- reference evaluator sanity --- *)
 
@@ -108,8 +108,10 @@ let engine_reference_suite =
             let db = Test_support.db_of_tree tree in
             let expected = Reference.run tree query in
             let got =
-              pres (Test_support.must_query ~engine ~strictness:QC.Strict db
-                      (Ast.to_string query)).DB.nodes
+              pres
+                (DB.result_nodes
+                   (Test_support.must_query ~engine ~strictness:QC.Strict db
+                      (Ast.to_string query)))
             in
             got = expected);
         qtest
@@ -119,8 +121,10 @@ let engine_reference_suite =
             let db = Test_support.db_of_tree tree in
             let expected = Reference.run ~semantics:Reference.Containment tree query in
             let got =
-              pres (Test_support.must_query ~engine ~strictness:QC.Non_strict db
-                      (Ast.to_string query)).DB.nodes
+              pres
+                (DB.result_nodes
+                   (Test_support.must_query ~engine ~strictness:QC.Non_strict db
+                      (Ast.to_string query)))
             in
             got = expected);
       ])
@@ -197,11 +201,11 @@ let test_advanced_prunes () =
     Test_support.must_query ~engine:DB.Advanced ~strictness:QC.Non_strict db "//b/d"
   in
   (* containment semantics: only c (pre 6) has a d inside *)
-  check Alcotest.(list int) "containment result" [ 6 ] (pres simple.DB.nodes);
-  check Alcotest.(list int) "containment result (advanced)" [ 6 ] (pres advanced.DB.nodes);
+  check Alcotest.(list int) "containment result" [ 6 ] (pres (DB.result_nodes simple));
+  check Alcotest.(list int) "containment result (advanced)" [ 6 ] (pres (DB.result_nodes advanced));
   (* strict: no d is a child of a b anywhere *)
   check Alcotest.(list int) "strict result empty" []
-    (pres (Test_support.must_query ~engine:DB.Advanced ~strictness:QC.Strict db "//b/d").DB.nodes);
+    (pres (DB.result_nodes (Test_support.must_query ~engine:DB.Advanced ~strictness:QC.Strict db "//b/d")));
   check Alcotest.bool "advanced evaluates fewer nodes" true
     (advanced.DB.metrics.Metrics.evaluations < simple.DB.metrics.Metrics.evaluations)
 
@@ -229,21 +233,21 @@ let test_contains_query () =
   let db = Test_support.db_of_tree ~trie:Secshare_trie.Expand.Compressed tree in
   let joan = Test_support.must_query ~strictness:QC.Strict db "//name[contains(text(), \"joan\")]" in
   (* pre numbers follow the trie-expanded document; check via names *)
-  check Alcotest.int "one name matches joan" 1 (List.length joan.DB.nodes);
+  check Alcotest.int "one name matches joan" 1 (List.length (DB.result_nodes joan));
   let jo = Test_support.must_query ~strictness:QC.Strict db "//name[contains(text(), \"jo\")]" in
-  check Alcotest.int "prefix jo matches joan+johnson's name" 1 (List.length jo.DB.nodes);
+  check Alcotest.int "prefix jo matches joan+johnson's name" 1 (List.length (DB.result_nodes jo));
   let smith = Test_support.must_query ~strictness:QC.Strict db "//name[contains(text(), \"smith\")]" in
-  check Alcotest.int "smith matches the other name" 1 (List.length smith.DB.nodes);
-  check Alcotest.bool "different nodes" true (pres smith.DB.nodes <> pres joan.DB.nodes);
+  check Alcotest.int "smith matches the other name" 1 (List.length (DB.result_nodes smith));
+  check Alcotest.bool "different nodes" true (pres (DB.result_nodes smith) <> pres (DB.result_nodes joan));
   let nobody = Test_support.must_query ~strictness:QC.Strict db "//name[contains(text(), \"zzz\")]" in
-  check Alcotest.int "no match" 0 (List.length nobody.DB.nodes)
+  check Alcotest.int "no match" 0 (List.length (DB.result_nodes nobody))
 
 let test_contains_uncompressed () =
   let tree = Result.get_ok (Tree.of_string "<d><t>ab ab cd</t></d>") in
   let db = Test_support.db_of_tree ~trie:Secshare_trie.Expand.Uncompressed tree in
   let hits = Test_support.must_query ~strictness:QC.Strict db "//t[contains(text(), \"ab\")]" in
   (* uncompressed: each of the two "ab" occurrences is its own chain *)
-  check Alcotest.int "both chains found" 2 (List.length hits.DB.nodes)
+  check Alcotest.int "both chains found" 2 (List.length (DB.result_nodes hits))
 
 (* --- the nextNode() pipeline: server-side cursor accounting --- *)
 
@@ -323,7 +327,7 @@ let test_query_errors () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "malformed query accepted");
   match DB.query db "/unmapped_tag_name" with
-  | Ok r -> check Alcotest.(list int) "unmapped name matches nothing" [] (pres r.DB.nodes)
+  | Ok r -> check Alcotest.(list int) "unmapped name matches nothing" [] (pres (DB.result_nodes r))
   | Error e -> Alcotest.fail e
 
 let test_create_errors () =

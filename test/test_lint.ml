@@ -41,6 +41,7 @@ let all_rules =
   [
     "secret-flow/sink";
     "secret-flow/label";
+    "secret-flow/agg-sink";
     "lock-order/inversion";
     "lock-order/undeclared";
     "banned/random";
@@ -96,6 +97,7 @@ let positive_cases =
   [
     ("bad_secret_flow.ml", "secret-flow/sink", 4);
     ("bad_secret_flow.ml", "secret-flow/label", 1);
+    ("bad_agg_log.ml", "secret-flow/agg-sink", 3);
     ("bad_lock_order.ml", "lock-order/inversion", 2);
     ("bad_lock_order.ml", "lock-order/undeclared", 1);
     ("bad_banned.ml", "banned/random", 1);
@@ -115,6 +117,7 @@ let positive_cases =
 let negative_cases =
   [
     "good_secret_flow.ml";
+    "good_agg_log.ml";
     "good_lock_order.ml";
     "good_banned.ml";
     "good_unguarded.ml";

@@ -42,7 +42,7 @@ let db_with ~fused ~batching tree =
   | Error msg -> failwith ("db_with: " ^ msg)
 
 let query_pres db ~engine ~strictness q =
-  (Test_support.must_query ~engine ~strictness db q).DB.nodes |> pres
+  DB.result_nodes (Test_support.must_query ~engine ~strictness db q) |> pres
 
 (* --- golden results for the five queries of table 2 (§5.3/§6.3) --- *)
 
@@ -101,9 +101,9 @@ let test_config_agreement () =
           let rf = Test_support.must_query ~engine ~strictness fused q in
           let rb = Test_support.must_query ~engine ~strictness batched q in
           let rn = Test_support.must_query ~engine ~strictness per_node q in
-          check Alcotest.(list int) (q ^ " fused") expected (pres rf.DB.nodes);
-          check Alcotest.(list int) (q ^ " batched") expected (pres rb.DB.nodes);
-          check Alcotest.(list int) (q ^ " per-node") expected (pres rn.DB.nodes))
+          check Alcotest.(list int) (q ^ " fused") expected (pres (DB.result_nodes rf));
+          check Alcotest.(list int) (q ^ " batched") expected (pres (DB.result_nodes rb));
+          check Alcotest.(list int) (q ^ " per-node") expected (pres (DB.result_nodes rn)))
         [ ("simple", DB.Simple); ("advanced", DB.Advanced) ])
     golden;
   (* the acceptance bar for the fused protocol: at most half the round
@@ -116,7 +116,7 @@ let test_config_agreement () =
           let rb = Test_support.must_query ~engine ~strictness:QC.Non_strict batched q in
           check Alcotest.(list int)
             (q ^ " fused = batched (" ^ name ^ ")")
-            (pres rb.DB.nodes) (pres rf.DB.nodes);
+            (pres (DB.result_nodes rb)) (pres (DB.result_nodes rf));
           (* on these chains the simple engine's trips halve outright;
              the advanced engine spends most trips on look-ahead
              Eval_batch rounds that fusion cannot absorb, so it only
@@ -224,7 +224,7 @@ let prop_child_queries_match_reference (tree, query) =
   let expected_loose = Reference.run ~semantics:Reference.Containment tree query in
   let run db engine strictness =
     match DB.query_ast ~engine ~strictness db query with
-    | Ok r -> pres r.DB.nodes
+    | Ok r -> pres (DB.result_nodes r)
     | Error msg -> failwith msg
   in
   List.for_all
@@ -338,7 +338,7 @@ let test_operator_stats () =
           (* the sink's output is the (deduplicated) result *)
           let sink = List.nth r.DB.operators (List.length r.DB.operators - 1) in
           check Alcotest.int (q ^ " sink rows = result size")
-            (List.length r.DB.nodes)
+            (List.length (DB.result_nodes r))
             sink.Metrics.rows_out)
         [
           (DB.Simple, QC.Non_strict);

@@ -44,8 +44,8 @@ let test_remote_matches_local () =
                       check
                         Alcotest.(list int)
                         (Printf.sprintf "%s" q)
-                        (Test_support.pres_of_metas local.DB.nodes)
-                        (Test_support.pres_of_metas remote.DB.nodes))
+                        (Test_support.pres_of_metas (DB.result_nodes local))
+                        (Test_support.pres_of_metas (DB.result_nodes remote)))
                 [
                   (DB.Simple, QC.Non_strict);
                   (DB.Advanced, QC.Non_strict);
@@ -70,7 +70,7 @@ let test_remote_wrong_seed_finds_nothing () =
               | Error e -> Alcotest.fail e
               | Ok r ->
                   check Alcotest.(list int) "root does not even match /site" []
-                    (Test_support.pres_of_metas r.DB.nodes)))
+                    (Test_support.pres_of_metas (DB.result_nodes r))))
 
 let test_remote_sessions_are_independent () =
   with_served_db (fun db path ->
@@ -83,7 +83,7 @@ let test_remote_sessions_are_independent () =
           let r1 = Result.get_ok (DB.query s1 "/site") in
           let r2 = Result.get_ok (DB.query s2 "//bidder/date") in
           check Alcotest.bool "both answered" true
-            (List.length r1.DB.nodes = 1 && r2.DB.nodes <> [])))
+            (List.length (DB.result_nodes r1) = 1 && (DB.result_nodes r2) <> [])))
 
 let test_session_after_server_stop () =
   let doc = Secshare_xmark.Generate.generate ~factor:0.2 () in
@@ -253,12 +253,12 @@ let test_remote_recovers_across_server_restart () =
     | Error e -> Alcotest.fail e
   in
   let expected =
-    Test_support.pres_of_metas (Test_support.must_query db "/site").DB.nodes
+    Test_support.pres_of_metas (DB.result_nodes (Test_support.must_query db "/site"))
   in
   (match DB.query session "/site" with
   | Ok r ->
       check Alcotest.(list int) "before restart" expected
-        (Test_support.pres_of_metas r.DB.nodes)
+        (Test_support.pres_of_metas (DB.result_nodes r))
   | Error e -> Alcotest.failf "before restart: %s" e);
   Secshare_rpc.Server.stop server;
   let server = DB.serve db ~path in
@@ -268,7 +268,7 @@ let test_remote_recovers_across_server_restart () =
       (match DB.query session "/site" with
       | Ok r ->
           check Alcotest.(list int) "after restart" expected
-            (Test_support.pres_of_metas r.DB.nodes)
+            (Test_support.pres_of_metas (DB.result_nodes r))
       | Error e -> Alcotest.failf "after restart: %s" e);
       let counters = DB.rpc_counters session in
       check Alcotest.bool "recovery used reconnect" true

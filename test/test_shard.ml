@@ -183,8 +183,8 @@ let check_golden ?(note = "") d client =
           match DB.query ~engine ~strictness client q with
           | Error e -> Alcotest.failf "%s%s routed: %s" note q e
           | Ok routed ->
-              check Alcotest.(list int) (note ^ q) (pres local.DB.nodes)
-                (pres routed.DB.nodes))
+              check Alcotest.(list int) (note ^ q) (pres (DB.result_nodes local))
+                (pres (DB.result_nodes routed)))
         modes)
     golden_queries
 
@@ -308,8 +308,8 @@ let test_router_single_shard () =
                       match DB.query client q with
                       | Error e -> Alcotest.failf "%s: %s" q e
                       | Ok routed ->
-                          check Alcotest.(list int) q (pres local.DB.nodes)
-                            (pres routed.DB.nodes))
+                          check Alcotest.(list int) q (pres (DB.result_nodes local))
+                            (pres (DB.result_nodes routed)))
                     golden_queries)))
 
 let test_router_qcheck =
@@ -325,7 +325,7 @@ let test_router_qcheck =
             ~finally:(fun () -> DB.close client)
             (fun () ->
               match (DB.query_ast d.db q, DB.query_ast client q) with
-              | Ok local, Ok routed -> pres local.DB.nodes = pres routed.DB.nodes
+              | Ok local, Ok routed -> pres (DB.result_nodes local) = pres (DB.result_nodes routed)
               | Error e, _ | _, Error e -> failwith e)))
 
 (* --- threshold degradation --- *)

@@ -3,6 +3,7 @@
 
 Usage: check_kernel_gate.py RESULTS.json BASELINE.json
        check_kernel_gate.py --validate-shard RESULTS.json
+       check_kernel_gate.py --validate-agg RESULTS.json
 
 RESULTS.json is the output of `bench/main.exe --json RESULTS.json kernel`;
 BASELINE.json is the committed bench/kernel_baseline.json.  The gate
@@ -15,6 +16,13 @@ With --validate-shard, RESULTS.json is the output of
 ablation's schema — a 1-shard baseline row plus multi-shard rows, each
 with sane threshold geometry, a positive throughput, and the bench's
 golden-equality assertion recorded as passed.
+
+With --validate-agg, RESULTS.json is the output of
+`bench/main.exe --json RESULTS.json aggregation`: the gate checks the
+aggregation ablation's schema — at least two selectivity rows, each
+with matches equal to the planted selectivity, positive byte and time
+measurements, and (the oblivious-reply claim) an aggregate reply size
+that is identical across every selectivity.
 """
 
 import json
@@ -68,9 +76,67 @@ def validate_shard(path: str) -> None:
     print("shard gate: PASS")
 
 
+def validate_agg(path: str) -> None:
+    with open(path) as f:
+        rows = json.load(f)
+    agg_rows = [row for row in rows if row.get("experiment") == "aggregation"]
+    if len(agg_rows) < 2:
+        fail(
+            "need at least 2 aggregation rows to check reply-size constancy "
+            f"(got {len(agg_rows)})"
+        )
+
+    ok = True
+    reply_sizes = set()
+    for i, row in enumerate(agg_rows):
+        problems = []
+        selectivity = row.get("selectivity")
+        matches = row.get("matches")
+        if not isinstance(selectivity, int) or selectivity < 1:
+            problems.append(f"selectivity={selectivity!r}")
+        if not isinstance(matches, int) or matches != selectivity:
+            problems.append(f"matches={matches!r} (expected {selectivity!r})")
+        for field in ("fetch_bytes", "agg_bytes", "agg_reply_bytes"):
+            v = row.get(field)
+            if not isinstance(v, int) or v < 1:
+                problems.append(f"{field}={v!r}")
+        for field in ("fetch_seconds", "agg_seconds"):
+            v = row.get(field)
+            if not isinstance(v, (int, float)) or v < 0:
+                problems.append(f"{field}={v!r}")
+        reply = row.get("agg_reply_bytes")
+        if isinstance(reply, int):
+            reply_sizes.add(reply)
+        status = "ok" if not problems else "FAIL (" + ", ".join(problems) + ")"
+        print(
+            f"agg gate: row {i}: selectivity={selectivity} "
+            f"agg_bytes={row.get('agg_bytes')!r} "
+            f"reply={row.get('agg_reply_bytes')!r} {status}"
+        )
+        if problems:
+            ok = False
+
+    if len(reply_sizes) != 1:
+        print(
+            "agg gate: aggregate reply size varies with selectivity: "
+            f"{sorted(reply_sizes)} (leaks the matched-set size)",
+            file=sys.stderr,
+        )
+        ok = False
+    if not ok:
+        fail("aggregation ablation rows malformed (see rows above)")
+    print(
+        "agg gate: PASS "
+        f"(constant {reply_sizes.pop()}-byte reply over {len(agg_rows)} selectivities)"
+    )
+
+
 def main() -> None:
     if len(sys.argv) == 3 and sys.argv[1] == "--validate-shard":
         validate_shard(sys.argv[2])
+        return
+    if len(sys.argv) == 3 and sys.argv[1] == "--validate-agg":
+        validate_agg(sys.argv[2])
         return
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
