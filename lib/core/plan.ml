@@ -64,10 +64,12 @@ let op_to_string = function
         (points_to_string prune)
   | Parent_step -> "parent"
   | Filter_containment { points } ->
-      (* lint: allow-secret-sink client-side --explain; labels use op_base_name *)
-      Printf.sprintf "filter-containment[%s]" (points_to_string points)
-  (* lint: allow-secret-sink same: --explain runs on the trusted client *)
-  | Filter_equality { point } -> Printf.sprintf "filter-equality@%d" point
+      (Printf.sprintf "filter-containment[%s]" (points_to_string points)
+      [@lint.suppress
+        "secret-sink" ~reason:"client-side --explain; labels use op_base_name"])
+  | Filter_equality { point } ->
+      (Printf.sprintf "filter-equality@%d" point
+      [@lint.suppress "secret-sink" ~reason:"same: --explain runs on the trusted client"])
   | Dedup -> "dedup"
   | Limit n -> Printf.sprintf "limit(%d)" n
   | Aggregate { func; scale } ->

@@ -44,12 +44,19 @@ let worker_loop t i =
   let executor = "w" ^ string_of_int i in
   let rec loop () =
     Mutex.lock t.lock;
+    Obs.Race_check.acquired "pool-queue";
+    Obs.Race_check.access "pool.closed";
     while Queue.is_empty t.queue && not t.closed do
       Condition.wait t.work_available t.lock
     done;
-    if Queue.is_empty t.queue then Mutex.unlock t.lock (* closed: drain done *)
+    if Queue.is_empty t.queue then begin
+      Obs.Race_check.released "pool-queue";
+      Mutex.unlock t.lock (* closed: drain done *)
+    end
     else begin
       let task = Queue.pop t.queue in
+      Obs.Race_check.access ~write:true "pool.queue";
+      Obs.Race_check.released "pool-queue";
       Mutex.unlock t.lock;
       Obs.Registry.gauge_add obs_queue_depth (-1);
       run_task ~executor task;
@@ -77,14 +84,17 @@ let create ~workers () =
 let size t = t.workers
 
 let close t =
-  if Array.length t.domains > 0 then begin
-    Mutex.lock t.lock;
-    t.closed <- true;
-    Condition.broadcast t.work_available;
-    Mutex.unlock t.lock;
-    Array.iter Domain.join t.domains
-  end
-  else t.closed <- true
+  (* the flag is part of the queue monitor even when no workers were
+     spawned: a racing map on another domain must not observe a torn
+     closed/queue pair *)
+  Mutex.lock t.lock;
+  Obs.Race_check.acquired "pool-queue";
+  t.closed <- true;
+  Obs.Race_check.access ~write:true "pool.closed";
+  Condition.broadcast t.work_available;
+  Obs.Race_check.released "pool-queue";
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.domains
 
 (* A latch per map call, using the pool lock as its monitor. *)
 type call = { mutable remaining : int; finished : Condition.t }
@@ -93,8 +103,16 @@ let map_array t a ~f =
   let len = Array.length a in
   if Array.length t.domains = 0 || len <= 1 then Array.map f a
   else begin
-    let results = Array.make len None in
-    let first_exn = ref None in
+    let[@atomic_ok
+         "each slot is written by exactly one task; publication to the caller is \
+          ordered by the call.remaining monitor"] results =
+      Array.make len None
+    in
+    let[@atomic_ok
+         "written under the pool lock; the caller reads it only after remaining = 0, \
+          ordered by the same monitor"] first_exn =
+      ref None
+    in
     (* More chunks than workers so an uneven row (one very deep
        subtree) doesn't leave the other workers idle at the tail. *)
     let nchunks = min len (2 * Array.length t.domains) in
@@ -109,36 +127,48 @@ let map_array t a ~f =
            done
          with exn ->
            Mutex.lock t.lock;
+           Obs.Race_check.acquired "pool-queue";
            if !first_exn = None then first_exn := Some exn;
+           Obs.Race_check.released "pool-queue";
            Mutex.unlock t.lock);
         Mutex.lock t.lock;
+        Obs.Race_check.acquired "pool-queue";
         call.remaining <- call.remaining - 1;
         if call.remaining = 0 then Condition.signal call.finished;
+        Obs.Race_check.released "pool-queue";
         Mutex.unlock t.lock
     in
     (* gauge goes up before the enqueue so a racing dequeue can only
        leave it transiently high, never negative *)
     Obs.Registry.gauge_add obs_queue_depth nchunks;
     Mutex.lock t.lock;
+    Obs.Race_check.acquired "pool-queue";
     for c = 0 to nchunks - 1 do
       Queue.add (task (c * chunk_size)) t.queue
     done;
+    Obs.Race_check.access ~write:true "pool.queue";
     Condition.broadcast t.work_available;
+    Obs.Race_check.released "pool-queue";
     Mutex.unlock t.lock;
     (* The caller helps: steal queued chunks (of any in-flight call)
        instead of sleeping, so a busy pool never makes a map slower
        than running it inline. *)
     Mutex.lock t.lock;
+    Obs.Race_check.acquired "pool-queue";
     while call.remaining > 0 do
       if Queue.is_empty t.queue then Condition.wait call.finished t.lock
       else begin
         let task = Queue.pop t.queue in
+        Obs.Race_check.access ~write:true "pool.queue";
+        Obs.Race_check.released "pool-queue";
         Mutex.unlock t.lock;
         Obs.Registry.gauge_add obs_queue_depth (-1);
         run_task ~executor:"caller" task;
-        Mutex.lock t.lock
+        Mutex.lock t.lock;
+        Obs.Race_check.acquired "pool-queue"
       end
     done;
+    Obs.Race_check.released "pool-queue";
     Mutex.unlock t.lock;
     (match !first_exn with Some exn -> raise exn | None -> ());
     Array.map

@@ -166,7 +166,13 @@ let eval_share t (row : Page.row) point =
 
 let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Obs.Race_check.acquired "cursor-table";
+  Obs.Race_check.access ~write:true "server_filter.cursors";
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Race_check.released "cursor-table";
+      Mutex.unlock t.lock)
+    f
 
 type removal_reason = Drained | Client_close | Ttl | Cap | Connection_close
 

@@ -1,7 +1,19 @@
 (* The pass registry and the tree walker: collect .ml files, run every
-   pass, apply suppression comments, and render the report. *)
+   pass, apply suppression comments, and render the report.
+
+   Two kinds of pass: per-file passes see one parsed source at a time;
+   program passes ([Pass_races]) see every parsed source at once, so
+   they can resolve calls across files.  [--pass NAME] restricts the
+   run to one pass of either kind; stale-suppression accounting only
+   happens on full runs, where every pass that could use a suppression
+   has had its chance. *)
 
 type pass = { pass_name : string; run : Lint_source.t -> Finding.t list }
+
+type program_pass = {
+  pp_name : string;
+  run_program : Lint_source.t list -> Finding.t list;
+}
 
 let passes =
   [
@@ -10,6 +22,11 @@ let passes =
     { pass_name = "banned-api"; run = Pass_banned.run };
     { pass_name = "accounting"; run = Pass_accounting.run };
   ]
+
+let program_passes = [ { pp_name = "races"; run_program = Pass_races.run } ]
+
+let pass_names =
+  List.map (fun p -> p.pass_name) passes @ List.map (fun p -> p.pp_name) program_passes
 
 type suppressed = { finding : Finding.t; reason : string }
 
@@ -40,32 +57,83 @@ let rec collect ~include_fixtures path acc =
   else if is_ml path then path :: acc
   else acc
 
-let lint_files paths : report =
+let lint_files ?passes:selected paths : report =
   let files = List.rev paths in
+  let enabled name =
+    match selected with None -> true | Some names -> List.mem name names
+  in
+  let full_run = selected = None in
   let all_findings = ref [] in
   let suppressed = ref [] in
   let unused = ref [] in
   let scanned = ref 0 in
+  let sources = ref [] in
+  let sift source raw =
+    List.iter
+      (fun f ->
+        match Lint_source.suppress_for source f with
+        | Some reason -> suppressed := { finding = f; reason } :: !suppressed
+        | None -> all_findings := f :: !all_findings)
+      raw
+  in
   List.iter
     (fun file ->
       incr scanned;
       match Lint_source.load file with
       | Error f -> all_findings := f :: !all_findings
       | Ok source ->
-          let raw = List.concat_map (fun p -> p.run source) passes in
-          List.iter
-            (fun f ->
-              match Lint_source.suppress_for source f with
-              | Some reason -> suppressed := { finding = f; reason } :: !suppressed
-              | None -> all_findings := f :: !all_findings)
-            raw;
-          List.iter
-            (fun (s : Lint_source.suppression) ->
-              unused :=
-                (source.Lint_source.path, s.Lint_source.supp_line, s.Lint_source.key)
-                :: !unused)
-            (Lint_source.unused_suppressions source))
+          sources := source :: !sources;
+          let raw =
+            List.concat_map
+              (fun p -> if enabled p.pass_name then p.run source else [])
+              passes
+          in
+          sift source raw)
     files;
+  let sources = List.rev !sources in
+  (* program passes: findings come back tagged with their real file
+     path; route each through that file's suppressions *)
+  let by_path = Hashtbl.create 64 in
+  List.iter (fun (s : Lint_source.t) -> Hashtbl.replace by_path s.Lint_source.path s) sources;
+  List.iter
+    (fun pp ->
+      if enabled pp.pp_name then
+        List.iter
+          (fun (f : Finding.t) ->
+            match Hashtbl.find_opt by_path f.Finding.file with
+            | Some source -> sift source [ f ]
+            | None -> all_findings := f :: !all_findings)
+          (pp.run_program sources))
+    program_passes;
+  (* suppression hygiene, only meaningful when every pass has run *)
+  if full_run then
+    List.iter
+      (fun (source : Lint_source.t) ->
+        List.iter
+          (fun (s : Lint_source.suppression) ->
+            unused :=
+              (source.Lint_source.path, s.Lint_source.supp_line, s.Lint_source.key)
+              :: !unused)
+          (Lint_source.unused_suppressions source);
+        List.iter
+          (fun (s : Lint_source.structured) ->
+            let msg =
+              if s.Lint_source.s_malformed then
+                "[@lint.suppress] payload is malformed; expected \
+                 [@lint.suppress \"<key>\" ~reason:\"<why>\"]"
+              else
+                Printf.sprintf
+                  "[@lint.suppress \"%s\"] suppresses nothing; the finding it excused \
+                   is gone, delete it"
+                  s.Lint_source.s_key
+            in
+            all_findings :=
+              Finding.v ~rule:"lint/stale-suppression" ~allow_key:"stale-suppression"
+                ~severity:Finding.Error ~file:source.Lint_source.path
+                ~line:s.Lint_source.s_line ~col:0 msg
+              :: !all_findings)
+          (Lint_source.stale_structured source))
+      sources;
   {
     findings = List.sort Finding.order !all_findings;
     suppressed =
@@ -77,7 +145,7 @@ let lint_files paths : report =
 (* Lint files and/or directory trees.  Paths given explicitly are
    always linted, even fixture files; directory recursion skips
    [lint_fixtures] (and _build) unless [include_fixtures]. *)
-let lint_paths ?(include_fixtures = false) paths : report =
+let lint_paths ?(include_fixtures = false) ?passes paths : report =
   let files =
     List.concat_map
       (fun p ->
@@ -86,7 +154,7 @@ let lint_paths ?(include_fixtures = false) paths : report =
         else [ p ])
       paths
   in
-  lint_files files
+  lint_files ?passes files
 
 let error_count report =
   List.length
@@ -132,3 +200,45 @@ let print_json out report =
     "{\"files_scanned\":%d,\"errors\":%d,\"findings\":[%s],\"suppressed\":[%s]}\n"
     report.files_scanned (error_count report) (String.concat "," fields)
     (String.concat "," supp)
+
+(* SARIF 2.1.0, the minimal profile code-scanning UIs ingest: one run,
+   one rule entry per distinct rule id, one result per finding. *)
+let print_sarif out report =
+  let esc = Finding.json_escape in
+  let rules = ref [] in
+  List.iter
+    (fun (f : Finding.t) ->
+      if not (List.mem f.Finding.rule !rules) then rules := f.Finding.rule :: !rules)
+    report.findings;
+  let rules = List.rev !rules in
+  let rule_index r =
+    let rec go i = function
+      | [] -> 0
+      | x :: rest -> if String.equal x r then i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let rule_objs =
+    List.map (fun r -> Printf.sprintf "{\"id\":\"%s\"}" (esc r)) rules
+  in
+  let results =
+    List.map
+      (fun (f : Finding.t) ->
+        let level =
+          match f.Finding.severity with
+          | Finding.Error -> "error"
+          | Finding.Warning -> "warning"
+          | Finding.Info -> "note"
+        in
+        Printf.sprintf
+          "{\"ruleId\":\"%s\",\"ruleIndex\":%d,\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"%s\"},\"region\":{\"startLine\":%d,\"startColumn\":%d}}}]}"
+          (esc f.Finding.rule) (rule_index f.Finding.rule) level
+          (esc f.Finding.message) (esc f.Finding.file)
+          (max 1 f.Finding.line)
+          (max 1 (f.Finding.col + 1)))
+      report.findings
+  in
+  Printf.fprintf out
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"ssdb_lint\",\"informationUri\":\"https://example.invalid/ssdb\",\"rules\":[%s]}},\"results\":[%s]}]}\n"
+    (String.concat "," rule_objs)
+    (String.concat "," results)

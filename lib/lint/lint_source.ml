@@ -1,15 +1,24 @@
 (* One parsed source file plus its lint directives.
 
-   Directives are ordinary comments (invisible to the compiler),
-   introduced by the word "lint" followed by a colon:
+   Directives come in two forms.  Ordinary comments (invisible to the
+   compiler), introduced by the word "lint" followed by a colon:
 
      allow-<key> <reason>   suppress a finding with that key on this
                             or the next line
      pretend-path <path>    lint this file as if it lived at <path>
                             (used by the fixture corpus)
 
-   The parser drops comments, so directives are recovered from the raw
-   text line by line. *)
+   and structured attributes, visible to the parser and attached to
+   the expression or binding they cover:
+
+     [@lint.suppress "<key>" ~reason:"<why>"]
+
+   where <key> is a suppression key, a full rule id, or a pass prefix
+   ("secret-flow" covers secret-flow/sink).  A structured suppression
+   covers every matching finding within its host node's line range; a
+   structured suppression that matches nothing is itself a finding
+   (lint/stale-suppression), so suppressions cannot outlive the code
+   they excuse. *)
 
 type suppression = {
   supp_line : int;
@@ -18,11 +27,21 @@ type suppression = {
   mutable used : bool;
 }
 
+type structured = {
+  s_key : string;
+  s_reason : string;
+  s_line : int;  (** first line of the host node *)
+  s_end_line : int;  (** last line of the host node *)
+  s_malformed : bool;
+  mutable s_used : bool;
+}
+
 type t = {
   path : string;  (** where the file really is *)
   effective_path : string;  (** what path-scoped rules should see *)
   structure : Parsetree.structure;
   suppressions : suppression list;
+  structured : structured list;
 }
 
 let starts_with ~prefix s =
@@ -74,6 +93,91 @@ let scan_directives text =
     (String.split_on_char '\n' text);
   (List.rev !suppressions, !pretend)
 
+(* --- structured suppressions ------------------------------------- *)
+
+open Parsetree
+
+(* Payload of [@lint.suppress "<key>" ~reason:"<why>"].  The payload is
+   parsed but never typechecked, so the key-then-labelled-reason shape
+   is recovered from the raw application. *)
+let parse_suppress_payload (attr : attribute) =
+  let const_string e =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+    | _ -> None
+  in
+  match attr.attr_payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_string (key, _, _)) -> Some (key, "")
+      | Pexp_apply (head, args) -> (
+          match const_string head with
+          | None -> None
+          | Some key ->
+              let reason =
+                List.fold_left
+                  (fun acc (label, arg) ->
+                    match (label, const_string arg) with
+                    | Asttypes.Labelled "reason", Some r -> r
+                    | _ -> acc)
+                  "" args
+              in
+              Some (key, reason))
+      | _ -> None)
+  | _ -> None
+
+let structured_of ~(host : Location.t) (attr : attribute) =
+  if not (String.equal attr.attr_name.Location.txt "lint.suppress") then None
+  else
+    let s_line = host.Location.loc_start.Lexing.pos_lnum in
+    let s_end_line = host.Location.loc_end.Lexing.pos_lnum in
+    match parse_suppress_payload attr with
+    | Some (key, reason) ->
+        Some
+          {
+            s_key = key;
+            s_reason = reason;
+            s_line;
+            s_end_line;
+            s_malformed = false;
+            s_used = false;
+          }
+    | None ->
+        Some
+          {
+            s_key = "";
+            s_reason = "";
+            s_line;
+            s_end_line;
+            s_malformed = true;
+            s_used = false;
+          }
+
+(* Collect [@lint.suppress] from expressions and [@@lint.suppress]
+   from value bindings, remembering the host node's line range. *)
+let scan_structured structure =
+  let acc = ref [] in
+  let add ~host attrs =
+    List.iter
+      (fun attr ->
+        match structured_of ~host attr with
+        | Some s -> acc := s :: !acc
+        | None -> ())
+      attrs
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr it e =
+    add ~host:e.pexp_loc e.pexp_attributes;
+    super.expr it e
+  in
+  let value_binding it vb =
+    add ~host:vb.pvb_loc vb.pvb_attributes;
+    super.value_binding it vb
+  in
+  let it = { super with expr; value_binding } in
+  it.structure it structure;
+  List.rev !acc
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -95,6 +199,7 @@ let load path =
           effective_path = Option.value pretend ~default:path;
           structure;
           suppressions;
+          structured = scan_structured structure;
         }
   | exception exn ->
       let line =
@@ -109,31 +214,45 @@ let load path =
            ~file:path ~line ~col:0
            (Printf.sprintf "does not parse: %s" (Printexc.to_string exn)))
 
-(* Mark-and-filter: a finding is suppressed by a matching-key directive
-   on its own line or the line above. *)
+(* A structured key matches a finding by suppression key, full rule id,
+   or pass prefix ("secret-flow" covers "secret-flow/sink"). *)
+let structured_matches s (f : Finding.t) =
+  (not s.s_malformed)
+  && (String.equal s.s_key f.Finding.allow_key
+     || String.equal s.s_key f.Finding.rule
+     || starts_with ~prefix:(s.s_key ^ "/") f.Finding.rule)
+  && s.s_line <= f.Finding.line
+  && f.Finding.line <= s.s_end_line
+
+(* Mark-and-filter: a finding is suppressed by a matching-key comment
+   directive on its own line or the line above, or by a structured
+   suppression whose host node spans its line. *)
 let suppress_for source (f : Finding.t) =
-  match
-    List.find_opt
-      (fun s ->
-        (not s.used)
-        && String.equal s.key f.Finding.allow_key
-        && (s.supp_line = f.Finding.line || s.supp_line + 1 = f.Finding.line))
-      source.suppressions
-  with
+  let comment_matches s =
+    String.equal s.key f.Finding.allow_key
+    && (s.supp_line = f.Finding.line || s.supp_line + 1 = f.Finding.line)
+  in
+  match List.find_opt (fun s -> (not s.used) && comment_matches s) source.suppressions with
   | Some s ->
       s.used <- true;
       Some s.reason
   | None -> (
       (* a directive already used for one finding still covers others
          on the same line(s) *)
-      match
-        List.find_opt
-          (fun s ->
-            String.equal s.key f.Finding.allow_key
-            && (s.supp_line = f.Finding.line || s.supp_line + 1 = f.Finding.line))
-          source.suppressions
-      with
+      match List.find_opt comment_matches source.suppressions with
       | Some s -> Some s.reason
-      | None -> None)
+      | None -> (
+          match
+            List.find_opt (fun s -> structured_matches s f) source.structured
+          with
+          | Some s ->
+              s.s_used <- true;
+              Some s.s_reason
+          | None -> None))
 
 let unused_suppressions source = List.filter (fun s -> not s.used) source.suppressions
+
+(* Structured suppressions that covered no finding: either stale (the
+   code they excused is gone) or malformed payloads. *)
+let stale_structured source =
+  List.filter (fun s -> s.s_malformed || not s.s_used) source.structured

@@ -33,7 +33,13 @@ let default_sink lvl msg =
     msg
 
 let sink : (level -> string -> unit) ref = ref default_sink
-let set_sink = function None -> sink := default_sink | Some f -> sink := f
+
+(* swap under the emit lock so an in-flight logf on another executor
+   never calls a half-torn closure *)
+let set_sink f =
+  Mutex.lock emit_lock;
+  (match f with None -> sink := default_sink | Some f -> sink := f);
+  Mutex.unlock emit_lock
 
 let logf lvl fmt =
   Printf.ksprintf

@@ -10,7 +10,7 @@ type t = {
   listen_fd : Unix.file_descr;
   addr : Unix.inet_addr;
   port : int;
-  mutable running : bool;
+  running : bool Atomic.t;
   lock : Mutex.t;
   mutable threads : Thread.t list;
   accept_thread : Thread.t option ref;
@@ -137,7 +137,7 @@ let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
       listen_fd;
       addr = inet_addr;
       port;
-      running = true;
+      running = Atomic.make true;
       lock = Mutex.create ();
       threads = [];
       accept_thread = ref None;
@@ -147,9 +147,9 @@ let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
     Some
       (Thread.create
          (fun () ->
-           while t.running do
+           while Atomic.get t.running do
              match Unix.accept t.listen_fd with
-             | fd, _ when t.running ->
+             | fd, _ when Atomic.get t.running ->
                  Mutex.lock t.lock;
                  t.threads <-
                    Thread.create (handle_and_reap t ~registry ~healthy) fd :: t.threads;
@@ -157,7 +157,7 @@ let start ?(addr = "127.0.0.1") ~port ?(registry = Registry.default)
              | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
              | exception Unix.Unix_error _ ->
-                 if t.running then Thread.delay 0.05
+                 if Atomic.get t.running then Thread.delay 0.05
            done)
          ());
   t
@@ -171,8 +171,8 @@ let pending_handlers t =
   n
 
 let stop t =
-  if t.running then begin
-    t.running <- false;
+  (* exchange makes a concurrent double-stop run the shutdown once *)
+  if Atomic.exchange t.running false then begin
     (* wake a blocked [accept] with a throwaway connection *)
     (try
        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in

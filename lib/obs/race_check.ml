@@ -1,0 +1,126 @@
+(* Eraser-style dynamic lockset witness (SSDB_RACE_CHECK=1).
+
+   The static races pass (lib/lint/pass_races.ml) proves the guarded-by
+   discipline lexically; this module is the dynamic backstop for what a
+   name-based analysis cannot see — aliases, first-class functions,
+   state reached through another compilation unit.  Instrumented
+   modules report lock acquisitions ([acquired]/[released], by lock
+   *class* name) and shared-state touches ([access], by root name);
+   the witness runs the classic Eraser refinement per root:
+
+     - the first accesses stay in an initialization hole (a single
+       executor owns the root; no refinement), because OCaml programs
+       overwhelmingly build state before publishing it;
+     - once a second executor touches the root, every access
+       intersects the root's candidate set with the locks its executor
+       holds at that moment;
+     - an empty candidate set after a shared-phase *write* is a race
+       report (reads-only sharing after initialization is allowed —
+       that is the single-writer publication pattern).
+
+   An executor is a (domain, thread) pair, so Thread.t threads inside
+   one domain are distinguished from parallel domains.  Reports
+   accumulate; [reports] returns them and the test suites assert the
+   list stays empty (and that a deliberately seeded race fills it).
+
+   Known limitation, documented in DESIGN.md §16: striped locks
+   (Pager's per-stripe latches) are reported under one merged class
+   name, so holding the *wrong* stripe still satisfies the witness.
+   The static pass has the same granularity; both are conservative in
+   the non-reporting direction. *)
+
+module SS = Set.Make (String)
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "SSDB_RACE_CHECK" with Some "1" -> true | _ -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* The witness's own guard is declared as "race-witness" in
+   Lock_table: it ranks below every instrumented lock because it is
+   only ever the innermost acquisition. *)
+let lock = Mutex.create ()
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+type executor = int * int  (* domain id, thread id *)
+
+let self () : executor = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+(* lock-class names currently held, innermost first, per executor *)
+let held : (executor, string list) Hashtbl.t = Hashtbl.create 16
+
+type root_state = {
+  mutable owner : executor option;  (* Some: still in the init hole *)
+  mutable cset : SS.t option;  (* candidate locks; None until shared *)
+  mutable written_shared : bool;
+  mutable reported : bool;
+}
+
+let state : (string, root_state) Hashtbl.t = Hashtbl.create 32
+let report_acc : string list ref = ref []
+
+let acquired name =
+  if enabled () then
+    with_lock lock (fun () ->
+        let ex = self () in
+        let stack = Option.value ~default:[] (Hashtbl.find_opt held ex) in
+        Hashtbl.replace held ex (name :: stack))
+
+let released name =
+  if enabled () then
+    with_lock lock (fun () ->
+        let ex = self () in
+        let rec drop = function
+          | [] -> []
+          | n :: rest when String.equal n name -> rest
+          | n :: rest -> n :: drop rest
+        in
+        match drop (Option.value ~default:[] (Hashtbl.find_opt held ex)) with
+        | [] -> Hashtbl.remove held ex
+        | stack -> Hashtbl.replace held ex stack)
+
+let access ?(write = false) root =
+  if enabled () then
+    with_lock lock (fun () ->
+        let ex = self () in
+        let held_now =
+          SS.of_list (Option.value ~default:[] (Hashtbl.find_opt held ex))
+        in
+        match Hashtbl.find_opt state root with
+        | None ->
+            Hashtbl.replace state root
+              { owner = Some ex; cset = None; written_shared = false; reported = false }
+        | Some st ->
+            if st.owner <> Some ex then begin
+              st.owner <- None;
+              let cands =
+                match st.cset with None -> held_now | Some c -> SS.inter c held_now
+              in
+              st.cset <- Some cands;
+              if write then st.written_shared <- true;
+              if st.written_shared && SS.is_empty cands && not st.reported then begin
+                st.reported <- true;
+                let dom, thr = ex in
+                report_acc :=
+                  Printf.sprintf
+                    "race: %s of `%s' from domain %d thread %d shares no lock with \
+                     earlier accessors"
+                    (if write then "write" else "read")
+                    root dom thr
+                  :: !report_acc
+              end
+            end)
+
+let reports () = with_lock lock (fun () -> List.rev !report_acc)
+
+let reset () =
+  with_lock lock (fun () ->
+      (* held stacks survive a reset: locks taken before it are still
+         held after it *)
+      Hashtbl.reset state;
+      report_acc := [])

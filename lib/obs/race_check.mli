@@ -1,0 +1,33 @@
+(** Eraser-style dynamic lockset witness.
+
+    Off by default; enabled by [SSDB_RACE_CHECK=1] in the environment
+    or {!set_enabled}.  When disabled every entry point is a single
+    atomic load, so the hooks stay in production code.
+
+    Instrumented modules call {!acquired}/{!released} with the lock
+    *class* name from the declared lock table (DESIGN.md §16) around
+    each acquisition, and {!access} with a stable root name at each
+    shared-state touch.  A root written by two executors that share no
+    lock class produces a report; {!reports} returns them oldest
+    first. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val acquired : string -> unit
+(** [acquired cls] records that the calling executor now holds a lock
+    of class [cls]. *)
+
+val released : string -> unit
+(** [released cls] drops the innermost held lock of class [cls]. *)
+
+val access : ?write:bool -> string -> unit
+(** [access ~write root] records a touch of [root] by the calling
+    executor with its currently held lock classes.  [write] defaults
+    to [false]. *)
+
+val reports : unit -> string list
+val reset : unit -> unit
+(** [reset] clears accumulated root states and reports (held-lock
+    stacks survive, so a reset inside a locked region stays
+    balanced). *)

@@ -370,11 +370,13 @@ let pp_request fmt = function
   (* pp_request runs on the trusted client only (protocol_error
      diagnostics, tests); the server formats requests solely through
      request_name, which carries no payload. *)
-  (* lint: allow-secret-sink client-side diagnostic printer; server uses request_name *)
-  | Eval { pre; point } -> Format.fprintf fmt "Eval(pre=%d,point=%d)" pre point
+  | Eval { pre; point } ->
+      (Format.fprintf fmt "Eval(pre=%d,point=%d)" pre point
+      [@lint.suppress
+        "secret-sink" ~reason:"client-side diagnostic printer; server uses request_name"])
   | Eval_batch { pres; point } ->
-      (* lint: allow-secret-sink same: client-side diagnostic printer *)
-      Format.fprintf fmt "Eval_batch(%d nodes,point=%d)" (List.length pres) point
+      (Format.fprintf fmt "Eval_batch(%d nodes,point=%d)" (List.length pres) point
+      [@lint.suppress "secret-sink" ~reason:"same: client-side diagnostic printer"])
   | Share pre -> Format.fprintf fmt "Share(%d)" pre
   | Shares pres -> Format.fprintf fmt "Shares(%d nodes)" (List.length pres)
   | Table_stats -> Format.pp_print_string fmt "Table_stats"

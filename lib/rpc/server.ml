@@ -55,12 +55,12 @@ let backoff_delay ~consecutive_failures =
 type conn = {
   fd : Unix.file_descr;
   session : session;
-  mutable rbuf : Bytes.t;
-  mutable rlen : int;  (* bytes of [rbuf] filled *)
-  mutable wbuf : Bytes.t;
-  mutable wpos : int;  (* next unsent byte *)
-  mutable wlen : int;  (* end of pending output *)
-  mutable wdeadline : float;  (* absolute; 0. = none *)
+  mutable rbuf : Bytes.t; [@domain_confined "evloop"]
+  mutable rlen : int; [@domain_confined "evloop"]  (* bytes of [rbuf] filled *)
+  mutable wbuf : Bytes.t; [@domain_confined "evloop"]
+  mutable wpos : int; [@domain_confined "evloop"]  (* next unsent byte *)
+  mutable wlen : int; [@domain_confined "evloop"]  (* end of pending output *)
+  mutable wdeadline : float; [@domain_confined "evloop"]  (* absolute; 0. = none *)
 }
 
 type t = {
@@ -71,23 +71,32 @@ type t = {
   (* loop-domain-only state: the poll interest set and the connection
      table keyed by descriptor number.  Single-owner, so unlocked. *)
   evloop : Evloop.t;
-  conns : (int, conn) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t; [@domain_confined "evloop"]
   wake_r : Unix.file_descr;  (* self-pipe: [stop] pokes the loop *)
   wake_w : Unix.file_descr;
   (* cross-thread state: everything below is read by [stats]/[stop]
      from other threads and guarded by [lock]. *)
   lock : Mutex.t;
-  mutable running : bool;
-  mutable connections_accepted : int;
-  mutable connections_active : int;
-  mutable requests_handled : int;
-  mutable accept_errors : int;
+  mutable running : bool; [@guarded_by "rpc-server-stats"]
+  mutable connections_accepted : int; [@guarded_by "rpc-server-stats"]
+  mutable connections_active : int; [@guarded_by "rpc-server-stats"]
+  mutable requests_handled : int; [@guarded_by "rpc-server-stats"]
+  mutable accept_errors : int; [@guarded_by "rpc-server-stats"]
   loop_domain : unit Domain.t option ref;
+      [@atomic_ok
+        "written by start before the loop is visible and by stop after join; never \
+         concurrent"]
 }
 
 let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Obs.Race_check.acquired "rpc-server-stats";
+  Obs.Race_check.access ~write:true "server.stats";
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Race_check.released "rpc-server-stats";
+      Mutex.unlock t.lock)
+    f
 
 let is_running t = with_lock t (fun () -> t.running)
 
@@ -269,8 +278,8 @@ let on_writable t conn =
 (* --- accept path ------------------------------------------------- *)
 
 type accept_state = {
-  mutable consecutive_failures : int;
-  mutable paused_until : float;  (* 0. = accepting *)
+  mutable consecutive_failures : int; [@domain_confined "evloop"]
+  mutable paused_until : float; [@domain_confined "evloop"]  (* 0. = accepting *)
 }
 
 let register_conn t fd session =
@@ -408,6 +417,9 @@ let drain t =
   let all = Hashtbl.fold (fun _ conn acc -> conn :: acc) t.conns [] in
   List.iter (fun conn -> close_conn t conn) all
 
+(* The loop body: everything reachable from here runs on the loop
+   domain.  The [@@runs_on] seed is what lets the race pass prove the
+   conn table and buffers are evloop-confined. *)
 let run_loop t =
   let astate = { consecutive_failures = 0; paused_until = 0.0 } in
   while is_running t do
@@ -437,6 +449,7 @@ let run_loop t =
     sweep_write_deadlines t
   done;
   drain t
+[@@runs_on "evloop"]
 
 (* --- public surface ---------------------------------------------- *)
 

@@ -60,7 +60,7 @@ let child_index inode k =
 
 type split = No_split | Split of int * node
 
-let insert t k =
+let[@requires "table-writer"] insert t k =
   if k < 0 then invalid_arg "Btree.insert: negative key";
   let order = t.order in
   let exception Already_present in
@@ -138,7 +138,7 @@ let min_fill order = order / 2
 let leaf_of node = match node with Leaf l -> l | Internal _ -> assert false
 let internal_of node = match node with Internal i -> i | Leaf _ -> assert false
 
-let delete t k =
+let[@requires "table-writer"] delete t k =
   let order = t.order in
   let exception Absent in
   (* Returns true when [node] is underfull after the deletion. *)

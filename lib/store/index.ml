@@ -12,8 +12,8 @@ let pack ~key ~value =
 let unpack packed = (packed lsr 31, packed land (limit - 1))
 
 let create ?order () = Btree.create ?order ()
-let add t ~key ~value = Btree.insert t (pack ~key ~value)
-let remove t ~key ~value = Btree.delete t (pack ~key ~value)
+let[@requires "table-writer"] add t ~key ~value = Btree.insert t (pack ~key ~value)
+let[@requires "table-writer"] remove t ~key ~value = Btree.delete t (pack ~key ~value)
 let mem t ~key ~value = Btree.mem t (pack ~key ~value)
 
 let find_all t ~key =

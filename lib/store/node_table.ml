@@ -77,7 +77,10 @@ let attach_wal t wal =
   t.wal <- Some wal;
   Pager.set_write_barrier t.pager (Some (page_barrier wal))
 
-let create_file ?page_size ?cache_pages ?(durable = false) ?checkpoint_every path =
+let[@init_path
+     "the table is not published until create_file returns; no other executor can \
+      reach it"] create_file ?page_size ?cache_pages ?(durable = false) ?checkpoint_every
+    path =
   let t = make ?checkpoint_every (Pager.create_file ?page_size ?cache_pages path) in
   if durable then attach_wal t (Wal.create (wal_path path));
   t
@@ -205,7 +208,9 @@ let empty_plan =
     discarded_bytes = 0;
   }
 
-let open_file ?cache_pages ?(durable = false) ?checkpoint_every path =
+let[@init_path
+     "recovery and index rebuild run before the table is published; no other executor \
+      can reach it"] open_file ?cache_pages ?(durable = false) ?checkpoint_every path =
   (* Scan the log (if any) before opening the heap: its page images
      determine whether a short/torn heap file is tolerable. *)
   let plan_result =

@@ -134,11 +134,21 @@ let make_stripes cache_pages =
 
 let stripe_of st idx = st.stripes.(idx land (Array.length st.stripes - 1))
 
+(* Witness class per rank.  All stripe latches report as one merged
+   "pager-stripe" class — holding the wrong stripe still satisfies the
+   witness; DESIGN.md §16 records the limitation. *)
+let race_class = function
+  | Lock_check.Meta -> "pager-meta"
+  | Lock_check.Stripe -> "pager-stripe"
+  | Lock_check.Io -> "pager-io"
+
 let with_lock ~rank m f =
   Lock_check.acquired rank;
   Mutex.lock m;
+  Obs.Race_check.acquired (race_class rank);
   Fun.protect
     ~finally:(fun () ->
+      Obs.Race_check.released (race_class rank);
       Mutex.unlock m;
       Lock_check.released rank)
     f
@@ -281,6 +291,7 @@ let append t page =
       with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
           evict_locked st stripe t.psize;
           stripe.clock <- stripe.clock + 1;
+          Obs.Race_check.access ~write:true "pager.cache";
           Hashtbl.replace stripe.cache idx
             { page; dirty = true; last_used = stripe.clock });
       idx
@@ -294,6 +305,7 @@ let get t idx =
       let stripe = stripe_of st idx in
       with_lock ~rank:Lock_check.Stripe stripe.latch (fun () ->
           stripe.clock <- stripe.clock + 1;
+          Obs.Race_check.access "pager.cache";
           match Hashtbl.find_opt stripe.cache idx with
           | Some entry ->
               entry.last_used <- stripe.clock;

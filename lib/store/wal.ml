@@ -312,6 +312,6 @@ let open_existing path =
               lsn = Int64.add plan.max_lsn 1L;
             })
 
-let entry_count t = t.entries
-let next_lsn t = t.lsn
+let entry_count t = with_lock t.lock (fun () -> t.entries)
+let next_lsn t = with_lock t.lock (fun () -> t.lsn)
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

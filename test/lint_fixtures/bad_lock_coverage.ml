@@ -1,0 +1,10 @@
+(* lint: pretend-path lib/xml/scratch_lock.ml *)
+(* Positive fixture: a mutex created in a module outside the
+   lock-order pass's scope — the pass must report the coverage gap
+   instead of silently skipping the file. *)
+
+let lock = Mutex.create ()
+
+let guard f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f

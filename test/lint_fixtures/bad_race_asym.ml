@@ -1,0 +1,13 @@
+(* lint: pretend-path lib/core/bad_race_asym.ml *)
+(* Positive fixture: the guard is held on the write path but the read
+   path goes bare — Guarded_by covers both directions. *)
+
+let[@guarded_by "fixture-lock"] counter = ref 0
+let lock = Mutex.create ()
+
+let bump () =
+  Mutex.lock lock;
+  counter := !counter + 1;
+  Mutex.unlock lock
+
+let peek () = !counter

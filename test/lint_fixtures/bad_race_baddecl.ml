@@ -1,0 +1,6 @@
+(* lint: pretend-path lib/core/bad_race_baddecl.ml *)
+(* Positive fixture: a declaration naming a lock class missing from
+   the declared lock table. *)
+
+let[@guarded_by "no-such-lock"] slots = Hashtbl.create 4
+let put k v = Hashtbl.replace slots k v

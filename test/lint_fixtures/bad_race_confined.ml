@@ -1,0 +1,6 @@
+(* lint: pretend-path lib/core/bad_race_confined.ml *)
+(* Positive fixture: caller-confined scratch captured by a closure
+   that runs on a spawned domain. *)
+
+let[@domain_confined "caller"] scratch = Buffer.create 64
+let leak () = ignore (Domain.spawn (fun () -> Buffer.add_string scratch "x"))

@@ -1,0 +1,8 @@
+(* lint: pretend-path lib/core/bad_race_requires.ml *)
+(* Positive fixture: calling a [@@requires]-contracted function
+   without holding the contracted class.  The access inside [put] is
+   covered by the contract; the violation is at the call site. *)
+
+let[@guarded_by "fixture-lock"] slots = Hashtbl.create 4
+let[@requires "fixture-lock"] put k v = Hashtbl.replace slots k v
+let naive () = put 1 2

@@ -1,0 +1,6 @@
+(* lint: pretend-path lib/core/bad_race_spawn.ml *)
+(* Positive fixture: a declared guarded table written from a spawned
+   domain without holding its lock. *)
+
+let[@guarded_by "fixture-lock"] table = Hashtbl.create 16
+let racy () = ignore (Domain.spawn (fun () -> Hashtbl.replace table 1 2))

@@ -1,0 +1,6 @@
+(* lint: pretend-path lib/core/bad_race_undeclared.ml *)
+(* Positive fixture: shared mutable state with no concurrency
+   declaration at all — the model must stay complete. *)
+
+let pending = Queue.create ()
+let push job = Queue.add job pending

@@ -1,0 +1,5 @@
+(* lint: pretend-path lib/core/bad_stale_suppress.ml *)
+(* Positive fixture: a structured suppression whose finding is gone —
+   suppressions must not outlive the code they excuse. *)
+
+let helper x = (x + 1 [@lint.suppress "secret-sink" ~reason:"nothing here anymore"])

@@ -1,0 +1,7 @@
+(* lint: pretend-path lib/core/good_race_atomic.ml *)
+(* Negative fixture: lock-free state declared Atomic_ok with a
+   recorded reason; touched from a spawned domain without locks. *)
+
+let[@atomic_ok "monotonic counter; readers tolerate a stale value"] hits = Atomic.make 0
+let record () = ignore (Domain.spawn (fun () -> Atomic.incr hits))
+let read () = Atomic.get hits

@@ -1,0 +1,10 @@
+(* lint: pretend-path lib/core/good_race_confined.ml *)
+(* Negative fixture: caller-confined scratch that never crosses an
+   executor boundary. *)
+
+let[@domain_confined "caller"] scratch = Buffer.create 64
+
+let render items =
+  Buffer.clear scratch;
+  List.iter (fun item -> Buffer.add_string scratch item) items;
+  Buffer.contents scratch

@@ -1,0 +1,15 @@
+(* lint: pretend-path lib/core/good_race_guarded.ml *)
+(* Negative fixture: every access to the declared root holds its
+   class, including the one from the spawned domain. *)
+
+let[@guarded_by "fixture-lock"] table = Hashtbl.create 16
+let lock = Mutex.create ()
+
+let with_lock lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let insert k v = with_lock lock (fun () -> Hashtbl.replace table k v)
+
+let spawned () =
+  ignore (Domain.spawn (fun () -> with_lock lock (fun () -> Hashtbl.replace table 1 2)))

@@ -55,6 +55,13 @@ let all_rules =
     "accounting/cursor-removal";
     "accounting/metrics-merge";
     "parse/error";
+    "races/unguarded-access";
+    "races/confinement-escape";
+    "races/undeclared-root";
+    "races/bad-decl";
+    "races/unguarded-call";
+    "lint/stale-suppression";
+    "lint-coverage/lock-order-skip";
   ]
 
 let corpus_covers_all_rules () =
@@ -84,6 +91,17 @@ let unused_allow_is_flagged () =
   let r = report_of "bad_suppressed.ml" in
   Alcotest.(check int) "no unused allows" 0 (List.length r.Driver.unused_allows)
 
+let pass_selection () =
+  (* --pass races: only the races pass runs, and stale-suppression
+     hygiene is deferred to full runs *)
+  let r = Driver.lint_paths ~passes:[ "races" ] [ fixture "bad_race_spawn.ml" ] in
+  Alcotest.(check (list string))
+    "races pass alone fires" [ "races/unguarded-access" ] (rules r);
+  let r = Driver.lint_paths ~passes:[ "races" ] [ fixture "bad_banned.ml" ] in
+  Alcotest.(check (list string)) "other passes stay off" [] (texts r);
+  let r = Driver.lint_paths ~passes:[ "races" ] [ fixture "bad_stale_suppress.ml" ] in
+  Alcotest.(check (list string)) "no stale-suppression on partial runs" [] (texts r)
+
 let tree_is_clean () =
   let r =
     Driver.lint_paths
@@ -112,6 +130,14 @@ let positive_cases =
     ("bad_accounting.ml", "accounting/cursor-removal", 1);
     ("bad_accounting.ml", "accounting/metrics-merge", 1);
     ("bad_parse.ml", "parse/error", 1);
+    ("bad_race_spawn.ml", "races/unguarded-access", 1);
+    ("bad_race_asym.ml", "races/unguarded-access", 1);
+    ("bad_race_confined.ml", "races/confinement-escape", 1);
+    ("bad_race_undeclared.ml", "races/undeclared-root", 1);
+    ("bad_race_baddecl.ml", "races/bad-decl", 1);
+    ("bad_race_requires.ml", "races/unguarded-call", 1);
+    ("bad_stale_suppress.ml", "lint/stale-suppression", 1);
+    ("bad_lock_coverage.ml", "lint-coverage/lock-order-skip", 1);
   ]
 
 let negative_cases =
@@ -125,6 +151,9 @@ let negative_cases =
     "good_thread_shard.ml";
     "good_kernel_alloc.ml";
     "good_accounting.ml";
+    "good_race_guarded.ml";
+    "good_race_atomic.ml";
+    "good_race_confined.ml";
   ]
 
 let () =
@@ -144,6 +173,7 @@ let () =
           Alcotest.test_case "all rules represented" `Quick corpus_covers_all_rules;
           Alcotest.test_case "suppression honoured" `Quick suppression_is_honoured;
           Alcotest.test_case "no unused allows" `Quick unused_allow_is_flagged;
+          Alcotest.test_case "pass selection" `Quick pass_selection;
         ] );
       ("tree", [ Alcotest.test_case "lib/bin/test/bench clean" `Quick tree_is_clean ]);
     ]

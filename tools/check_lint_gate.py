@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""SARIF gate for ssdb_lint.
+
+Usage: check_lint_gate.py [--expect-clean] LINT.sarif
+
+LINT.sarif is the output of `ssdb_lint --format sarif`.  The gate
+checks the minimal SARIF 2.1.0 profile the repo commits to — so the
+archived artifact always loads in SARIF viewers and code-scanning
+upload endpoints, even on the red run where it matters most:
+
+  - $schema / version pin 2.1.0, one run, driver name "ssdb_lint";
+  - every rules[] entry carries a unique non-empty id;
+  - every result carries ruleId, a ruleIndex that resolves back to the
+    same id, a level in {error, warning, note}, non-empty message.text,
+    and a physicalLocation with a relative artifact uri and 1-based
+    startLine/startColumn.
+
+With --expect-clean the gate additionally fails on any error-level
+result: the CI lint job runs it on the tree, where findings mean a
+broken gate, not a malformed report.
+"""
+
+import json
+import sys
+
+LEVELS = {"error", "warning", "note"}
+
+
+def fail(msg: str) -> None:
+    print(f"lint gate: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond: bool, msg: str) -> None:
+    if not cond:
+        fail(msg)
+
+
+def validate(path: str, expect_clean: bool) -> None:
+    with open(path) as f:
+        doc = json.load(f)
+
+    check(isinstance(doc, dict), "top level is not an object")
+    check(
+        str(doc.get("$schema", "")).endswith("sarif-2.1.0.json"),
+        f"$schema={doc.get('$schema')!r} is not the 2.1.0 schema",
+    )
+    check(doc.get("version") == "2.1.0", f"version={doc.get('version')!r}")
+
+    runs = doc.get("runs")
+    check(isinstance(runs, list) and len(runs) == 1, "expected exactly one run")
+    run = runs[0]
+    driver = run.get("tool", {}).get("driver", {})
+    check(driver.get("name") == "ssdb_lint", f"driver name={driver.get('name')!r}")
+    check(
+        isinstance(driver.get("informationUri"), str) and driver["informationUri"],
+        "driver.informationUri missing",
+    )
+
+    rules = driver.get("rules")
+    check(isinstance(rules, list), "driver.rules is not an array")
+    rule_ids = []
+    for i, rule in enumerate(rules):
+        rid = rule.get("id")
+        check(isinstance(rid, str) and rid, f"rules[{i}] has no id")
+        rule_ids.append(rid)
+    check(len(rule_ids) == len(set(rule_ids)), "duplicate rule ids in rules[]")
+
+    results = run.get("results")
+    check(isinstance(results, list), "run.results is not an array")
+    by_level = {}
+    for i, res in enumerate(results):
+        where = f"results[{i}]"
+        rid = res.get("ruleId")
+        check(isinstance(rid, str) and rid, f"{where}: ruleId missing")
+        idx = res.get("ruleIndex")
+        check(
+            isinstance(idx, int) and 0 <= idx < len(rule_ids),
+            f"{where}: ruleIndex={idx!r} out of range",
+        )
+        check(
+            rule_ids[idx] == rid,
+            f"{where}: ruleIndex {idx} resolves to {rule_ids[idx]!r}, not {rid!r}",
+        )
+        level = res.get("level")
+        check(level in LEVELS, f"{where}: level={level!r}")
+        by_level[level] = by_level.get(level, 0) + 1
+        text = res.get("message", {}).get("text")
+        check(isinstance(text, str) and text, f"{where}: message.text missing")
+        locations = res.get("locations")
+        check(
+            isinstance(locations, list) and len(locations) >= 1,
+            f"{where}: locations missing",
+        )
+        phys = locations[0].get("physicalLocation", {})
+        uri = phys.get("artifactLocation", {}).get("uri")
+        check(isinstance(uri, str) and uri, f"{where}: artifact uri missing")
+        check(not uri.startswith("/"), f"{where}: uri {uri!r} is absolute")
+        region = phys.get("region", {})
+        for field in ("startLine", "startColumn"):
+            v = region.get(field)
+            check(
+                isinstance(v, int) and v >= 1, f"{where}: {field}={v!r} (must be >= 1)"
+            )
+
+    summary = ", ".join(f"{n} {lvl}" for lvl, n in sorted(by_level.items())) or "clean"
+    print(f"lint gate: {len(results)} results ({summary}), {len(rule_ids)} rules")
+    if expect_clean and by_level.get("error", 0):
+        fail(f"{by_level['error']} error-level results in a run expected clean")
+    print("lint gate: PASS")
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    expect_clean = "--expect-clean" in args
+    args = [a for a in args if a != "--expect-clean"]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    validate(args[0], expect_clean)
+
+
+if __name__ == "__main__":
+    main()
